@@ -1,0 +1,137 @@
+// Ablations of the design choices DESIGN.md calls out:
+//
+//   1. What each MK40 optimization buys on the null-RPC path: stack handoff
+//      and continuation recognition disabled independently, against the MK32
+//      and Mach 2.5 baselines.
+//   2. The stack cache: how the free-stack cache size affects host
+//      allocations and latency (Mach kept a cache for the same reason).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/ipc/ipc_space.h"
+#include "src/kern/kernel.h"
+#include "src/machine/cycle_model.h"
+#include "src/task/task.h"
+#include "src/task/usermode.h"
+
+namespace mkc {
+namespace {
+
+struct RpcState {
+  PortId service_port = kInvalidPort;
+  PortId reply_port = kInvalidPort;
+  int iterations = 0;
+};
+
+void Server(void* arg) {
+  auto* st = static_cast<RpcState*>(arg);
+  UserMessage msg;
+  if (UserServeOnce(&msg, 0, st->service_port) != KernReturn::kSuccess) {
+    return;
+  }
+  for (;;) {
+    msg.header.dest = msg.header.reply;
+    if (UserServeOnce(&msg, 8, st->service_port) != KernReturn::kSuccess) {
+      return;
+    }
+  }
+}
+
+void Client(void* arg) {
+  auto* st = static_cast<RpcState*>(arg);
+  UserMessage msg;
+  for (int i = 0; i < st->iterations; ++i) {
+    msg.header.dest = st->service_port;
+    UserRpc(&msg, 8, st->reply_port);
+  }
+}
+
+struct AblationResult {
+  double sim_us_per_rpc = 0.0;
+  double ns_per_rpc = 0.0;
+  std::uint64_t handoffs = 0;
+  std::uint64_t recognitions = 0;
+  std::uint64_t stack_allocs = 0;
+  std::uint64_t stacks_created = 0;
+};
+
+AblationResult RunRpc(const KernelConfig& config, int iterations) {
+  Kernel kernel(config);
+  Task* client_task = kernel.CreateTask("client");
+  Task* server_task = kernel.CreateTask("server");
+  RpcState st;
+  st.service_port = kernel.ipc().AllocatePort(server_task);
+  st.reply_port = kernel.ipc().AllocatePort(client_task);
+  st.iterations = iterations;
+  ThreadOptions daemon;
+  daemon.daemon = true;
+  kernel.CreateUserThread(server_task, &Server, &st, daemon);
+  kernel.CreateUserThread(client_task, &Client, &st);
+  kernel.ResetStats();
+  WallTimer timer;
+  Ticks t0 = kernel.clock().Now();
+  kernel.Run();
+  AblationResult result;
+  result.sim_us_per_rpc = CyclesToMicros(kernel.clock().Now() - t0) / iterations;
+  result.ns_per_rpc = timer.Seconds() * 1e9 / iterations;
+  result.handoffs = kernel.transfer_stats().stack_handoffs;
+  result.recognitions = kernel.transfer_stats().recognitions;
+  result.stack_allocs = kernel.stack_pool().stats().allocs;
+  result.stacks_created = kernel.stack_pool().stats().created;
+  return result;
+}
+
+int Main(int argc, char** argv) {
+  int iterations = 100000 * ScaleFromArgs(argc, argv, 1);
+
+  struct Variant {
+    const char* name;
+    KernelConfig config;
+  };
+  Variant variants[5];
+  variants[0].name = "MK40 (full)";
+  variants[1].name = "MK40 -recognition";
+  variants[1].config.enable_recognition = false;
+  variants[2].name = "MK40 -handoff";
+  variants[2].config.enable_handoff = false;
+  variants[3].name = "MK32";
+  variants[3].config.model = ControlTransferModel::kMK32;
+  variants[4].name = "Mach 2.5";
+  variants[4].config.model = ControlTransferModel::kMach25;
+
+  RunRpc(variants[0].config, iterations / 10);  // Warm.
+
+  std::printf("Ablation 1: null RPC with MK40's optimizations removed one at a time\n\n");
+  std::printf("%-20s %10s %9s %10s %12s %12s\n", "variant", "sim us/RPC", "vs full",
+              "host ns", "handoffs", "recognitions");
+  double baseline = 0.0;
+  for (const auto& v : variants) {
+    AblationResult r = RunRpc(v.config, iterations);
+    if (baseline == 0.0) {
+      baseline = r.sim_us_per_rpc;
+    }
+    std::printf("%-20s %10.1f %8.2fx %10.0f %12llu %12llu\n", v.name, r.sim_us_per_rpc,
+                r.sim_us_per_rpc / baseline, r.ns_per_rpc,
+                static_cast<unsigned long long>(r.handoffs),
+                static_cast<unsigned long long>(r.recognitions));
+  }
+
+  std::printf("\nAblation 2: free-stack cache size (MK40 -handoff, the stack-hungry path)\n\n");
+  std::printf("%-12s %12s %14s %16s\n", "cache size", "host ns/RPC", "stack allocs",
+              "host allocations");
+  for (std::size_t cache : {std::size_t{0}, std::size_t{1}, std::size_t{4}, std::size_t{16}}) {
+    KernelConfig config;
+    config.enable_handoff = false;  // Forces a stack attach per resumption.
+    config.stack_cache_limit = cache;
+    AblationResult r = RunRpc(config, iterations / 2);
+    std::printf("%-12zu %12.0f %14llu %16llu\n", cache, r.ns_per_rpc,
+                static_cast<unsigned long long>(r.stack_allocs),
+                static_cast<unsigned long long>(r.stacks_created));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace mkc
+
+int main(int argc, char** argv) { return mkc::Main(argc, argv); }

@@ -1,0 +1,105 @@
+// Reproduces §3.4's stack-count results and §5's Firefly comparison:
+//
+//   * "Using MK40, the number of kernel stacks was, on average, 2.002" for
+//     workloads with 24-43 kernel threads; worst cases 3-6.
+//   * Topaz on a Firefly: 886 kernel threads were using 212 kernel stacks;
+//     "In Mach ... 886 similarly blocked kernel-level threads would require
+//     only 6 stacks" (5 processors + 1 special thread; on our uniprocessor:
+//     1 + 1).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/ipc/ipc_space.h"
+#include "src/kern/kernel.h"
+#include "src/task/task.h"
+#include "src/task/usermode.h"
+#include "src/workload/workload.h"
+
+namespace mkc {
+namespace {
+
+struct FireflyState {
+  PortId ports[8] = {};
+  int parked = 0;
+  int target = 0;
+  std::uint64_t stacks_in_use = 0;
+  std::uint64_t threads_total = 0;
+};
+
+void FireflyReceiver(void* arg) {
+  auto* st = static_cast<FireflyState*>(arg);
+  PortId port = st->ports[st->parked % 8];
+  ++st->parked;
+  UserMessage msg;
+  UserMachMsg(&msg, kMsgRcvOpt, 0, kMaxInlineBytes, port);
+}
+
+void FireflyObserver(void* arg) {
+  auto* st = static_cast<FireflyState*>(arg);
+  while (st->parked < st->target) {
+    UserYield();
+  }
+  Kernel& k = ActiveKernel();
+  st->stacks_in_use = k.stack_pool().stats().in_use;
+  st->threads_total = k.threads().size();
+}
+
+FireflyState RunFirefly(ControlTransferModel model, int threads) {
+  KernelConfig config;
+  config.model = model;
+  config.kernel_stack_bytes = 16 * 1024;
+  config.user_stack_bytes = 16 * 1024;
+  Kernel kernel(config);
+  Task* task = kernel.CreateTask("blocked-farm");
+  static FireflyState st;
+  st = FireflyState{};
+  st.target = threads;
+  for (auto& p : st.ports) {
+    p = kernel.ipc().AllocatePort(task);
+  }
+  ThreadOptions daemon;
+  daemon.daemon = true;
+  for (int i = 0; i < threads; ++i) {
+    kernel.CreateUserThread(task, &FireflyReceiver, &st, daemon);
+  }
+  kernel.CreateUserThread(task, &FireflyObserver, &st);
+  kernel.Run();
+  return st;
+}
+
+int Main(int argc, char** argv) {
+  int scale = ScaleFromArgs(argc, argv, 10);
+
+  std::printf("Stack-count experiments (par. 3.4 and the par. 5 Firefly comparison)\n\n");
+
+  // --- Workload averages (MK40) ---------------------------------------
+  KernelConfig config;
+  WorkloadParams params;
+  params.scale = scale;
+  std::printf("%-16s %14s %14s %10s    [paper avg 2.002, worst 3-6]\n", "workload",
+              "avg stacks", "max stacks", "samples");
+  for (const auto& entry : kTableWorkloads) {
+    WorkloadReport r = entry.fn(config, params);
+    std::printf("%-16s %14.3f %14llu %10llu\n", entry.name, r.stacks.AverageInUse(),
+                static_cast<unsigned long long>(r.stacks.max_in_use),
+                static_cast<unsigned long long>(r.stacks.samples));
+  }
+
+  // --- Firefly scenario: 886 blocked threads ----------------------------
+  std::printf("\nFirefly scenario: 886 threads blocked in message receives\n");
+  FireflyState mk40 = RunFirefly(ControlTransferModel::kMK40, 886);
+  std::printf("  MK40: %llu stacks for %llu kernel threads"
+              "   [paper: 6 stacks on a 5-CPU Firefly; Topaz used 212]\n",
+              static_cast<unsigned long long>(mk40.stacks_in_use),
+              static_cast<unsigned long long>(mk40.threads_total));
+  FireflyState mk32 = RunFirefly(ControlTransferModel::kMK32, 886);
+  std::printf("  MK32: %llu stacks for %llu kernel threads   [process model: one each]\n",
+              static_cast<unsigned long long>(mk32.stacks_in_use),
+              static_cast<unsigned long long>(mk32.threads_total));
+  return 0;
+}
+
+}  // namespace
+}  // namespace mkc
+
+int main(int argc, char** argv) { return mkc::Main(argc, argv); }

@@ -1,0 +1,102 @@
+// Reproduces Table 1: "Frequency of Stack Discarding with Continuations".
+//
+// Runs the three synthetic workloads on the MK40 (continuation) kernel and
+// reports, per blocking reason, how many blocks discarded the kernel stack —
+// next to the percentages the paper measured on the Toshiba 5200.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/workload/workload.h"
+
+namespace mkc {
+namespace {
+
+struct PaperColumn {
+  // Paper Table 1 percentages per workload column.
+  double values[3];
+};
+
+// Rows of Table 1, in paper order, with the paper's per-column percentages.
+struct Row {
+  BlockReason reason;
+  const char* label;
+  PaperColumn paper;
+};
+
+constexpr Row kRows[] = {
+    {BlockReason::kMessageReceive, "message receive", {{83.4, 86.3, 55.2}}},
+    {BlockReason::kException, "exception", {{0.0, 0.0, 37.9}}},
+    {BlockReason::kPageFault, "page fault", {{0.9, 0.2, 0.0}}},
+    {BlockReason::kThreadSwitch, "thread switch", {{0.0, 0.0, 0.0}}},
+    {BlockReason::kPreempt, "preempt", {{7.7, 4.9, 5.3}}},
+    {BlockReason::kInternal, "internal threads", {{6.4, 8.4, 1.6}}},
+};
+
+int Main(int argc, char** argv) {
+  int scale = ScaleFromArgs(argc, argv, 10);
+  KernelConfig config;  // MK40 defaults.
+  WorkloadParams params;
+  params.scale = scale;
+
+  WorkloadReport reports[3];
+  for (int i = 0; i < 3; ++i) {
+    reports[i] = kTableWorkloads[i].fn(config, params);
+  }
+
+  std::printf("Table 1: Frequency of Stack Discarding with Continuations\n");
+  std::printf("Kernel model: MK40 (continuations); workload scale %d\n", scale);
+  std::printf("Per cell: discarding blocks, measured %% of all blocks, [paper %%]\n\n");
+
+  std::printf("%-22s", "Operations Using");
+  for (const auto& w : kTableWorkloads) {
+    std::printf(" | %26s", w.name);
+  }
+  std::printf("\n%-22s", "Stack Discard");
+  for (int i = 0; i < 3; ++i) {
+    std::printf(" | %10s %6s %7s", "blocks", "%", "[paper]");
+  }
+  std::printf("\n");
+
+  for (const auto& row : kRows) {
+    std::printf("%-22s", row.label);
+    for (int i = 0; i < 3; ++i) {
+      const auto& st = reports[i].transfer;
+      const auto& cell = st.by_reason[static_cast<int>(row.reason)];
+      std::printf(" | %10llu %6.1f [%5.1f]", static_cast<unsigned long long>(cell.discards),
+                  Pct(cell.discards, st.total_blocks), row.paper.values[i]);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("%-22s", "total stack discards");
+  const double paper_total[3] = {98.4, 99.9, 100.0};
+  for (int i = 0; i < 3; ++i) {
+    const auto& st = reports[i].transfer;
+    std::printf(" | %10llu %6.1f [%5.1f]",
+                static_cast<unsigned long long>(st.TotalDiscards()),
+                Pct(st.TotalDiscards(), st.total_blocks), paper_total[i]);
+  }
+  std::printf("\n%-22s", "no stack discards");
+  const double paper_none[3] = {1.6, 0.1, 0.0};
+  for (int i = 0; i < 3; ++i) {
+    const auto& st = reports[i].transfer;
+    std::printf(" | %10llu %6.1f [%5.1f]",
+                static_cast<unsigned long long>(st.TotalNoDiscards()),
+                Pct(st.TotalNoDiscards(), st.total_blocks), paper_none[i]);
+  }
+  std::printf("\n\n");
+
+  for (int i = 0; i < 3; ++i) {
+    std::printf("%-14s: %llu total blocks, %llu virtual ticks, %.3f s wall\n",
+                reports[i].name.c_str(),
+                static_cast<unsigned long long>(reports[i].transfer.total_blocks),
+                static_cast<unsigned long long>(reports[i].virtual_time),
+                reports[i].wall_seconds);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace mkc
+
+int main(int argc, char** argv) { return mkc::Main(argc, argv); }

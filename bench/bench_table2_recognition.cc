@@ -1,0 +1,65 @@
+// Reproduces Table 2: "Frequency of Continuation Recognition and Stack
+// Handoff" — same three workloads, reporting what fraction of all blocking
+// operations used a stack handoff and how many resumptions were recognized.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/workload/workload.h"
+
+namespace mkc {
+namespace {
+
+int Main(int argc, char** argv) {
+  int scale = ScaleFromArgs(argc, argv, 10);
+  KernelConfig config;  // MK40 defaults.
+  WorkloadParams params;
+  params.scale = scale;
+
+  WorkloadReport reports[3];
+  for (int i = 0; i < 3; ++i) {
+    reports[i] = kTableWorkloads[i].fn(config, params);
+  }
+
+  std::printf("Table 2: Frequency of Continuation Recognition and Stack Handoff\n");
+  std::printf("Kernel model: MK40 (continuations); workload scale %d\n", scale);
+  std::printf("Per cell: count, measured %% of total blocks, [paper %%]\n\n");
+
+  std::printf("%-16s", "");
+  for (const auto& w : kTableWorkloads) {
+    std::printf(" | %26s", w.name);
+  }
+  std::printf("\n");
+
+  std::printf("%-16s", "total blocks");
+  for (const auto& r : reports) {
+    std::printf(" | %10llu %6.1f [%5.1f]",
+                static_cast<unsigned long long>(r.transfer.total_blocks), 100.0, 100.0);
+  }
+  std::printf("\n");
+
+  const double paper_handoff[3] = {96.8, 99.7, 100.0};
+  std::printf("%-16s", "stack handoff");
+  for (int i = 0; i < 3; ++i) {
+    const auto& st = reports[i].transfer;
+    std::printf(" | %10llu %6.1f [%5.1f]",
+                static_cast<unsigned long long>(st.stack_handoffs),
+                Pct(st.stack_handoffs, st.total_blocks), paper_handoff[i]);
+  }
+  std::printf("\n");
+
+  const double paper_recognition[3] = {60.2, 72.3, 85.9};
+  std::printf("%-16s", "recognition");
+  for (int i = 0; i < 3; ++i) {
+    const auto& st = reports[i].transfer;
+    std::printf(" | %10llu %6.1f [%5.1f]",
+                static_cast<unsigned long long>(st.recognitions),
+                Pct(st.recognitions, st.total_blocks), paper_recognition[i]);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace mkc
+
+int main(int argc, char** argv) { return mkc::Main(argc, argv); }

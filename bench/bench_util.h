@@ -1,0 +1,42 @@
+// Shared helpers for the table-reproduction benches.
+#ifndef MACHCONT_BENCH_BENCH_UTIL_H_
+#define MACHCONT_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mkc {
+
+inline double Pct(std::uint64_t part, std::uint64_t whole) {
+  return whole == 0 ? 0.0 : 100.0 * static_cast<double>(part) / static_cast<double>(whole);
+}
+
+// Scale factor from argv[1] or a default; benches accept a single optional
+// argument to trade run time for fidelity to the paper's block counts.
+inline int ScaleFromArgs(int argc, char** argv, int default_scale) {
+  if (argc > 1) {
+    int scale = std::atoi(argv[1]);
+    if (scale > 0) {
+      return scale;
+    }
+  }
+  return default_scale;
+}
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    std::chrono::duration<double> d = std::chrono::steady_clock::now() - start_;
+    return d.count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace mkc
+
+#endif  // MACHCONT_BENCH_BENCH_UTIL_H_

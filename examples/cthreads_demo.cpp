@@ -1,0 +1,88 @@
+// C-Threads with continuations (§6 future work): a user-level thread package
+// where blocked threads can discard their stacks, exactly like kernel
+// threads under MK40.
+//
+// A pool of worker cthreads serves a queue of jobs. Between jobs each worker
+// parks with a continuation, so a thousand parked workers hold zero stacks.
+//
+//   $ ./cthreads_demo [workers] [jobs]
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/ext/cthreads.h"
+
+namespace {
+
+struct JobPool {
+  mkc::CthreadRuntime* rt = nullptr;
+  char job_event = 0;
+  int jobs_remaining = 0;
+  int jobs_done = 0;
+  std::uint64_t work_sum = 0;
+};
+
+JobPool* g_pool = nullptr;
+
+struct __attribute__((packed)) WorkerScratch {
+  std::uint32_t jobs_handled;
+};
+
+// The worker's continuation: the whole "loop" is re-entry of this function
+// on a fresh stack each time a job arrives.
+void WorkerContinue() {
+  JobPool* pool = g_pool;
+  mkc::Cthread* self = pool->rt->Current();
+  auto& ws = self->Scratch<WorkerScratch>();
+  while (pool->jobs_remaining > 0) {
+    // Claim and run one job.
+    --pool->jobs_remaining;
+    ++pool->jobs_done;
+    ++ws.jobs_handled;
+    pool->work_sum += ws.jobs_handled;
+    pool->rt->Yield();  // Let other workers interleave.
+  }
+  pool->rt->Exit();
+}
+
+void WorkerStart(void* /*arg*/) {
+  JobPool* pool = g_pool;
+  mkc::Cthread* self = pool->rt->Current();
+  self->Scratch<WorkerScratch>().jobs_handled = 0;
+  // Park until jobs exist: stackless from the start.
+  pool->rt->WaitWithContinuation(&pool->job_event, &WorkerContinue);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int workers = argc > 1 ? std::atoi(argv[1]) : 1000;
+  int jobs = argc > 2 ? std::atoi(argv[2]) : 20000;
+
+  mkc::CthreadRuntime rt;
+  JobPool pool;
+  pool.rt = &rt;
+  pool.jobs_remaining = jobs;
+  g_pool = &pool;
+
+  for (int i = 0; i < workers; ++i) {
+    rt.Spawn(&WorkerStart, nullptr);
+  }
+
+  rt.Run();  // All workers park with continuations.
+  std::printf("after parking: %d live cthreads, %llu stacks in use\n", workers,
+              static_cast<unsigned long long>(rt.stats().stacks_in_use));
+
+  rt.Notify(&pool.job_event);  // Jobs are available: wake the pool.
+  rt.Run();
+
+  const auto& st = rt.stats();
+  std::printf("jobs done: %d / %d\n", pool.jobs_done, jobs);
+  std::printf("blocks %llu, stack discards %llu\n",
+              static_cast<unsigned long long>(st.blocks),
+              static_cast<unsigned long long>(st.discards));
+  std::printf("max stacks ever in use: %llu for %d workers "
+              "(fresh host allocations: %llu)\n",
+              static_cast<unsigned long long>(st.max_stacks_in_use), workers,
+              static_cast<unsigned long long>(st.stacks_created));
+  return 0;
+}

@@ -1,0 +1,113 @@
+// The paper's MS-DOS emulation scenario (§3.1): an emulated program whose
+// privileged instructions trap to a user-level exception server living in
+// the same address space. Exception handling is the paper's "best case" for
+// continuations — 2-3x faster than the process-model kernels — because both
+// directions of the exception RPC use handoff + recognition.
+//
+//   $ ./dos_emulator [frames]
+//
+// Runs the same emulated game on all three kernel models and compares.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/exc/exception.h"
+#include "src/machine/cycle_model.h"
+#include "src/ipc/ipc_space.h"
+#include "src/ipc/mach_msg.h"
+#include "src/kern/kernel.h"
+#include "src/task/task.h"
+#include "src/task/usermode.h"
+
+namespace {
+
+struct Emulator {
+  mkc::PortId exc_port = mkc::kInvalidPort;
+  int frames = 0;
+  std::uint64_t instructions_emulated = 0;
+};
+
+// The exception server: catches the emulated program's privileged
+// instructions (IN/OUT, interrupt flag manipulation...), "emulates" them,
+// and restarts the program.
+void DosServer(void* arg) {
+  auto* emu = static_cast<Emulator*>(arg);
+  mkc::UserMessage msg;
+  if (mkc::UserServeOnce(&msg, 0, emu->exc_port) != mkc::KernReturn::kSuccess) {
+    return;
+  }
+  for (;;) {
+    mkc::ExcRequestBody req;
+    std::memcpy(&req, msg.body, sizeof(req));
+    ++emu->instructions_emulated;
+
+    mkc::ExcReplyBody reply;
+    reply.handled = 1;
+    msg.header.dest = req.reply_port;
+    msg.header.msg_id = mkc::kExcReplyMsgId;
+    std::memcpy(msg.body, &reply, sizeof(reply));
+    if (mkc::UserServeOnce(&msg, sizeof(reply), emu->exc_port) != mkc::KernReturn::kSuccess) {
+      return;
+    }
+  }
+}
+
+// The emulated game: every frame executes a few privileged instructions
+// (screen/port I/O) and some real computation.
+void DosGame(void* arg) {
+  auto* emu = static_cast<Emulator*>(arg);
+  mkc::UserSetExceptionPort(emu->exc_port);
+  for (int frame = 0; frame < emu->frames; ++frame) {
+    mkc::UserRaiseException(mkc::kExcPrivilegedInstruction);  // outb to the VGA.
+    mkc::UserRaiseException(mkc::kExcEmulation);              // int 21h.
+    mkc::UserWork(500);                                       // Game logic.
+  }
+}
+
+void RunOnce(mkc::ControlTransferModel model, int frames) {
+  mkc::KernelConfig config;
+  config.model = model;
+  mkc::Kernel kernel(config);
+  mkc::Task* dos = kernel.CreateTask("wing-commander");
+
+  Emulator emu;
+  emu.exc_port = kernel.ipc().AllocatePort(dos);
+  emu.frames = frames;
+
+  mkc::ThreadOptions daemon;
+  daemon.daemon = true;
+  kernel.CreateUserThread(dos, &DosServer, &emu, daemon);
+  kernel.CreateUserThread(dos, &DosGame, &emu);
+
+  auto start = std::chrono::steady_clock::now();
+  mkc::Ticks t0 = kernel.clock().Now();
+  kernel.Run();
+  std::chrono::duration<double> wall = std::chrono::steady_clock::now() - start;
+
+  const auto& exc = kernel.exc_stats();
+  // Subtract the game's own computation so the per-exception cost stands out.
+  double sim_us_per_exc = mkc::CyclesToMicros(kernel.clock().Now() - t0 -
+                                              static_cast<mkc::Ticks>(500) * emu.frames) /
+                          static_cast<double>(exc.raised);
+  std::printf("%-9s: %8llu exceptions, %6.1f simulated us (%4.0f host ns) each | "
+              "fast deliveries %llu, fast replies %llu\n",
+              mkc::ModelName(model), static_cast<unsigned long long>(exc.raised),
+              sim_us_per_exc, wall.count() * 1e9 / static_cast<double>(exc.raised),
+              static_cast<unsigned long long>(exc.fast_deliveries),
+              static_cast<unsigned long long>(exc.fast_replies));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int frames = argc > 1 ? std::atoi(argv[1]) : 50000;
+  std::printf("Emulating %d frames of an MS-DOS game on each kernel model\n", frames);
+  std::printf("(two privileged-instruction exceptions per frame)\n\n");
+  RunOnce(mkc::ControlTransferModel::kMK40, frames);
+  RunOnce(mkc::ControlTransferModel::kMK32, frames);
+  RunOnce(mkc::ControlTransferModel::kMach25, frames);
+  std::printf("\nPaper (Table 3): exception handling 135 us on MK40 vs 425/380 us on\n"
+              "MK32/Mach 2.5 — the 2-3x gap should reproduce above.\n");
+  return 0;
+}

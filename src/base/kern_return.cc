@@ -1,0 +1,49 @@
+#include "src/base/kern_return.h"
+
+namespace mkc {
+
+const char* KernReturnName(KernReturn kr) {
+  switch (kr) {
+    case KernReturn::kSuccess:
+      return "KERN_SUCCESS";
+    case KernReturn::kInvalidArgument:
+      return "KERN_INVALID_ARGUMENT";
+    case KernReturn::kInvalidAddress:
+      return "KERN_INVALID_ADDRESS";
+    case KernReturn::kProtectionFailure:
+      return "KERN_PROTECTION_FAILURE";
+    case KernReturn::kNoSpace:
+      return "KERN_NO_SPACE";
+    case KernReturn::kResourceShortage:
+      return "KERN_RESOURCE_SHORTAGE";
+    case KernReturn::kNotReceiver:
+      return "KERN_NOT_RECEIVER";
+    case KernReturn::kInvalidRight:
+      return "KERN_INVALID_RIGHT";
+    case KernReturn::kInvalidName:
+      return "KERN_INVALID_NAME";
+    case KernReturn::kAborted:
+      return "KERN_ABORTED";
+    case KernReturn::kTerminated:
+      return "KERN_TERMINATED";
+    case KernReturn::kFailure:
+      return "KERN_FAILURE";
+    case KernReturn::kSendTimedOut:
+      return "MACH_SEND_TIMED_OUT";
+    case KernReturn::kSendInvalidDest:
+      return "MACH_SEND_INVALID_DEST";
+    case KernReturn::kSendMsgTooLarge:
+      return "MACH_SEND_MSG_TOO_LARGE";
+    case KernReturn::kRcvTimedOut:
+      return "MACH_RCV_TIMED_OUT";
+    case KernReturn::kRcvTooLarge:
+      return "MACH_RCV_TOO_LARGE";
+    case KernReturn::kRcvPortDied:
+      return "MACH_RCV_PORT_DIED";
+    case KernReturn::kRcvInterrupted:
+      return "MACH_RCV_INTERRUPTED";
+  }
+  return "KERN_UNKNOWN";
+}
+
+}  // namespace mkc

@@ -1,0 +1,39 @@
+// Kernel status codes, modeled after Mach's kern_return_t / mach_msg_return_t.
+#ifndef MACHCONT_SRC_BASE_KERN_RETURN_H_
+#define MACHCONT_SRC_BASE_KERN_RETURN_H_
+
+#include <cstdint>
+
+namespace mkc {
+
+enum class KernReturn : std::uint32_t {
+  kSuccess = 0,
+  kInvalidArgument,
+  kInvalidAddress,
+  kProtectionFailure,
+  kNoSpace,
+  kResourceShortage,
+  kNotReceiver,
+  kInvalidRight,
+  kInvalidName,
+  kAborted,
+  kTerminated,
+  kFailure,
+  // mach_msg-style completions.
+  kSendTimedOut,
+  kSendInvalidDest,
+  kSendMsgTooLarge,
+  kRcvTimedOut,
+  kRcvTooLarge,
+  kRcvPortDied,
+  kRcvInterrupted,
+};
+
+// Human-readable name for diagnostics and test failure messages.
+const char* KernReturnName(KernReturn kr);
+
+inline bool IsSuccess(KernReturn kr) { return kr == KernReturn::kSuccess; }
+
+}  // namespace mkc
+
+#endif  // MACHCONT_SRC_BASE_KERN_RETURN_H_

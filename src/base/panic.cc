@@ -1,0 +1,27 @@
+#include "src/base/panic.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mkc {
+
+[[noreturn]] void Panic(const char* format, ...) {
+  std::fputs("machcont panic: ", stderr);
+  va_list args;
+  va_start(args, format);
+  std::vfprintf(stderr, format, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+namespace panic_detail {
+
+[[noreturn]] void AssertFailed(const char* expr, const char* file, int line) {
+  Panic("assertion failed: %s at %s:%d", expr, file, line);
+}
+
+}  // namespace panic_detail
+}  // namespace mkc

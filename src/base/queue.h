@@ -1,0 +1,134 @@
+// Intrusive doubly-linked queues, modeled on Mach's <kern/queue.h>.
+//
+// Kernel objects (threads, messages, pages, stacks) are chained through
+// embedded QueueEntry members so queue manipulation never allocates — exactly
+// the property the original kernel relies on inside the scheduler and IPC
+// paths, where allocation could itself block.
+#ifndef MACHCONT_SRC_BASE_QUEUE_H_
+#define MACHCONT_SRC_BASE_QUEUE_H_
+
+#include <cstddef>
+
+#include "src/base/panic.h"
+
+namespace mkc {
+
+// Link embedded in a queueable object. An entry is on at most one queue at a
+// time; membership is tracked through the null-ness of its pointers.
+struct QueueEntry {
+  QueueEntry* prev = nullptr;
+  QueueEntry* next = nullptr;
+
+  bool linked() const { return next != nullptr; }
+};
+
+// Circular sentinel-based queue of T objects chained through `Member`.
+//
+//   struct Thread { QueueEntry run_link; ... };
+//   IntrusiveQueue<Thread, &Thread::run_link> run_queue;
+template <typename T, QueueEntry T::* Member>
+class IntrusiveQueue {
+ public:
+  IntrusiveQueue() { Init(); }
+
+  IntrusiveQueue(const IntrusiveQueue&) = delete;
+  IntrusiveQueue& operator=(const IntrusiveQueue&) = delete;
+
+  ~IntrusiveQueue() { MKC_ASSERT(Empty()); }
+
+  bool Empty() const { return head_.next == &head_; }
+  std::size_t Size() const { return size_; }
+
+  // Appends `elem` at the tail (FIFO order with DequeueHead).
+  void EnqueueTail(T* elem) { InsertBefore(&head_, Entry(elem)); }
+
+  // Inserts `elem` at the head (LIFO order with DequeueHead).
+  void EnqueueHead(T* elem) { InsertBefore(head_.next, Entry(elem)); }
+
+  // Removes and returns the head element, or nullptr if empty.
+  T* DequeueHead() {
+    if (Empty()) {
+      return nullptr;
+    }
+    QueueEntry* entry = head_.next;
+    Unlink(entry);
+    return FromEntry(entry);
+  }
+
+  // Returns the head element without removing it, or nullptr if empty.
+  T* PeekHead() const { return Empty() ? nullptr : FromEntry(head_.next); }
+
+  // Removes `elem`, which must currently be on this queue.
+  void Remove(T* elem) {
+    QueueEntry* entry = Entry(elem);
+    MKC_ASSERT(entry->linked());
+    Unlink(entry);
+  }
+
+  // True if `elem` is linked on some queue (queues do not tag entries, so
+  // callers must ensure an entry is only ever used with one queue at a time).
+  static bool OnAQueue(const T* elem) { return (elem->*Member).linked(); }
+
+  // Visits every element in queue order. The visitor must not mutate the
+  // queue except through the provided element.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (QueueEntry* e = head_.next; e != &head_; e = e->next) {
+      fn(FromEntry(e));
+    }
+  }
+
+  // Removes the first element matching `pred`, or returns nullptr.
+  template <typename Pred>
+  T* RemoveFirstIf(Pred&& pred) {
+    for (QueueEntry* e = head_.next; e != &head_; e = e->next) {
+      T* elem = FromEntry(e);
+      if (pred(elem)) {
+        Unlink(e);
+        return elem;
+      }
+    }
+    return nullptr;
+  }
+
+ private:
+  void Init() {
+    head_.prev = &head_;
+    head_.next = &head_;
+  }
+
+  static QueueEntry* Entry(T* elem) { return &(elem->*Member); }
+
+  static T* FromEntry(QueueEntry* entry) {
+    // Standard container_of arithmetic: Member's offset within T.
+    const T* probe = nullptr;
+    auto offset =
+        reinterpret_cast<const char*>(&(probe->*Member)) - reinterpret_cast<const char*>(probe);
+    return reinterpret_cast<T*>(reinterpret_cast<char*>(entry) - offset);
+  }
+
+  void InsertBefore(QueueEntry* pos, QueueEntry* entry) {
+    MKC_ASSERT_MSG(!entry->linked(), "enqueue of already-linked entry");
+    entry->prev = pos->prev;
+    entry->next = pos;
+    pos->prev->next = entry;
+    pos->prev = entry;
+    ++size_;
+  }
+
+  void Unlink(QueueEntry* entry) {
+    entry->prev->next = entry->next;
+    entry->next->prev = entry->prev;
+    entry->prev = nullptr;
+    entry->next = nullptr;
+    MKC_ASSERT(size_ > 0);
+    --size_;
+  }
+
+  QueueEntry head_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace mkc
+
+#endif  // MACHCONT_SRC_BASE_QUEUE_H_

@@ -1,0 +1,55 @@
+// Deterministic pseudo-random number generation for workloads and tests.
+//
+// Every source of randomness in the simulation flows from a seeded Xoshiro256**
+// generator so workload runs and property tests are bit-reproducible.
+#ifndef MACHCONT_SRC_BASE_RNG_H_
+#define MACHCONT_SRC_BASE_RNG_H_
+
+#include <cstdint>
+
+namespace mkc {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform value in [0, bound). bound must be nonzero.
+  std::uint64_t Below(std::uint64_t bound) { return Next() % bound; }
+
+  // Uniform value in [lo, hi] inclusive.
+  std::uint64_t Range(std::uint64_t lo, std::uint64_t hi) { return lo + Below(hi - lo + 1); }
+
+  // Bernoulli trial: true with probability per_mille/1000.
+  bool Chance(std::uint32_t per_mille) { return Below(1000) < per_mille; }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace mkc
+
+#endif  // MACHCONT_SRC_BASE_RNG_H_

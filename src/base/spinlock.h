@@ -1,0 +1,55 @@
+// Simple spinlocks guarding kernel data structures.
+//
+// The paper's kernel runs on cache-coherent multiprocessors, so its run
+// queues, port queues and stack pool take simple locks. The reproduction
+// executes its simulated processors on one host thread, but keeping real
+// locks (a) preserves the code shape of the original paths and (b) keeps the
+// cost of lock/unlock visible to the latency benchmarks.
+#ifndef MACHCONT_SRC_BASE_SPINLOCK_H_
+#define MACHCONT_SRC_BASE_SPINLOCK_H_
+
+#include <atomic>
+
+#include "src/base/panic.h"
+
+namespace mkc {
+
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void Lock() {
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+      // Uniprocessor simulation: a contended spinlock means a lock was held
+      // across a block, which the kernel forbids (a blocked holder could
+      // never release it). Fail fast instead of spinning forever.
+      Panic("spinlock deadlock: lock held across a thread block");
+    }
+  }
+
+  bool TryLock() { return !flag_.test_and_set(std::memory_order_acquire); }
+
+  void Unlock() { flag_.clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+// Scoped holder, RAII style.
+class SpinLockGuard {
+ public:
+  explicit SpinLockGuard(SpinLock& lock) : lock_(lock) { lock_.Lock(); }
+  ~SpinLockGuard() { lock_.Unlock(); }
+
+  SpinLockGuard(const SpinLockGuard&) = delete;
+  SpinLockGuard& operator=(const SpinLockGuard&) = delete;
+
+ private:
+  SpinLock& lock_;
+};
+
+}  // namespace mkc
+
+#endif  // MACHCONT_SRC_BASE_SPINLOCK_H_

@@ -1,0 +1,47 @@
+// Fundamental kernel types shared by all machcont subsystems.
+//
+// These mirror the machine-independent types used throughout the Mach 3.0
+// kernel sources that the paper (Draves et al., SOSP '91) describes, recast
+// in C++20.
+#ifndef MACHCONT_SRC_BASE_TYPES_H_
+#define MACHCONT_SRC_BASE_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mkc {
+
+// Simulated virtual/physical addresses inside a guest address space.
+using VmAddress = std::uint64_t;
+using VmSize = std::uint64_t;
+using VmOffset = std::uint64_t;
+
+// Simulated physical page frame number.
+using PageFrame = std::uint32_t;
+inline constexpr PageFrame kInvalidPageFrame = ~PageFrame{0};
+
+// Port names are task-local indices into the kernel's port table. The real
+// kernel distinguishes names from rights; this reproduction keeps a single
+// global name space per kernel instance (documented in DESIGN.md).
+using PortId = std::uint32_t;
+inline constexpr PortId kInvalidPort = 0;
+
+using TaskId = std::uint32_t;
+using ThreadId = std::uint32_t;
+
+// Virtual time, in "ticks". User-mode work advances the virtual clock; the
+// scheduler's quantum and the pager's simulated disk delays are expressed in
+// ticks (see base/vclock.h).
+using Ticks = std::uint64_t;
+
+// Simulated page size, matching the DS3100 configuration in the paper.
+inline constexpr VmSize kPageSize = 4096;
+
+inline constexpr VmAddress PageTrunc(VmAddress addr) { return addr & ~(kPageSize - 1); }
+inline constexpr VmAddress PageRound(VmAddress addr) {
+  return PageTrunc(addr + kPageSize - 1);
+}
+
+}  // namespace mkc
+
+#endif  // MACHCONT_SRC_BASE_TYPES_H_

@@ -1,0 +1,82 @@
+// Virtual time.
+//
+// The reproduction has no hardware clock interrupts. Instead, simulated user
+// work and simulated device activity advance a virtual clock, and deferred
+// activity (pageout "disk" completions, network packet arrival, timeouts) is
+// queued on an event queue that the idle path drains in timestamp order.
+// DESIGN.md documents this substitution for the paper's clock interrupts.
+#ifndef MACHCONT_SRC_BASE_VCLOCK_H_
+#define MACHCONT_SRC_BASE_VCLOCK_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "src/base/types.h"
+
+namespace mkc {
+
+class VirtualClock {
+ public:
+  Ticks Now() const { return now_; }
+
+  void Advance(Ticks delta) { now_ += delta; }
+
+  // Moves the clock forward to `t`; never moves it backwards.
+  void AdvanceTo(Ticks t) {
+    if (t > now_) {
+      now_ = t;
+    }
+  }
+
+ private:
+  Ticks now_ = 0;
+};
+
+// Pending deferred work, ordered by virtual deadline. Callbacks run in kernel
+// context on the idle path; they may wake threads but must not block.
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  void Post(Ticks when, Action action) {
+    heap_.push(Event{when, next_seq_++, std::move(action)});
+  }
+
+  bool Empty() const { return heap_.empty(); }
+  std::size_t Size() const { return heap_.size(); }
+
+  Ticks NextDeadline() const { return heap_.top().when; }
+
+  // Pops the earliest event, advances the clock to its deadline, and runs it.
+  // Precondition: !Empty().
+  void RunNext(VirtualClock& clock) {
+    Event event = heap_.top();
+    heap_.pop();
+    clock.AdvanceTo(event.when);
+    event.action();
+  }
+
+ private:
+  struct Event {
+    Ticks when;
+    std::uint64_t seq;  // Tie-break so same-deadline events run in post order.
+    Action action;
+
+    bool operator>(const Event& other) const {
+      if (when != other.when) {
+        return when > other.when;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace mkc
+
+#endif  // MACHCONT_SRC_BASE_VCLOCK_H_

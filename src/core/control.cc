@@ -1,0 +1,149 @@
+// Figure 4 of the paper: thread_block, thread_handoff, thread_continue,
+// thread_dispatch, built on the Figure 3 machine-dependent interface.
+#include "src/core/control.h"
+
+#include "src/base/panic.h"
+#include "src/kern/kernel.h"
+#include "src/machine/machdep.h"
+
+namespace mkc {
+
+Continuation TakeContinuation(Thread* thread) {
+  Continuation cont = thread->continuation;
+  thread->continuation = nullptr;
+  return cont;
+}
+
+void ThreadDispatch(Thread* old_thread) {
+  if (old_thread == nullptr) {
+    return;  // First activation after boot: nothing preceded us.
+  }
+  Kernel& k = ActiveKernel();
+  if (old_thread->continuation != nullptr && old_thread->kernel_stack != nullptr) {
+    // The old thread blocked with a continuation: its stack holds nothing of
+    // value. Return it to the free pool.
+    KernelStack* stack = StackDetach(old_thread);
+    k.stack_pool().Free(stack);
+  }
+  if (old_thread->state == ThreadState::kRunnable) {
+    // Preemption-style block: the old thread still wants the processor.
+    k.run_queue().Enqueue(old_thread);
+  }
+}
+
+[[noreturn]] void ThreadContinue(Thread* old_thread, Thread* self) {
+  // Entry point of a freshly attached stack (installed by ThreadBlock's
+  // attach path and by boot). Dispose of whoever ran before us, then run our
+  // own continuation.
+  MKC_ASSERT(CurrentThread() == self);
+  ThreadDispatch(old_thread);
+  Continuation cont = TakeContinuation(self);
+  MKC_ASSERT_MSG(cont != nullptr, "thread resumed on a fresh stack without a continuation");
+  cont();
+  Panic("continuation returned");
+}
+
+namespace {
+
+// Common core of ThreadBlock / ThreadRunDirected. `next` is null for
+// scheduler selection, non-null for a directed switch.
+void BlockCommon(Continuation cont, BlockReason reason, Thread* next) {
+  Kernel& k = ActiveKernel();
+  Thread* old_thread = CurrentThread();
+
+  MKC_ASSERT_MSG(old_thread->state != ThreadState::kRunning,
+                 "ThreadBlock called without updating the thread state "
+                 "(set kWaiting/kRunnable/kHalted first)");
+
+  // Under the process-model kernels, continuations do not exist: every
+  // block preserves the stack, no matter what the (shared) call site asked
+  // for. This is how one binary measures all three kernels of §3.1.
+  if (!k.UsesContinuations()) {
+    cont = nullptr;
+  }
+
+  old_thread->block_reason = reason;
+  k.transfer_stats().RecordBlock(reason, cont != nullptr);
+  k.TracePoint(TraceEvent::kBlock, static_cast<std::uint32_t>(reason), cont != nullptr);
+  k.stack_pool().SampleInUse();
+
+  Thread* new_thread = next != nullptr ? next : k.ThreadSelect();
+  MKC_ASSERT(new_thread != old_thread);
+
+  if (new_thread->continuation != nullptr) {
+    if (cont != nullptr && k.config().enable_handoff) {
+      // Both sides hold continuations: the cheap path. Hand the running
+      // stack straight to the new thread and enter it through its
+      // continuation.
+      old_thread->continuation = cont;
+      StackHandoff(new_thread);
+      k.TracePoint(TraceEvent::kHandoff, old_thread->id);
+      if (reason != BlockReason::kIdle) {
+        ++k.transfer_stats().stack_handoffs;
+      }
+      if (old_thread->state == ThreadState::kRunnable) {
+        k.run_queue().Enqueue(old_thread);
+      }
+      new_thread->state = ThreadState::kRunning;
+      CallContinuation(TakeContinuation(new_thread));
+      // NOTREACHED
+    }
+    // The new thread is stackless but we must preserve our own context (or
+    // handoff is disabled): give the new thread a fresh stack that will
+    // start in ThreadContinue.
+    KernelStack* stack = k.stack_pool().Allocate();
+    StackAttach(new_thread, stack, ThreadContinue);
+  }
+
+  old_thread->continuation = cont;
+  Thread* prev = SwitchContext(cont, new_thread);
+  // Only process-model blocks return here, once rescheduled.
+  MKC_ASSERT(CurrentThread() == old_thread);
+  ThreadDispatch(prev);
+}
+
+}  // namespace
+
+void ThreadBlock(Continuation cont, BlockReason reason) { BlockCommon(cont, reason, nullptr); }
+
+void ThreadRunDirected(Thread* next, BlockReason reason) {
+  MKC_ASSERT(next != nullptr);
+  MKC_ASSERT_MSG(next->state != ThreadState::kRunning, "directed switch to a running thread");
+  if (next->state == ThreadState::kRunnable && IntrusiveQueue<Thread, &Thread::run_link>::OnAQueue(next)) {
+    // Pull the target off the run queue: we are scheduling it directly.
+    ActiveKernel().run_queue().Remove(next);
+  }
+  BlockCommon(nullptr, reason, next);
+}
+
+void ThreadHandoff(Continuation cont, Thread* next, BlockReason reason) {
+  Kernel& k = ActiveKernel();
+  Thread* old_thread = CurrentThread();
+
+  MKC_ASSERT_MSG(k.UsesContinuations() && k.config().enable_handoff,
+                 "ThreadHandoff requires the continuation kernel with handoff enabled");
+  MKC_ASSERT(cont != nullptr);
+  MKC_ASSERT(next != nullptr && next != old_thread);
+  MKC_ASSERT_MSG(next->continuation != nullptr, "handoff target must hold a continuation");
+  MKC_ASSERT_MSG(old_thread->state != ThreadState::kRunning,
+                 "ThreadHandoff called without updating the thread state");
+
+  old_thread->block_reason = reason;
+  k.transfer_stats().RecordBlock(reason, /*with_continuation=*/true);
+  k.TracePoint(TraceEvent::kBlock, static_cast<std::uint32_t>(reason), 1);
+  k.stack_pool().SampleInUse();
+
+  old_thread->continuation = cont;
+  StackHandoff(next);
+  k.TracePoint(TraceEvent::kHandoff, old_thread->id);
+  ++k.transfer_stats().stack_handoffs;
+  if (old_thread->state == ThreadState::kRunnable) {
+    k.run_queue().Enqueue(old_thread);
+  }
+  next->state = ThreadState::kRunning;
+  // Unlike ThreadBlock, we do NOT call next's continuation: the caller —
+  // now running as `next`, inside the blocking thread's still-live frame —
+  // gets the chance to examine it first (continuation recognition).
+}
+
+}  // namespace mkc

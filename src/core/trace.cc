@@ -1,0 +1,41 @@
+#include "src/core/trace.h"
+
+namespace mkc {
+
+const char* TraceEventName(TraceEvent event) {
+  switch (event) {
+    case TraceEvent::kTrapEnter:
+      return "trap-enter";
+    case TraceEvent::kSyscallReturn:
+      return "syscall-return";
+    case TraceEvent::kExceptionReturn:
+      return "exception-return";
+    case TraceEvent::kBlock:
+      return "block";
+    case TraceEvent::kHandoff:
+      return "stack-handoff";
+    case TraceEvent::kRecognition:
+      return "recognition";
+    case TraceEvent::kSwitchContext:
+      return "switch-context";
+    case TraceEvent::kCallContinuation:
+      return "call-continuation";
+    case TraceEvent::kStackAttachEvt:
+      return "stack-attach";
+    case TraceEvent::kStackDetachEvt:
+      return "stack-detach";
+    case TraceEvent::kSetrun:
+      return "setrun";
+  }
+  return "unknown";
+}
+
+void TraceBuffer::Dump(std::FILE* out) const {
+  ForEach([out](const TraceRecord& r) {
+    std::fprintf(out, "%10llu  t%-3u %-18s aux=%u aux2=%u\n",
+                 static_cast<unsigned long long>(r.when), r.thread, TraceEventName(r.event),
+                 r.aux, r.aux2);
+  });
+}
+
+}  // namespace mkc

@@ -1,0 +1,89 @@
+// Control-transfer tracing: a fixed-size ring of kernel events.
+//
+// The paper's Figure 2 is a trace of the fast RPC path; this facility lets
+// any run produce the same kind of trace (see examples/quickstart and the
+// trace tests). Tracing is off unless KernelConfig::trace_capacity > 0; the
+// hot paths pay one predictable branch when disabled.
+#ifndef MACHCONT_SRC_CORE_TRACE_H_
+#define MACHCONT_SRC_CORE_TRACE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "src/base/types.h"
+
+namespace mkc {
+
+enum class TraceEvent : std::uint8_t {
+  kTrapEnter,        // aux = TrapKind.
+  kSyscallReturn,    // aux = KernReturn.
+  kExceptionReturn,
+  kBlock,            // aux = BlockReason; aux2 = 1 if with continuation.
+  kHandoff,          // aux = id of the thread receiving the stack.
+  kRecognition,      // aux = site id (1 = receive, 2 = exc reply).
+  kSwitchContext,    // aux = id of the thread switched to; aux2 = 1 if no-save.
+  kCallContinuation,
+  kStackAttachEvt,
+  kStackDetachEvt,
+  kSetrun,           // aux = id of the thread made runnable.
+};
+
+const char* TraceEventName(TraceEvent event);
+
+struct TraceRecord {
+  Ticks when = 0;
+  ThreadId thread = 0;
+  TraceEvent event = TraceEvent::kTrapEnter;
+  std::uint32_t aux = 0;
+  std::uint32_t aux2 = 0;
+};
+
+class TraceBuffer {
+ public:
+  void Configure(std::size_t capacity) {
+    ring_.assign(capacity, TraceRecord{});
+    head_ = 0;
+    recorded_ = 0;
+  }
+
+  bool enabled() const { return !ring_.empty(); }
+
+  void Record(Ticks when, ThreadId thread, TraceEvent event, std::uint32_t aux = 0,
+              std::uint32_t aux2 = 0) {
+    if (ring_.empty()) {
+      return;
+    }
+    ring_[head_] = TraceRecord{when, thread, event, aux, aux2};
+    head_ = (head_ + 1) % ring_.size();
+    ++recorded_;
+  }
+
+  std::uint64_t recorded() const { return recorded_; }
+
+  // Visits the retained records, oldest first.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    if (ring_.empty()) {
+      return;
+    }
+    std::size_t count = recorded_ < ring_.size() ? static_cast<std::size_t>(recorded_)
+                                                 : ring_.size();
+    std::size_t start = (head_ + ring_.size() - count) % ring_.size();
+    for (std::size_t i = 0; i < count; ++i) {
+      fn(ring_[(start + i) % ring_.size()]);
+    }
+  }
+
+  // Human-readable dump (for examples and debugging).
+  void Dump(std::FILE* out) const;
+
+ private:
+  std::vector<TraceRecord> ring_;
+  std::size_t head_ = 0;
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace mkc
+
+#endif  // MACHCONT_SRC_CORE_TRACE_H_

@@ -1,0 +1,20 @@
+// Exception-handling statistics.
+#ifndef MACHCONT_SRC_EXC_EXC_STATS_H_
+#define MACHCONT_SRC_EXC_EXC_STATS_H_
+
+#include <cstdint>
+
+namespace mkc {
+
+struct ExcStats {
+  std::uint64_t raised = 0;
+  std::uint64_t fast_deliveries = 0;   // Request handed straight to a waiting server.
+  std::uint64_t queued_deliveries = 0;  // Request went through the message queue.
+  std::uint64_t replies = 0;
+  std::uint64_t fast_replies = 0;      // Reply recognized ExceptionReplyContinue.
+  std::uint64_t unhandled = 0;         // Thread terminated.
+};
+
+}  // namespace mkc
+
+#endif  // MACHCONT_SRC_EXC_EXC_STATS_H_

@@ -1,0 +1,66 @@
+// Exception handling via RPC to a user-level exception server (§2.5).
+//
+// The kernel is an endpoint of this communication: the faulting thread waits
+// for the server's reply *as the kernel*, blocked with the special
+// ExceptionReplyContinue continuation. Both directions have continuation-
+// recognition fast paths:
+//   request:  a server waiting with mach_msg_continue receives the fault
+//             information by stack handoff, skipping message creation;
+//   reply:    a reply sent to a thread waiting with ExceptionReplyContinue
+//             is interpreted in place and the faulting thread resumed by
+//             handoff.
+#ifndef MACHCONT_SRC_EXC_EXCEPTION_H_
+#define MACHCONT_SRC_EXC_EXCEPTION_H_
+
+#include <cstdint>
+
+#include "src/base/types.h"
+#include "src/ipc/mach_msg.h"
+#include "src/kern/thread.h"
+
+namespace mkc {
+
+// Well-known message ids.
+inline constexpr std::uint32_t kExcRequestMsgId = 2400;
+inline constexpr std::uint32_t kExcReplyMsgId = 2500;
+
+// Exception codes (the simulation's analog of EXC_*).
+inline constexpr std::uint64_t kExcBadAccessBase = 1ull << 48;
+inline constexpr std::uint64_t kExcPrivilegedInstruction = 1;
+inline constexpr std::uint64_t kExcSoftware = 2;
+inline constexpr std::uint64_t kExcEmulation = 3;
+
+inline std::uint64_t MakeBadAccessCode(VmAddress addr) { return kExcBadAccessBase | addr; }
+inline bool IsBadAccessCode(std::uint64_t code) { return (code & kExcBadAccessBase) != 0; }
+inline VmAddress BadAccessAddress(std::uint64_t code) { return code & (kExcBadAccessBase - 1); }
+
+// Body of the exception request message the server receives.
+struct ExcRequestBody {
+  ThreadId thread = 0;
+  TaskId task = 0;
+  std::uint64_t code = 0;
+  PortId reply_port = kInvalidPort;
+};
+
+// Body of the reply the server sends to the reply port.
+struct ExcReplyBody {
+  std::uint32_t handled = 0;  // Nonzero: restart the thread at user level.
+};
+
+// Kernel path for a raised exception. Never returns: exits by restarting the
+// thread at user level (after the server's reply) or terminating it.
+[[noreturn]] void HandleException(Thread* thread, std::uint64_t code);
+
+// The kernel-endpoint continuation a faulting thread blocks with while its
+// exception server works. Recognized by the reply-send path.
+void ExceptionReplyContinue();
+
+// Called from the mach_msg send path when the popped receiver is a kernel
+// endpoint (the faulting thread): interprets the reply in place. Returns
+// only if the sender should continue executing its send path (reply was
+// send-only); otherwise control transfers away.
+void ExceptionHandleReply(Thread* sender, MachMsgArgs* args, Thread* faulter);
+
+}  // namespace mkc
+
+#endif  // MACHCONT_SRC_EXC_EXCEPTION_H_

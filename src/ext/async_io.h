@@ -1,0 +1,41 @@
+// Asynchronous I/O via completion continuations (§4): "on scheduling an
+// asynchronous I/O, a thread provides the kernel with a continuation to be
+// called when the I/O completes." The requesting thread keeps running; the
+// kernel's completion continuation fires off the device event and posts a
+// notification message to the requested port.
+#ifndef MACHCONT_SRC_EXT_ASYNC_IO_H_
+#define MACHCONT_SRC_EXT_ASYNC_IO_H_
+
+#include <cstdint>
+
+#include "src/kern/thread.h"
+
+namespace mkc {
+
+struct AsyncIoArgs;
+
+struct AsyncIoStats {
+  std::uint64_t started = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t notify_direct = 0;   // Completion delivered to a waiting receiver.
+  std::uint64_t notify_queued = 0;   // Completion queued as a message.
+  std::uint64_t notify_dropped = 0;  // Port gone or zone exhausted at completion.
+};
+
+// Message id carried by completion notifications.
+inline constexpr std::uint32_t kAsyncIoDoneMsgId = 7100;
+
+// Body of the completion notification message.
+struct AsyncIoDoneBody {
+  std::uint32_t request_id = 0;
+};
+
+// Kernel handler for the async-I/O start syscall. Returns to user space
+// immediately with kSuccess; the completion runs later in virtual time.
+[[noreturn]] void HandleAsyncIoStart(Thread* thread, AsyncIoArgs* args);
+
+AsyncIoStats& GetAsyncIoStats(Kernel& kernel);
+
+}  // namespace mkc
+
+#endif  // MACHCONT_SRC_EXT_ASYNC_IO_H_

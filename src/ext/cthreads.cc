@@ -1,0 +1,226 @@
+#include "src/ext/cthreads.h"
+
+#include <cstdlib>
+
+#include "src/base/panic.h"
+
+namespace mkc {
+namespace {
+
+int WaitBucketOf(const void* event) {
+  auto bits = reinterpret_cast<std::uintptr_t>(event);
+  bits ^= bits >> 7;
+  return static_cast<int>(bits % 16);
+}
+
+}  // namespace
+
+CthreadRuntime::CthreadRuntime() : CthreadRuntime(Config()) {}
+
+CthreadRuntime::CthreadRuntime(const Config& config) : config_(config) {}
+
+CthreadRuntime::~CthreadRuntime() {
+  while (run_queue_.DequeueHead() != nullptr) {
+  }
+  for (auto& bucket : wait_buckets_) {
+    while (bucket.DequeueHead() != nullptr) {
+    }
+  }
+  for (auto& t : threads_) {
+    if (t->stack != nullptr) {
+      std::free(t->stack);
+      t->stack = nullptr;
+    }
+  }
+  while (stack_cache_ != nullptr) {
+    void* next = *static_cast<void**>(stack_cache_);
+    std::free(stack_cache_);
+    stack_cache_ = next;
+  }
+}
+
+void* CthreadRuntime::AllocateStack() {
+  ++stats_.stack_allocs;
+  ++stats_.stacks_in_use;
+  if (stats_.stacks_in_use > stats_.max_stacks_in_use) {
+    stats_.max_stacks_in_use = stats_.stacks_in_use;
+  }
+  if (stack_cache_ != nullptr) {
+    void* stack = stack_cache_;
+    stack_cache_ = *static_cast<void**>(stack);
+    --stack_cache_size_;
+    return stack;
+  }
+  ++stats_.stacks_created;
+  void* stack = std::malloc(config_.stack_bytes);
+  MKC_ASSERT(stack != nullptr);
+  return stack;
+}
+
+void CthreadRuntime::ReleaseStack(void* stack, bool still_executing_on_it) {
+  MKC_ASSERT(stats_.stacks_in_use > 0);
+  --stats_.stacks_in_use;
+  if (stack_cache_size_ < config_.stack_cache_limit) {
+    // The link word lives at the stack's LOW end; active frames are near the
+    // high end, so threading the free list through it is safe even while the
+    // releasing cthread is still running on this stack.
+    *static_cast<void**>(stack) = stack_cache_;
+    stack_cache_ = stack;
+    ++stack_cache_size_;
+  } else if (still_executing_on_it) {
+    // Cannot free the ground we stand on: the scheduler frees it after the
+    // jump lands.
+    MKC_ASSERT(deferred_free_ == nullptr);
+    deferred_free_ = stack;
+  } else {
+    std::free(stack);
+  }
+}
+
+Cthread* CthreadRuntime::Spawn(CthreadFn fn, void* arg) {
+  auto owned = std::make_unique<Cthread>();
+  Cthread* t = owned.get();
+  t->id = static_cast<std::uint32_t>(threads_.size() + 1);
+  threads_.push_back(std::move(owned));
+  t->fn = fn;
+  t->arg = arg;
+  t->state = Cthread::State::kRunnable;
+  // Like a new kernel thread: no stack until first run; the "continuation"
+  // is the body itself.
+  run_queue_.EnqueueTail(t);
+  ++live_;
+  ++stats_.spawns;
+  return t;
+}
+
+bool CthreadRuntime::HasLiveThreads() const { return live_ > 0; }
+
+// First activation of a cthread.
+void CthreadRuntime::CthreadTrampoline(void* pass, void* arg) {
+  auto* rt = static_cast<CthreadRuntime*>(pass);
+  auto* self = static_cast<Cthread*>(arg);
+  self->fn(self->arg);
+  rt->Exit();
+}
+
+// Resumption of a cthread that blocked with a continuation.
+void CthreadRuntime::ContinuationTrampoline(void* pass, void* arg) {
+  auto* rt = static_cast<CthreadRuntime*>(pass);
+  auto* self = static_cast<Cthread*>(arg);
+  CthreadContinuation cont = self->continuation;
+  self->continuation = nullptr;
+  MKC_ASSERT(cont != nullptr);
+  cont();
+  rt->Exit();
+}
+
+std::uint64_t CthreadRuntime::Run() {
+  std::uint64_t rounds = 0;
+  for (;;) {
+    Cthread* next = run_queue_.DequeueHead();
+    if (next == nullptr) {
+      return rounds;
+    }
+    ++rounds;
+    next->state = Cthread::State::kRunning;
+    current_ = next;
+    Context target;
+    if (!next->ctx.valid()) {
+      // Stackless resumption: fresh stack, enter via the right trampoline.
+      next->stack = AllocateStack();
+      target = MakeContext(next->stack, config_.stack_bytes,
+                           next->continuation != nullptr ? &ContinuationTrampoline
+                                                         : &CthreadTrampoline,
+                           next);
+    } else {
+      target = next->ctx;
+      next->ctx.reset();
+    }
+    ContextSwitch(&scheduler_ctx_, target, this);
+    current_ = nullptr;
+    if (deferred_free_ != nullptr) {
+      std::free(deferred_free_);
+      deferred_free_ = nullptr;
+    }
+  }
+}
+
+// Discards the calling cthread's stack and returns to the scheduler; used
+// by the continuation-model block and by Exit.
+[[noreturn]] void CthreadRuntime::SwitchOut(Cthread* self) {
+  void* stack = self->stack;
+  self->stack = nullptr;
+  self->ctx.reset();
+  ReleaseStack(stack, /*still_executing_on_it=*/true);
+  ContextJump(scheduler_ctx_, nullptr);
+}
+
+void CthreadRuntime::Yield() {
+  Cthread* self = current_;
+  MKC_ASSERT(self != nullptr);
+  self->state = Cthread::State::kRunnable;
+  run_queue_.EnqueueTail(self);
+  ++stats_.blocks;
+  ContextSwitch(&self->ctx, scheduler_ctx_, nullptr);
+}
+
+void CthreadRuntime::Wait(const void* event) {
+  Cthread* self = current_;
+  MKC_ASSERT(self != nullptr);
+  self->state = Cthread::State::kWaiting;
+  self->wait_event = event;
+  wait_buckets_[WaitBucketOf(event)].EnqueueTail(self);
+  ++stats_.blocks;
+  ContextSwitch(&self->ctx, scheduler_ctx_, nullptr);
+}
+
+[[noreturn]] void CthreadRuntime::WaitWithContinuation(const void* event,
+                                                       CthreadContinuation cont) {
+  Cthread* self = current_;
+  MKC_ASSERT(self != nullptr);
+  MKC_ASSERT(cont != nullptr);
+  self->state = Cthread::State::kWaiting;
+  self->wait_event = event;
+  self->continuation = cont;
+  wait_buckets_[WaitBucketOf(event)].EnqueueTail(self);
+  ++stats_.blocks;
+  ++stats_.discards;
+  SwitchOut(self);
+}
+
+[[noreturn]] void CthreadRuntime::Exit() {
+  Cthread* self = current_;
+  MKC_ASSERT(self != nullptr);
+  self->state = Cthread::State::kDone;
+  MKC_ASSERT(live_ > 0);
+  --live_;
+  MKC_ASSERT(self->stack != nullptr);
+  SwitchOut(self);
+}
+
+bool CthreadRuntime::NotifyOne(const void* event) {
+  auto& bucket = wait_buckets_[WaitBucketOf(event)];
+  Cthread* t = bucket.RemoveFirstIf([event](Cthread* c) { return c->wait_event == event; });
+  if (t == nullptr) {
+    return false;
+  }
+  t->wait_event = nullptr;
+  t->state = Cthread::State::kRunnable;
+  run_queue_.EnqueueTail(t);
+  return true;
+}
+
+std::uint64_t CthreadRuntime::Notify(const void* event) {
+  auto& bucket = wait_buckets_[WaitBucketOf(event)];
+  std::uint64_t woken = 0;
+  while (Cthread* t = bucket.RemoveFirstIf(
+             [event](Cthread* c) { return c->wait_event == event; })) {
+    t->wait_event = nullptr;
+    t->state = Cthread::State::kRunnable;
+    run_queue_.EnqueueTail(t);
+    ++woken;
+  }
+  return woken;
+}
+
+}  // namespace mkc

@@ -1,0 +1,196 @@
+// C-Threads with continuations — the paper's future work (§6):
+//
+// "We are presently experimenting with continuations at the application
+// level within the context of C-Threads, our user-level threads package. We
+// intend to allow user-level threads to use continuations, discarding their
+// stacks and performing recognition when possible."
+//
+// This is a miniature user-level threads package built on the same Context
+// primitives as the kernel. A cthread can block two ways, exactly like a
+// kernel thread:
+//   * CthreadYield() / CthreadWait(event)           — process model: the
+//     user stack and registers are preserved;
+//   * CthreadWaitWithContinuation(event, cont, st)  — continuation model:
+//     the user stack is returned to the pool while blocked.
+//
+// The package runs inside one simulated user context (or, in tests, on the
+// bare host), multiplexing many cthreads on it — the arrangement §1.3
+// describes for C-Threads over Mach kernel threads.
+#ifndef MACHCONT_SRC_EXT_CTHREADS_H_
+#define MACHCONT_SRC_EXT_CTHREADS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/base/queue.h"
+#include "src/machine/context.h"
+
+namespace mkc {
+
+using CthreadFn = void (*)(void* arg);
+using CthreadContinuation = void (*)();
+
+inline constexpr std::size_t kCthreadScratchBytes = 28;  // Same budget as the kernel.
+
+struct Cthread {
+  QueueEntry link;  // Run queue / wait bucket / free list.
+  std::uint32_t id = 0;
+  enum class State : std::uint8_t { kFree, kRunnable, kRunning, kWaiting, kDone } state =
+      State::kFree;
+
+  CthreadFn fn = nullptr;
+  void* arg = nullptr;
+
+  // Continuation machinery, mirroring the kernel thread structure.
+  CthreadContinuation continuation = nullptr;
+  alignas(std::uint64_t) std::byte scratch[kCthreadScratchBytes] = {};
+
+  // Stack, present only while running or blocked under the process model.
+  void* stack = nullptr;
+  Context ctx;
+
+  const void* wait_event = nullptr;
+
+  template <typename T>
+  T& Scratch() {
+    static_assert(sizeof(T) <= kCthreadScratchBytes);
+    return *reinterpret_cast<T*>(scratch);
+  }
+};
+
+struct CthreadStats {
+  std::uint64_t spawns = 0;
+  std::uint64_t blocks = 0;
+  std::uint64_t discards = 0;        // Blocks that gave up the user stack.
+  std::uint64_t stack_allocs = 0;
+  std::uint64_t stacks_created = 0;  // Fresh allocations (not from the pool).
+  std::uint64_t max_stacks_in_use = 0;
+  std::uint64_t stacks_in_use = 0;
+};
+
+class CthreadRuntime {
+ public:
+  struct Config {
+    std::size_t stack_bytes = 64 * 1024;
+    std::size_t stack_cache_limit = 8;
+  };
+
+  CthreadRuntime();
+  explicit CthreadRuntime(const Config& config);
+  ~CthreadRuntime();
+
+  CthreadRuntime(const CthreadRuntime&) = delete;
+  CthreadRuntime& operator=(const CthreadRuntime&) = delete;
+
+  // Creates a runnable cthread. Like a new kernel thread, it consumes no
+  // stack until it first runs.
+  Cthread* Spawn(CthreadFn fn, void* arg);
+
+  // Runs the scheduler in the calling context until no cthread is runnable.
+  // Returns the number of scheduling rounds.
+  std::uint64_t Run();
+
+  // True if any cthread is still alive (waiting counts).
+  bool HasLiveThreads() const;
+
+  // --- Calls valid only from within a running cthread --------------------
+  // Give up the processor, stack preserved.
+  void Yield();
+  // Block on `event`, stack preserved; resumes after Notify.
+  void Wait(const void* event);
+  // Block on `event` with a continuation: the stack is recycled while
+  // blocked, and the thread resumes by calling `cont` on a fresh stack.
+  // State must travel through the cthread's 28-byte scratch area. Never
+  // returns.
+  [[noreturn]] void WaitWithContinuation(const void* event, CthreadContinuation cont);
+  // End the calling cthread. Never returns.
+  [[noreturn]] void Exit();
+
+  // Wakes every cthread blocked on `event` (callable from anywhere in the
+  // hosting context).
+  std::uint64_t Notify(const void* event);
+
+  // Wakes at most one cthread blocked on `event`.
+  bool NotifyOne(const void* event);
+
+  // The cthread currently executing (null outside Run()).
+  Cthread* Current() { return current_; }
+
+  const CthreadStats& stats() const { return stats_; }
+
+ private:
+  static constexpr int kWaitBuckets = 16;
+
+  void* AllocateStack();
+  void ReleaseStack(void* stack, bool still_executing_on_it);
+  [[noreturn]] void SwitchOut(Cthread* self);
+  static void CthreadTrampoline(void* pass, void* arg);
+  static void ContinuationTrampoline(void* pass, void* arg);
+
+  Config config_;
+  Context scheduler_ctx_;
+  Cthread* current_ = nullptr;
+
+  IntrusiveQueue<Cthread, &Cthread::link> run_queue_;
+  IntrusiveQueue<Cthread, &Cthread::link> wait_buckets_[kWaitBuckets];
+  std::uint64_t live_ = 0;
+
+  // Stack cache (void* slabs threaded through their first word).
+  void* stack_cache_ = nullptr;
+  std::size_t stack_cache_size_ = 0;
+  void* deferred_free_ = nullptr;  // Active stack awaiting free by the scheduler.
+
+  std::vector<std::unique_ptr<Cthread>> threads_;
+  CthreadStats stats_;
+};
+
+// --- Synchronization on top of the runtime (the C-Threads mutex/condition
+// API the paper's user-level package exported) ------------------------------
+
+class CthreadMutex {
+ public:
+  explicit CthreadMutex(CthreadRuntime& rt) : rt_(rt) {}
+
+  void Lock() {
+    while (held_) {
+      rt_.Wait(this);
+    }
+    held_ = true;
+  }
+
+  void Unlock() {
+    held_ = false;
+    rt_.NotifyOne(this);
+  }
+
+  bool held() const { return held_; }
+
+ private:
+  CthreadRuntime& rt_;
+  bool held_ = false;
+};
+
+class CthreadCondition {
+ public:
+  explicit CthreadCondition(CthreadRuntime& rt) : rt_(rt) {}
+
+  // Atomic with respect to the cooperative scheduler: no other cthread runs
+  // between the unlock and the wait.
+  void Wait(CthreadMutex& mutex) {
+    mutex.Unlock();
+    rt_.Wait(this);
+    mutex.Lock();
+  }
+
+  void Signal() { rt_.NotifyOne(this); }
+  void Broadcast() { rt_.Notify(this); }
+
+ private:
+  CthreadRuntime& rt_;
+};
+
+}  // namespace mkc
+
+#endif  // MACHCONT_SRC_EXT_CTHREADS_H_

@@ -1,0 +1,23 @@
+// Per-kernel state for the §4 extensions.
+#ifndef MACHCONT_SRC_EXT_EXT_STATE_H_
+#define MACHCONT_SRC_EXT_EXT_STATE_H_
+
+#include "src/ext/async_io.h"
+#include "src/ext/upcall.h"
+#include "src/kern/semaphore.h"
+
+namespace mkc {
+
+class Kernel;
+
+struct ExtState {
+  explicit ExtState(Kernel& kernel) : semaphores(kernel) {}
+
+  UpcallPool upcalls;
+  AsyncIoStats async_io;
+  SemaphoreTable semaphores;
+};
+
+}  // namespace mkc
+
+#endif  // MACHCONT_SRC_EXT_EXT_STATE_H_

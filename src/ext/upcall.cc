@@ -1,0 +1,88 @@
+#include "src/ext/upcall.h"
+
+#include "src/base/panic.h"
+#include "src/core/control.h"
+#include "src/kern/kernel.h"
+#include "src/machine/context.h"
+#include "src/machine/machdep.h"
+#include "src/task/syscalls.h"
+
+namespace mkc {
+namespace {
+
+// Scratch state for a parked thread (fits the 28-byte scratch area).
+struct __attribute__((packed)) UpcallState {
+  void (*handler)(std::uint64_t);
+  std::uint64_t payload;
+};
+
+// Target of the first switch onto the upcall's fresh user context.
+void UpcallUserStart(void* /*pass*/, void* arg) {
+  auto* thread = static_cast<Thread*>(arg);
+  auto handler = reinterpret_cast<void (*)(std::uint64_t)>(thread->md.user_regs[2]);
+  std::uint64_t payload = thread->md.user_regs[3];
+  handler(payload);
+  Panic("upcall handler returned to the kernel boundary");
+}
+
+}  // namespace
+
+void UpcallPool::ParkContinue() {
+  // Default resumption: return from the park syscall as if nothing
+  // happened (e.g. the pool was flushed).
+  ThreadSyscallReturn(KernReturn::kAborted);
+}
+
+void UpcallPool::DeliverContinue() {
+  // The replaced continuation: transfer out of the kernel to the registered
+  // user-level address instead of the trapping context.
+  Thread* thread = CurrentThread();
+  auto& st = thread->Scratch<UpcallState>();
+  thread->md.user_regs[2] = reinterpret_cast<std::uint64_t>(st.handler);
+  thread->md.user_regs[3] = st.payload;
+  // The original trapping user context is abandoned: this is a genuine
+  // upcall, not a syscall return.
+  thread->md.user_ctx =
+      MakeContext(thread->md.user_stack, static_cast<std::size_t>(thread->md.user_stack_size),
+                  &UpcallUserStart, thread);
+  ThreadExceptionReturn();
+}
+
+[[noreturn]] void UpcallPool::Park(Thread* thread, UpcallParkArgs* args) {
+  MKC_ASSERT(args != nullptr && args->handler != nullptr);
+  auto& st = thread->Scratch<UpcallState>();
+  st.handler = args->handler;
+  st.payload = 0;
+  parked_.EnqueueTail(thread);
+  thread->state = ThreadState::kWaiting;
+  ThreadBlock(&UpcallPool::ParkContinue, BlockReason::kInternal);
+  // Process-model kernels: the block returned; deliver whichever outcome
+  // was deposited.
+  if (thread->md.user_regs[4] != 0) {
+    thread->md.user_regs[4] = 0;
+    DeliverContinue();
+  }
+  ThreadSyscallReturn(KernReturn::kAborted);
+}
+
+bool UpcallPool::Trigger(Kernel& kernel, std::uint64_t payload) {
+  Thread* thread = parked_.DequeueHead();
+  if (thread == nullptr) {
+    return false;
+  }
+  auto& st = thread->Scratch<UpcallState>();
+  st.payload = payload;
+  if (kernel.UsesContinuations()) {
+    // The §4 move: swap the parked thread's default continuation for the
+    // upcall continuation before waking it.
+    MKC_ASSERT(thread->continuation == &UpcallPool::ParkContinue);
+    thread->continuation = &UpcallPool::DeliverContinue;
+  } else {
+    // Process-model kernels mark the delivery for the returning Park.
+    thread->md.user_regs[4] = 1;
+  }
+  kernel.ThreadSetrun(thread);
+  return true;
+}
+
+}  // namespace mkc

@@ -1,0 +1,56 @@
+// Kernel-to-user upcalls, built exactly as §4 sketches: "a pool of blocked
+// threads in the kernel, each with a default 'return-to-user-level'
+// continuation. To perform an upcall, the default continuation is replaced
+// with one that transfers control out of the kernel to a specific address at
+// user level."
+#ifndef MACHCONT_SRC_EXT_UPCALL_H_
+#define MACHCONT_SRC_EXT_UPCALL_H_
+
+#include <cstdint>
+
+#include "src/base/queue.h"
+#include "src/kern/thread.h"
+
+namespace mkc {
+
+class Kernel;
+struct UpcallParkArgs;
+struct UpcallTriggerArgs;
+
+class UpcallPool {
+ public:
+  ~UpcallPool() {
+    // Parked threads are owned by the kernel; just unthread them.
+    while (parked_.DequeueHead() != nullptr) {
+    }
+  }
+
+  // Parks the calling thread in the pool with its default continuation;
+  // never returns (the thread resumes either through an upcall or through
+  // the default return-to-user continuation).
+  [[noreturn]] void Park(Thread* thread, UpcallParkArgs* args);
+
+  // Dispatches a parked thread to its registered handler with `payload`.
+  // Demonstrates the §4 mechanism: the parked thread's continuation is
+  // REPLACED before it is made runnable. Returns false if the pool is empty.
+  bool Trigger(Kernel& kernel, std::uint64_t payload);
+
+  std::size_t ParkedCount() const { return parked_.Size(); }
+
+  // Removes `thread` from the pool (task termination).
+  bool AbortParked(Thread* thread) {
+    return parked_.RemoveFirstIf([thread](Thread* t) { return t == thread; }) != nullptr;
+  }
+
+  // The default continuation parked threads hold (visible for tests).
+  static void ParkContinue();
+
+ private:
+  static void DeliverContinue();
+
+  IntrusiveQueue<Thread, &Thread::ipc_link> parked_;
+};
+
+}  // namespace mkc
+
+#endif  // MACHCONT_SRC_EXT_UPCALL_H_

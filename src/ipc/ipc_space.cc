@@ -1,0 +1,164 @@
+#include "src/ipc/ipc_space.h"
+
+#include "src/base/panic.h"
+#include "src/core/control.h"
+#include "src/ipc/mach_msg.h"
+#include "src/vm/object.h"
+#include "src/kern/kernel.h"
+#include "src/machine/cycle_model.h"
+
+namespace mkc {
+
+IpcSpace::~IpcSpace() {
+  // Release queued messages and the kmsg cache. Waiting threads are owned by
+  // the kernel and torn down separately.
+  for (auto& port : ports_) {
+    if (port == nullptr) {
+      continue;
+    }
+    while (KMessage* kmsg = port->messages.DequeueHead()) {
+      delete kmsg;
+    }
+  }
+  while (KMessage* kmsg = kmsg_cache_.DequeueHead()) {
+    delete kmsg;
+  }
+}
+
+PortId IpcSpace::AllocatePort(Task* owner) {
+  auto port = std::make_unique<Port>();
+  port->id = static_cast<PortId>(ports_.size() + 1);
+  port->owner = owner;
+  ports_.push_back(std::move(port));
+  return ports_.back()->id;
+}
+
+PortId IpcSpace::AllocatePortSet(Task* owner) {
+  PortId id = AllocatePort(owner);
+  ports_[id - 1]->is_set = true;
+  return id;
+}
+
+KernReturn IpcSpace::AddToSet(PortId port_id, PortId set_id) {
+  Port* port = Lookup(port_id);
+  Port* set = Lookup(set_id);
+  if (port == nullptr || set == nullptr || !set->is_set || port->is_set) {
+    return KernReturn::kInvalidName;
+  }
+  if (port->owner_set != nullptr) {
+    return KernReturn::kInvalidRight;
+  }
+  port->owner_set = set;
+  set->members.EnqueueTail(port);
+  return KernReturn::kSuccess;
+}
+
+KernReturn IpcSpace::RemoveFromSet(PortId port_id) {
+  Port* port = Lookup(port_id);
+  if (port == nullptr || port->owner_set == nullptr) {
+    return KernReturn::kInvalidName;
+  }
+  port->owner_set->members.Remove(port);
+  port->owner_set = nullptr;
+  return KernReturn::kSuccess;
+}
+
+Port* IpcSpace::Lookup(PortId id) {
+  if (id == kInvalidPort || id > ports_.size()) {
+    return nullptr;
+  }
+  Port* port = ports_[id - 1].get();
+  return (port != nullptr && port->alive) ? port : nullptr;
+}
+
+void IpcSpace::DestroyPort(PortId id) {
+  Port* port = Lookup(id);
+  if (port == nullptr) {
+    return;
+  }
+  port->alive = false;
+  while (KMessage* kmsg = port->messages.DequeueHead()) {
+    FreeKmsg(kmsg);
+  }
+  // Fail out waiting receivers: deposit the error in their wait state and
+  // let them complete through their continuation / process-model resume.
+  while (Thread* receiver = port->receivers.DequeueHead()) {
+    auto& st = receiver->Scratch<MsgWaitState>();
+    st.result = KernReturn::kRcvPortDied;
+    st.flags |= kMsgWaitDirectComplete;
+    kernel_.ThreadSetrun(receiver);
+  }
+  while (Thread* sender = port->blocked_senders.DequeueHead()) {
+    sender->wait_result = KernReturn::kSendInvalidDest;
+    kernel_.ThreadSetrun(sender);
+  }
+}
+
+void IpcSpace::DestroyTaskPorts(Task* task) {
+  for (auto& port : ports_) {
+    if (port != nullptr && port->alive && port->owner == task) {
+      DestroyPort(port->id);
+    }
+  }
+}
+
+bool IpcSpace::AbortThreadWait(Thread* thread) {
+  for (auto& port : ports_) {
+    if (port == nullptr) {
+      continue;
+    }
+    if (port->receivers.RemoveFirstIf([thread](Thread* t) { return t == thread; }) != nullptr) {
+      return true;
+    }
+    if (port->blocked_senders.RemoveFirstIf([thread](Thread* t) { return t == thread; }) !=
+        nullptr) {
+      return true;
+    }
+  }
+  return false;
+}
+
+KMessage* IpcSpace::AllocKmsg() {
+  // Zone exhaustion blocks under the process model — one of the paper's
+  // "memory allocation" rows that never use continuations (§3.2).
+  while (kmsg_in_flight_ >= kmsg_zone_limit_) {
+    ++stats_.kmsg_alloc_blocks;
+    kernel_.AssertWait(&kmsg_zone_limit_);
+    ThreadBlock(nullptr, BlockReason::kMemoryAlloc);
+  }
+  ++kmsg_in_flight_;
+  kernel_.ChargeCycles(kCycKmsgAlloc);
+  KMessage* kmsg = kmsg_cache_.DequeueHead();
+  if (kmsg == nullptr) {
+    kmsg = new KMessage;
+  }
+  return kmsg;
+}
+
+KMessage* IpcSpace::TryAllocKmsg() {
+  if (kmsg_in_flight_ >= kmsg_zone_limit_) {
+    return nullptr;
+  }
+  ++kmsg_in_flight_;
+  KMessage* kmsg = kmsg_cache_.DequeueHead();
+  if (kmsg == nullptr) {
+    kmsg = new KMessage;
+  }
+  return kmsg;
+}
+
+void IpcSpace::FreeKmsg(KMessage* kmsg) {
+  MKC_ASSERT(kmsg_in_flight_ > 0);
+  if (kmsg->ool_object != nullptr) {
+    // Undelivered out-of-line payload (e.g. the port died): drop it.
+    delete kmsg->ool_object;
+    kmsg->ool_object = nullptr;
+  }
+  kmsg->ool_size = 0;
+  --kmsg_in_flight_;
+  kernel_.ChargeCycles(kCycKmsgFree);
+  kmsg_cache_.EnqueueTail(kmsg);
+  kernel_.ThreadWakeupOne(&kmsg_zone_limit_);
+}
+
+}  // namespace mkc

@@ -1,0 +1,87 @@
+// The kernel's port table and kmsg zone, plus IPC statistics.
+#ifndef MACHCONT_SRC_IPC_IPC_SPACE_H_
+#define MACHCONT_SRC_IPC_IPC_SPACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/base/queue.h"
+#include "src/ipc/port.h"
+
+namespace mkc {
+
+class Kernel;
+
+struct IpcStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t fast_rpc_handoffs = 0;   // Figure 2 fast path taken on send.
+  std::uint64_t direct_copies = 0;       // Sender copied straight to receiver.
+  std::uint64_t queued_sends = 0;        // Message materialized as a kmsg.
+  std::uint64_t receive_recognitions = 0;  // mach_msg_continue recognized.
+  std::uint64_t slow_continuations = 0;  // Strict-option receive finishes.
+  std::uint64_t rcv_too_large = 0;
+  std::uint64_t kmsg_alloc_blocks = 0;   // Zone-exhaustion blocks.
+  std::uint64_t send_full_blocks = 0;    // Queue-full sender blocks.
+};
+
+class IpcSpace {
+ public:
+  explicit IpcSpace(Kernel& kernel, std::size_t kmsg_zone_limit = 1024)
+      : kernel_(kernel), kmsg_zone_limit_(kmsg_zone_limit) {}
+  ~IpcSpace();
+
+  IpcSpace(const IpcSpace&) = delete;
+  IpcSpace& operator=(const IpcSpace&) = delete;
+
+  // Creates a port owned by `owner` (may be null for kernel-internal ports).
+  PortId AllocatePort(Task* owner);
+
+  // Creates a port set: receivers on the set get messages sent to any
+  // member port.
+  PortId AllocatePortSet(Task* owner);
+
+  // Moves `port` into `set` (a port belongs to at most one set).
+  KernReturn AddToSet(PortId port, PortId set);
+
+  // Removes `port` from its set, if any.
+  KernReturn RemoveFromSet(PortId port);
+
+  // Returns the port for `id`, or nullptr if invalid/dead.
+  Port* Lookup(PortId id);
+
+  // Marks the port dead: flushes queued messages and fails out any waiting
+  // receivers with kRcvPortDied.
+  void DestroyPort(PortId id);
+
+  // Destroys every port owned by `task` (task termination).
+  void DestroyTaskPorts(Task* task);
+
+  // Removes `thread` from any port receiver/sender queue it is parked on
+  // (linear scan; used by task termination). Returns true if found.
+  bool AbortThreadWait(Thread* thread);
+
+  // kmsg zone. Allocate may block (process model, kMemoryAlloc) when the
+  // zone is exhausted — one of the paper's non-continuation block sites.
+  KMessage* AllocKmsg();
+  // Non-blocking variant for contexts that must not block (event callbacks,
+  // the idle path). Returns nullptr when the zone is exhausted.
+  KMessage* TryAllocKmsg();
+  void FreeKmsg(KMessage* kmsg);
+
+  IpcStats& stats() { return stats_; }
+  const IpcStats& stats() const { return stats_; }
+  std::size_t kmsg_in_flight() const { return kmsg_in_flight_; }
+
+ private:
+  Kernel& kernel_;
+  std::vector<std::unique_ptr<Port>> ports_;
+  IntrusiveQueue<KMessage, &KMessage::queue_link> kmsg_cache_;
+  std::size_t kmsg_in_flight_ = 0;
+  std::size_t kmsg_zone_limit_;
+  IpcStats stats_;
+};
+
+}  // namespace mkc
+
+#endif  // MACHCONT_SRC_IPC_IPC_SPACE_H_

@@ -1,0 +1,64 @@
+// Message formats for the simulated mach_msg.
+#ifndef MACHCONT_SRC_IPC_MESSAGE_H_
+#define MACHCONT_SRC_IPC_MESSAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/base/queue.h"
+#include "src/base/types.h"
+
+namespace mkc {
+
+// Largest inline message body. Larger transfers would go out-of-line
+// through the VM system in real Mach; the simulation's workloads stay
+// inline, with large-ish copies touching the pageable kernel copy buffer
+// (see VmSystem::KernelBufferTouch).
+inline constexpr std::uint32_t kMaxInlineBytes = 1024;
+
+// MessageHeader::bits flags.
+inline constexpr std::uint32_t kMsgHeaderOolBit = 1u << 0;
+
+struct MessageHeader {
+  PortId dest = kInvalidPort;
+  PortId reply = kInvalidPort;
+  std::uint32_t msg_id = 0;
+  std::uint32_t size = 0;   // Body bytes, <= kMaxInlineBytes.
+  std::uint32_t bits = 0;   // kMsgHeader* flags.
+  std::uint32_t seqno = 0;  // Per-port delivery sequence (stamped by the kernel).
+};
+
+// The user-space view of a message buffer.
+struct UserMessage {
+  MessageHeader header;
+  std::byte body[kMaxInlineBytes];
+};
+
+// The kernel's in-flight copy, allocated from the kmsg zone and chained on
+// port queues (only on the slow, queueing paths — the fast RPC path never
+// materializes one, which is precisely its advantage).
+struct KMessage {
+  QueueEntry queue_link;
+  MessageHeader header;
+  std::byte body[kMaxInlineBytes];
+  // Out-of-line payload captured at send time (owned; consumed at receive).
+  class VmObject* ool_object = nullptr;
+  VmSize ool_size = 0;
+};
+
+// mach_msg option bits.
+enum MsgOption : std::uint32_t {
+  kMsgSendOpt = 1u << 0,
+  kMsgRcvOpt = 1u << 1,
+  // Body leads with an OolDescriptor naming a region to transfer
+  // out-of-line (see ipc/ool.h).
+  kMsgOolOpt = 1u << 3,
+  // "Unusual options or constraints" (§2.4): receives that need extra
+  // per-message checking and therefore block with the slower continuation,
+  // defeating recognition. Also set implicitly by a constrained rcv_limit.
+  kMsgRcvStrictOpt = 1u << 2,
+};
+
+}  // namespace mkc
+
+#endif  // MACHCONT_SRC_IPC_MESSAGE_H_

@@ -1,0 +1,113 @@
+#include "src/ipc/ool.h"
+
+#include <cstring>
+
+#include "src/base/panic.h"
+#include "src/kern/kernel.h"
+#include "src/machine/cycle_model.h"
+#include "src/task/task.h"
+#include "src/vm/object.h"
+#include "src/vm/vm_map.h"
+
+namespace mkc {
+namespace {
+
+// Per-page cost of manipulating map entries during an OOL transfer.
+constexpr Cycles kCycOolPerPage = 10;
+
+}  // namespace
+
+bool MessageCarriesOol(const MessageHeader& header) {
+  return (header.bits & kMsgHeaderOolBit) != 0;
+}
+
+void MarkMessageOol(MessageHeader& header) { header.bits |= kMsgHeaderOolBit; }
+
+KernReturn OolCapture(Kernel& kernel, Task* sender, const OolDescriptor& desc,
+                      std::unique_ptr<VmObject>* out) {
+  MKC_ASSERT(sender != nullptr && out != nullptr);
+  if (desc.size == 0) {
+    return KernReturn::kInvalidArgument;
+  }
+  VmRegion* region = sender->map.Lookup(desc.addr);
+  if (region == nullptr || !region->Contains(desc.addr + desc.size - 1)) {
+    return KernReturn::kInvalidAddress;
+  }
+
+  // Lazy copy: every page the sender has materialized (resident or on its
+  // backing store) becomes an on-disk page of the new object — it will be
+  // "read back" on first touch in the receiver (copy-on-reference). Pages
+  // the sender never touched stay zero-fill.
+  VmSize size = PageRound(desc.size);
+  auto copy = std::make_unique<VmObject>(region->object->backing(), size);
+  VmOffset base = region->OffsetOf(desc.addr);
+  std::uint64_t pages = size / kPageSize;
+  for (std::uint64_t i = 0; i < pages; ++i) {
+    VmOffset src_off = base + i * kPageSize;
+    auto& src_slot = region->object->Slot(src_off);
+    if (src_slot.frame != kInvalidPageFrame || src_slot.on_disk) {
+      auto& dst_slot = copy->Slot(i * kPageSize);
+      dst_slot.on_disk = true;
+    }
+  }
+  kernel.ChargeCycles(pages * kCycOolPerPage);
+  *out = std::move(copy);
+  return KernReturn::kSuccess;
+}
+
+VmAddress OolInstall(Kernel& kernel, Task* receiver, std::unique_ptr<VmObject> object,
+                     VmSize size) {
+  MKC_ASSERT(receiver != nullptr && object != nullptr);
+  kernel.ChargeCycles(PageRound(size) / kPageSize * kCycOolPerPage);
+  return receiver->map.Install(std::move(object), size);
+}
+
+KernReturn OolCaptureIntoKmsg(Kernel& kernel, Task* sender, KMessage* kmsg) {
+  if (kmsg->header.size < sizeof(OolDescriptor)) {
+    return KernReturn::kInvalidArgument;
+  }
+  OolDescriptor desc;
+  std::memcpy(&desc, kmsg->body, sizeof(desc));
+  std::unique_ptr<VmObject> object;
+  KernReturn kr = OolCapture(kernel, sender, desc, &object);
+  if (kr != KernReturn::kSuccess) {
+    return kr;
+  }
+  kmsg->ool_object = object.release();
+  kmsg->ool_size = desc.size;
+  return KernReturn::kSuccess;
+}
+
+void OolDeliverFromKmsg(Kernel& kernel, Task* receiver, KMessage* kmsg, UserMessage* buffer) {
+  if (kmsg->ool_object == nullptr) {
+    return;
+  }
+  std::unique_ptr<VmObject> object(kmsg->ool_object);
+  kmsg->ool_object = nullptr;
+  VmAddress addr = OolInstall(kernel, receiver, std::move(object), kmsg->ool_size);
+  OolDescriptor desc;
+  desc.addr = addr;
+  desc.size = kmsg->ool_size;
+  std::memcpy(buffer->body, &desc, sizeof(desc));
+}
+
+KernReturn OolTransferDirect(Kernel& kernel, Task* sender, Task* receiver,
+                             UserMessage* rcv_buffer) {
+  OolDescriptor desc;
+  if (rcv_buffer->header.size < sizeof(desc)) {
+    return KernReturn::kInvalidArgument;
+  }
+  std::memcpy(&desc, rcv_buffer->body, sizeof(desc));
+  std::unique_ptr<VmObject> object;
+  KernReturn kr = OolCapture(kernel, sender, desc, &object);
+  if (kr != KernReturn::kSuccess) {
+    desc = OolDescriptor{};  // Don't leak a sender-space address.
+    std::memcpy(rcv_buffer->body, &desc, sizeof(desc));
+    return kr;
+  }
+  desc.addr = OolInstall(kernel, receiver, std::move(object), desc.size);
+  std::memcpy(rcv_buffer->body, &desc, sizeof(desc));
+  return KernReturn::kSuccess;
+}
+
+}  // namespace mkc

@@ -1,0 +1,68 @@
+// Out-of-line memory transfer: the Mach IPC/VM integration.
+//
+// A message may carry a region of the sender's address space instead of
+// inline bytes. The kernel does not copy the data eagerly: it builds a new
+// VM object whose pages materialize lazily in the receiver (copy-on-
+// reference through the simulated backing store), installs a fresh region in
+// the receiver's map, and rewrites the descriptor to the receiver-side
+// address. This is the machinery Mach's "duality of memory and
+// communication" (Young et al. '87, cited by the paper) rests on.
+//
+// Wire format: a message sent with kMsgOolOpt carries an OolDescriptor at
+// the start of its body, naming a range in the SENDER's address space; on
+// receipt the descriptor's addr names the new range in the RECEIVER's space.
+#ifndef MACHCONT_SRC_IPC_OOL_H_
+#define MACHCONT_SRC_IPC_OOL_H_
+
+#include <memory>
+
+#include "src/base/kern_return.h"
+#include "src/base/types.h"
+#include "src/ipc/message.h"
+
+namespace mkc {
+
+class Kernel;
+struct Task;
+class VmObject;
+struct KMessage;
+struct Thread;
+
+struct OolDescriptor {
+  VmAddress addr = 0;
+  VmSize size = 0;
+};
+
+// True if `header` says the body leads with an OolDescriptor.
+bool MessageCarriesOol(const MessageHeader& header);
+
+// Marks `header` as carrying out-of-line data.
+void MarkMessageOol(MessageHeader& header);
+
+// Builds a lazy copy of [desc.addr, +desc.size) in `sender`'s space. Returns
+// null (and an error) if the range is not fully mapped.
+KernReturn OolCapture(Kernel& kernel, Task* sender, const OolDescriptor& desc,
+                      std::unique_ptr<VmObject>* out);
+
+// Installs a captured object in `receiver`'s space and returns the new base
+// address.
+VmAddress OolInstall(Kernel& kernel, Task* receiver, std::unique_ptr<VmObject> object,
+                     VmSize size);
+
+// Send-time hook for the queued path: captures the descriptor in
+// kmsg->body into kmsg->ool_object. Sender is the current thread's task.
+KernReturn OolCaptureIntoKmsg(Kernel& kernel, Task* sender, KMessage* kmsg);
+
+// Receive-time hook: installs kmsg->ool_object into `receiver` and rewrites
+// the descriptor in `buffer`.
+void OolDeliverFromKmsg(Kernel& kernel, Task* receiver, KMessage* kmsg, UserMessage* buffer);
+
+// Direct-path hook: the descriptor has already been copied into the
+// receiver's buffer; capture from `sender` and install into `receiver`,
+// rewriting the descriptor in place. On failure the descriptor is zeroed.
+KernReturn OolTransferDirect(Kernel& kernel, Task* sender, Task* receiver,
+                             UserMessage* rcv_buffer);
+
+}  // namespace mkc
+
+#endif  // MACHCONT_SRC_IPC_OOL_H_

@@ -1,0 +1,61 @@
+// Ports: kernel message queues with waiting-thread queues attached.
+#ifndef MACHCONT_SRC_IPC_PORT_H_
+#define MACHCONT_SRC_IPC_PORT_H_
+
+#include <cstdint>
+
+#include "src/base/queue.h"
+#include "src/base/types.h"
+#include "src/ipc/message.h"
+#include "src/kern/thread.h"
+
+namespace mkc {
+
+struct Task;
+
+struct Port {
+  PortId id = kInvalidPort;
+  Task* owner = nullptr;
+  bool alive = true;
+
+  // Port sets: a set is itself a Port whose receivers wait for messages on
+  // any member. Members carry a back-pointer to their set.
+  bool is_set = false;
+  Port* owner_set = nullptr;      // Set this port belongs to, if any.
+  QueueEntry set_link;            // Membership linkage.
+  IntrusiveQueue<Port, &Port::set_link> members;  // Valid when is_set.
+  std::size_t rr_cursor = 0;      // Round-robin receive fairness over members.
+
+  // Queued messages (slow path only).
+  IntrusiveQueue<KMessage, &KMessage::queue_link> messages;
+  std::size_t qlimit = 64;
+
+  // Delivery sequence number, stamped into every message received from this
+  // port (Mach's msgh_seqno): receivers can detect gaps and reordering.
+  std::uint32_t next_seqno = 1;
+
+  // Threads blocked waiting to receive from this port. Under MK40 these
+  // threads hold continuations and no kernel stacks.
+  IntrusiveQueue<Thread, &Thread::ipc_link> receivers;
+
+  // Threads blocked because the message queue was full.
+  IntrusiveQueue<Thread, &Thread::ipc_link> blocked_senders;
+
+  ~Port() {
+    // Messages are owned by the kmsg zone; receivers/senders must have been
+    // flushed by PortDestroy or kernel teardown.
+    while (messages.DequeueHead() != nullptr) {
+    }
+    while (receivers.DequeueHead() != nullptr) {
+    }
+    while (blocked_senders.DequeueHead() != nullptr) {
+    }
+    while (Port* member = members.DequeueHead()) {
+      member->owner_set = nullptr;
+    }
+  }
+};
+
+}  // namespace mkc
+
+#endif  // MACHCONT_SRC_IPC_PORT_H_

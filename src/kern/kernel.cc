@@ -1,0 +1,454 @@
+#include "src/kern/kernel.h"
+
+#include <cstdlib>
+#include <cstdio>
+#include <cstring>
+
+#include "src/base/panic.h"
+#include "src/core/control.h"
+#include "src/dev/device.h"
+#include "src/ext/ext_state.h"
+#include "src/ipc/ipc_space.h"
+#include "src/machine/cycle_model.h"
+#include "src/machine/machdep.h"
+#include "src/machine/trap.h"
+#include "src/task/task.h"
+#include "src/vm/vm_system.h"
+
+namespace mkc {
+namespace {
+
+Kernel* g_active_kernel = nullptr;
+
+}  // namespace
+
+const char* ModelName(ControlTransferModel model) {
+  switch (model) {
+    case ControlTransferModel::kMach25:
+      return "Mach 2.5";
+    case ControlTransferModel::kMK32:
+      return "MK32";
+    case ControlTransferModel::kMK40:
+      return "MK40";
+  }
+  return "unknown";
+}
+
+Kernel& ActiveKernel() {
+  MKC_ASSERT_MSG(g_active_kernel != nullptr, "no kernel is running on this host thread");
+  return *g_active_kernel;
+}
+
+Thread* CurrentThread() {
+  Thread* t = ActiveKernel().processor().active_thread;
+  MKC_ASSERT(t != nullptr);
+  return t;
+}
+
+bool KernelIsActive() { return g_active_kernel != nullptr; }
+
+Kernel::Kernel(const KernelConfig& config)
+    : config_(config),
+      stack_pool_(config.kernel_stack_bytes, config.stack_cache_limit),
+      rng_(config.seed) {
+  trace_.Configure(config.trace_capacity);
+  ipc_ = std::make_unique<IpcSpace>(*this);
+  vm_ = std::make_unique<VmSystem>(*this, config.physical_pages, config.disk_latency);
+  ext_ = std::make_unique<ExtState>(*this);
+  devices_ = std::make_unique<DeviceRegistry>(*this);
+}
+
+Kernel::~Kernel() {
+  // Drain every intrusive queue and release machine resources. Nothing is
+  // executing at this point; bypass the machdep layer (it requires an
+  // active kernel).
+  while (run_queue_.DequeueBest() != nullptr) {
+  }
+  for (auto& bucket : wait_buckets_) {
+    while (bucket.DequeueHead() != nullptr) {
+    }
+  }
+  while (reaper_queue_.DequeueHead() != nullptr) {
+  }
+  ipc_.reset();  // Drops port queues (which link threads via ipc_link).
+  for (auto& thread : threads_) {
+    if (thread->kernel_stack != nullptr) {
+      KernelStack* stack = thread->kernel_stack;
+      thread->kernel_stack = nullptr;
+      stack->owner = nullptr;
+      stack_pool_.Free(stack);
+    }
+    if (thread->md.user_stack != nullptr) {
+      std::free(thread->md.user_stack);
+      thread->md.user_stack = nullptr;
+    }
+  }
+}
+
+Thread* Kernel::AllocateThread() {
+  auto thread = std::make_unique<Thread>();
+  thread->id = next_thread_id_++;
+  threads_.push_back(std::move(thread));
+  return threads_.back().get();
+}
+
+Task* Kernel::CreateTask(std::string name) {
+  auto task = std::make_unique<Task>();
+  task->id = next_task_id_++;
+  task->name = std::move(name);
+  task->kernel = this;
+  tasks_.push_back(std::move(task));
+  return tasks_.back().get();
+}
+
+Thread* Kernel::CreateUserThread(Task* task, UserEntry entry, void* arg,
+                                 const ThreadOptions& options) {
+  MKC_ASSERT(task != nullptr);
+  Thread* thread = AllocateThread();
+  thread->task = task;
+  thread->priority = options.priority;
+  thread->counts_for_liveness = !options.daemon;
+  task->threads.EnqueueTail(thread);
+
+  std::size_t stack_bytes =
+      options.user_stack_bytes != 0 ? options.user_stack_bytes : config_.user_stack_bytes;
+  thread->md.user_stack = std::malloc(stack_bytes);
+  MKC_ASSERT(thread->md.user_stack != nullptr);
+  thread->md.user_stack_size = stack_bytes;
+  // Entry point and argument ride in the simulated register file, the way a
+  // real kernel seeds a new thread's argument registers.
+  thread->md.user_regs[0] = reinterpret_cast<std::uint64_t>(entry);
+  thread->md.user_regs[1] = reinterpret_cast<std::uint64_t>(arg);
+
+  // New threads hold a continuation and no kernel stack: they consume no
+  // kernel memory until first run.
+  thread->continuation = &Kernel::UserBootstrapContinuation;
+  if (thread->counts_for_liveness) {
+    ++live_threads_;
+  }
+  run_queue_.Enqueue(thread);
+  return thread;
+}
+
+namespace {
+
+// Outer loop for internal kernel threads under the process-model kernels,
+// where the body's ThreadBlock returns instead of re-entering the body as a
+// continuation.
+void KernelThreadRunner() {
+  Thread* self = CurrentThread();
+  Continuation body = self->kthread_body;
+  MKC_ASSERT(body != nullptr);
+  for (;;) {
+    body();
+  }
+}
+
+// First activation of a user thread: manufacture its user-mode context and
+// "return" into it.
+void UserModeStart(void* /*pass*/, void* arg) {
+  auto* thread = static_cast<Thread*>(arg);
+  auto entry = reinterpret_cast<UserEntry>(thread->md.user_regs[0]);
+  void* user_arg = reinterpret_cast<void*>(thread->md.user_regs[1]);
+  entry(user_arg);
+  // Falling off the end of a user thread exits it.
+  TrapFrame frame;
+  frame.kind = TrapKind::kSyscall;
+  frame.number = Syscall::kThreadExit;
+  TrapEnter(&frame);
+  Panic("thread-exit trap returned");
+}
+
+}  // namespace
+
+Thread* Kernel::CreateKernelThread(std::string name, Continuation loop, int priority) {
+  (void)name;
+  Thread* thread = AllocateThread();
+  thread->is_internal = true;
+  thread->counts_for_liveness = false;
+  thread->priority = priority;
+  thread->kthread_body = loop;
+  thread->continuation = &KernelThreadRunner;
+  run_queue_.Enqueue(thread);
+  return thread;
+}
+
+void Kernel::BootIfNeeded() {
+  if (booted_) {
+    return;
+  }
+  booted_ = true;
+
+  Thread* idle = AllocateThread();
+  idle->is_idle = true;
+  idle->is_internal = true;
+  idle->counts_for_liveness = false;
+  idle->priority = 0;
+  idle->state = ThreadState::kWaiting;
+  idle->continuation = &Kernel::IdleContinuation;
+  processor_.idle_thread = idle;
+
+  // The reaper: the paper's internal kernel thread that never blocks with a
+  // continuation (§3.4 footnote 3) — the one constant per-machine stack.
+  reaper_thread_ = CreateKernelThread("reaper", &Kernel::ReaperBootstrap, kNumPriorities - 1);
+
+  // The default pager: an internal kernel thread whose body blocks with
+  // itself as its continuation (§2.2's tail-recursive loop).
+  CreateKernelThread("pager", &VmSystem::PagerStep, kNumPriorities - 2);
+}
+
+void Kernel::Run() {
+  MKC_ASSERT_MSG(g_active_kernel == nullptr, "a kernel is already running (no nesting)");
+  MKC_ASSERT(!running_);
+  g_active_kernel = this;
+  running_ = true;
+
+  BootIfNeeded();
+
+  // Start the processor: give the idle thread a stack and switch into it.
+  Thread* idle = processor_.idle_thread;
+  processor_.active_thread = idle;
+  idle->state = ThreadState::kRunning;
+  KernelStack* stack = stack_pool_.Allocate();
+  StackAttach(idle, stack, &ThreadContinue);
+  Context target = idle->md.kernel_ctx;
+  idle->md.kernel_ctx.reset();
+  ContextSwitch(&processor_.boot_ctx, target, /*pass=*/nullptr);
+
+  // The idle loop jumped back: simulation over.
+  running_ = false;
+  g_active_kernel = nullptr;
+}
+
+void Kernel::IdleContinuation() { ActiveKernel().IdleLoop(); }
+
+[[noreturn]] void Kernel::IdleLoop() {
+  Thread* idle = processor_.idle_thread;
+  MKC_ASSERT(CurrentThread() == idle);
+  for (;;) {
+    while (run_queue_.Empty()) {
+      if (live_threads_ == 0) {
+        // Simulation complete: park the idle thread for the next Run() and
+        // hand the host its context back. The stack free is safe — nothing
+        // allocates between here and the jump.
+        idle->continuation = &Kernel::IdleContinuation;
+        idle->state = ThreadState::kWaiting;
+        KernelStack* stack = StackDetach(idle);
+        stack_pool_.Free(stack);
+        ContextJump(processor_.boot_ctx, nullptr);
+      }
+      if (events_.Empty()) {
+        for (const auto& t : threads_) {
+          std::fprintf(stderr,
+                       "  thread %u state=%d reason=%s cont=%p stack=%p internal=%d idle=%d "
+                       "wait_event=%p\n",
+                       t->id, static_cast<int>(t->state), BlockReasonName(t->block_reason),
+                       reinterpret_cast<void*>(t->continuation),
+                       static_cast<void*>(t->kernel_stack), t->is_internal ? 1 : 0,
+                       t->is_idle ? 1 : 0, t->wait_event);
+        }
+        Panic("deadlock: %llu live threads, nothing runnable, no pending events",
+              static_cast<unsigned long long>(live_threads_));
+      }
+      events_.RunNext(clock_);
+    }
+    // Someone is runnable: give up the processor until the queue drains.
+    idle->state = ThreadState::kWaiting;
+    ThreadBlock(&Kernel::IdleContinuation, BlockReason::kIdle);
+    // Process-model kernels return here once the idle thread is reselected.
+  }
+}
+
+void Kernel::ReaperBootstrap() { ActiveKernel().ReaperLoop(); }
+
+[[noreturn]] void Kernel::ReaperLoop() {
+  Thread* self = CurrentThread();
+  MKC_ASSERT(self == reaper_thread_);
+  for (;;) {
+    while (Thread* dead = reaper_queue_.DequeueHead()) {
+      MKC_ASSERT(dead->state == ThreadState::kHalted);
+      if (dead->kernel_stack != nullptr) {
+        // Process-model kernels: the dead thread still owns its stack.
+        KernelStack* stack = StackDetach(dead);
+        stack_pool_.Free(stack);
+      }
+      if (dead->md.user_stack != nullptr) {
+        std::free(dead->md.user_stack);
+        dead->md.user_stack = nullptr;
+      }
+      dead->md.user_ctx.reset();
+      dead->md.kernel_ctx.reset();
+    }
+    AssertWait(&reaper_queue_);
+    // Deliberately no continuation: this is the thread whose control flow
+    // makes continuations awkward, so it keeps its stack while blocked —
+    // the ".002" in the paper's 2.002 average stacks.
+    ThreadBlock(nullptr, BlockReason::kInternal);
+  }
+}
+
+void Kernel::HaltedContinuation() { Panic("halted thread was resumed"); }
+
+[[noreturn]] void Kernel::ThreadTerminateSelf() {
+  Thread* thread = CurrentThread();
+  MKC_ASSERT(!thread->is_idle && thread != reaper_thread_);
+  thread->state = ThreadState::kHalted;
+  if (thread->counts_for_liveness) {
+    thread->counts_for_liveness = false;
+    MKC_ASSERT(live_threads_ > 0);
+    --live_threads_;
+  }
+  reaper_queue_.EnqueueTail(thread);
+  ThreadWakeupOne(&reaper_queue_);
+  ThreadBlock(&Kernel::HaltedContinuation, BlockReason::kThreadExit);
+  Panic("halted thread continued past its final block");
+}
+
+void Kernel::TerminateTask(Task* task) {
+  MKC_ASSERT(task != nullptr && !task->dead);
+  task->dead = true;
+  Thread* self = processor_.active_thread;
+  bool suicide = false;
+
+  // Abort every thread of the task, wherever it waits.
+  task->threads.ForEach([&](Thread* t) {
+    if (t == self) {
+      suicide = true;
+      return;
+    }
+    switch (t->state) {
+      case ThreadState::kHalted:
+        return;  // Already with the reaper.
+      case ThreadState::kRunnable:
+        if (IntrusiveQueue<Thread, &Thread::run_link>::OnAQueue(t)) {
+          run_queue_.Remove(t);
+        }
+        break;
+      case ThreadState::kWaiting:
+        // The thread is parked on exactly one of: a wait bucket, a port
+        // queue, a semaphore, or the upcall pool.
+        ClearWait(t);
+        if (IntrusiveQueue<Thread, &Thread::ipc_link>::OnAQueue(t)) {
+          bool found = ipc_->AbortThreadWait(t) || ext_->semaphores.AbortWaiter(t) ||
+                       ext_->upcalls.AbortParked(t);
+          MKC_ASSERT_MSG(found, "waiting thread on an unknown queue");
+        }
+        break;
+      case ThreadState::kEmbryo:
+      case ThreadState::kRunning:
+        Panic("task termination found a thread in an impossible state");
+    }
+    t->state = ThreadState::kHalted;
+    t->continuation = nullptr;
+    if (t->counts_for_liveness) {
+      t->counts_for_liveness = false;
+      MKC_ASSERT(live_threads_ > 0);
+      --live_threads_;
+    }
+    reaper_queue_.EnqueueTail(t);
+  });
+
+  // Kill the task's ports so peers blocked on them fail out.
+  ipc_->DestroyTaskPorts(task);
+  ThreadWakeupOne(&reaper_queue_);
+
+  if (suicide) {
+    ThreadTerminateSelf();
+  }
+}
+
+void Kernel::UserBootstrapContinuation() {
+  Thread* thread = CurrentThread();
+  MKC_ASSERT(thread->md.user_stack != nullptr);
+  thread->md.user_ctx =
+      MakeContext(thread->md.user_stack, static_cast<std::size_t>(thread->md.user_stack_size),
+                  &UserModeStart, thread);
+  ThreadExceptionReturn();
+}
+
+void Kernel::ThreadSetrun(Thread* thread) {
+  MKC_ASSERT(thread->state != ThreadState::kRunning);
+  MKC_ASSERT(thread->state != ThreadState::kHalted);
+  ChargeCycles(kCycThreadSetrun);
+  TracePoint(TraceEvent::kSetrun, thread->id);
+  run_queue_.Enqueue(thread);
+}
+
+Thread* Kernel::ThreadSelect() {
+  ChargeCycles(kCycThreadSelect);
+  Thread* thread = run_queue_.DequeueBest();
+  if (thread == nullptr) {
+    thread = processor_.idle_thread;
+  }
+  return thread;
+}
+
+int Kernel::WaitBucket(const void* event) {
+  auto bits = reinterpret_cast<std::uintptr_t>(event);
+  bits ^= bits >> 9;
+  return static_cast<int>(bits % kWaitBuckets);
+}
+
+void Kernel::AssertWait(const void* event) {
+  Thread* thread = CurrentThread();
+  MKC_ASSERT(event != nullptr);
+  MKC_ASSERT(thread->wait_event == nullptr);
+  thread->wait_event = event;
+  thread->wait_result = KernReturn::kSuccess;
+  thread->state = ThreadState::kWaiting;
+  wait_buckets_[WaitBucket(event)].EnqueueTail(thread);
+}
+
+void Kernel::ClearWait(Thread* thread) {
+  if (thread->wait_event == nullptr) {
+    return;
+  }
+  wait_buckets_[WaitBucket(thread->wait_event)].Remove(thread);
+  thread->wait_event = nullptr;
+}
+
+std::uint64_t Kernel::ThreadWakeupAll(const void* event, KernReturn result) {
+  auto& bucket = wait_buckets_[WaitBucket(event)];
+  std::uint64_t woken = 0;
+  while (Thread* thread = bucket.RemoveFirstIf(
+             [event](Thread* t) { return t->wait_event == event; })) {
+    thread->wait_event = nullptr;
+    thread->wait_result = result;
+    ThreadSetrun(thread);
+    ++woken;
+  }
+  return woken;
+}
+
+bool Kernel::ThreadWakeupOne(const void* event, KernReturn result) {
+  auto& bucket = wait_buckets_[WaitBucket(event)];
+  Thread* thread =
+      bucket.RemoveFirstIf([event](Thread* t) { return t->wait_event == event; });
+  if (thread == nullptr) {
+    return false;
+  }
+  thread->wait_event = nullptr;
+  thread->wait_result = result;
+  ThreadSetrun(thread);
+  return true;
+}
+
+std::uint64_t Kernel::RunDueEvents() {
+  std::uint64_t ran = 0;
+  while (!events_.Empty() && events_.NextDeadline() <= clock_.Now()) {
+    events_.RunNext(clock_);
+    ++ran;
+  }
+  return ran;
+}
+
+void Kernel::ResetStats() {
+  transfer_stats_.Reset();
+  exc_stats_ = ExcStats{};
+  cost_model_.Reset();
+  stack_pool_.ResetStats();
+  ipc_->stats() = IpcStats{};
+  vm_->stats() = VmStats{};
+}
+
+}  // namespace mkc

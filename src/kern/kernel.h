@@ -1,0 +1,241 @@
+// The kernel object: configuration, boot, scheduling loop, and ownership of
+// every subsystem. One Kernel instance is one simulated machine.
+#ifndef MACHCONT_SRC_KERN_KERNEL_H_
+#define MACHCONT_SRC_KERN_KERNEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/queue.h"
+#include "src/base/rng.h"
+#include "src/base/types.h"
+#include "src/base/vclock.h"
+#include "src/core/trace.h"
+#include "src/kern/processor.h"
+#include "src/kern/sched.h"
+#include "src/kern/stack_pool.h"
+#include "src/kern/thread.h"
+#include "src/kern/transfer_stats.h"
+#include "src/exc/exc_stats.h"
+#include "src/machine/cost_model.h"
+
+namespace mkc {
+
+struct Task;
+class IpcSpace;
+class VmSystem;
+struct ExtState;
+class DeviceRegistry;
+
+// Which kernel the simulation behaves as (§3.1):
+//   kMach25 — process model; messages always queued; receivers woken through
+//             the general scheduler. No continuations.
+//   kMK32   — process model with the optimized RPC path: direct context
+//             switch from sender to receiver, no queueing. No continuations.
+//   kMK40   — the paper's system: continuations, stack discard, stack
+//             handoff, continuation recognition.
+enum class ControlTransferModel : std::uint8_t { kMach25, kMK32, kMK40 };
+
+const char* ModelName(ControlTransferModel model);
+
+struct KernelConfig {
+  ControlTransferModel model = ControlTransferModel::kMK40;
+
+  std::size_t kernel_stack_bytes = 64 * 1024;
+  std::size_t user_stack_bytes = 128 * 1024;
+  std::size_t stack_cache_limit = 16;
+
+  Ticks quantum = 10000;          // Virtual ticks per scheduling quantum.
+  std::uint32_t physical_pages = 4096;  // Simulated physical memory.
+  Ticks disk_latency = 2000;      // Virtual ticks per simulated disk I/O.
+
+  std::uint64_t seed = 42;        // Seed for all workload randomness.
+
+  // Control-transfer trace ring size; 0 disables tracing (core/trace.h).
+  std::size_t trace_capacity = 0;
+
+  // Ablation switches (MK40 only; see bench/bench_ablation.cc).
+  bool enable_handoff = true;      // Stack handoff between continuations.
+  bool enable_recognition = true;  // Continuation recognition fast paths.
+};
+
+// User-thread entry point, executed in simulated user mode on the thread's
+// user stack.
+using UserEntry = void (*)(void* arg);
+
+struct ThreadOptions {
+  int priority = 16;
+  bool daemon = false;  // Daemon threads don't keep the simulation alive.
+  std::size_t user_stack_bytes = 0;  // 0 = the kernel config default.
+};
+
+class Kernel {
+ public:
+  explicit Kernel(const KernelConfig& config);
+  ~Kernel();
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  // --- Setup (before Run) ---------------------------------------------
+  Task* CreateTask(std::string name);
+  Thread* CreateUserThread(Task* task, UserEntry entry, void* arg,
+                           const ThreadOptions& options = {});
+
+  // Creates an internal kernel thread whose body is `loop`, a continuation
+  // that must end by blocking (typically tail-recursively on itself, §2.2).
+  Thread* CreateKernelThread(std::string name, Continuation loop, int priority = 24);
+
+  // --- Execution --------------------------------------------------------
+  // Boots the machine and runs until every non-daemon user thread has
+  // exited. May be called repeatedly; state (tasks, ports, stats) persists.
+  void Run();
+
+  // --- Accessors used throughout the kernel -----------------------------
+  const KernelConfig& config() const { return config_; }
+  ControlTransferModel model() const { return config_.model; }
+  bool UsesContinuations() const { return config_.model == ControlTransferModel::kMK40; }
+
+  Processor& processor() { return processor_; }
+  RunQueue& run_queue() { return run_queue_; }
+  StackPool& stack_pool() { return stack_pool_; }
+  CostModel& cost_model() { return cost_model_; }
+  TransferStats& transfer_stats() { return transfer_stats_; }
+  const TransferStats& transfer_stats() const { return transfer_stats_; }
+  VirtualClock& clock() { return clock_; }
+  EventQueue& events() { return events_; }
+  Rng& rng() { return rng_; }
+  TraceBuffer& trace() { return trace_; }
+
+  // Trace helper: records with the current virtual time and thread.
+  void TracePoint(TraceEvent event, std::uint32_t aux = 0, std::uint32_t aux2 = 0) {
+    if (trace_.enabled()) {
+      Thread* t = processor_.active_thread;
+      trace_.Record(clock_.Now(), t != nullptr ? t->id : 0, event, aux, aux2);
+    }
+  }
+  IpcSpace& ipc() { return *ipc_; }
+  VmSystem& vm() { return *vm_; }
+  ExcStats& exc_stats() { return exc_stats_; }
+  const ExcStats& exc_stats() const { return exc_stats_; }
+  ExtState& ext() { return *ext_; }
+  DeviceRegistry& devices() { return *devices_; }
+
+  const std::vector<std::unique_ptr<Task>>& tasks() const { return tasks_; }
+  const std::vector<std::unique_ptr<Thread>>& threads() const { return threads_; }
+
+  // --- Scheduling helpers ------------------------------------------------
+  // Places `thread` on the run queue (the paper's thread_setrun).
+  void ThreadSetrun(Thread* thread);
+
+  // Picks the next thread to run: best runnable thread or the idle thread.
+  Thread* ThreadSelect();
+
+  // Event-based waits (Mach's assert_wait/thread_wakeup). AssertWait marks
+  // the current thread waiting on `event`; the caller then calls
+  // ThreadBlock. Wakeup moves waiters to the run queue with `result`
+  // deposited in their wait_result.
+  void AssertWait(const void* event);
+  // Removes the current thread from its wait bucket (e.g. condition already
+  // satisfied after re-check).
+  void ClearWait(Thread* thread);
+  std::uint64_t ThreadWakeupAll(const void* event, KernReturn result = KernReturn::kSuccess);
+  bool ThreadWakeupOne(const void* event, KernReturn result = KernReturn::kSuccess);
+
+  // --- Thread lifecycle --------------------------------------------------
+  // Ends the current thread; called from the thread-exit syscall path.
+  [[noreturn]] void ThreadTerminateSelf();
+
+  // Destroys a task: aborts and reaps all of its threads (wherever they are
+  // blocked) and kills its ports. If the current thread belongs to `task`
+  // this call does not return.
+  void TerminateTask(Task* task);
+
+  // --- Liveness / shutdown ----------------------------------------------
+  std::uint64_t live_threads() const { return live_threads_; }
+
+  // The idle path: drains virtual-time events while nothing is runnable and
+  // ends the simulation when no liveness-holding thread remains.
+  [[noreturn]] void IdleLoop();
+
+  // Runs every event whose virtual deadline has passed. Called from the
+  // clock-advancing safe points (UserWork) — the simulation's "device
+  // interrupt delivery" — so pending I/O completes even while some thread
+  // keeps the processor busy. Returns the number of events run.
+  std::uint64_t RunDueEvents();
+
+  // Charges machine time for a primitive (machine/cycle_model.h): kernel
+  // work advances the virtual clock just like user work does.
+  void ChargeCycles(std::uint64_t cycles) {
+    clock_.Advance(cycles);
+    machine_cycles_ += cycles;
+  }
+  std::uint64_t machine_cycles() const { return machine_cycles_; }
+
+  // Statistics helpers for benches.
+  void ResetStats();
+
+ private:
+  friend class KernelTestPeer;
+
+  void BootIfNeeded();
+  Thread* AllocateThread();
+  [[noreturn]] void ReaperLoop();
+
+  static void IdleContinuation();
+  static void ReaperBootstrap();
+  static void UserBootstrapContinuation();
+  static void HaltedContinuation();
+
+  KernelConfig config_;
+  Processor processor_;
+  RunQueue run_queue_;
+  StackPool stack_pool_;
+  CostModel cost_model_;
+  TransferStats transfer_stats_;
+  ExcStats exc_stats_;
+  VirtualClock clock_;
+  EventQueue events_;
+  Rng rng_;
+  TraceBuffer trace_;
+
+  std::unique_ptr<IpcSpace> ipc_;
+  std::unique_ptr<VmSystem> vm_;
+  std::unique_ptr<ExtState> ext_;
+  std::unique_ptr<DeviceRegistry> devices_;
+
+  std::vector<std::unique_ptr<Task>> tasks_;
+  std::vector<std::unique_ptr<Thread>> threads_;
+  ThreadId next_thread_id_ = 1;
+  TaskId next_task_id_ = 1;
+
+  std::uint64_t live_threads_ = 0;  // Non-daemon user threads still alive.
+  std::uint64_t machine_cycles_ = 0;  // Modeled kernel machine time.
+  bool booted_ = false;
+  bool running_ = false;
+
+  // Wait-event hash table (assert_wait buckets).
+  static constexpr int kWaitBuckets = 64;
+  IntrusiveQueue<Thread, &Thread::run_link> wait_buckets_[kWaitBuckets];
+
+  // Halted threads queued for the reaper — the internal kernel thread that
+  // never blocks with a continuation (§3.4 footnote: the one constant
+  // per-machine stack).
+  IntrusiveQueue<Thread, &Thread::run_link> reaper_queue_;
+  Thread* reaper_thread_ = nullptr;
+
+  static int WaitBucket(const void* event);
+};
+
+// Ambient access to the machine currently executing on this host thread.
+// Valid only while a Kernel::Run() is in progress (all kernel paths and
+// simulated user code run within one).
+Kernel& ActiveKernel();
+Thread* CurrentThread();
+bool KernelIsActive();
+
+}  // namespace mkc
+
+#endif  // MACHCONT_SRC_KERN_KERNEL_H_

@@ -1,0 +1,38 @@
+// Per-processor state.
+//
+// The reproduction simulates one processor (like the paper's DS3100 and
+// Toshiba 5200 measurements) but keeps per-processor state in its own
+// structure so the code stays multiprocessor-shaped.
+#ifndef MACHCONT_SRC_KERN_PROCESSOR_H_
+#define MACHCONT_SRC_KERN_PROCESSOR_H_
+
+#include "src/kern/thread.h"
+#include "src/machine/context.h"
+
+namespace mkc {
+
+struct Task;
+
+struct Processor {
+  int id = 0;
+
+  // The thread currently executing on this processor. StackHandoff and
+  // SwitchContext update this; everything downstream of current_thread()
+  // reads it.
+  Thread* active_thread = nullptr;
+
+  // This processor's idle thread (selected when the run queue is empty).
+  Thread* idle_thread = nullptr;
+
+  // Task whose address translation is currently loaded (the active pmap).
+  // Kernel threads run against whatever map is loaded, as in the real
+  // kernel, so this only changes when a thread from a different task runs.
+  Task* loaded_task = nullptr;
+
+  // Host context to resume when the simulation shuts down.
+  Context boot_ctx;
+};
+
+}  // namespace mkc
+
+#endif  // MACHCONT_SRC_KERN_PROCESSOR_H_

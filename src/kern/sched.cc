@@ -1,0 +1,46 @@
+#include "src/kern/sched.h"
+
+#include <bit>
+
+#include "src/base/panic.h"
+
+namespace mkc {
+
+void RunQueue::Enqueue(Thread* thread) {
+  MKC_ASSERT(thread != nullptr);
+  MKC_ASSERT_MSG(!thread->is_idle, "idle thread placed on a run queue");
+  MKC_ASSERT(thread->priority >= 0 && thread->priority < kNumPriorities);
+  SpinLockGuard guard(lock_);
+  thread->state = ThreadState::kRunnable;
+  queues_[thread->priority].EnqueueTail(thread);
+  occupied_bitmap_ |= 1u << thread->priority;
+  ++count_;
+}
+
+Thread* RunQueue::DequeueBest() {
+  SpinLockGuard guard(lock_);
+  if (occupied_bitmap_ == 0) {
+    return nullptr;
+  }
+  int best = 31 - std::countl_zero(occupied_bitmap_);
+  Thread* thread = queues_[best].DequeueHead();
+  MKC_ASSERT(thread != nullptr);
+  if (queues_[best].Empty()) {
+    occupied_bitmap_ &= ~(1u << best);
+  }
+  --count_;
+  return thread;
+}
+
+void RunQueue::Remove(Thread* thread) {
+  SpinLockGuard guard(lock_);
+  auto& q = queues_[thread->priority];
+  q.Remove(thread);
+  if (q.Empty()) {
+    occupied_bitmap_ &= ~(1u << thread->priority);
+  }
+  MKC_ASSERT(count_ > 0);
+  --count_;
+}
+
+}  // namespace mkc

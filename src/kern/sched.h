@@ -1,0 +1,44 @@
+// Run queues and thread selection.
+//
+// A classic multilevel run queue (Mach's `struct run_queue`): one FIFO per
+// priority plus a hint for the highest occupied level. `ThreadSelect` is the
+// paper's thread_select(): pick the best runnable thread, or the processor's
+// idle thread when nothing is runnable.
+#ifndef MACHCONT_SRC_KERN_SCHED_H_
+#define MACHCONT_SRC_KERN_SCHED_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/base/queue.h"
+#include "src/base/spinlock.h"
+#include "src/kern/thread.h"
+
+namespace mkc {
+
+inline constexpr int kNumPriorities = 32;
+
+class RunQueue {
+ public:
+  // Makes `thread` runnable (the paper's thread_setrun).
+  void Enqueue(Thread* thread);
+
+  // Removes and returns the highest-priority runnable thread, or nullptr.
+  Thread* DequeueBest();
+
+  // Removes a specific thread (e.g. directed handoff to a runnable thread).
+  void Remove(Thread* thread);
+
+  bool Empty() const { return count_ == 0; }
+  std::uint64_t count() const { return count_; }
+
+ private:
+  std::array<IntrusiveQueue<Thread, &Thread::run_link>, kNumPriorities> queues_;
+  std::uint32_t occupied_bitmap_ = 0;
+  std::uint64_t count_ = 0;
+  SpinLock lock_;
+};
+
+}  // namespace mkc
+
+#endif  // MACHCONT_SRC_KERN_SCHED_H_

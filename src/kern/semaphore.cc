@@ -1,0 +1,57 @@
+#include "src/kern/semaphore.h"
+
+#include "src/base/panic.h"
+#include "src/core/control.h"
+#include "src/kern/kernel.h"
+
+namespace mkc {
+
+SemId SemaphoreTable::Create(std::int64_t initial_count) {
+  auto sem = std::make_unique<Semaphore>();
+  sem->id = static_cast<SemId>(sems_.size() + 1);
+  sem->count = initial_count;
+  sems_.push_back(std::move(sem));
+  return sems_.back()->id;
+}
+
+KernReturn SemaphoreTable::Wait(Thread* thread, SemId id) {
+  if (id == kInvalidSem || id > sems_.size()) {
+    return KernReturn::kInvalidName;
+  }
+  Semaphore* sem = sems_[id - 1].get();
+  ++stats_.waits;
+  while (sem->count == 0) {
+    ++stats_.blocking_waits;
+    sem->waiters.EnqueueTail(thread);
+    thread->state = ThreadState::kWaiting;
+    // Always the process model: the waiter may be arbitrarily deep in a
+    // call chain, the very case §1.4 says continuations cannot serve.
+    ThreadBlock(nullptr, BlockReason::kLockWait);
+  }
+  --sem->count;
+  return KernReturn::kSuccess;
+}
+
+KernReturn SemaphoreTable::Signal(SemId id) {
+  if (id == kInvalidSem || id > sems_.size()) {
+    return KernReturn::kInvalidName;
+  }
+  Semaphore* sem = sems_[id - 1].get();
+  ++stats_.signals;
+  ++sem->count;
+  if (Thread* waiter = sem->waiters.DequeueHead()) {
+    kernel_.ThreadSetrun(waiter);
+  }
+  return KernReturn::kSuccess;
+}
+
+bool SemaphoreTable::AbortWaiter(Thread* thread) {
+  for (auto& sem : sems_) {
+    if (sem->waiters.RemoveFirstIf([thread](Thread* t) { return t == thread; }) != nullptr) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace mkc

@@ -1,0 +1,69 @@
+// Counting semaphores.
+//
+// The paper's motivating example for keeping the process model available
+// (§1.4): a thread "deeply nested in a function call chain when it blocks on
+// a semaphore" cannot reasonably summarize its state into a continuation, so
+// semaphore waits always block under the process model — stack preserved —
+// in every kernel configuration. They are also how Topaz lost many of its
+// stacks (§5: 106 threads waiting for a timer, all holding stacks).
+#ifndef MACHCONT_SRC_KERN_SEMAPHORE_H_
+#define MACHCONT_SRC_KERN_SEMAPHORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/base/kern_return.h"
+#include "src/base/queue.h"
+#include "src/kern/thread.h"
+
+namespace mkc {
+
+class Kernel;
+
+using SemId = std::uint32_t;
+inline constexpr SemId kInvalidSem = 0;
+
+struct Semaphore {
+  SemId id = kInvalidSem;
+  std::int64_t count = 0;
+  IntrusiveQueue<Thread, &Thread::ipc_link> waiters;
+
+  ~Semaphore() {
+    while (waiters.DequeueHead() != nullptr) {
+    }
+  }
+};
+
+struct SemStats {
+  std::uint64_t waits = 0;
+  std::uint64_t blocking_waits = 0;  // Waits that actually slept.
+  std::uint64_t signals = 0;
+};
+
+class SemaphoreTable {
+ public:
+  explicit SemaphoreTable(Kernel& kernel) : kernel_(kernel) {}
+
+  SemId Create(std::int64_t initial_count);
+
+  // Decrements; blocks (process model) while the count is zero.
+  KernReturn Wait(Thread* thread, SemId id);
+
+  // Increments and wakes one waiter, if any.
+  KernReturn Signal(SemId id);
+
+  // Removes `thread` from any semaphore's waiter queue (task termination).
+  bool AbortWaiter(Thread* thread);
+
+  const SemStats& stats() const { return stats_; }
+
+ private:
+  Kernel& kernel_;
+  std::vector<std::unique_ptr<Semaphore>> sems_;
+  SemStats stats_;
+};
+
+}  // namespace mkc
+
+#endif  // MACHCONT_SRC_KERN_SEMAPHORE_H_

@@ -1,0 +1,62 @@
+#include "src/kern/stack_pool.h"
+
+#include <algorithm>
+
+#include "src/base/panic.h"
+
+namespace mkc {
+
+StackPool::~StackPool() {
+  MKC_ASSERT_MSG(stats_.in_use == 0, "stack pool destroyed with %llu stacks still in use",
+                 static_cast<unsigned long long>(stats_.in_use));
+  while (KernelStack* stack = cache_.DequeueHead()) {
+    delete stack;
+  }
+}
+
+KernelStack* StackPool::Allocate() {
+  SpinLockGuard guard(lock_);
+  ++stats_.allocs;
+  KernelStack* stack = cache_.DequeueHead();
+  if (stack != nullptr) {
+    ++stats_.cache_hits;
+  } else {
+    stack = new KernelStack(stack_bytes_);
+    ++stats_.created;
+  }
+  ++stats_.in_use;
+  stats_.max_in_use = std::max(stats_.max_in_use, stats_.in_use);
+  return stack;
+}
+
+void StackPool::Free(KernelStack* stack) {
+  MKC_ASSERT(stack != nullptr);
+  stack->CheckCanary();
+  stack->owner = nullptr;
+  SpinLockGuard guard(lock_);
+  ++stats_.frees;
+  MKC_ASSERT(stats_.in_use > 0);
+  --stats_.in_use;
+  if (cache_.Size() < cache_limit_) {
+    cache_.EnqueueTail(stack);
+  } else {
+    delete stack;
+    ++stats_.destroyed;
+  }
+}
+
+void StackPool::SampleInUse() {
+  SpinLockGuard guard(lock_);
+  ++stats_.samples;
+  stats_.sample_sum += stats_.in_use;
+}
+
+void StackPool::ResetStats() {
+  SpinLockGuard guard(lock_);
+  std::uint64_t in_use = stats_.in_use;
+  stats_ = StackPoolStats{};
+  stats_.in_use = in_use;
+  stats_.max_in_use = in_use;
+}
+
+}  // namespace mkc

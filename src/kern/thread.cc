@@ -1,0 +1,37 @@
+#include "src/kern/thread.h"
+
+namespace mkc {
+
+const char* BlockReasonName(BlockReason reason) {
+  switch (reason) {
+    case BlockReason::kMessageReceive:
+      return "message receive";
+    case BlockReason::kException:
+      return "exception";
+    case BlockReason::kPageFault:
+      return "page fault";
+    case BlockReason::kThreadSwitch:
+      return "thread switch";
+    case BlockReason::kPreempt:
+      return "preempt";
+    case BlockReason::kInternal:
+      return "internal threads";
+    case BlockReason::kMsgSend:
+      return "message send";
+    case BlockReason::kKernelFault:
+      return "kernel page fault";
+    case BlockReason::kMemoryAlloc:
+      return "memory allocation";
+    case BlockReason::kLockWait:
+      return "lock acquisition";
+    case BlockReason::kThreadExit:
+      return "thread exit";
+    case BlockReason::kIdle:
+      return "idle";
+    case BlockReason::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+}  // namespace mkc

@@ -1,0 +1,58 @@
+// Control-transfer statistics — the raw data behind Tables 1 and 2.
+#ifndef MACHCONT_SRC_KERN_TRANSFER_STATS_H_
+#define MACHCONT_SRC_KERN_TRANSFER_STATS_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/kern/thread.h"
+
+namespace mkc {
+
+struct TransferStats {
+  // Per-reason blocking operations (Table 1 rows). A "discard" is a block
+  // that supplied a continuation, allowing the kernel stack to be given up.
+  struct PerReason {
+    std::uint64_t blocks = 0;
+    std::uint64_t discards = 0;
+  };
+  std::array<PerReason, static_cast<int>(BlockReason::kCount)> by_reason{};
+
+  // Table 2 rows.
+  std::uint64_t total_blocks = 0;     // All blocking operations (idle excluded).
+  std::uint64_t stack_handoffs = 0;   // Transfers that reused the running stack.
+  std::uint64_t recognitions = 0;     // Fast paths taken after examining a continuation.
+
+  // Idle-thread blocks, tracked separately (scheduling artifacts, not
+  // counted in the paper's tables).
+  std::uint64_t idle_blocks = 0;
+
+  void RecordBlock(BlockReason reason, bool with_continuation) {
+    if (reason == BlockReason::kIdle) {
+      ++idle_blocks;
+      return;
+    }
+    ++total_blocks;
+    auto& row = by_reason[static_cast<int>(reason)];
+    ++row.blocks;
+    if (with_continuation) {
+      ++row.discards;
+    }
+  }
+
+  std::uint64_t TotalDiscards() const {
+    std::uint64_t sum = 0;
+    for (const auto& row : by_reason) {
+      sum += row.discards;
+    }
+    return sum;
+  }
+
+  std::uint64_t TotalNoDiscards() const { return total_blocks - TotalDiscards(); }
+
+  void Reset() { *this = TransferStats{}; }
+};
+
+}  // namespace mkc
+
+#endif  // MACHCONT_SRC_KERN_TRANSFER_STATS_H_

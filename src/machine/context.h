@@ -1,0 +1,69 @@
+// Raw execution contexts — the machine-dependent bedrock of the kernel.
+//
+// A Context designates a suspended flow of control on some stack. Three
+// primitives manipulate contexts, mirroring what a real kernel's low-level
+// switch code does:
+//
+//   MakeContext     prepare a fresh context that will run entry(pass, arg)
+//                   on a caller-provided stack.
+//   ContextSwitch   save the current flow into *save, resume another context
+//                   (the process-model path: full callee-saved register
+//                   save/restore).
+//   ContextJump     resume another context WITHOUT saving the current one
+//                   (the continuation path: the current stack contents are
+//                   abandoned, which is exactly what lets the kernel discard
+//                   or reuse a blocked thread's stack).
+//
+// The asymmetry between ContextSwitch and ContextJump is the machine-level
+// fact the whole paper builds on.
+//
+// Two implementations are provided: hand-written x86-64 assembly (default on
+// x86-64) and a portable ucontext(3) version (-DMACHCONT_USE_UCONTEXT=ON).
+#ifndef MACHCONT_SRC_MACHINE_CONTEXT_H_
+#define MACHCONT_SRC_MACHINE_CONTEXT_H_
+
+#include <cstddef>
+
+namespace mkc {
+
+// Opaque handle to a suspended context. Trivially copyable; the underlying
+// frame lives on the context's stack.
+struct Context {
+  void* sp = nullptr;
+
+  bool valid() const { return sp != nullptr; }
+  void reset() { sp = nullptr; }
+};
+
+// Entry function for a fresh context. `pass` is the value handed over by the
+// ContextSwitch/ContextJump that first resumes this context; `arg` is the
+// value captured at MakeContext time. Entries never return: kernel control
+// paths always end in another switch or jump.
+using ContextEntry = void (*)(void* pass, void* arg);
+
+// Builds a context that will execute entry(pass, arg) on [stack_base,
+// stack_base + stack_size). The stack region must stay alive until the
+// context has been abandoned or has jumped elsewhere.
+Context MakeContext(void* stack_base, std::size_t stack_size, ContextEntry entry, void* arg);
+
+// Suspends the current flow into *save and resumes `to`, handing it `pass`.
+// Returns — once something later resumes *save — the value that resumer
+// passed. Number of callee-saved registers moved by one switch is
+// kContextSwitchSavedWords each way (used by the Table 4 cost accounting).
+void* ContextSwitch(Context* save, Context to, void* pass);
+
+// Resumes `to`, handing it `pass`, without saving the current flow. The
+// current stack's contents above the target frame become dead. Never returns.
+[[noreturn]] void ContextJump(Context to, void* pass);
+
+// Callee-saved register slots moved per switch direction by this machine
+// layer (6 on x86-64: rbx, rbp, r12-r15; ucontext saves a full mcontext and
+// reports its word count).
+extern const int kContextSwitchSavedWords;
+
+// Name of the active implementation ("x86_64-asm" or "ucontext").
+extern const char* const kContextBackendName;
+
+}  // namespace mkc
+
+#endif  // MACHCONT_SRC_MACHINE_CONTEXT_H_

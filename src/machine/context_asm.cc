@@ -1,0 +1,57 @@
+// MakeContext frame construction for the x86-64 assembly backend.
+#include "src/machine/context.h"
+
+#include <cstdint>
+
+#include "src/base/panic.h"
+
+extern "C" {
+void* mkc_context_switch_asm(void** save_sp, void* to_sp, void* pass);
+[[noreturn]] void mkc_context_jump_asm(void* to_sp, void* pass);
+void mkc_context_trampoline_asm();
+}
+
+namespace mkc {
+
+const int kContextSwitchSavedWords = 6;  // rbx, rbp, r12-r15.
+const char* const kContextBackendName = "x86_64-asm";
+
+Context MakeContext(void* stack_base, std::size_t stack_size, ContextEntry entry, void* arg) {
+  MKC_ASSERT(stack_base != nullptr);
+  MKC_ASSERT(stack_size >= 512);
+
+  // Highest 16-byte aligned address within the stack.
+  auto top = reinterpret_cast<std::uintptr_t>(stack_base) + stack_size;
+  top &= ~std::uintptr_t{15};
+
+  // Frame, from high to low: two scratch slots, the trampoline as return
+  // address, then six callee-saved slots. After the resuming switch pops the
+  // registers and returns into the trampoline, rsp % 16 == 0 — so the
+  // trampoline's `call entry` leaves rsp % 16 == 8 at entry, the System V
+  // alignment every function (including SSE-using library calls) expects.
+  auto* frame = reinterpret_cast<std::uint64_t*>(top) - 9;
+  frame[8] = 0;  // Scratch.
+  frame[7] = 0;  // Scratch.
+  frame[6] = reinterpret_cast<std::uint64_t>(&mkc_context_trampoline_asm);
+  frame[5] = 0;                                        // rbp
+  frame[4] = reinterpret_cast<std::uint64_t>(entry);   // rbx
+  frame[3] = reinterpret_cast<std::uint64_t>(arg);     // r12
+  frame[2] = 0;                                        // r13
+  frame[1] = 0;                                        // r14
+  frame[0] = 0;                                        // r15
+
+  return Context{frame};
+}
+
+void* ContextSwitch(Context* save, Context to, void* pass) {
+  MKC_ASSERT(save != nullptr);
+  MKC_ASSERT(to.valid());
+  return mkc_context_switch_asm(&save->sp, to.sp, pass);
+}
+
+[[noreturn]] void ContextJump(Context to, void* pass) {
+  MKC_ASSERT(to.valid());
+  mkc_context_jump_asm(to.sp, pass);
+}
+
+}  // namespace mkc

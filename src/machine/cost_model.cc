@@ -1,0 +1,35 @@
+#include "src/machine/cost_model.h"
+
+namespace mkc {
+
+const char* CostOpName(CostOp op) {
+  switch (op) {
+    case CostOp::kSyscallEntry:
+      return "system call entry";
+    case CostOp::kSyscallExit:
+      return "system call exit";
+    case CostOp::kExceptionEntry:
+      return "exception entry";
+    case CostOp::kExceptionExit:
+      return "exception exit";
+    case CostOp::kStackHandoff:
+      return "stack handoff";
+    case CostOp::kContextSwitch:
+      return "context switch";
+    case CostOp::kCallContinuation:
+      return "call continuation";
+    case CostOp::kStackAttach:
+      return "stack attach";
+    case CostOp::kStackDetach:
+      return "stack detach";
+    case CostOp::kPmapActivate:
+      return "pmap activate";
+    case CostOp::kMsgCopy:
+      return "message copy";
+    case CostOp::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+}  // namespace mkc

@@ -1,0 +1,81 @@
+// Cost accounting for control-transfer primitives (Table 4 reproduction).
+//
+// The paper reports instruction/load/store counts on the DS3100 for kernel
+// entry/exit, stack handoff and context switch. We cannot count MIPS
+// instructions, so the reproduction accounts two honest signals instead
+// (DESIGN.md §2):
+//
+//   * word_loads / word_stores — 8-byte words this machine layer actually
+//     moves for the primitive (register-file copies, context frames). These
+//     are real memcpy traffic, not estimates.
+//   * calls — how many times each primitive ran.
+//
+// Wall-clock nanoseconds per primitive are measured separately by
+// bench/bench_table4_components.
+#ifndef MACHCONT_SRC_MACHINE_COST_MODEL_H_
+#define MACHCONT_SRC_MACHINE_COST_MODEL_H_
+
+#include <array>
+#include <cstdint>
+
+namespace mkc {
+
+enum class CostOp : int {
+  kSyscallEntry = 0,
+  kSyscallExit,
+  kExceptionEntry,
+  kExceptionExit,
+  kStackHandoff,
+  kContextSwitch,
+  kCallContinuation,
+  kStackAttach,
+  kStackDetach,
+  kPmapActivate,
+  kMsgCopy,
+  kCount,
+};
+
+const char* CostOpName(CostOp op);
+
+struct CostCounters {
+  std::uint64_t calls = 0;
+  std::uint64_t word_loads = 0;
+  std::uint64_t word_stores = 0;
+};
+
+class CostModel {
+ public:
+  void Account(CostOp op, std::uint64_t loads, std::uint64_t stores) {
+    auto& c = counters_[static_cast<int>(op)];
+    ++c.calls;
+    c.word_loads += loads;
+    c.word_stores += stores;
+  }
+
+  const CostCounters& Get(CostOp op) const { return counters_[static_cast<int>(op)]; }
+
+  void Reset() { counters_.fill(CostCounters{}); }
+
+ private:
+  std::array<CostCounters, static_cast<int>(CostOp::kCount)> counters_{};
+};
+
+// Register-save policy constants for the simulated machine, mirroring the
+// DS3100 calling convention the paper analyzes in §3.3:
+//   * 9 callee-saved registers, which MK40's trap entry must aggressively
+//     save (and exit restore) because a continuation-discarded stack never
+//     executes the compiler-generated epilogue;
+//   * a basic trap frame both kernels save either way;
+//   * a full user register file that exceptions must preserve in any model.
+inline constexpr int kCalleeSavedRegs = 9;
+inline constexpr int kBasicTrapFrameWords = 16;
+inline constexpr int kFullRegisterFileWords = 31;
+
+// Words of additional machine state a full context switch moves per
+// direction beyond the raw frame switch (modeled DS3100 kernel-register
+// save area; see MdThreadState::kernel_save_area).
+inline constexpr int kKernelSaveAreaWords = 24;
+
+}  // namespace mkc
+
+#endif  // MACHCONT_SRC_MACHINE_COST_MODEL_H_

@@ -1,0 +1,76 @@
+// Machine-dependent per-thread state.
+//
+// Table 5 of the paper distinguishes machine-independent (MI) thread state
+// from machine-dependent (MD) state. In MK32 the MD state lived on the
+// thread's dedicated kernel stack; in MK40 threads have no dedicated stack,
+// so the MD state — saved user registers, the saved user-level context that
+// acts as the thread's "return to user" continuation — moves into this
+// separate structure. We reproduce that split literally.
+#ifndef MACHCONT_SRC_MACHINE_MD_STATE_H_
+#define MACHCONT_SRC_MACHINE_MD_STATE_H_
+
+#include <cstdint>
+
+#include "src/machine/context.h"
+#include "src/machine/cost_model.h"
+
+namespace mkc {
+
+struct MdThreadState {
+  // Saved user-level context. Captured at every trap into the kernel; this
+  // IS the user-level continuation the kernel entry path creates
+  // ("kernel entry routines create a continuation which, when called from
+  // the kernel, returns control to the user level", §2.1).
+  // ThreadSyscallReturn / ThreadExceptionReturn jump here without saving any
+  // kernel state.
+  Context user_ctx;
+
+  // Saved kernel context for process-model blocks (SwitchContext with a null
+  // continuation). Invalid while the thread runs or is blocked with a
+  // continuation (its stack was discarded: there is nothing to save).
+  Context kernel_ctx;
+
+  // Simulated user register file. Trap entry/exit copies slices of this in
+  // and out according to the model's register-save policy, making the
+  // MK32-vs-MK40 entry/exit cost differential (Table 4) physically real.
+  std::uint64_t user_regs[kFullRegisterFileWords] = {};
+
+  // Where MK40's aggressive callee-saved-register save lands (§3.3: "the
+  // kernel entry routine must save all callee-saved registers in an
+  // auxiliary machine-dependent data structure").
+  std::uint64_t callee_saved_area[kCalleeSavedRegs] = {};
+
+  // Basic trap frame both kernels save on every kernel entry.
+  std::uint64_t trap_save_area[kBasicTrapFrameWords] = {};
+
+  // Modeled kernel-register save area moved by a full context switch (and
+  // NOT by a stack handoff — the asymmetry behind Table 4's 83-vs-250
+  // instruction gap).
+  std::uint64_t kernel_save_area[kKernelSaveAreaWords] = {};
+
+  // User-mode stack backing user_ctx. Kernel-internal threads have none.
+  void* user_stack = nullptr;
+  std::uint64_t user_stack_size = 0;
+
+  // LRPC-style extension (§4): when set, the next return to user level jumps
+  // to this registered user entry point instead of resuming user_ctx,
+  // letting a server discard its user-level stack while blocked.
+  void (*user_continuation_override)(std::uint64_t payload) = nullptr;
+
+  // --- Trap / context plumbing (set and consumed by the machine layer) ---
+
+  // Arguments of the in-progress trap; points into the trapping user frame,
+  // which stays alive for the duration of the kernel operation.
+  struct TrapFrame* trap_frame = nullptr;
+
+  // Start routine installed by StackAttach (invoked with the previously
+  // running thread when SwitchContext first resumes this thread).
+  void (*attach_start)(struct Thread* old_thread, struct Thread* self) = nullptr;
+
+  // Continuation in flight across a CallContinuation stack reset.
+  void (*pending_continuation)() = nullptr;
+};
+
+}  // namespace mkc
+
+#endif  // MACHCONT_SRC_MACHINE_MD_STATE_H_

@@ -1,0 +1,37 @@
+#include "src/machine/stack.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "src/base/panic.h"
+
+namespace mkc {
+
+KernelStack::KernelStack(std::size_t size) : size_(size) {
+  MKC_ASSERT(size >= 4096);
+  void* mem = nullptr;
+  // 16-byte alignment satisfies the context layer's frame alignment needs.
+  int rc = posix_memalign(&mem, 64, size);
+  MKC_ASSERT_MSG(rc == 0, "kernel stack allocation of %zu bytes failed", size);
+  memory_ = static_cast<std::byte*>(mem);
+
+  auto* canary = reinterpret_cast<std::uint64_t*>(memory_);
+  for (std::size_t i = 0; i < kCanaryWords; ++i) {
+    canary[i] = kCanaryWord;
+  }
+}
+
+KernelStack::~KernelStack() {
+  CheckCanary();
+  std::free(memory_);
+}
+
+void KernelStack::CheckCanary() const {
+  const auto* canary = reinterpret_cast<const std::uint64_t*>(memory_);
+  for (std::size_t i = 0; i < kCanaryWords; ++i) {
+    MKC_ASSERT_MSG(canary[i] == kCanaryWord,
+                   "kernel stack overflow detected (canary word %zu clobbered)", i);
+  }
+}
+
+}  // namespace mkc

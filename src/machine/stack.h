@@ -1,0 +1,50 @@
+// Kernel stacks.
+//
+// In the paper, a kernel stack is the 4 KB resource whose per-thread cost the
+// continuation work eliminates (Table 5) — after the restructuring, stacks
+// become (nearly) per-processor. A KernelStack here is a host allocation with
+// canary words at its low end so guest overflows are caught when the stack is
+// recycled through the pool.
+#ifndef MACHCONT_SRC_MACHINE_STACK_H_
+#define MACHCONT_SRC_MACHINE_STACK_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/base/queue.h"
+
+namespace mkc {
+
+struct Thread;
+
+class KernelStack {
+ public:
+  explicit KernelStack(std::size_t size);
+  ~KernelStack();
+
+  KernelStack(const KernelStack&) = delete;
+  KernelStack& operator=(const KernelStack&) = delete;
+
+  void* base() const { return memory_; }
+  std::size_t size() const { return size_; }
+
+  // Thread currently owning this stack, if any (diagnostics / invariants).
+  Thread* owner = nullptr;
+
+  // Linkage on the stack pool's free list.
+  QueueEntry pool_link;
+
+  // Panics if the canary region at the low end has been overwritten.
+  void CheckCanary() const;
+
+ private:
+  static constexpr std::uint64_t kCanaryWord = 0xdeadc0dedeadc0deULL;
+  static constexpr std::size_t kCanaryWords = 8;
+
+  std::byte* memory_;
+  std::size_t size_;
+};
+
+}  // namespace mkc
+
+#endif  // MACHCONT_SRC_MACHINE_STACK_H_

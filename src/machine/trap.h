@@ -1,0 +1,74 @@
+// The user/kernel boundary.
+//
+// "There are two kinds of control transfers that involve continuations:
+// transfers that occur at the user/kernel boundary when a thread traps or
+// faults out of user space and into the kernel, and those that occur within
+// the kernel" (§2.1). This file is the first kind.
+//
+// TrapEnter simulates the hardware trap: it applies the model's
+// register-save policy (the source of Table 4's MK32-vs-MK40 entry/exit
+// differential), captures the user context — which becomes the thread's
+// return-to-user continuation — and starts a fresh kernel execution at the
+// base of the thread's kernel stack. ThreadSyscallReturn /
+// ThreadExceptionReturn (machine/machdep.h) are the matching exits.
+#ifndef MACHCONT_SRC_MACHINE_TRAP_H_
+#define MACHCONT_SRC_MACHINE_TRAP_H_
+
+#include <cstdint>
+
+#include "src/base/types.h"
+
+namespace mkc {
+
+struct Thread;
+
+enum class TrapKind : std::uint8_t {
+  kSyscall,    // Explicit system call.
+  kException,  // Program exception (privileged instruction, bad access...).
+  kPageFault,  // User-level page fault.
+  kPreempt,    // Quantum expiry detected at a safe point ("clock interrupt").
+};
+
+enum class Syscall : std::uint8_t {
+  kNull = 0,        // Trap in, trap out; the Table 4 entry/exit probe.
+  kMachMsg,         // Combined send/receive (the paper's mach_msg).
+  kThreadExit,
+  kThreadSwitch,    // Voluntary yield.
+  kThreadSwitchTo,  // Handoff scheduling: yield to a specific thread (§1.4).
+  kThreadSetPriority,
+  kPortAllocate,
+  kPortDestroy,
+  kPortSetAllocate,
+  kPortSetAdd,
+  kPortSetRemove,
+  kVmAllocate,
+  kVmProtect,
+  kVmDeallocate,
+  kSetExceptionPort,
+  kThreadCreate,
+  kTaskCreate,
+  kTaskTerminate,
+  kSetUserContinuation,  // LRPC-style extension (§4).
+  kAsyncIoStart,         // Asynchronous I/O extension (§4).
+  kUpcallPoolAdd,        // Upcall extension (§4): donate this thread to the pool.
+  kUpcallTrigger,        // Upcall extension (§4): dispatch a parked thread.
+  kSemCreate,            // Counting semaphores (process-model waits, §1.4).
+  kSemWait,
+  kSemSignal,
+};
+
+struct TrapFrame {
+  TrapKind kind = TrapKind::kSyscall;
+  Syscall number = Syscall::kNull;
+  void* args = nullptr;       // Syscall-specific argument block (user memory).
+  std::uint64_t code = 0;     // Exception code / fault address.
+  bool write_access = false;  // Fault access type.
+};
+
+// Traps from user mode into the kernel; returns the value the kernel passes
+// back through the thread's user continuation (ThreadSyscallReturn).
+std::uint64_t TrapEnter(TrapFrame* frame);
+
+}  // namespace mkc
+
+#endif  // MACHCONT_SRC_MACHINE_TRAP_H_

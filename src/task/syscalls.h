@@ -1,0 +1,107 @@
+// System call dispatch and argument blocks.
+#ifndef MACHCONT_SRC_TASK_SYSCALLS_H_
+#define MACHCONT_SRC_TASK_SYSCALLS_H_
+
+#include <cstdint>
+
+#include "src/base/kern_return.h"
+#include "src/base/types.h"
+#include "src/kern/kernel.h"
+#include "src/machine/trap.h"
+
+namespace mkc {
+
+struct PortAllocateArgs {
+  PortId out_port = kInvalidPort;
+};
+
+struct PortDestroyArgs {
+  PortId port = kInvalidPort;
+};
+
+struct PortSetAllocateArgs {
+  PortId out_set = kInvalidPort;
+};
+
+struct PortSetModifyArgs {
+  PortId port = kInvalidPort;
+  PortId set = kInvalidPort;  // Ignored for removal.
+};
+
+struct ThreadSwitchToArgs {
+  ThreadId target = 0;
+};
+
+struct ThreadSetPriorityArgs {
+  int priority = 16;  // 0..kNumPriorities-1; applies to the calling thread.
+};
+
+struct VmAllocateArgs {
+  VmSize size = 0;
+  bool paged = false;  // Paged backing (faults hit the simulated disk).
+  VmAddress out_addr = 0;
+};
+
+struct VmDeallocateArgs {
+  VmAddress addr = 0;  // Must be the region's base address.
+};
+
+struct VmProtectArgs {
+  VmAddress addr = 0;
+  bool writable = true;
+};
+
+struct SetExceptionPortArgs {
+  PortId port = kInvalidPort;
+};
+
+struct ThreadCreateArgs {
+  UserEntry entry = nullptr;
+  void* arg = nullptr;
+  ThreadOptions options;
+  ThreadId out_id = 0;
+};
+
+struct TaskCreateArgs {
+  const char* name = "";
+  Task* out_task = nullptr;  // Simulation-level handle (user code is trusted).
+};
+
+struct TaskTerminateArgs {
+  Task* task = nullptr;  // Null = the calling task.
+};
+
+struct SetUserContinuationArgs {
+  void (*fn)(std::uint64_t payload) = nullptr;  // Null clears the override.
+};
+
+struct AsyncIoArgs {
+  PortId notify_port = kInvalidPort;  // Completion message destination.
+  std::uint32_t request_id = 0;       // Echoed in the completion message.
+  Ticks latency = 0;                  // Simulated device time.
+};
+
+struct SemCreateArgs {
+  std::int64_t initial_count = 0;
+  std::uint32_t out_sem = 0;
+};
+
+struct SemOpArgs {
+  std::uint32_t sem = 0;
+};
+
+struct UpcallParkArgs {
+  void (*handler)(std::uint64_t payload) = nullptr;
+};
+
+struct UpcallTriggerArgs {
+  std::uint64_t payload = 0;
+  bool delivered = false;  // Out: a parked thread was dispatched.
+};
+
+// Kernel-side syscall dispatch; never returns.
+[[noreturn]] void SyscallDispatch(Thread* thread, TrapFrame* frame);
+
+}  // namespace mkc
+
+#endif  // MACHCONT_SRC_TASK_SYSCALLS_H_

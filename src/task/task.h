@@ -1,0 +1,44 @@
+// Tasks: the unit of protection — an address space plus a set of threads.
+#ifndef MACHCONT_SRC_TASK_TASK_H_
+#define MACHCONT_SRC_TASK_TASK_H_
+
+#include <string>
+
+#include "src/base/queue.h"
+#include "src/base/types.h"
+#include "src/kern/thread.h"
+#include "src/vm/pmap.h"
+#include "src/vm/vm_map.h"
+
+namespace mkc {
+
+class Kernel;
+
+struct Task {
+  TaskId id = 0;
+  std::string name;
+  Kernel* kernel = nullptr;
+
+  // Address space: the machine-independent map and its machine-dependent
+  // translation state.
+  VmMap map;
+  Pmap pmap;
+
+  bool dead = false;  // Set by TerminateTask.
+
+  // Exception port for threads of this task (§2.5); 0 = none registered.
+  PortId exception_port = kInvalidPort;
+
+  IntrusiveQueue<Thread, &Thread::task_link> threads;
+
+  ~Task() {
+    // Threads outlive tasks administratively (the Kernel owns both); just
+    // unthread them so the queue destructor sees an empty queue.
+    while (threads.DequeueHead() != nullptr) {
+    }
+  }
+};
+
+}  // namespace mkc
+
+#endif  // MACHCONT_SRC_TASK_TASK_H_

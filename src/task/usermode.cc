@@ -1,0 +1,238 @@
+#include "src/task/usermode.h"
+
+#include "src/base/panic.h"
+#include "src/ipc/mach_msg.h"
+#include "src/machine/trap.h"
+#include "src/task/syscalls.h"
+#include "src/vm/vm_system.h"
+
+namespace mkc {
+namespace {
+
+std::uint64_t Trap(Syscall number, void* args) {
+  TrapFrame frame;
+  frame.kind = TrapKind::kSyscall;
+  frame.number = number;
+  frame.args = args;
+  return TrapEnter(&frame);
+}
+
+KernReturn TrapKr(Syscall number, void* args) {
+  return static_cast<KernReturn>(Trap(number, args));
+}
+
+}  // namespace
+
+KernReturn UserMachMsg(UserMessage* msg, std::uint32_t options, std::uint32_t send_size,
+                       std::uint32_t rcv_limit, PortId rcv_port, Ticks timeout) {
+  MachMsgArgs args;
+  args.msg = msg;
+  args.options = options;
+  args.send_size = send_size;
+  args.rcv_limit = rcv_limit;
+  args.rcv_port = rcv_port;
+  args.timeout = timeout;
+  return TrapKr(Syscall::kMachMsg, &args);
+}
+
+KernReturn UserNullSyscall() { return TrapKr(Syscall::kNull, nullptr); }
+
+KernReturn UserYield() { return TrapKr(Syscall::kThreadSwitch, nullptr); }
+
+KernReturn UserYieldTo(ThreadId target) {
+  ThreadSwitchToArgs args;
+  args.target = target;
+  return TrapKr(Syscall::kThreadSwitchTo, &args);
+}
+
+KernReturn UserSetPriority(int priority) {
+  ThreadSetPriorityArgs args;
+  args.priority = priority;
+  return TrapKr(Syscall::kThreadSetPriority, &args);
+}
+
+[[noreturn]] void UserThreadExit() {
+  Trap(Syscall::kThreadExit, nullptr);
+  Panic("thread-exit trap returned");
+}
+
+void UserRaiseException(std::uint64_t code) {
+  TrapFrame frame;
+  frame.kind = TrapKind::kException;
+  frame.code = code;
+  TrapEnter(&frame);
+}
+
+void UserWork(Ticks ticks) {
+  Kernel& k = ActiveKernel();
+  Thread* thread = CurrentThread();
+  k.clock().Advance(ticks);
+  // Deliver any "device interrupts" whose virtual time has come — disk and
+  // network completions must not wait for an idle processor.
+  k.RunDueEvents();
+  // The simulation's clock interrupt: quantum expiry is noticed at this safe
+  // point and enters the kernel like any other interrupt.
+  if (k.clock().Now() - thread->quantum_start >= k.config().quantum &&
+      !k.run_queue().Empty()) {
+    TrapFrame frame;
+    frame.kind = TrapKind::kPreempt;
+    TrapEnter(&frame);
+  }
+}
+
+void UserTouch(VmAddress addr, bool write) {
+  Kernel& k = ActiveKernel();
+  Thread* thread = CurrentThread();
+  // The hardware retries the faulting instruction after the kernel (or an
+  // exception server acting through it) resolves the fault.
+  while (!k.vm().TranslateForAccess(thread->task, addr, write)) {
+    TrapFrame frame;
+    frame.kind = TrapKind::kPageFault;
+    frame.code = addr;
+    frame.write_access = write;
+    TrapEnter(&frame);
+  }
+}
+
+PortId UserPortAllocate() {
+  PortAllocateArgs args;
+  MKC_ASSERT(TrapKr(Syscall::kPortAllocate, &args) == KernReturn::kSuccess);
+  return args.out_port;
+}
+
+KernReturn UserPortDestroy(PortId port) {
+  PortDestroyArgs args;
+  args.port = port;
+  return TrapKr(Syscall::kPortDestroy, &args);
+}
+
+PortId UserPortSetAllocate() {
+  PortSetAllocateArgs args;
+  MKC_ASSERT(TrapKr(Syscall::kPortSetAllocate, &args) == KernReturn::kSuccess);
+  return args.out_set;
+}
+
+KernReturn UserPortSetAdd(PortId port, PortId set) {
+  PortSetModifyArgs args;
+  args.port = port;
+  args.set = set;
+  return TrapKr(Syscall::kPortSetAdd, &args);
+}
+
+KernReturn UserPortSetRemove(PortId port) {
+  PortSetModifyArgs args;
+  args.port = port;
+  return TrapKr(Syscall::kPortSetRemove, &args);
+}
+
+VmAddress UserVmAllocate(VmSize size, bool paged) {
+  VmAllocateArgs args;
+  args.size = size;
+  args.paged = paged;
+  MKC_ASSERT(TrapKr(Syscall::kVmAllocate, &args) == KernReturn::kSuccess);
+  return args.out_addr;
+}
+
+KernReturn UserVmDeallocate(VmAddress addr) {
+  VmDeallocateArgs args;
+  args.addr = addr;
+  return TrapKr(Syscall::kVmDeallocate, &args);
+}
+
+KernReturn UserVmProtect(VmAddress addr, bool writable) {
+  VmProtectArgs args;
+  args.addr = addr;
+  args.writable = writable;
+  return TrapKr(Syscall::kVmProtect, &args);
+}
+
+KernReturn UserSetExceptionPort(PortId port) {
+  SetExceptionPortArgs args;
+  args.port = port;
+  return TrapKr(Syscall::kSetExceptionPort, &args);
+}
+
+ThreadId UserThreadCreate(UserEntry entry, void* arg, const ThreadOptions& options) {
+  ThreadCreateArgs args;
+  args.entry = entry;
+  args.arg = arg;
+  args.options = options;
+  MKC_ASSERT(TrapKr(Syscall::kThreadCreate, &args) == KernReturn::kSuccess);
+  return args.out_id;
+}
+
+Task* UserTaskCreate(const char* name) {
+  TaskCreateArgs args;
+  args.name = name;
+  MKC_ASSERT(TrapKr(Syscall::kTaskCreate, &args) == KernReturn::kSuccess);
+  return args.out_task;
+}
+
+KernReturn UserTaskTerminate(Task* task) {
+  TaskTerminateArgs args;
+  args.task = task;
+  return TrapKr(Syscall::kTaskTerminate, &args);
+}
+
+std::uint32_t UserSemCreate(std::int64_t initial_count) {
+  SemCreateArgs args;
+  args.initial_count = initial_count;
+  MKC_ASSERT(TrapKr(Syscall::kSemCreate, &args) == KernReturn::kSuccess);
+  return args.out_sem;
+}
+
+KernReturn UserSemWait(std::uint32_t sem) {
+  SemOpArgs args;
+  args.sem = sem;
+  return TrapKr(Syscall::kSemWait, &args);
+}
+
+KernReturn UserSemSignal(std::uint32_t sem) {
+  SemOpArgs args;
+  args.sem = sem;
+  return TrapKr(Syscall::kSemSignal, &args);
+}
+
+KernReturn UserSetUserContinuation(void (*fn)(std::uint64_t)) {
+  SetUserContinuationArgs args;
+  args.fn = fn;
+  return TrapKr(Syscall::kSetUserContinuation, &args);
+}
+
+KernReturn UserAsyncIoStart(PortId notify_port, std::uint32_t request_id, Ticks latency) {
+  AsyncIoArgs args;
+  args.notify_port = notify_port;
+  args.request_id = request_id;
+  args.latency = latency;
+  return TrapKr(Syscall::kAsyncIoStart, &args);
+}
+
+KernReturn UserUpcallPark(void (*handler)(std::uint64_t)) {
+  UpcallParkArgs args;
+  args.handler = handler;
+  return TrapKr(Syscall::kUpcallPoolAdd, &args);
+}
+
+bool UserUpcallTrigger(std::uint64_t payload) {
+  UpcallTriggerArgs args;
+  args.payload = payload;
+  MKC_ASSERT(TrapKr(Syscall::kUpcallTrigger, &args) == KernReturn::kSuccess);
+  return args.delivered;
+}
+
+KernReturn UserRpc(UserMessage* msg, std::uint32_t send_size, PortId reply_port,
+                   std::uint32_t rcv_limit) {
+  msg->header.reply = reply_port;
+  return UserMachMsg(msg, kMsgSendOpt | kMsgRcvOpt, send_size, rcv_limit, reply_port);
+}
+
+KernReturn UserServeOnce(UserMessage* msg, std::uint32_t reply_size, PortId service_port,
+                         std::uint32_t rcv_limit, std::uint32_t extra_options) {
+  std::uint32_t options = kMsgRcvOpt | extra_options;
+  if (reply_size > 0) {
+    options |= kMsgSendOpt;
+  }
+  return UserMachMsg(msg, options, reply_size, rcv_limit, service_port);
+}
+
+}  // namespace mkc

@@ -1,0 +1,115 @@
+// The simulated user-mode API.
+//
+// Functions here execute on a thread's user context (its "user mode") and
+// enter the kernel through TrapEnter, exactly as a libc syscall stub enters
+// through a trap instruction. This is the public surface example programs
+// and workloads are written against.
+#ifndef MACHCONT_SRC_TASK_USERMODE_H_
+#define MACHCONT_SRC_TASK_USERMODE_H_
+
+#include <cstdint>
+
+#include "src/base/kern_return.h"
+#include "src/base/types.h"
+#include "src/ipc/message.h"
+#include "src/kern/kernel.h"
+
+namespace mkc {
+
+// --- Core traps ----------------------------------------------------------
+
+// The combined send/receive primitive (the paper's mach_msg). rcv_port may
+// name a port set; a non-zero timeout bounds the receive in virtual ticks.
+KernReturn UserMachMsg(UserMessage* msg, std::uint32_t options, std::uint32_t send_size,
+                       std::uint32_t rcv_limit, PortId rcv_port, Ticks timeout = 0);
+
+// Null system call: enter and leave the kernel (Table 4 probe).
+KernReturn UserNullSyscall();
+
+// Voluntarily relinquish the processor (thread_switch).
+KernReturn UserYield();
+
+// Handoff scheduling: donate the processor to a specific thread of the
+// calling task. Fails with kFailure if the target is not runnable.
+KernReturn UserYieldTo(ThreadId target);
+
+// Change the calling thread's scheduling priority (0..31, higher first).
+KernReturn UserSetPriority(int priority);
+
+// Exit the calling thread. Never returns.
+[[noreturn]] void UserThreadExit();
+
+// Raise a user-visible exception (privileged instruction, emulation trap...)
+// handled by the task's exception server. Returns after the server restarts
+// the thread.
+void UserRaiseException(std::uint64_t code);
+
+// --- CPU and memory ------------------------------------------------------
+
+// Burn `ticks` of virtual CPU time; preemption is checked here (the
+// simulation's clock interrupt, see DESIGN.md).
+void UserWork(Ticks ticks);
+
+// Access one simulated memory location; page faults trap into the kernel
+// and the access retries until the translation succeeds — the simulation's
+// analog of the hardware re-executing the faulting instruction.
+void UserTouch(VmAddress addr, bool write);
+
+// --- Kernel object management --------------------------------------------
+
+PortId UserPortAllocate();
+KernReturn UserPortDestroy(PortId port);
+PortId UserPortSetAllocate();
+KernReturn UserPortSetAdd(PortId port, PortId set);
+KernReturn UserPortSetRemove(PortId port);
+VmAddress UserVmAllocate(VmSize size, bool paged);
+// Change the protection of the region containing addr (whole region).
+KernReturn UserVmProtect(VmAddress addr, bool writable);
+// Destroy the region whose base address is addr, freeing its pages.
+KernReturn UserVmDeallocate(VmAddress addr);
+KernReturn UserSetExceptionPort(PortId port);
+ThreadId UserThreadCreate(UserEntry entry, void* arg, const ThreadOptions& options = {});
+Task* UserTaskCreate(const char* name);
+// Destroys `task` (null = the calling task, in which case this never
+// returns): every thread is aborted and reaped, every port dies.
+KernReturn UserTaskTerminate(Task* task);
+
+// --- Synchronization -------------------------------------------------------
+
+// Counting semaphores; waits always block under the process model (§1.4).
+std::uint32_t UserSemCreate(std::int64_t initial_count);
+KernReturn UserSemWait(std::uint32_t sem);
+KernReturn UserSemSignal(std::uint32_t sem);
+
+// --- §4 extensions ---------------------------------------------------------
+
+// LRPC-style user continuation override for syscall returns; null clears.
+KernReturn UserSetUserContinuation(void (*fn)(std::uint64_t payload));
+
+// Start an asynchronous I/O; a completion message (kAsyncIoDoneMsgId,
+// AsyncIoDoneBody) arrives on notify_port after `latency` virtual ticks.
+KernReturn UserAsyncIoStart(PortId notify_port, std::uint32_t request_id, Ticks latency);
+
+// Donate this thread to the kernel upcall pool with `handler` as its upcall
+// entry point. Returns only if the thread is resumed without an upcall.
+KernReturn UserUpcallPark(void (*handler)(std::uint64_t payload));
+
+// Dispatch one parked thread to its handler with `payload`.
+bool UserUpcallTrigger(std::uint64_t payload);
+
+// --- Convenience ----------------------------------------------------------
+
+// Synchronous RPC: send `msg` to its header.dest and await the reply on
+// `reply_port` into the same buffer.
+KernReturn UserRpc(UserMessage* msg, std::uint32_t send_size, PortId reply_port,
+                   std::uint32_t rcv_limit = kMaxInlineBytes);
+
+// Server-side: send a reply (if reply_size > 0) and receive the next request
+// on `service_port` into `msg`.
+KernReturn UserServeOnce(UserMessage* msg, std::uint32_t reply_size, PortId service_port,
+                         std::uint32_t rcv_limit = kMaxInlineBytes,
+                         std::uint32_t extra_options = 0);
+
+}  // namespace mkc
+
+#endif  // MACHCONT_SRC_TASK_USERMODE_H_

@@ -1,0 +1,71 @@
+// VM objects: the backing store behind a mapped region.
+//
+// Zero-fill objects materialize pages immediately; paged objects simulate a
+// default pager / filesystem with a virtual-time disk latency, which is what
+// makes user page faults block (with a continuation under MK40 — Table 1's
+// "page fault" row).
+#ifndef MACHCONT_SRC_VM_OBJECT_H_
+#define MACHCONT_SRC_VM_OBJECT_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/base/types.h"
+
+namespace mkc {
+
+enum class VmBacking : std::uint8_t {
+  kZeroFill,  // Anonymous memory: first touch allocates a zeroed page.
+  kPaged,     // File/pager-backed: first touch (and re-touch after eviction)
+              // requires a simulated disk read.
+};
+
+class VmObject {
+ public:
+  struct PageSlot {
+    PageFrame frame = kInvalidPageFrame;  // Resident frame, if any.
+    bool on_disk = false;   // Contents exist on backing store.
+    bool pagein_busy = false;  // A pagein for this slot is in flight.
+  };
+
+  explicit VmObject(VmBacking backing, VmSize size) : backing_(backing), size_(size) {}
+
+  VmBacking backing() const { return backing_; }
+  VmSize size() const { return size_; }
+
+  PageSlot& Slot(VmOffset offset) { return slots_[offset]; }
+
+  bool IsResident(VmOffset offset) {
+    auto it = slots_.find(offset);
+    return it != slots_.end() && it->second.frame != kInvalidPageFrame;
+  }
+
+  // Visits every resident slot (offset, frame).
+  template <typename Fn>
+  void ForEachResident(Fn&& fn) {
+    for (auto& [off, slot] : slots_) {
+      if (slot.frame != kInvalidPageFrame) {
+        fn(off, slot);
+      }
+    }
+  }
+
+  std::size_t ResidentCount() const {
+    std::size_t n = 0;
+    for (const auto& [off, slot] : slots_) {
+      if (slot.frame != kInvalidPageFrame) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+ private:
+  VmBacking backing_;
+  VmSize size_;
+  std::unordered_map<VmOffset, PageSlot> slots_;
+};
+
+}  // namespace mkc
+
+#endif  // MACHCONT_SRC_VM_OBJECT_H_

@@ -1,0 +1,106 @@
+// Physical page pool: free list plus a FIFO of in-use pages for eviction.
+#ifndef MACHCONT_SRC_VM_PAGE_H_
+#define MACHCONT_SRC_VM_PAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/queue.h"
+#include "src/base/types.h"
+
+namespace mkc {
+
+class VmObject;
+struct Task;
+
+struct PhysicalPage {
+  QueueEntry link;  // Free list or active FIFO.
+  PageFrame frame = kInvalidPageFrame;
+
+  // Back-pointers for eviction: which object/offset this frame backs and
+  // where it is mapped (the simulation maps a frame in at most one task).
+  VmObject* object = nullptr;
+  VmOffset offset = 0;
+  Task* mapped_task = nullptr;
+  VmAddress mapped_va = 0;
+  bool dirty = false;
+  bool busy = false;  // Pagein/pageout in flight.
+};
+
+struct PagePoolStats {
+  std::uint64_t allocations = 0;
+  std::uint64_t frees = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t min_free = ~std::uint64_t{0};
+};
+
+class PagePool {
+ public:
+  explicit PagePool(std::uint32_t page_count) : pages_(page_count) {
+    for (std::uint32_t i = 0; i < page_count; ++i) {
+      pages_[i].frame = i;
+      free_.EnqueueTail(&pages_[i]);
+    }
+    stats_.min_free = page_count;
+  }
+
+  ~PagePool() {
+    // Unthread all pages so the queue destructors see empty queues.
+    while (free_.DequeueHead() != nullptr) {
+    }
+    while (active_.DequeueHead() != nullptr) {
+    }
+  }
+
+  // Takes a free page and places it on the active FIFO; null if exhausted.
+  PhysicalPage* Allocate() {
+    PhysicalPage* page = free_.DequeueHead();
+    if (page == nullptr) {
+      return nullptr;
+    }
+    ++stats_.allocations;
+    active_.EnqueueTail(page);
+    if (free_.Size() < stats_.min_free) {
+      stats_.min_free = free_.Size();
+    }
+    return page;
+  }
+
+  // Returns a page (already unlinked from the active FIFO) to the free list.
+  void Free(PhysicalPage* page) {
+    ++stats_.frees;
+    page->object = nullptr;
+    page->mapped_task = nullptr;
+    page->dirty = false;
+    page->busy = false;
+    free_.EnqueueTail(page);
+  }
+
+  // Pops the oldest in-use, non-busy page for eviction; null if none.
+  PhysicalPage* PopEvictionCandidate() {
+    PhysicalPage* page = active_.RemoveFirstIf([](PhysicalPage* p) { return !p->busy; });
+    if (page != nullptr) {
+      ++stats_.evictions;
+    }
+    return page;
+  }
+
+  // Removes `page` from the active FIFO without freeing (eviction pipeline).
+  void UnlinkActive(PhysicalPage* page) { active_.Remove(page); }
+
+  PhysicalPage* PageFor(PageFrame frame) { return &pages_[frame]; }
+
+  std::size_t FreeCount() const { return free_.Size(); }
+  std::size_t TotalCount() const { return pages_.size(); }
+  const PagePoolStats& stats() const { return stats_; }
+
+ private:
+  std::vector<PhysicalPage> pages_;
+  IntrusiveQueue<PhysicalPage, &PhysicalPage::link> free_;
+  IntrusiveQueue<PhysicalPage, &PhysicalPage::link> active_;
+  PagePoolStats stats_;
+};
+
+}  // namespace mkc
+
+#endif  // MACHCONT_SRC_VM_PAGE_H_

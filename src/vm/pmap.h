@@ -1,0 +1,69 @@
+// The physical map (pmap) abstraction.
+//
+// §2.9 of the paper holds up Mach's pmap as the precedent for promoting an
+// abstraction to a first-class kernel object: a machine-independent
+// interface over machine-dependent translation hardware. Our simulated
+// machine's "hardware" page tables are a hash map from virtual page to
+// physical frame, with counters standing in for TLB behaviour.
+#ifndef MACHCONT_SRC_VM_PMAP_H_
+#define MACHCONT_SRC_VM_PMAP_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/base/types.h"
+
+namespace mkc {
+
+struct PmapStats {
+  std::uint64_t enters = 0;
+  std::uint64_t removes = 0;
+  std::uint64_t lookups = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t activations = 0;  // Address-space switches onto this map.
+};
+
+class Pmap {
+ public:
+  struct Translation {
+    PageFrame frame = kInvalidPageFrame;
+    bool writable = false;
+  };
+
+  // Installs (or updates) a translation for the page containing `va`.
+  void Enter(VmAddress va, PageFrame frame, bool writable) {
+    mappings_[PageTrunc(va)] = Translation{frame, writable};
+    ++stats_.enters;
+  }
+
+  // Removes the translation for the page containing `va`, if present.
+  void Remove(VmAddress va) {
+    if (mappings_.erase(PageTrunc(va)) != 0) {
+      ++stats_.removes;
+    }
+  }
+
+  // Hardware-walk simulation: null result means the access traps.
+  const Translation* Lookup(VmAddress va) {
+    ++stats_.lookups;
+    auto it = mappings_.find(PageTrunc(va));
+    if (it == mappings_.end()) {
+      ++stats_.misses;
+      return nullptr;
+    }
+    return &it->second;
+  }
+
+  void NoteActivation() { ++stats_.activations; }
+
+  std::size_t ResidentPages() const { return mappings_.size(); }
+  const PmapStats& stats() const { return stats_; }
+
+ private:
+  std::unordered_map<VmAddress, Translation> mappings_;
+  PmapStats stats_;
+};
+
+}  // namespace mkc
+
+#endif  // MACHCONT_SRC_VM_PMAP_H_

@@ -1,0 +1,104 @@
+// Per-task virtual address maps (Mach's vm_map).
+#ifndef MACHCONT_SRC_VM_VM_MAP_H_
+#define MACHCONT_SRC_VM_VM_MAP_H_
+
+#include <map>
+#include <memory>
+
+#include "src/base/types.h"
+#include "src/vm/object.h"
+
+namespace mkc {
+
+enum class VmProt : std::uint8_t {
+  kNone = 0,
+  kRead = 1,
+  kReadWrite = 3,
+};
+
+struct VmRegion {
+  VmAddress start = 0;
+  VmSize size = 0;
+  VmProt prot = VmProt::kReadWrite;
+  std::unique_ptr<VmObject> object;
+
+  bool Contains(VmAddress va) const { return va >= start && va < start + size; }
+  VmOffset OffsetOf(VmAddress va) const { return PageTrunc(va - start); }
+};
+
+class VmMap {
+ public:
+  // Reserves `size` bytes of address space backed by a new object; returns
+  // the chosen base address.
+  VmAddress Allocate(VmSize size, VmBacking backing, VmProt prot = VmProt::kReadWrite) {
+    size = PageRound(size);
+    VmAddress start = next_free_;
+    next_free_ += size + kPageSize;  // Guard gap between regions.
+    VmRegion region;
+    region.start = start;
+    region.size = size;
+    region.prot = prot;
+    region.object = std::make_unique<VmObject>(backing, size);
+    regions_.emplace(start, std::move(region));
+    return start;
+  }
+
+  // Installs an existing object (e.g. an out-of-line transfer) as a new
+  // region; returns its base address.
+  VmAddress Install(std::unique_ptr<VmObject> object, VmSize size,
+                    VmProt prot = VmProt::kReadWrite) {
+    size = PageRound(size);
+    VmAddress start = next_free_;
+    next_free_ += size + kPageSize;
+    VmRegion region;
+    region.start = start;
+    region.size = size;
+    region.prot = prot;
+    region.object = std::move(object);
+    regions_.emplace(start, std::move(region));
+    return start;
+  }
+
+  // Region containing `va`, or nullptr.
+  VmRegion* Lookup(VmAddress va) {
+    auto it = regions_.upper_bound(va);
+    if (it == regions_.begin()) {
+      return nullptr;
+    }
+    --it;
+    return it->second.Contains(va) ? &it->second : nullptr;
+  }
+
+  // Detaches and returns the region starting exactly at `start` (the object
+  // comes with it); nullptr-equivalent empty optional if absent.
+  std::unique_ptr<VmObject> Remove(VmAddress start, VmSize* out_size) {
+    auto it = regions_.find(start);
+    if (it == regions_.end()) {
+      return nullptr;
+    }
+    std::unique_ptr<VmObject> object = std::move(it->second.object);
+    if (out_size != nullptr) {
+      *out_size = it->second.size;
+    }
+    regions_.erase(it);
+    return object;
+  }
+
+  std::size_t RegionCount() const { return regions_.size(); }
+
+  template <typename Fn>
+  void ForEachRegion(Fn&& fn) {
+    for (auto& [start, region] : regions_) {
+      fn(region);
+    }
+  }
+
+ private:
+  static constexpr VmAddress kUserBase = 0x0000000100000000ULL;
+  std::map<VmAddress, VmRegion> regions_;
+  VmAddress next_free_ = kUserBase;
+};
+
+}  // namespace mkc
+
+#endif  // MACHCONT_SRC_VM_VM_MAP_H_

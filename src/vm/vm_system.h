@@ -1,0 +1,120 @@
+// The virtual memory system: fault handling and the default pager.
+//
+// User-level page faults block with a continuation (§2.5), so faulting
+// threads consume no kernel stacks while waiting for the disk; kernel-mode
+// faults fall back on the process model ("it would be quite hard to use
+// continuations since, in general, a thread can fault anywhere while
+// executing in the kernel").
+#ifndef MACHCONT_SRC_VM_VM_SYSTEM_H_
+#define MACHCONT_SRC_VM_VM_SYSTEM_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/base/types.h"
+#include "src/kern/thread.h"
+#include "src/vm/page.h"
+
+namespace mkc {
+
+class Kernel;
+struct Task;
+
+struct VmStats {
+  std::uint64_t user_faults = 0;     // Faults taken from user level.
+  std::uint64_t fast_faults = 0;     // Resolved without blocking (resident).
+  std::uint64_t zero_fills = 0;      // Resolved by a fresh zeroed page.
+  std::uint64_t pageins = 0;         // Required a simulated disk read.
+  std::uint64_t fault_blocks = 0;    // Blocked waiting for a free page.
+  std::uint64_t busy_waits = 0;      // Waited on a busy page (lock-style).
+  std::uint64_t kernel_faults = 0;   // Kernel-mode faults (process model).
+  std::uint64_t pageouts = 0;        // Pages evicted by the pager thread.
+  std::uint64_t protection_exceptions = 0;  // Bad accesses raised as exceptions.
+};
+
+// Scratch-area state for a blocked page fault (packed into the 28 bytes).
+struct __attribute__((packed)) VmFaultState {
+  VmAddress addr;
+  std::uint8_t write;
+  std::uint8_t retry;  // Continuation re-entry: don't double-count the fault.
+};
+
+class VmSystem {
+ public:
+  VmSystem(Kernel& kernel, std::uint32_t physical_pages, Ticks disk_latency);
+
+  VmSystem(const VmSystem&) = delete;
+  VmSystem& operator=(const VmSystem&) = delete;
+
+  // Fast-path translation used by simulated user memory accesses. True if
+  // the access proceeds without a trap.
+  bool TranslateForAccess(Task* task, VmAddress va, bool write);
+
+  // Kernel path for a user-level page fault; never returns (exits through
+  // ThreadExceptionReturn, an exception, or a continuation block).
+  [[noreturn]] void HandleUserFault(Thread* thread, VmAddress addr, bool write);
+
+  // Touches a slot of the pageable kernel copy buffer; blocks under the
+  // process model if it is paged out (the paper's kernel-mode fault row).
+  void KernelBufferTouch(std::uint64_t key);
+
+  // Destroys the region that STARTS at `addr`: drops translations, returns
+  // resident pages to the free pool, wakes free-page waiters.
+  KernReturn DeallocateRegion(Task* task, VmAddress addr);
+
+  // Changes the protection of the region containing `addr` (whole-region
+  // granularity) and drops the now-stale hardware translations, so the next
+  // access refaults — the machinery behind user-level VM primitives
+  // (Appel & Li, cited in §2.5).
+  KernReturn ProtectRegion(Task* task, VmAddress addr, bool writable);
+
+  // Asks the pager thread to start evicting.
+  void RequestPageout();
+
+  // The pager kernel thread's body — one scan, then block with itself as
+  // the continuation (§2.2 tail recursion).
+  static void PagerStep();
+
+  // Continuations for blocked faults (public so tests can recognize them).
+  static void VmFaultRetryContinue();
+  static void VmFaultMapContinue();
+
+  PagePool& pool() { return pool_; }
+  VmStats& stats() { return stats_; }
+  const VmStats& stats() const { return stats_; }
+
+  // Free-page threshold below which fault paths wake the pager.
+  std::size_t free_target() const { return free_target_; }
+
+ private:
+  // Fault worker shared by the trap path and the retry continuation.
+  [[noreturn]] void FaultInternal(Thread* thread, VmAddress addr, bool write, bool is_retry);
+
+  void Evict(PhysicalPage* page);
+
+  Kernel& kernel_;
+  PagePool pool_;
+  VmStats stats_;
+  Ticks disk_latency_;
+  std::size_t free_target_;
+  bool pageout_needed_ = false;
+
+  // Wait channels.
+  char pageout_event_ = 0;
+  char free_page_event_ = 0;
+
+  // Objects deallocated while a page I/O was in flight; kept alive until
+  // kernel teardown (simplification documented in DeallocateRegion).
+  std::vector<std::unique_ptr<class VmObject>> orphaned_objects_;
+
+  // Pageable kernel copy buffer: a handful of slots that large message
+  // copies touch; evictions occasionally page slots out.
+  static constexpr int kKernelBufferSlots = 16;
+  bool kernel_buffer_resident_[kKernelBufferSlots] = {};
+  int kernel_buffer_evict_cursor_ = 0;
+};
+
+}  // namespace mkc
+
+#endif  // MACHCONT_SRC_VM_VM_SYSTEM_H_

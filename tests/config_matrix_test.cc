@@ -1,0 +1,276 @@
+// Configuration-matrix sweep: the same mixed scenario driven across every
+// combination of kernel model, ablation switches and stack-cache size, with
+// live invariant checking — plus targeted error injection (port death under
+// blocked waiters on the continuation paths).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <tuple>
+
+#include "src/exc/exception.h"
+#include "src/ipc/ipc_space.h"
+#include "src/ipc/mach_msg.h"
+#include "src/kern/kernel.h"
+#include "src/task/task.h"
+#include "src/task/usermode.h"
+#include "src/vm/vm_system.h"
+
+namespace mkc {
+namespace {
+
+struct MatrixEnv {
+  PortId service_port = kInvalidPort;
+  PortId exc_port = kInvalidPort;
+  VmAddress region = 0;
+  int iterations = 0;
+  int completed = 0;
+  std::uint64_t violations = 0;
+};
+
+MatrixEnv* g_matrix = nullptr;
+
+void CheckInvariants(Kernel& k, std::uint64_t* violations) {
+  for (const auto& t : k.threads()) {
+    if (t->state == ThreadState::kWaiting && t->continuation != nullptr &&
+        t->kernel_stack != nullptr) {
+      ++*violations;
+    }
+  }
+}
+
+void MatrixServer(void* /*arg*/) {
+  UserMessage msg;
+  if (UserServeOnce(&msg, 0, g_matrix->service_port) != KernReturn::kSuccess) {
+    return;
+  }
+  for (;;) {
+    msg.header.dest = msg.header.reply;
+    if (UserServeOnce(&msg, 16, g_matrix->service_port) != KernReturn::kSuccess) {
+      return;
+    }
+  }
+}
+
+void MatrixExcServer(void* /*arg*/) {
+  UserMessage msg;
+  if (UserServeOnce(&msg, 0, g_matrix->exc_port) != KernReturn::kSuccess) {
+    return;
+  }
+  for (;;) {
+    ExcRequestBody req;
+    std::memcpy(&req, msg.body, sizeof(req));
+    ExcReplyBody reply;
+    reply.handled = 1;
+    msg.header.dest = req.reply_port;
+    std::memcpy(msg.body, &reply, sizeof(reply));
+    if (UserServeOnce(&msg, sizeof(reply), g_matrix->exc_port) != KernReturn::kSuccess) {
+      return;
+    }
+  }
+}
+
+void MatrixClient(void* arg) {
+  auto idx = reinterpret_cast<std::uintptr_t>(arg);
+  MatrixEnv* env = g_matrix;
+  PortId reply = UserPortAllocate();
+  UserMessage msg;
+  for (int i = 0; i < env->iterations; ++i) {
+    msg.header.dest = env->service_port;
+    UserRpc(&msg, 16, reply);
+    UserRaiseException(kExcSoftware);
+    UserTouch(env->region + ((idx * 13 + static_cast<std::uintptr_t>(i)) % 24) * kPageSize,
+              i % 2 == 0);
+    UserWork(3000);
+    CheckInvariants(ActiveKernel(), &env->violations);
+  }
+  ++env->completed;
+}
+
+using MatrixParam = std::tuple<ControlTransferModel, bool, bool, std::size_t>;
+
+class ConfigMatrixTest : public testing::TestWithParam<MatrixParam> {};
+
+TEST_P(ConfigMatrixTest, MixedScenarioIsCorrectEverywhere) {
+  auto [model, handoff, recognition, cache] = GetParam();
+  KernelConfig config;
+  config.model = model;
+  config.enable_handoff = handoff;
+  config.enable_recognition = recognition;
+  config.stack_cache_limit = cache;
+  config.physical_pages = 96;
+  Kernel kernel(config);
+  Task* task = kernel.CreateTask("matrix");
+  Task* server_task = kernel.CreateTask("server");
+
+  static MatrixEnv env;
+  env = MatrixEnv{};
+  g_matrix = &env;
+  env.service_port = kernel.ipc().AllocatePort(server_task);
+  env.exc_port = kernel.ipc().AllocatePort(task);
+  task->exception_port = env.exc_port;
+  env.region = task->map.Allocate(24 * kPageSize, VmBacking::kPaged);
+  env.iterations = 40;
+
+  ThreadOptions daemon;
+  daemon.daemon = true;
+  kernel.CreateUserThread(server_task, &MatrixServer, nullptr, daemon);
+  kernel.CreateUserThread(task, &MatrixExcServer, nullptr, daemon);
+  for (std::uintptr_t i = 0; i < 3; ++i) {
+    kernel.CreateUserThread(task, &MatrixClient, reinterpret_cast<void*>(i));
+  }
+  kernel.Run();
+
+  EXPECT_EQ(env.completed, 3);
+  EXPECT_EQ(env.violations, 0u);
+  const auto& ts = kernel.transfer_stats();
+  EXPECT_EQ(ts.total_blocks, ts.TotalDiscards() + ts.TotalNoDiscards());
+  if (!handoff || model != ControlTransferModel::kMK40) {
+    EXPECT_EQ(ts.stack_handoffs, 0u);
+  }
+  if (!recognition || model != ControlTransferModel::kMK40) {
+    EXPECT_EQ(ts.recognitions, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ConfigMatrixTest,
+    testing::Combine(testing::Values(ControlTransferModel::kMach25,
+                                     ControlTransferModel::kMK32,
+                                     ControlTransferModel::kMK40),
+                     testing::Bool(), testing::Bool(),
+                     testing::Values(std::size_t{0}, std::size_t{4})),
+    [](const testing::TestParamInfo<MatrixParam>& info) {
+      const char* model = "";
+      switch (std::get<0>(info.param)) {
+        case ControlTransferModel::kMach25:
+          model = "Mach25";
+          break;
+        case ControlTransferModel::kMK32:
+          model = "MK32";
+          break;
+        case ControlTransferModel::kMK40:
+          model = "MK40";
+          break;
+      }
+      return std::string(model) + (std::get<1>(info.param) ? "_ho" : "_noho") +
+             (std::get<2>(info.param) ? "_rec" : "_norec") + "_c" +
+             std::to_string(std::get<3>(info.param));
+    });
+
+// --- Error injection: port death under blocked continuation waiters -----------
+
+class PortDeathModelTest : public testing::TestWithParam<ControlTransferModel> {};
+
+TEST_P(PortDeathModelTest, ReplyPortDeathFailsClientMidRpc) {
+  KernelConfig config;
+  config.model = GetParam();
+  Kernel kernel(config);
+  Task* task = kernel.CreateTask("t");
+  static PortId service;
+  static PortId reply;
+  static KernReturn client_kr;
+  service = kernel.ipc().AllocatePort(task);
+  reply = kernel.ipc().AllocatePort(task);
+  client_kr = KernReturn::kSuccess;
+
+  // The "server" receives the request but never replies; instead it kills
+  // the client's reply port. The client, parked on the reply port with
+  // mach_msg_continue, must complete with kRcvPortDied.
+  ThreadOptions daemon;
+  daemon.daemon = true;
+  kernel.CreateUserThread(
+      task,
+      [](void*) {
+        UserMessage msg;
+        if (UserMachMsg(&msg, kMsgRcvOpt, 0, kMaxInlineBytes, service) !=
+            KernReturn::kSuccess) {
+          return;
+        }
+        UserPortDestroy(reply);
+      },
+      nullptr, daemon);
+  kernel.CreateUserThread(
+      task,
+      [](void*) {
+        UserMessage msg;
+        msg.header.dest = service;
+        client_kr = UserRpc(&msg, 8, reply);
+      },
+      nullptr);
+  kernel.Run();
+  EXPECT_EQ(client_kr, KernReturn::kRcvPortDied);
+}
+
+TEST_P(PortDeathModelTest, ServicePortDeathFailsParkedServer) {
+  KernelConfig config;
+  config.model = GetParam();
+  Kernel kernel(config);
+  Task* task = kernel.CreateTask("t");
+  static PortId service;
+  static KernReturn server_kr;
+  service = kernel.ipc().AllocatePort(task);
+  server_kr = KernReturn::kSuccess;
+  ThreadOptions daemon;
+  daemon.daemon = true;
+  kernel.CreateUserThread(
+      task,
+      [](void*) {
+        UserMessage msg;
+        server_kr = UserMachMsg(&msg, kMsgRcvOpt, 0, kMaxInlineBytes, service);
+      },
+      nullptr, daemon);
+  kernel.CreateUserThread(
+      task,
+      [](void*) {
+        UserYield();  // Let the server park with its continuation.
+        UserPortDestroy(service);
+      },
+      nullptr);
+  kernel.Run();
+  EXPECT_EQ(server_kr, KernReturn::kRcvPortDied);
+}
+
+TEST_P(PortDeathModelTest, SendToSetMemberAfterSetDestroyStillWorks) {
+  KernelConfig config;
+  config.model = GetParam();
+  Kernel kernel(config);
+  Task* task = kernel.CreateTask("t");
+  static PortId set;
+  static PortId member;
+  static KernReturn send_kr, rcv_kr;
+  set = kernel.ipc().AllocatePortSet(task);
+  member = kernel.ipc().AllocatePort(task);
+  ASSERT_EQ(kernel.ipc().AddToSet(member, set), KernReturn::kSuccess);
+  kernel.ipc().DestroyPort(set);  // The set dies; the member survives.
+  kernel.CreateUserThread(
+      task,
+      [](void*) {
+        UserMessage msg;
+        msg.header.dest = member;
+        send_kr = UserMachMsg(&msg, kMsgSendOpt, 8, 0, kInvalidPort);
+        rcv_kr = UserMachMsg(&msg, kMsgRcvOpt, 0, kMaxInlineBytes, member);
+      },
+      nullptr);
+  kernel.Run();
+  EXPECT_EQ(send_kr, KernReturn::kSuccess);
+  EXPECT_EQ(rcv_kr, KernReturn::kSuccess);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, PortDeathModelTest,
+                         testing::Values(ControlTransferModel::kMach25,
+                                         ControlTransferModel::kMK32,
+                                         ControlTransferModel::kMK40),
+                         [](const testing::TestParamInfo<ControlTransferModel>& info) {
+                           switch (info.param) {
+                             case ControlTransferModel::kMach25:
+                               return "Mach25";
+                             case ControlTransferModel::kMK32:
+                               return "MK32";
+                             case ControlTransferModel::kMK40:
+                               return "MK40";
+                           }
+                           return "unknown";
+                         });
+
+}  // namespace
+}  // namespace mkc

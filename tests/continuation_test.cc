@@ -1,0 +1,457 @@
+// Tests of the core continuation machinery itself: stack discard and reuse
+// invariants, recognition behavior, ablation semantics, tracing, and a
+// randomized property sweep.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/base/rng.h"
+#include "src/core/control.h"
+#include "src/core/trace.h"
+#include "src/exc/exception.h"
+#include "src/ipc/ipc_space.h"
+#include "src/ipc/mach_msg.h"
+#include "src/kern/kernel.h"
+#include "src/task/task.h"
+#include "src/task/usermode.h"
+#include "src/vm/vm_system.h"
+
+namespace mkc {
+namespace {
+
+// --- Stack invariants -------------------------------------------------------
+
+struct InvariantState {
+  PortId service_port = kInvalidPort;
+  PortId reply_port = kInvalidPort;
+  int iterations = 0;
+  std::uint64_t violations = 0;
+};
+
+// Checks, from inside the running system, the §3.4 invariant: every thread
+// blocked with a continuation owns no kernel stack; every stack is owned by
+// the running thread, a process-model-blocked thread, or the free pool.
+void CheckStackInvariant(std::uint64_t* violations) {
+  Kernel& k = ActiveKernel();
+  for (const auto& t : k.threads()) {
+    if (t->state == ThreadState::kWaiting && t->continuation != nullptr &&
+        t->kernel_stack != nullptr) {
+      ++*violations;
+    }
+    if (t->state == ThreadState::kRunning && t->kernel_stack == nullptr) {
+      ++*violations;
+    }
+  }
+}
+
+void InvariantServer(void* arg) {
+  auto* st = static_cast<InvariantState*>(arg);
+  UserMessage msg;
+  if (UserServeOnce(&msg, 0, st->service_port) != KernReturn::kSuccess) {
+    return;
+  }
+  for (;;) {
+    CheckStackInvariant(&st->violations);
+    msg.header.dest = msg.header.reply;
+    if (UserServeOnce(&msg, 8, st->service_port) != KernReturn::kSuccess) {
+      return;
+    }
+  }
+}
+
+void InvariantClient(void* arg) {
+  auto* st = static_cast<InvariantState*>(arg);
+  UserMessage msg;
+  for (int i = 0; i < st->iterations; ++i) {
+    msg.header.dest = st->service_port;
+    UserRpc(&msg, 8, st->reply_port);
+    CheckStackInvariant(&st->violations);
+  }
+}
+
+TEST(ContinuationInvariants, BlockedWithContinuationMeansNoStack) {
+  KernelConfig config;
+  Kernel kernel(config);
+  Task* c = kernel.CreateTask("c");
+  Task* s = kernel.CreateTask("s");
+  InvariantState st;
+  st.service_port = kernel.ipc().AllocatePort(s);
+  st.reply_port = kernel.ipc().AllocatePort(c);
+  st.iterations = 500;
+  ThreadOptions daemon;
+  daemon.daemon = true;
+  kernel.CreateUserThread(s, &InvariantServer, &st, daemon);
+  kernel.CreateUserThread(c, &InvariantClient, &st);
+  kernel.Run();
+  EXPECT_EQ(st.violations, 0u);
+}
+
+// --- Recognition semantics ---------------------------------------------------
+
+TEST(RecognitionTest, DisablingRecognitionKeepsResultsIdentical) {
+  for (bool recognition : {true, false}) {
+    KernelConfig config;
+    config.enable_recognition = recognition;
+    Kernel kernel(config);
+    Task* c = kernel.CreateTask("c");
+    Task* s = kernel.CreateTask("s");
+    static InvariantState st;
+    st = InvariantState{};
+    st.service_port = kernel.ipc().AllocatePort(s);
+    st.reply_port = kernel.ipc().AllocatePort(c);
+    st.iterations = 100;
+    ThreadOptions daemon;
+    daemon.daemon = true;
+    kernel.CreateUserThread(s, &InvariantServer, &st, daemon);
+    kernel.CreateUserThread(c, &InvariantClient, &st);
+    kernel.Run();
+    EXPECT_EQ(st.violations, 0u);
+    if (recognition) {
+      EXPECT_GT(kernel.transfer_stats().recognitions, 150u);
+    } else {
+      // Same behavior, zero recognitions: the fast path becomes
+      // call_continuation instead of the inline finish.
+      EXPECT_EQ(kernel.transfer_stats().recognitions, 0u);
+      EXPECT_GT(kernel.transfer_stats().stack_handoffs, 150u);
+    }
+  }
+}
+
+TEST(RecognitionTest, DisablingHandoffStillDiscardsStacks) {
+  KernelConfig config;
+  config.enable_handoff = false;
+  Kernel kernel(config);
+  Task* c = kernel.CreateTask("c");
+  Task* s = kernel.CreateTask("s");
+  static InvariantState st;
+  st = InvariantState{};
+  st.service_port = kernel.ipc().AllocatePort(s);
+  st.reply_port = kernel.ipc().AllocatePort(c);
+  st.iterations = 200;
+  ThreadOptions daemon;
+  daemon.daemon = true;
+  kernel.CreateUserThread(s, &InvariantServer, &st, daemon);
+  kernel.CreateUserThread(c, &InvariantClient, &st);
+  kernel.Run();
+  EXPECT_EQ(st.violations, 0u);
+  EXPECT_EQ(kernel.transfer_stats().stack_handoffs, 0u);
+  // Discards still happen through thread_dispatch's stack free.
+  EXPECT_GT(kernel.transfer_stats().TotalDiscards(), 300u);
+}
+
+// --- Tracing ------------------------------------------------------------------
+
+TEST(TraceTest, FastRpcPathProducesFigure2Sequence) {
+  KernelConfig config;
+  config.trace_capacity = 4096;
+  Kernel kernel(config);
+  Task* c = kernel.CreateTask("c");
+  Task* s = kernel.CreateTask("s");
+  static InvariantState st;
+  st = InvariantState{};
+  st.service_port = kernel.ipc().AllocatePort(s);
+  st.reply_port = kernel.ipc().AllocatePort(c);
+  st.iterations = 5;
+  ThreadOptions daemon;
+  daemon.daemon = true;
+  kernel.CreateUserThread(s, &InvariantServer, &st, daemon);
+  kernel.CreateUserThread(c, &InvariantClient, &st);
+  kernel.Run();
+
+  // The Figure 2 signature: a block-with-continuation immediately followed
+  // by a handoff and then a recognition, with no switch-context between.
+  int figure2_sequences = 0;
+  int window = 0;  // 1 = saw block, 2 = saw handoff.
+  kernel.trace().ForEach([&](const TraceRecord& r) {
+    switch (r.event) {
+      case TraceEvent::kBlock:
+        window = r.aux2 == 1 ? 1 : 0;
+        break;
+      case TraceEvent::kHandoff:
+        window = window == 1 ? 2 : 0;
+        break;
+      case TraceEvent::kRecognition:
+        if (window == 2) {
+          ++figure2_sequences;
+        }
+        window = 0;
+        break;
+      case TraceEvent::kSwitchContext:
+        window = 0;
+        break;
+      default:
+        break;
+    }
+  });
+  EXPECT_GE(figure2_sequences, 8);  // 5 RPCs = 10 legs, minus warm-up legs.
+  EXPECT_GT(kernel.trace().recorded(), 50u);
+}
+
+TEST(TraceTest, DisabledTraceRecordsNothing) {
+  KernelConfig config;  // trace_capacity = 0.
+  Kernel kernel(config);
+  Task* t = kernel.CreateTask("t");
+  kernel.CreateUserThread(
+      t, [](void*) { UserNullSyscall(); }, nullptr);
+  kernel.Run();
+  EXPECT_EQ(kernel.trace().recorded(), 0u);
+  EXPECT_FALSE(kernel.trace().enabled());
+}
+
+// --- vm_protect --------------------------------------------------------------
+
+struct ProtectState {
+  PortId exc_port = kInvalidPort;
+  VmAddress region = 0;
+  int write_faults_handled = 0;
+  bool done = false;
+};
+
+void ProtectServer(void* arg) {
+  auto* st = static_cast<ProtectState*>(arg);
+  UserMessage msg;
+  if (UserServeOnce(&msg, 0, st->exc_port) != KernReturn::kSuccess) {
+    return;
+  }
+  for (;;) {
+    ExcRequestBody req;
+    std::memcpy(&req, msg.body, sizeof(req));
+    ExcReplyBody reply;
+    reply.handled = 0;
+    if (IsBadAccessCode(req.code)) {
+      ++st->write_faults_handled;
+      UserVmProtect(st->region, /*writable=*/true);
+      reply.handled = 1;
+    }
+    msg.header.dest = req.reply_port;
+    std::memcpy(msg.body, &reply, sizeof(reply));
+    if (UserServeOnce(&msg, sizeof(reply), st->exc_port) != KernReturn::kSuccess) {
+      return;
+    }
+  }
+}
+
+void ProtectMutator(void* arg) {
+  auto* st = static_cast<ProtectState*>(arg);
+  UserSetExceptionPort(st->exc_port);
+  st->region = UserVmAllocate(4 * kPageSize, /*paged=*/false);
+  UserTouch(st->region, /*write=*/true);  // Fault in, writable.
+  ASSERT_EQ(UserVmProtect(st->region, /*writable=*/false), KernReturn::kSuccess);
+  UserTouch(st->region, /*write=*/false);  // Reads stay legal.
+  UserTouch(st->region, /*write=*/true);   // Write trips the barrier once.
+  UserTouch(st->region + kPageSize, /*write=*/true);  // Region now writable.
+  st->done = true;
+}
+
+class VmProtectModelTest : public testing::TestWithParam<ControlTransferModel> {};
+
+TEST_P(VmProtectModelTest, WriteProtectionFaultsAndRecovers) {
+  KernelConfig config;
+  config.model = GetParam();
+  Kernel kernel(config);
+  Task* task = kernel.CreateTask("t");
+  ProtectState st;
+  st.exc_port = kernel.ipc().AllocatePort(task);
+  ThreadOptions daemon;
+  daemon.daemon = true;
+  kernel.CreateUserThread(task, &ProtectServer, &st, daemon);
+  kernel.CreateUserThread(task, &ProtectMutator, &st);
+  kernel.Run();
+  EXPECT_TRUE(st.done);
+  EXPECT_EQ(st.write_faults_handled, 1);
+  EXPECT_EQ(kernel.vm().stats().protection_exceptions, 1u);
+}
+
+TEST_P(VmProtectModelTest, ProtectInvalidAddressFails) {
+  KernelConfig config;
+  config.model = GetParam();
+  Kernel kernel(config);
+  Task* task = kernel.CreateTask("t");
+  static KernReturn kr;
+  kernel.CreateUserThread(
+      task, [](void*) { kr = UserVmProtect(0xdeadbeef, false); }, nullptr);
+  kernel.Run();
+  EXPECT_EQ(kr, KernReturn::kInvalidAddress);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, VmProtectModelTest,
+                         testing::Values(ControlTransferModel::kMach25,
+                                         ControlTransferModel::kMK32,
+                                         ControlTransferModel::kMK40),
+                         [](const testing::TestParamInfo<ControlTransferModel>& info) {
+                           switch (info.param) {
+                             case ControlTransferModel::kMach25:
+                               return "Mach25";
+                             case ControlTransferModel::kMK32:
+                               return "MK32";
+                             case ControlTransferModel::kMK40:
+                               return "MK40";
+                           }
+                           return "unknown";
+                         });
+
+// --- Randomized property sweep ------------------------------------------------
+
+struct ChaosEnv {
+  PortId ports[4] = {};
+  PortId reply_ports[4] = {};
+  PortId exc_port = kInvalidPort;
+  VmAddress region = 0;
+  int ops_per_thread = 0;
+  std::uint64_t seed = 0;
+  int completed = 0;
+  std::uint64_t violations = 0;
+};
+
+struct ChaosArgs {
+  ChaosEnv* env = nullptr;
+  int index = 0;
+};
+
+// An echo server for the chaos clients.
+void ChaosServer(void* arg) {
+  auto* env = static_cast<ChaosEnv*>(arg);
+  UserMessage msg;
+  if (UserServeOnce(&msg, 0, env->ports[0]) != KernReturn::kSuccess) {
+    return;
+  }
+  for (;;) {
+    msg.header.dest = msg.header.reply;
+    if (UserServeOnce(&msg, 16, env->ports[0]) != KernReturn::kSuccess) {
+      return;
+    }
+  }
+}
+
+// Randomly mixes every kind of kernel entry the system supports.
+void ChaosWorker(void* arg) {
+  auto* wa = static_cast<ChaosArgs*>(arg);
+  ChaosEnv* env = wa->env;
+  Rng rng(env->seed * 97 + static_cast<std::uint64_t>(wa->index));
+  UserMessage msg;
+  for (int i = 0; i < env->ops_per_thread; ++i) {
+    switch (rng.Below(7)) {
+      case 0: {  // RPC to the echo server.
+        msg.header.dest = env->ports[0];
+        UserRpc(&msg, 16, env->reply_ports[wa->index]);
+        break;
+      }
+      case 1:  // Fire-and-forget send to a side port (drained by nobody).
+        if (rng.Chance(300)) {
+          msg.header.dest = env->ports[1 + rng.Below(3)];
+          UserMachMsg(&msg, kMsgSendOpt, 8, 0, kInvalidPort);
+        }
+        break;
+      case 2:
+        UserWork(rng.Below(4000));
+        break;
+      case 3:
+        UserTouch(env->region + rng.Below(64) * kPageSize, rng.Chance(500));
+        break;
+      case 4:
+        UserYield();
+        break;
+      case 5:
+        UserRaiseException(kExcSoftware);
+        break;
+      case 6:
+        UserNullSyscall();
+        break;
+    }
+    CheckStackInvariant(&env->violations);
+  }
+  ++env->completed;
+}
+
+void ChaosExcServer(void* arg) {
+  auto* env = static_cast<ChaosEnv*>(arg);
+  UserMessage msg;
+  if (UserServeOnce(&msg, 0, env->exc_port) != KernReturn::kSuccess) {
+    return;
+  }
+  for (;;) {
+    ExcRequestBody req;
+    std::memcpy(&req, msg.body, sizeof(req));
+    ExcReplyBody reply;
+    reply.handled = 1;
+    msg.header.dest = req.reply_port;
+    std::memcpy(msg.body, &reply, sizeof(reply));
+    if (UserServeOnce(&msg, sizeof(reply), env->exc_port) != KernReturn::kSuccess) {
+      return;
+    }
+  }
+}
+
+class ChaosModelTest
+    : public testing::TestWithParam<std::tuple<ControlTransferModel, std::uint64_t>> {};
+
+TEST_P(ChaosModelTest, RandomMixedLoadPreservesInvariants) {
+  auto [model, seed] = GetParam();
+  KernelConfig config;
+  config.model = model;
+  config.physical_pages = 96;  // Pressure: pager activity guaranteed.
+  Kernel kernel(config);
+  Task* task = kernel.CreateTask("chaos");
+  Task* server_task = kernel.CreateTask("server");
+
+  static ChaosEnv env;
+  env = ChaosEnv{};
+  env.ports[0] = kernel.ipc().AllocatePort(server_task);
+  for (int i = 1; i < 4; ++i) {
+    env.ports[i] = kernel.ipc().AllocatePort(server_task);
+  }
+  for (auto& rp : env.reply_ports) {
+    rp = kernel.ipc().AllocatePort(task);
+  }
+  env.exc_port = kernel.ipc().AllocatePort(task);
+  task->exception_port = env.exc_port;
+  env.region = task->map.Allocate(64 * kPageSize, VmBacking::kPaged);
+  env.ops_per_thread = 300;
+  env.seed = seed;
+
+  ThreadOptions daemon;
+  daemon.daemon = true;
+  kernel.CreateUserThread(server_task, &ChaosServer, &env, daemon);
+  kernel.CreateUserThread(task, &ChaosExcServer, &env, daemon);
+  static ChaosArgs args[4];
+  for (int i = 0; i < 4; ++i) {
+    args[i] = ChaosArgs{&env, i};
+    kernel.CreateUserThread(task, &ChaosWorker, &args[i]);
+  }
+  kernel.Run();
+
+  EXPECT_EQ(env.completed, 4);
+  EXPECT_EQ(env.violations, 0u);
+  // Conservation: every message sent was either consumed or still queued.
+  const auto& ipc = kernel.ipc().stats();
+  EXPECT_GE(ipc.messages_sent, 1u);
+  if (kernel.UsesContinuations()) {
+    const auto& ts = kernel.transfer_stats();
+    EXPECT_GT(ts.TotalDiscards() * 100, ts.total_blocks * 90);  // >90% discards.
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ChaosModelTest,
+    testing::Combine(testing::Values(ControlTransferModel::kMach25,
+                                     ControlTransferModel::kMK32,
+                                     ControlTransferModel::kMK40),
+                     testing::Values(1u, 2u, 3u, 4u, 5u)),
+    [](const testing::TestParamInfo<std::tuple<ControlTransferModel, std::uint64_t>>& info) {
+      const char* model = "";
+      switch (std::get<0>(info.param)) {
+        case ControlTransferModel::kMach25:
+          model = "Mach25";
+          break;
+        case ControlTransferModel::kMK32:
+          model = "MK32";
+          break;
+        case ControlTransferModel::kMK40:
+          model = "MK40";
+          break;
+      }
+      return std::string(model) + "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace mkc

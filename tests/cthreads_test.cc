@@ -1,0 +1,280 @@
+// Tests for the C-Threads-with-continuations package (the paper's §6 future
+// work). These run on the bare host: the runtime only needs the Context
+// primitives.
+#include "src/ext/cthreads.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace mkc {
+namespace {
+
+struct Counter {
+  CthreadRuntime* rt = nullptr;
+  int value = 0;
+};
+
+void Increment(void* arg) { ++static_cast<Counter*>(arg)->value; }
+
+TEST(CthreadsTest, SpawnAndRunToCompletion) {
+  CthreadRuntime rt;
+  Counter c;
+  for (int i = 0; i < 10; ++i) {
+    rt.Spawn(&Increment, &c);
+  }
+  rt.Run();
+  EXPECT_EQ(c.value, 10);
+  EXPECT_FALSE(rt.HasLiveThreads());
+  EXPECT_EQ(rt.stats().spawns, 10u);
+}
+
+struct YieldState {
+  CthreadRuntime* rt = nullptr;
+  std::vector<int> order;
+  int rounds = 0;
+};
+
+void YieldingWorker(void* arg) {
+  auto* st = static_cast<YieldState*>(arg);
+  int id = static_cast<int>(st->rt->Current()->id);
+  for (int i = 0; i < st->rounds; ++i) {
+    st->order.push_back(id);
+    st->rt->Yield();
+  }
+}
+
+TEST(CthreadsTest, YieldInterleavesRoundRobin) {
+  CthreadRuntime rt;
+  YieldState st;
+  st.rt = &rt;
+  st.rounds = 3;
+  rt.Spawn(&YieldingWorker, &st);
+  rt.Spawn(&YieldingWorker, &st);
+  rt.Run();
+  EXPECT_EQ(st.order, (std::vector<int>{1, 2, 1, 2, 1, 2}));
+}
+
+struct PingPong {
+  CthreadRuntime* rt = nullptr;
+  char ping_event = 0;
+  char pong_event = 0;
+  int exchanges = 0;
+  int done = 0;
+};
+
+void Pinger(void* arg) {
+  auto* pp = static_cast<PingPong*>(arg);
+  for (int i = 0; i < pp->exchanges; ++i) {
+    pp->rt->Notify(&pp->pong_event);
+    pp->rt->Wait(&pp->ping_event);
+  }
+  pp->rt->Notify(&pp->pong_event);
+  ++pp->done;
+}
+
+void Ponger(void* arg) {
+  auto* pp = static_cast<PingPong*>(arg);
+  for (int i = 0; i < pp->exchanges; ++i) {
+    pp->rt->Wait(&pp->pong_event);
+    pp->rt->Notify(&pp->ping_event);
+  }
+  pp->rt->Wait(&pp->pong_event);
+  ++pp->done;
+}
+
+TEST(CthreadsTest, WaitNotifyPingPong) {
+  CthreadRuntime rt;
+  PingPong pp;
+  pp.rt = &rt;
+  pp.exchanges = 100;
+  rt.Spawn(&Ponger, &pp);
+  rt.Spawn(&Pinger, &pp);
+  rt.Run();
+  EXPECT_EQ(pp.done, 2);
+}
+
+// --- Continuation-model blocking: the §6 experiment -----------------------
+
+struct ContState {
+  CthreadRuntime* rt = nullptr;
+  char event = 0;
+  int rounds_left = 0;
+  int resumed = 0;
+};
+
+ContState* g_cont_state = nullptr;
+
+// Scratch contents while blocked (fits the 28-byte budget).
+struct __attribute__((packed)) ContScratch {
+  int remaining;
+};
+
+void ServerContinuation() {
+  ContState* st = g_cont_state;
+  Cthread* self = st->rt->Current();
+  auto& sc = self->Scratch<ContScratch>();
+  ++st->resumed;
+  if (sc.remaining > 0) {
+    sc.remaining -= 1;
+    st->rt->WaitWithContinuation(&st->event, &ServerContinuation);
+  }
+  st->rt->Exit();
+}
+
+void ContinuationServer(void* arg) {
+  auto* st = static_cast<ContState*>(arg);
+  Cthread* self = st->rt->Current();
+  self->Scratch<ContScratch>().remaining = st->rounds_left;
+  st->rt->WaitWithContinuation(&st->event, &ServerContinuation);
+}
+
+void ContinuationDriver(void* arg) {
+  auto* st = static_cast<ContState*>(arg);
+  for (int i = 0; i <= st->rounds_left; ++i) {
+    st->rt->Notify(&st->event);
+    st->rt->Yield();
+  }
+}
+
+TEST(CthreadsTest, ContinuationBlockingDiscardsStacks) {
+  CthreadRuntime::Config config;
+  config.stack_cache_limit = 4;
+  CthreadRuntime rt(config);
+  ContState st;
+  st.rt = &rt;
+  st.rounds_left = 50;
+  g_cont_state = &st;
+  rt.Spawn(&ContinuationServer, &st);
+  rt.Spawn(&ContinuationDriver, &st);
+  rt.Run();
+  EXPECT_EQ(st.resumed, 51);
+  EXPECT_EQ(rt.stats().discards, 51u);
+  // While the server was parked with a continuation, only the driver's
+  // stack existed: the package never needed more than 2 stacks at once.
+  EXPECT_LE(rt.stats().max_stacks_in_use, 2u);
+  // And the cache meant almost no fresh allocations despite 50+ discards.
+  EXPECT_LE(rt.stats().stacks_created, 3u);
+}
+
+TEST(CthreadsTest, ManyBlockedContinuationThreadsUseNoStacks) {
+  CthreadRuntime rt;
+  static CthreadRuntime* s_rt;
+  static char s_event;
+  s_rt = &rt;
+  for (int i = 0; i < 200; ++i) {
+    rt.Spawn(
+        [](void*) {
+          s_rt->WaitWithContinuation(&s_event, []() { s_rt->Exit(); });
+        },
+        nullptr);
+  }
+  rt.Run();  // Everyone parks.
+  EXPECT_EQ(rt.stats().stacks_in_use, 0u);  // 200 blocked threads, zero stacks.
+  EXPECT_TRUE(rt.HasLiveThreads());
+  rt.Notify(&s_event);
+  rt.Run();
+  EXPECT_FALSE(rt.HasLiveThreads());
+}
+
+// --- Mutex / condition variables ---------------------------------------------
+
+struct BankState {
+  CthreadRuntime* rt = nullptr;
+  CthreadMutex* mutex = nullptr;
+  long balance = 0;
+  int per_thread = 0;
+  long max_seen_inside = 0;
+};
+
+void BankWorker(void* arg) {
+  auto* st = static_cast<BankState*>(arg);
+  for (int i = 0; i < st->per_thread; ++i) {
+    st->mutex->Lock();
+    long before = st->balance;
+    st->rt->Yield();  // Try to break atomicity: the lock must protect us.
+    st->balance = before + 1;
+    st->mutex->Unlock();
+  }
+}
+
+TEST(CthreadSyncTest, MutexProtectsCriticalSection) {
+  CthreadRuntime rt;
+  CthreadMutex mutex(rt);
+  BankState st;
+  st.rt = &rt;
+  st.mutex = &mutex;
+  st.per_thread = 100;
+  for (int i = 0; i < 4; ++i) {
+    rt.Spawn(&BankWorker, &st);
+  }
+  rt.Run();
+  EXPECT_EQ(st.balance, 400);
+  EXPECT_FALSE(mutex.held());
+}
+
+struct QueueState {
+  CthreadRuntime* rt = nullptr;
+  CthreadMutex* mutex = nullptr;
+  CthreadCondition* not_empty = nullptr;
+  int queued = 0;
+  int produced = 0;
+  int consumed = 0;
+  int target = 0;
+  bool done = false;
+};
+
+void CondProducer(void* arg) {
+  auto* st = static_cast<QueueState*>(arg);
+  for (int i = 0; i < st->target; ++i) {
+    st->mutex->Lock();
+    ++st->queued;
+    ++st->produced;
+    st->not_empty->Signal();
+    st->mutex->Unlock();
+    st->rt->Yield();
+  }
+  st->mutex->Lock();
+  st->done = true;
+  st->not_empty->Broadcast();
+  st->mutex->Unlock();
+}
+
+void CondConsumer(void* arg) {
+  auto* st = static_cast<QueueState*>(arg);
+  for (;;) {
+    st->mutex->Lock();
+    while (st->queued == 0 && !st->done) {
+      st->not_empty->Wait(*st->mutex);
+    }
+    if (st->queued == 0 && st->done) {
+      st->mutex->Unlock();
+      return;
+    }
+    --st->queued;
+    ++st->consumed;
+    st->mutex->Unlock();
+  }
+}
+
+TEST(CthreadSyncTest, ConditionVariableProducerConsumer) {
+  CthreadRuntime rt;
+  CthreadMutex mutex(rt);
+  CthreadCondition not_empty(rt);
+  QueueState st;
+  st.rt = &rt;
+  st.mutex = &mutex;
+  st.not_empty = &not_empty;
+  st.target = 150;
+  rt.Spawn(&CondConsumer, &st);
+  rt.Spawn(&CondConsumer, &st);
+  rt.Spawn(&CondProducer, &st);
+  rt.Run();
+  EXPECT_EQ(st.produced, 150);
+  EXPECT_EQ(st.consumed, 150);
+  EXPECT_EQ(st.queued, 0);
+}
+
+}  // namespace
+}  // namespace mkc

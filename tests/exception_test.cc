@@ -1,0 +1,147 @@
+// Integration tests for exception handling via a user-level exception server.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/exc/exception.h"
+#include "src/ipc/ipc_space.h"
+#include "src/ipc/mach_msg.h"
+#include "src/kern/kernel.h"
+#include "src/task/task.h"
+#include "src/task/usermode.h"
+
+namespace mkc {
+namespace {
+
+struct ExcFixtureState {
+  PortId exc_port = kInvalidPort;
+  int exceptions_to_raise = 0;
+  int server_handled = 0;
+  int faulter_completed = 0;
+  std::uint64_t last_code = 0;
+  bool refuse = false;  // Server replies "unhandled".
+};
+
+// Exception server: the paper's MS-DOS-emulator pattern — a thread in the
+// same address space catching the emulated program's faults.
+void ExceptionServer(void* arg) {
+  auto* st = static_cast<ExcFixtureState*>(arg);
+  UserMessage msg;
+  ASSERT_EQ(UserServeOnce(&msg, 0, st->exc_port), KernReturn::kSuccess);
+  for (;;) {
+    ASSERT_EQ(msg.header.msg_id, kExcRequestMsgId);
+    ExcRequestBody req;
+    std::memcpy(&req, msg.body, sizeof(req));
+    st->last_code = req.code;
+    ++st->server_handled;
+
+    ExcReplyBody reply;
+    reply.handled = st->refuse ? 0 : 1;
+    msg.header.dest = req.reply_port;
+    msg.header.msg_id = kExcReplyMsgId;
+    std::memcpy(msg.body, &reply, sizeof(reply));
+    ASSERT_EQ(UserServeOnce(&msg, sizeof(reply), st->exc_port), KernReturn::kSuccess);
+  }
+}
+
+void FaultingThread(void* arg) {
+  auto* st = static_cast<ExcFixtureState*>(arg);
+  ASSERT_EQ(UserSetExceptionPort(st->exc_port), KernReturn::kSuccess);
+  for (int i = 0; i < st->exceptions_to_raise; ++i) {
+    UserRaiseException(kExcPrivilegedInstruction);
+  }
+  ++st->faulter_completed;
+}
+
+class ExcModelTest : public testing::TestWithParam<ControlTransferModel> {};
+
+TEST_P(ExcModelTest, ExceptionRpcRoundTrip) {
+  KernelConfig config;
+  config.model = GetParam();
+  Kernel kernel(config);
+  Task* task = kernel.CreateTask("emulated");
+  ExcFixtureState st;
+  st.exc_port = kernel.ipc().AllocatePort(task);
+  st.exceptions_to_raise = 100;
+  ThreadOptions daemon;
+  daemon.daemon = true;
+  kernel.CreateUserThread(task, &ExceptionServer, &st, daemon);
+  kernel.CreateUserThread(task, &FaultingThread, &st);
+  kernel.Run();
+
+  EXPECT_EQ(st.faulter_completed, 1);
+  EXPECT_EQ(st.server_handled, 100);
+  EXPECT_EQ(st.last_code, kExcPrivilegedInstruction);
+  EXPECT_EQ(kernel.exc_stats().raised, 100u);
+  EXPECT_EQ(kernel.exc_stats().replies, 100u);
+
+  if (kernel.UsesContinuations()) {
+    // Both directions take the fast path once the server is parked.
+    EXPECT_GT(kernel.exc_stats().fast_deliveries, 90u);
+    EXPECT_GT(kernel.exc_stats().fast_replies, 90u);
+    // Exception blocks discard stacks.
+    const auto& row =
+        kernel.transfer_stats().by_reason[static_cast<int>(BlockReason::kException)];
+    EXPECT_GT(row.blocks, 0u);
+    EXPECT_EQ(row.discards, row.blocks);
+  }
+}
+
+TEST_P(ExcModelTest, UnhandledExceptionTerminatesThread) {
+  KernelConfig config;
+  config.model = GetParam();
+  Kernel kernel(config);
+  Task* task = kernel.CreateTask("emulated");
+  ExcFixtureState st;
+  st.exc_port = kernel.ipc().AllocatePort(task);
+  st.exceptions_to_raise = 5;
+  st.refuse = true;
+  ThreadOptions daemon;
+  daemon.daemon = true;
+  kernel.CreateUserThread(task, &ExceptionServer, &st, daemon);
+  kernel.CreateUserThread(task, &FaultingThread, &st);
+  kernel.Run();
+
+  // The first refused exception killed the faulting thread.
+  EXPECT_EQ(st.server_handled, 1);
+  EXPECT_EQ(st.faulter_completed, 0);
+  EXPECT_EQ(kernel.exc_stats().unhandled, 1u);
+}
+
+TEST_P(ExcModelTest, NoExceptionPortTerminatesThread) {
+  KernelConfig config;
+  config.model = GetParam();
+  Kernel kernel(config);
+  Task* task = kernel.CreateTask("bare");
+  static int completed;
+  completed = 0;
+  kernel.CreateUserThread(
+      task,
+      [](void*) {
+        UserRaiseException(kExcSoftware);
+        ++completed;  // Unreachable: no server registered.
+      },
+      nullptr);
+  kernel.Run();
+  EXPECT_EQ(completed, 0);
+  EXPECT_EQ(kernel.exc_stats().unhandled, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ExcModelTest,
+                         testing::Values(ControlTransferModel::kMach25,
+                                         ControlTransferModel::kMK32,
+                                         ControlTransferModel::kMK40),
+                         [](const testing::TestParamInfo<ControlTransferModel>& info) {
+                           switch (info.param) {
+                             case ControlTransferModel::kMach25:
+                               return "Mach25";
+                             case ControlTransferModel::kMK32:
+                               return "MK32";
+                             case ControlTransferModel::kMK40:
+                               return "MK40";
+                           }
+                           return "unknown";
+                         });
+
+}  // namespace
+}  // namespace mkc

@@ -1,0 +1,192 @@
+// Tests for the §4 extensions: LRPC-style user-continuation override,
+// upcalls, asynchronous I/O.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/ext/async_io.h"
+#include "src/ext/ext_state.h"
+#include "src/ipc/ipc_space.h"
+#include "src/ipc/mach_msg.h"
+#include "src/kern/kernel.h"
+#include "src/task/task.h"
+#include "src/task/usermode.h"
+
+namespace mkc {
+namespace {
+
+// --- LRPC-style override ----------------------------------------------------
+
+struct LrpcState {
+  int entries = 0;
+  int syscalls_to_make = 0;
+  std::uint64_t last_status = 0;
+};
+
+LrpcState* g_lrpc = nullptr;
+
+void OverrideTarget(std::uint64_t status) {
+  auto* st = g_lrpc;
+  st->last_status = status;
+  ++st->entries;
+  if (st->entries < st->syscalls_to_make) {
+    UserNullSyscall();  // Returns HERE again, on a fresh stack.
+  }
+  // Clear the override, then leave: the exit syscall itself must not jump
+  // back into us.
+  UserSetUserContinuation(nullptr);
+  UserThreadExit();
+}
+
+void LrpcThread(void* /*arg*/) {
+  UserSetUserContinuation(&OverrideTarget);
+  // Unreachable: the set call's own return goes to OverrideTarget.
+  ADD_FAILURE() << "override did not take effect";
+}
+
+TEST(UserContinuationOverrideTest, SyscallReturnsEnterOverride) {
+  KernelConfig config;
+  Kernel kernel(config);
+  Task* task = kernel.CreateTask("t");
+  LrpcState st;
+  st.syscalls_to_make = 5;
+  g_lrpc = &st;
+  kernel.CreateUserThread(task, &LrpcThread, nullptr);
+  kernel.Run();
+  EXPECT_EQ(st.entries, 5);
+  EXPECT_EQ(static_cast<KernReturn>(static_cast<std::uint32_t>(st.last_status)),
+            KernReturn::kSuccess);
+}
+
+// --- Upcalls -----------------------------------------------------------------
+
+struct UpcallState {
+  int delivered = 0;
+  std::uint64_t sum = 0;
+  int events = 0;
+};
+
+UpcallState* g_upcall = nullptr;
+
+void UpcallHandler(std::uint64_t payload) {
+  ++g_upcall->delivered;
+  g_upcall->sum += payload;
+  UserUpcallPark(&UpcallHandler);
+  UserThreadExit();
+}
+
+void ParkOnly(void* /*arg*/) { UserUpcallPark(&UpcallHandler); }
+
+void UpcallDriver(void* /*arg*/) {
+  for (int i = 1; i <= g_upcall->events; ++i) {
+    EXPECT_TRUE(UserUpcallTrigger(static_cast<std::uint64_t>(i)));
+    UserYield();
+  }
+}
+
+class UpcallModelTest : public testing::TestWithParam<ControlTransferModel> {};
+
+TEST_P(UpcallModelTest, TriggersDispatchParkedThreads) {
+  KernelConfig config;
+  config.model = GetParam();
+  Kernel kernel(config);
+  Task* task = kernel.CreateTask("t");
+  UpcallState st;
+  st.events = 50;
+  g_upcall = &st;
+  ThreadOptions daemon;
+  daemon.daemon = true;
+  kernel.CreateUserThread(task, &ParkOnly, nullptr, daemon);
+  kernel.CreateUserThread(task, &UpcallDriver, nullptr);
+  kernel.Run();
+  EXPECT_EQ(st.delivered, 50);
+  EXPECT_EQ(st.sum, 50ull * 51 / 2);
+  EXPECT_EQ(kernel.ext().upcalls.ParkedCount(), 1u);
+}
+
+TEST_P(UpcallModelTest, TriggerOnEmptyPoolFails) {
+  KernelConfig config;
+  config.model = GetParam();
+  Kernel kernel(config);
+  Task* task = kernel.CreateTask("t");
+  static bool delivered;
+  delivered = true;
+  kernel.CreateUserThread(
+      task, [](void*) { delivered = UserUpcallTrigger(7); }, nullptr);
+  kernel.Run();
+  EXPECT_FALSE(delivered);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, UpcallModelTest,
+                         testing::Values(ControlTransferModel::kMach25,
+                                         ControlTransferModel::kMK32,
+                                         ControlTransferModel::kMK40),
+                         [](const testing::TestParamInfo<ControlTransferModel>& info) {
+                           switch (info.param) {
+                             case ControlTransferModel::kMach25:
+                               return "Mach25";
+                             case ControlTransferModel::kMK32:
+                               return "MK32";
+                             case ControlTransferModel::kMK40:
+                               return "MK40";
+                           }
+                           return "unknown";
+                         });
+
+// --- Asynchronous I/O --------------------------------------------------------
+
+struct AioState {
+  PortId port = kInvalidPort;
+  int requests = 0;
+  int completions = 0;
+  std::uint64_t id_sum = 0;
+};
+
+void AioThread(void* arg) {
+  auto* st = static_cast<AioState*>(arg);
+  for (int i = 1; i <= st->requests; ++i) {
+    ASSERT_EQ(UserAsyncIoStart(st->port, static_cast<std::uint32_t>(i), 500),
+              KernReturn::kSuccess);
+  }
+  UserMessage msg;
+  for (int i = 0; i < st->requests; ++i) {
+    ASSERT_EQ(UserMachMsg(&msg, kMsgRcvOpt, 0, kMaxInlineBytes, st->port),
+              KernReturn::kSuccess);
+    ASSERT_EQ(msg.header.msg_id, kAsyncIoDoneMsgId);
+    AsyncIoDoneBody body;
+    std::memcpy(&body, msg.body, sizeof(body));
+    st->id_sum += body.request_id;
+    ++st->completions;
+  }
+}
+
+TEST(AsyncIoTest, AllCompletionsArrive) {
+  KernelConfig config;
+  Kernel kernel(config);
+  Task* task = kernel.CreateTask("t");
+  AioState st;
+  st.port = kernel.ipc().AllocatePort(task);
+  st.requests = 32;
+  kernel.CreateUserThread(task, &AioThread, &st);
+  kernel.Run();
+  EXPECT_EQ(st.completions, 32);
+  EXPECT_EQ(st.id_sum, 32ull * 33 / 2);
+  const auto& aio = GetAsyncIoStats(kernel);
+  EXPECT_EQ(aio.started, 32u);
+  EXPECT_EQ(aio.completed, 32u);
+  EXPECT_EQ(aio.notify_dropped, 0u);
+}
+
+TEST(AsyncIoTest, InvalidPortRejected) {
+  KernelConfig config;
+  Kernel kernel(config);
+  Task* task = kernel.CreateTask("t");
+  static KernReturn kr;
+  kernel.CreateUserThread(
+      task, [](void*) { kr = UserAsyncIoStart(kInvalidPort, 1, 10); }, nullptr);
+  kernel.Run();
+  EXPECT_EQ(kr, KernReturn::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace mkc

@@ -1,0 +1,240 @@
+// Lifecycle and robustness tests: thread exit storms, the reaper, port
+// death with blocked waiters, repeated runs, daemon semantics.
+#include <gtest/gtest.h>
+
+#include "src/core/control.h"
+#include "src/ipc/ipc_space.h"
+#include "src/ipc/mach_msg.h"
+#include "src/kern/kernel.h"
+#include "src/task/task.h"
+#include "src/task/usermode.h"
+
+namespace mkc {
+namespace {
+
+class LifecycleModelTest : public testing::TestWithParam<ControlTransferModel> {
+ protected:
+  KernelConfig Config() {
+    KernelConfig config;
+    config.model = GetParam();
+    config.user_stack_bytes = 32 * 1024;
+    return config;
+  }
+};
+
+TEST_P(LifecycleModelTest, ExitStormIsFullyReaped) {
+  Kernel kernel(Config());
+  Task* task = kernel.CreateTask("storm");
+  static int exited;
+  exited = 0;
+  for (int i = 0; i < 300; ++i) {
+    kernel.CreateUserThread(
+        task,
+        [](void*) {
+          UserNullSyscall();
+          ++exited;
+        },
+        nullptr);
+  }
+  kernel.Run();
+  EXPECT_EQ(exited, 300);
+  // The reaper freed every dead thread's resources: no kernel stacks remain
+  // on halted threads, no user stacks linger.
+  for (const auto& t : kernel.threads()) {
+    if (t->state == ThreadState::kHalted) {
+      EXPECT_EQ(t->kernel_stack, nullptr) << "thread " << t->id;
+      EXPECT_EQ(t->md.user_stack, nullptr) << "thread " << t->id;
+    }
+  }
+  EXPECT_EQ(kernel.live_threads(), 0u);
+}
+
+TEST_P(LifecycleModelTest, ThreadsSpawningThreads) {
+  Kernel kernel(Config());
+  Task* task = kernel.CreateTask("tree");
+  static int leaves;
+  static int depth_limit;
+  leaves = 0;
+  depth_limit = 4;
+  struct Spawner {
+    static void Run(void* arg) {
+      auto depth = reinterpret_cast<std::uintptr_t>(arg);
+      if (depth >= static_cast<std::uintptr_t>(depth_limit)) {
+        ++leaves;
+        return;
+      }
+      UserThreadCreate(&Spawner::Run, reinterpret_cast<void*>(depth + 1));
+      UserThreadCreate(&Spawner::Run, reinterpret_cast<void*>(depth + 1));
+      UserYield();
+    }
+  };
+  kernel.CreateUserThread(task, &Spawner::Run, reinterpret_cast<void*>(0));
+  kernel.Run();
+  EXPECT_EQ(leaves, 16);  // 2^4 leaves of the spawn tree.
+}
+
+TEST_P(LifecycleModelTest, PortDeathWakesBlockedReceivers) {
+  Kernel kernel(Config());
+  Task* task = kernel.CreateTask("t");
+  static PortId port;
+  static KernReturn results[3];
+  port = kernel.ipc().AllocatePort(task);
+  ThreadOptions daemon;
+  daemon.daemon = true;
+  for (int i = 0; i < 3; ++i) {
+    static int idx_store[3];
+    idx_store[i] = i;
+    kernel.CreateUserThread(
+        task,
+        [](void* arg) {
+          int idx = *static_cast<int*>(arg);
+          UserMessage msg;
+          results[idx] = UserMachMsg(&msg, kMsgRcvOpt, 0, kMaxInlineBytes, port);
+        },
+        &idx_store[i], daemon);
+  }
+  kernel.CreateUserThread(
+      task,
+      [](void*) {
+        UserYield();  // Let the receivers park first.
+        UserPortDestroy(port);
+      },
+      nullptr);
+  kernel.Run();
+  for (KernReturn r : results) {
+    EXPECT_EQ(r, KernReturn::kRcvPortDied);
+  }
+}
+
+TEST_P(LifecycleModelTest, PortDeathFailsBlockedSenders) {
+  KernelConfig config = Config();
+  Kernel kernel(config);
+  Task* task = kernel.CreateTask("t");
+  static PortId port;
+  static KernReturn sender_result;
+  static int sent;
+  port = kernel.ipc().AllocatePort(task);
+  sent = 0;
+  sender_result = KernReturn::kSuccess;
+  kernel.CreateUserThread(
+      task,
+      [](void*) {
+        UserMessage msg;
+        msg.header.dest = port;
+        // Flood past the queue limit (64) so we block, then the port dies.
+        for (int i = 0; i < 100; ++i) {
+          KernReturn kr = UserMachMsg(&msg, kMsgSendOpt, 8, 0, kInvalidPort);
+          if (kr != KernReturn::kSuccess) {
+            sender_result = kr;
+            return;
+          }
+          ++sent;
+        }
+      },
+      nullptr);
+  kernel.CreateUserThread(
+      task,
+      [](void*) {
+        UserYield();  // Let the sender fill the queue and block.
+        UserPortDestroy(port);
+      },
+      nullptr);
+  kernel.Run();
+  EXPECT_EQ(sender_result, KernReturn::kSendInvalidDest);
+  EXPECT_GE(sent, 64);
+  EXPECT_EQ(kernel.ipc().kmsg_in_flight(), 0u);  // Queued messages reclaimed.
+}
+
+TEST_P(LifecycleModelTest, ManySequentialRunsReuseTheMachine) {
+  Kernel kernel(Config());
+  Task* task = kernel.CreateTask("t");
+  static int total;
+  total = 0;
+  for (int round = 0; round < 10; ++round) {
+    kernel.CreateUserThread(
+        task,
+        [](void*) {
+          UserNullSyscall();
+          ++total;
+        },
+        nullptr);
+    kernel.Run();
+    EXPECT_EQ(total, round + 1);
+  }
+  // Virtual time and stats accumulate monotonically across runs.
+  EXPECT_GT(kernel.clock().Now(), 0u);
+}
+
+TEST_P(LifecycleModelTest, DaemonsAloneDoNotKeepTheKernelRunning) {
+  Kernel kernel(Config());
+  Task* task = kernel.CreateTask("t");
+  static PortId port;
+  port = kernel.ipc().AllocatePort(task);
+  ThreadOptions daemon;
+  daemon.daemon = true;
+  kernel.CreateUserThread(
+      task,
+      [](void*) {
+        UserMessage msg;
+        UserMachMsg(&msg, kMsgRcvOpt, 0, kMaxInlineBytes, port);  // Parks forever.
+      },
+      nullptr, daemon);
+  // No liveness-holding thread at all: Run returns immediately after the
+  // daemon parks.
+  kernel.Run();
+  EXPECT_EQ(kernel.live_threads(), 0u);
+  // The daemon is still parked, waiting across runs.
+  int waiting = 0;
+  for (const auto& t : kernel.threads()) {
+    if (t->state == ThreadState::kWaiting && !t->is_internal && !t->is_idle) {
+      ++waiting;
+    }
+  }
+  EXPECT_EQ(waiting, 1);
+}
+
+TEST_P(LifecycleModelTest, CrossRunMessageDelivery) {
+  // A message sent in run 1 is received in run 2: kernel state persists.
+  Kernel kernel(Config());
+  Task* task = kernel.CreateTask("t");
+  static PortId port;
+  static KernReturn rcv;
+  port = kernel.ipc().AllocatePort(task);
+  kernel.CreateUserThread(
+      task,
+      [](void*) {
+        UserMessage msg;
+        msg.header.dest = port;
+        UserMachMsg(&msg, kMsgSendOpt, 8, 0, kInvalidPort);
+      },
+      nullptr);
+  kernel.Run();
+  kernel.CreateUserThread(
+      task,
+      [](void*) {
+        UserMessage msg;
+        rcv = UserMachMsg(&msg, kMsgRcvOpt, 0, kMaxInlineBytes, port);
+      },
+      nullptr);
+  kernel.Run();
+  EXPECT_EQ(rcv, KernReturn::kSuccess);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, LifecycleModelTest,
+                         testing::Values(ControlTransferModel::kMach25,
+                                         ControlTransferModel::kMK32,
+                                         ControlTransferModel::kMK40),
+                         [](const testing::TestParamInfo<ControlTransferModel>& info) {
+                           switch (info.param) {
+                             case ControlTransferModel::kMach25:
+                               return "Mach25";
+                             case ControlTransferModel::kMK32:
+                               return "MK32";
+                             case ControlTransferModel::kMK40:
+                               return "MK40";
+                           }
+                           return "unknown";
+                         });
+
+}  // namespace
+}  // namespace mkc

@@ -1,0 +1,172 @@
+// Machine-layer tests: trap register-save policies, scratch-area typing,
+// kernel stack ownership through the machdep interface, trace of the
+// machine events.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/ipc/ipc_space.h"
+#include "src/kern/kernel.h"
+#include "src/machine/cost_model.h"
+#include "src/machine/md_state.h"
+#include "src/task/task.h"
+#include "src/task/usermode.h"
+
+namespace mkc {
+namespace {
+
+// The MK40 entry must copy the callee-saved slice of the user register file
+// into the MD save area; the exit must restore it (§3.3).
+TEST(TrapPolicyTest, Mk40EntrySavesCalleeSavedRegisters) {
+  KernelConfig config;  // MK40.
+  Kernel kernel(config);
+  Task* task = kernel.CreateTask("t");
+  static Thread* probe;
+  Thread* t = kernel.CreateUserThread(
+      task,
+      [](void*) {
+        Thread* self = CurrentThread();
+        probe = self;
+        // Seed recognizable values into the callee-saved registers.
+        for (int i = 0; i < kCalleeSavedRegs; ++i) {
+          self->md.user_regs[kFullRegisterFileWords - kCalleeSavedRegs + i] =
+              0xabc000 + static_cast<std::uint64_t>(i);
+        }
+        UserNullSyscall();
+      },
+      nullptr);
+  (void)t;
+  kernel.Run();
+  for (int i = 0; i < kCalleeSavedRegs; ++i) {
+    EXPECT_EQ(probe->md.callee_saved_area[i], 0xabc000 + static_cast<std::uint64_t>(i))
+        << "slot " << i;
+  }
+  // Accounting saw the policy too.
+  const auto& entry = kernel.cost_model().Get(CostOp::kSyscallEntry);
+  EXPECT_GT(entry.calls, 0u);
+  EXPECT_EQ(entry.word_stores / entry.calls,
+            static_cast<std::uint64_t>(kBasicTrapFrameWords + kCalleeSavedRegs));
+}
+
+TEST(TrapPolicyTest, Mk32EntrySkipsCalleeSavedRegisters) {
+  KernelConfig config;
+  config.model = ControlTransferModel::kMK32;
+  Kernel kernel(config);
+  Task* task = kernel.CreateTask("t");
+  kernel.CreateUserThread(
+      task, [](void*) { UserNullSyscall(); }, nullptr);
+  kernel.Run();
+  const auto& entry = kernel.cost_model().Get(CostOp::kSyscallEntry);
+  EXPECT_GT(entry.calls, 0u);
+  EXPECT_EQ(entry.word_stores / entry.calls,
+            static_cast<std::uint64_t>(kBasicTrapFrameWords + 4));
+}
+
+TEST(TrapPolicyTest, ExceptionsSaveFullRegisterFileInBothModels) {
+  for (ControlTransferModel model :
+       {ControlTransferModel::kMK40, ControlTransferModel::kMK32}) {
+    KernelConfig config;
+    config.model = model;
+    Kernel kernel(config);
+    Task* task = kernel.CreateTask("t");
+    kernel.CreateUserThread(
+        task, [](void*) { UserWork(1); }, nullptr);
+    // Drive one preemption-style trap: need a competitor.
+    kernel.CreateUserThread(
+        task,
+        [](void*) {
+          for (int i = 0; i < 5; ++i) {
+            UserWork(20000);  // Exceeds the quantum: preempt trap (interrupt class).
+          }
+        },
+        nullptr);
+    kernel.Run();
+    const auto& exc_entry = kernel.cost_model().Get(CostOp::kExceptionEntry);
+    if (exc_entry.calls > 0) {
+      EXPECT_EQ(exc_entry.word_loads / exc_entry.calls,
+                static_cast<std::uint64_t>(kFullRegisterFileWords))
+          << ModelName(model);
+    }
+  }
+}
+
+// Scratch-area typing: anything over 28 bytes must be rejected at compile
+// time. (Compile-tested via static_asserts inside Scratch<T>; here we check
+// the boundary type works and aliases correctly.)
+struct __attribute__((packed)) MaxScratch {
+  std::uint8_t bytes[kScratchBytes];
+};
+
+TEST(ScratchTest, FullWidthStateRoundTrips) {
+  Thread t;
+  auto& s = t.Scratch<MaxScratch>();
+  for (std::size_t i = 0; i < kScratchBytes; ++i) {
+    s.bytes[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  const auto& again = t.Scratch<MaxScratch>();
+  for (std::size_t i = 0; i < kScratchBytes; ++i) {
+    EXPECT_EQ(again.bytes[i], static_cast<std::uint8_t>(i * 7));
+  }
+}
+
+TEST(ScratchTest, ScratchAreaIsExactly28Bytes) {
+  // The paper's number, preserved exactly.
+  EXPECT_EQ(kScratchBytes, 28u);
+  Thread t;
+  EXPECT_EQ(sizeof(t.scratch), 28u);
+}
+
+// Machine cycles are charged monotonically and survive ResetStats (the
+// virtual clock never runs backwards).
+TEST(CycleChargeTest, KernelWorkAdvancesVirtualTime) {
+  KernelConfig config;
+  Kernel kernel(config);
+  Task* task = kernel.CreateTask("t");
+  kernel.CreateUserThread(
+      task,
+      [](void*) {
+        for (int i = 0; i < 100; ++i) {
+          UserNullSyscall();
+        }
+      },
+      nullptr);
+  Ticks before = kernel.clock().Now();
+  std::uint64_t cycles_before = kernel.machine_cycles();
+  kernel.Run();
+  EXPECT_GT(kernel.clock().Now(), before);
+  EXPECT_GT(kernel.machine_cycles(), cycles_before);
+  // 100 null syscalls at ~99 cycles each, plus boot/idle overhead.
+  EXPECT_GT(kernel.machine_cycles(), 100ull * 90);
+}
+
+// The stack pool's canary catches a guest kernel-stack overflow when the
+// stack is recycled.
+TEST(MachineDeathTest, GuestStackOverflowIsCaught) {
+
+  EXPECT_DEATH(
+      {
+        KernelConfig config;
+        config.kernel_stack_bytes = 8 * 1024;  // Small but valid.
+        Kernel kernel(config);
+        Task* task = kernel.CreateTask("t");
+        static PortId port;
+        port = kernel.ipc().AllocatePort(task);
+        kernel.CreateUserThread(
+            task,
+            [](void*) {
+              // Clobber the canary through the machine layer's back door,
+              // then block with a continuation: the discard recycles the
+              // stack through the pool, which checks the canary.
+              Thread* self = CurrentThread();
+              std::memset(self->kernel_stack->base(), 0x41, 64);
+              UserMessage msg;
+              UserMachMsg(&msg, kMsgRcvOpt, 0, kMaxInlineBytes, port, /*timeout=*/100);
+            },
+            nullptr);
+        kernel.Run();
+      },
+      "canary|overflow");
+}
+
+}  // namespace
+}  // namespace mkc

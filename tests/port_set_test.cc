@@ -1,0 +1,192 @@
+// Tests for port sets and receive timeouts.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "src/ipc/ipc_space.h"
+#include "src/ipc/mach_msg.h"
+#include "src/kern/kernel.h"
+#include "src/task/task.h"
+#include "src/task/usermode.h"
+
+namespace mkc {
+namespace {
+
+class PortSetModelTest : public testing::TestWithParam<ControlTransferModel> {
+ protected:
+  KernelConfig Config() {
+    KernelConfig config;
+    config.model = GetParam();
+    return config;
+  }
+};
+
+struct SetServerState {
+  PortId set = kInvalidPort;
+  PortId members[3] = {};
+  int expected = 0;
+  int received = 0;
+  std::set<PortId> seen_dests;
+};
+
+void SetServer(void* arg) {
+  auto* st = static_cast<SetServerState*>(arg);
+  UserMessage msg;
+  for (int i = 0; i < st->expected; ++i) {
+    ASSERT_EQ(UserMachMsg(&msg, kMsgRcvOpt, 0, kMaxInlineBytes, st->set),
+              KernReturn::kSuccess);
+    st->seen_dests.insert(msg.header.dest);
+    ++st->received;
+  }
+}
+
+void SetClient(void* arg) {
+  auto* st = static_cast<SetServerState*>(arg);
+  UserMessage msg;
+  for (int round = 0; round < st->expected / 3; ++round) {
+    for (PortId member : st->members) {
+      msg.header.dest = member;
+      ASSERT_EQ(UserMachMsg(&msg, kMsgSendOpt, 16, 0, kInvalidPort), KernReturn::kSuccess);
+    }
+  }
+}
+
+TEST_P(PortSetModelTest, ReceiverOnSetGetsMessagesFromAllMembers) {
+  Kernel kernel(Config());
+  Task* task = kernel.CreateTask("t");
+  SetServerState st;
+  st.set = kernel.ipc().AllocatePortSet(task);
+  for (auto& m : st.members) {
+    m = kernel.ipc().AllocatePort(task);
+    ASSERT_EQ(kernel.ipc().AddToSet(m, st.set), KernReturn::kSuccess);
+  }
+  st.expected = 60;
+  kernel.CreateUserThread(task, &SetServer, &st);
+  kernel.CreateUserThread(task, &SetClient, &st);
+  kernel.Run();
+  EXPECT_EQ(st.received, 60);
+  // Messages from all three members were seen (header.dest identifies the
+  // member port the message was sent to).
+  EXPECT_EQ(st.seen_dests.size(), 3u);
+}
+
+TEST_P(PortSetModelTest, QueuedMessagesOnMembersDrainFairly) {
+  Kernel kernel(Config());
+  Task* task = kernel.CreateTask("t");
+  static SetServerState st;
+  st = SetServerState{};
+  st.set = kernel.ipc().AllocatePortSet(task);
+  for (auto& m : st.members) {
+    m = kernel.ipc().AllocatePort(task);
+    ASSERT_EQ(kernel.ipc().AddToSet(m, st.set), KernReturn::kSuccess);
+  }
+  st.expected = 30;
+  // Sender first: everything queues before the receiver ever looks.
+  kernel.CreateUserThread(task, &SetClient, &st);
+  kernel.CreateUserThread(task, &SetServer, &st);
+  kernel.Run();
+  EXPECT_EQ(st.received, 30);
+  EXPECT_EQ(st.seen_dests.size(), 3u);
+}
+
+TEST_P(PortSetModelTest, SetMembershipRules) {
+  Kernel kernel(Config());
+  Task* task = kernel.CreateTask("t");
+  PortId set1 = kernel.ipc().AllocatePortSet(task);
+  PortId set2 = kernel.ipc().AllocatePortSet(task);
+  PortId port = kernel.ipc().AllocatePort(task);
+
+  EXPECT_EQ(kernel.ipc().AddToSet(port, set1), KernReturn::kSuccess);
+  // Already in a set.
+  EXPECT_EQ(kernel.ipc().AddToSet(port, set2), KernReturn::kInvalidRight);
+  // A set cannot join a set.
+  EXPECT_EQ(kernel.ipc().AddToSet(set2, set1), KernReturn::kInvalidName);
+  // Adding to a non-set fails.
+  PortId plain = kernel.ipc().AllocatePort(task);
+  EXPECT_EQ(kernel.ipc().AddToSet(plain, port), KernReturn::kInvalidName);
+
+  EXPECT_EQ(kernel.ipc().RemoveFromSet(port), KernReturn::kSuccess);
+  EXPECT_EQ(kernel.ipc().RemoveFromSet(port), KernReturn::kInvalidName);
+  EXPECT_EQ(kernel.ipc().AddToSet(port, set2), KernReturn::kSuccess);
+}
+
+struct TimeoutState {
+  PortId port = kInvalidPort;
+  KernReturn result = KernReturn::kSuccess;
+  Ticks waited = 0;
+};
+
+void TimeoutReceiver(void* arg) {
+  auto* st = static_cast<TimeoutState*>(arg);
+  UserMessage msg;
+  Ticks before = ActiveKernel().clock().Now();
+  st->result = UserMachMsg(&msg, kMsgRcvOpt, 0, kMaxInlineBytes, st->port,
+                           /*timeout=*/5000);
+  st->waited = ActiveKernel().clock().Now() - before;
+}
+
+TEST_P(PortSetModelTest, ReceiveTimesOutWhenNothingArrives) {
+  Kernel kernel(Config());
+  Task* task = kernel.CreateTask("t");
+  TimeoutState st;
+  st.port = kernel.ipc().AllocatePort(task);
+  kernel.CreateUserThread(task, &TimeoutReceiver, &st);
+  kernel.Run();
+  EXPECT_EQ(st.result, KernReturn::kRcvTimedOut);
+  EXPECT_GE(st.waited, 5000u);
+}
+
+struct TimelySendState {
+  PortId port = kInvalidPort;
+  KernReturn rcv_result = KernReturn::kFailure;
+};
+
+TEST_P(PortSetModelTest, MessageBeforeDeadlineBeatsTheTimeout) {
+  Kernel kernel(Config());
+  Task* task = kernel.CreateTask("t");
+  static TimelySendState st;
+  st = TimelySendState{};
+  st.port = kernel.ipc().AllocatePort(task);
+  kernel.CreateUserThread(
+      task,
+      [](void*) {
+        UserMessage msg;
+        st.rcv_result = UserMachMsg(&msg, kMsgRcvOpt, 0, kMaxInlineBytes, st.port,
+                                    /*timeout=*/100000);
+      },
+      nullptr);
+  kernel.CreateUserThread(
+      task,
+      [](void*) {
+        UserWork(500);
+        UserMessage msg;
+        msg.header.dest = st.port;
+        UserMachMsg(&msg, kMsgSendOpt, 8, 0, kInvalidPort);
+        // Let virtual time roll past the receiver's deadline: the stale
+        // timeout must not fire on the completed wait.
+        UserWork(200000);
+      },
+      nullptr);
+  kernel.Run();
+  EXPECT_EQ(st.rcv_result, KernReturn::kSuccess);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, PortSetModelTest,
+                         testing::Values(ControlTransferModel::kMach25,
+                                         ControlTransferModel::kMK32,
+                                         ControlTransferModel::kMK40),
+                         [](const testing::TestParamInfo<ControlTransferModel>& info) {
+                           switch (info.param) {
+                             case ControlTransferModel::kMach25:
+                               return "Mach25";
+                             case ControlTransferModel::kMK32:
+                               return "MK32";
+                             case ControlTransferModel::kMK40:
+                               return "MK40";
+                           }
+                           return "unknown";
+                         });
+
+}  // namespace
+}  // namespace mkc

@@ -1,0 +1,113 @@
+// Unit tests for the intrusive queue.
+#include "src/base/queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mkc {
+namespace {
+
+struct Node {
+  int value = 0;
+  QueueEntry link;
+};
+
+using NodeQueue = IntrusiveQueue<Node, &Node::link>;
+
+TEST(QueueTest, FifoOrder) {
+  NodeQueue q;
+  Node nodes[4];
+  for (int i = 0; i < 4; ++i) {
+    nodes[i].value = i;
+    q.EnqueueTail(&nodes[i]);
+  }
+  EXPECT_EQ(q.Size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    Node* n = q.DequeueHead();
+    ASSERT_NE(n, nullptr);
+    EXPECT_EQ(n->value, i);
+  }
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(q.DequeueHead(), nullptr);
+}
+
+TEST(QueueTest, EnqueueHeadIsLifo) {
+  NodeQueue q;
+  Node a;
+  a.value = 1;
+  Node b;
+  b.value = 2;
+  q.EnqueueHead(&a);
+  q.EnqueueHead(&b);
+  EXPECT_EQ(q.DequeueHead()->value, 2);
+  EXPECT_EQ(q.DequeueHead()->value, 1);
+}
+
+TEST(QueueTest, RemoveFromMiddle) {
+  NodeQueue q;
+  Node nodes[3];
+  for (int i = 0; i < 3; ++i) {
+    nodes[i].value = i;
+    q.EnqueueTail(&nodes[i]);
+  }
+  q.Remove(&nodes[1]);
+  EXPECT_EQ(q.Size(), 2u);
+  EXPECT_FALSE(NodeQueue::OnAQueue(&nodes[1]));
+  EXPECT_EQ(q.DequeueHead()->value, 0);
+  EXPECT_EQ(q.DequeueHead()->value, 2);
+}
+
+TEST(QueueTest, LinkednessTracksMembership) {
+  NodeQueue q;
+  Node n;
+  EXPECT_FALSE(NodeQueue::OnAQueue(&n));
+  q.EnqueueTail(&n);
+  EXPECT_TRUE(NodeQueue::OnAQueue(&n));
+  q.DequeueHead();
+  EXPECT_FALSE(NodeQueue::OnAQueue(&n));
+}
+
+TEST(QueueTest, RemoveFirstIf) {
+  NodeQueue q;
+  Node nodes[5];
+  for (int i = 0; i < 5; ++i) {
+    nodes[i].value = i;
+    q.EnqueueTail(&nodes[i]);
+  }
+  Node* found = q.RemoveFirstIf([](Node* n) { return n->value % 2 == 1; });
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->value, 1);
+  EXPECT_EQ(q.RemoveFirstIf([](Node* n) { return n->value > 100; }), nullptr);
+  EXPECT_EQ(q.Size(), 4u);
+  while (q.DequeueHead() != nullptr) {
+  }
+}
+
+TEST(QueueTest, ForEachVisitsInOrder) {
+  NodeQueue q;
+  Node nodes[3];
+  for (int i = 0; i < 3; ++i) {
+    nodes[i].value = i * 10;
+    q.EnqueueTail(&nodes[i]);
+  }
+  std::vector<int> seen;
+  q.ForEach([&seen](Node* n) { seen.push_back(n->value); });
+  EXPECT_EQ(seen, (std::vector<int>{0, 10, 20}));
+  while (q.DequeueHead() != nullptr) {
+  }
+}
+
+TEST(QueueTest, PeekHeadDoesNotRemove) {
+  NodeQueue q;
+  Node n;
+  n.value = 7;
+  EXPECT_EQ(q.PeekHead(), nullptr);
+  q.EnqueueTail(&n);
+  EXPECT_EQ(q.PeekHead(), &n);
+  EXPECT_EQ(q.Size(), 1u);
+  q.DequeueHead();
+}
+
+}  // namespace
+}  // namespace mkc

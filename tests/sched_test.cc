@@ -1,0 +1,77 @@
+// Unit tests for the run queue.
+#include "src/kern/sched.h"
+
+#include <gtest/gtest.h>
+
+namespace mkc {
+namespace {
+
+TEST(RunQueueTest, HighestPriorityFirst) {
+  RunQueue rq;
+  Thread low, mid, high;
+  low.priority = 2;
+  mid.priority = 16;
+  high.priority = 30;
+  rq.Enqueue(&low);
+  rq.Enqueue(&high);
+  rq.Enqueue(&mid);
+  EXPECT_EQ(rq.DequeueBest(), &high);
+  EXPECT_EQ(rq.DequeueBest(), &mid);
+  EXPECT_EQ(rq.DequeueBest(), &low);
+  EXPECT_EQ(rq.DequeueBest(), nullptr);
+}
+
+TEST(RunQueueTest, FifoWithinPriority) {
+  RunQueue rq;
+  Thread a, b, c;
+  a.priority = b.priority = c.priority = 10;
+  rq.Enqueue(&a);
+  rq.Enqueue(&b);
+  rq.Enqueue(&c);
+  EXPECT_EQ(rq.DequeueBest(), &a);
+  EXPECT_EQ(rq.DequeueBest(), &b);
+  EXPECT_EQ(rq.DequeueBest(), &c);
+}
+
+TEST(RunQueueTest, EnqueueSetsRunnable) {
+  RunQueue rq;
+  Thread t;
+  t.state = ThreadState::kWaiting;
+  rq.Enqueue(&t);
+  EXPECT_EQ(t.state, ThreadState::kRunnable);
+  rq.DequeueBest();
+}
+
+TEST(RunQueueTest, RemoveSpecificThread) {
+  RunQueue rq;
+  Thread a, b;
+  a.priority = b.priority = 5;
+  rq.Enqueue(&a);
+  rq.Enqueue(&b);
+  rq.Remove(&a);
+  EXPECT_EQ(rq.count(), 1u);
+  EXPECT_EQ(rq.DequeueBest(), &b);
+  EXPECT_TRUE(rq.Empty());
+}
+
+TEST(RunQueueTest, BitmapClearsWhenLevelDrains) {
+  RunQueue rq;
+  Thread a, b;
+  a.priority = 31;
+  b.priority = 0;
+  rq.Enqueue(&a);
+  rq.Enqueue(&b);
+  EXPECT_EQ(rq.DequeueBest(), &a);
+  // Level 31 drained; the bitmap must now find level 0.
+  EXPECT_EQ(rq.DequeueBest(), &b);
+}
+
+TEST(RunQueueTest, IdleThreadRejected) {
+  RunQueue rq;
+  Thread idle;
+  idle.is_idle = true;
+  EXPECT_DEATH(rq.Enqueue(&idle), "idle thread");
+}
+
+}  // namespace
+}  // namespace mkc

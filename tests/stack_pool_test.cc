@@ -1,0 +1,68 @@
+// Unit tests for the kernel stack pool.
+#include "src/kern/stack_pool.h"
+
+#include <gtest/gtest.h>
+
+namespace mkc {
+namespace {
+
+TEST(StackPoolTest, AllocateFreeRoundTrip) {
+  StackPool pool(16 * 1024, /*cache_limit=*/4);
+  KernelStack* s = pool.Allocate();
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->size(), 16u * 1024);
+  EXPECT_EQ(pool.stats().in_use, 1u);
+  pool.Free(s);
+  EXPECT_EQ(pool.stats().in_use, 0u);
+}
+
+TEST(StackPoolTest, CacheServesRepeatAllocations) {
+  StackPool pool(16 * 1024, 4);
+  KernelStack* s = pool.Allocate();
+  pool.Free(s);
+  KernelStack* s2 = pool.Allocate();
+  EXPECT_EQ(s2, s);  // Same stack recycled.
+  EXPECT_EQ(pool.stats().cache_hits, 1u);
+  EXPECT_EQ(pool.stats().created, 1u);
+  pool.Free(s2);
+}
+
+TEST(StackPoolTest, CacheLimitBoundsRetention) {
+  StackPool pool(16 * 1024, 2);
+  KernelStack* stacks[4];
+  for (auto& s : stacks) {
+    s = pool.Allocate();
+  }
+  EXPECT_EQ(pool.stats().max_in_use, 4u);
+  for (auto* s : stacks) {
+    pool.Free(s);
+  }
+  // Two parked in the cache, two returned to the host.
+  EXPECT_EQ(pool.stats().destroyed, 2u);
+}
+
+TEST(StackPoolTest, SamplingTracksAverage) {
+  StackPool pool(16 * 1024, 4);
+  KernelStack* a = pool.Allocate();
+  pool.SampleInUse();  // 1
+  KernelStack* b = pool.Allocate();
+  pool.SampleInUse();  // 2
+  pool.SampleInUse();  // 2
+  EXPECT_NEAR(pool.stats().AverageInUse(), 5.0 / 3.0, 1e-9);
+  pool.Free(a);
+  pool.Free(b);
+}
+
+TEST(StackPoolTest, CanaryDetectsOverflow) {
+  StackPool pool(16 * 1024, 4);
+  KernelStack* s = pool.Allocate();
+  // Clobber the low end of the stack (the overflow direction).
+  *static_cast<std::uint64_t*>(s->base()) = 0x1234;
+  EXPECT_DEATH(pool.Free(s), "stack overflow");
+  // Repair so teardown passes.
+  *static_cast<std::uint64_t*>(s->base()) = 0xdeadc0dedeadc0deULL;
+  pool.Free(s);
+}
+
+}  // namespace
+}  // namespace mkc

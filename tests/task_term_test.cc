@@ -1,0 +1,236 @@
+// Tests for semaphores and task termination.
+#include <gtest/gtest.h>
+
+#include "src/ext/ext_state.h"
+#include "src/ipc/ipc_space.h"
+#include "src/ipc/mach_msg.h"
+#include "src/kern/kernel.h"
+#include "src/task/task.h"
+#include "src/task/usermode.h"
+
+namespace mkc {
+namespace {
+
+class SemModelTest : public testing::TestWithParam<ControlTransferModel> {
+ protected:
+  KernelConfig Config() {
+    KernelConfig config;
+    config.model = GetParam();
+    return config;
+  }
+};
+
+struct SemState {
+  std::uint32_t items = 0;   // Counts produced items.
+  std::uint32_t spaces = 0;  // Bounds the buffer.
+  int to_produce = 0;
+  int produced = 0;
+  int consumed = 0;
+  int buffer_fill = 0;
+  int max_fill = 0;
+};
+
+void Producer(void* arg) {
+  auto* st = static_cast<SemState*>(arg);
+  for (int i = 0; i < st->to_produce; ++i) {
+    ASSERT_EQ(UserSemWait(st->spaces), KernReturn::kSuccess);
+    ++st->buffer_fill;
+    st->max_fill = std::max(st->max_fill, st->buffer_fill);
+    ++st->produced;
+    ASSERT_EQ(UserSemSignal(st->items), KernReturn::kSuccess);
+    UserWork(10);
+  }
+}
+
+void Consumer(void* arg) {
+  auto* st = static_cast<SemState*>(arg);
+  for (int i = 0; i < st->to_produce; ++i) {
+    ASSERT_EQ(UserSemWait(st->items), KernReturn::kSuccess);
+    --st->buffer_fill;
+    ++st->consumed;
+    ASSERT_EQ(UserSemSignal(st->spaces), KernReturn::kSuccess);
+    UserWork(25);  // Slower consumer: the producer must block on spaces.
+  }
+}
+
+TEST_P(SemModelTest, BoundedBufferProducerConsumer) {
+  Kernel kernel(Config());
+  Task* task = kernel.CreateTask("t");
+  SemState st;
+  st.to_produce = 200;
+  st.items = kernel.ext().semaphores.Create(0);
+  st.spaces = kernel.ext().semaphores.Create(4);
+  kernel.CreateUserThread(task, &Producer, &st);
+  kernel.CreateUserThread(task, &Consumer, &st);
+  kernel.Run();
+  EXPECT_EQ(st.produced, 200);
+  EXPECT_EQ(st.consumed, 200);
+  EXPECT_LE(st.max_fill, 4);  // The bound held.
+  // Semaphore waits never discard the stack — §1.4's process-model case.
+  const auto& row =
+      kernel.transfer_stats().by_reason[static_cast<int>(BlockReason::kLockWait)];
+  EXPECT_GT(row.blocks, 0u);
+  EXPECT_EQ(row.discards, 0u);
+  EXPECT_GT(kernel.ext().semaphores.stats().blocking_waits, 0u);
+}
+
+TEST_P(SemModelTest, InvalidSemaphoreRejected) {
+  Kernel kernel(Config());
+  Task* task = kernel.CreateTask("t");
+  static KernReturn wait_kr, signal_kr;
+  kernel.CreateUserThread(
+      task,
+      [](void*) {
+        wait_kr = UserSemWait(999);
+        signal_kr = UserSemSignal(999);
+      },
+      nullptr);
+  kernel.Run();
+  EXPECT_EQ(wait_kr, KernReturn::kInvalidName);
+  EXPECT_EQ(signal_kr, KernReturn::kInvalidName);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, SemModelTest,
+                         testing::Values(ControlTransferModel::kMach25,
+                                         ControlTransferModel::kMK32,
+                                         ControlTransferModel::kMK40),
+                         [](const testing::TestParamInfo<ControlTransferModel>& info) {
+                           switch (info.param) {
+                             case ControlTransferModel::kMach25:
+                               return "Mach25";
+                             case ControlTransferModel::kMK32:
+                               return "MK32";
+                             case ControlTransferModel::kMK40:
+                               return "MK40";
+                           }
+                           return "unknown";
+                         });
+
+// --- Task termination ----------------------------------------------------------
+
+class TaskTermModelTest : public testing::TestWithParam<ControlTransferModel> {};
+
+struct TermState {
+  Task* victim = nullptr;
+  PortId victim_port = kInvalidPort;
+  std::uint32_t victim_sem = 0;
+  int victim_progress = 0;
+  KernReturn client_result = KernReturn::kSuccess;
+};
+
+TermState* g_term = nullptr;
+
+// Victim threads park in every kind of wait the kernel supports.
+void VictimReceiver(void* /*arg*/) {
+  UserMessage msg;
+  UserMachMsg(&msg, kMsgRcvOpt, 0, kMaxInlineBytes, g_term->victim_port);
+  ++g_term->victim_progress;  // Unreachable: the task dies first.
+}
+
+void VictimSemWaiter(void* /*arg*/) {
+  UserSemWait(g_term->victim_sem);
+  ++g_term->victim_progress;
+}
+
+void VictimSpinner(void* /*arg*/) {
+  for (;;) {
+    UserWork(200);
+    UserYield();
+  }
+}
+
+void VictimUpcallParker(void* /*arg*/) {
+  UserUpcallPark([](std::uint64_t) { UserThreadExit(); });
+}
+
+void Assassin(void* /*arg*/) {
+  // Let every victim thread park.
+  for (int i = 0; i < 8; ++i) {
+    UserYield();
+  }
+  ASSERT_EQ(UserTaskTerminate(g_term->victim), KernReturn::kSuccess);
+  // A send to the dead task's port now fails.
+  UserMessage msg;
+  msg.header.dest = g_term->victim_port;
+  g_term->client_result = UserMachMsg(&msg, kMsgSendOpt, 8, 0, kInvalidPort);
+}
+
+TEST_P(TaskTermModelTest, TerminationAbortsEveryWaitKind) {
+  KernelConfig config;
+  config.model = GetParam();
+  Kernel kernel(config);
+  Task* victim = kernel.CreateTask("victim");
+  Task* killer = kernel.CreateTask("killer");
+  static TermState st;
+  st = TermState{};
+  st.victim = victim;
+  st.victim_port = kernel.ipc().AllocatePort(victim);
+  st.victim_sem = kernel.ext().semaphores.Create(0);
+  g_term = &st;
+
+  ThreadOptions daemon;
+  daemon.daemon = true;
+  kernel.CreateUserThread(victim, &VictimReceiver, nullptr, daemon);
+  kernel.CreateUserThread(victim, &VictimSemWaiter, nullptr, daemon);
+  kernel.CreateUserThread(victim, &VictimSpinner, nullptr, daemon);
+  kernel.CreateUserThread(victim, &VictimUpcallParker, nullptr, daemon);
+  kernel.CreateUserThread(killer, &Assassin, nullptr);
+  kernel.Run();
+
+  EXPECT_EQ(st.victim_progress, 0);  // Nobody survived to make progress.
+  EXPECT_EQ(st.client_result, KernReturn::kSendInvalidDest);
+  EXPECT_TRUE(victim->dead);
+  victim->threads.ForEach(
+      [](Thread* t) { EXPECT_EQ(t->state, ThreadState::kHalted) << "thread " << t->id; });
+  EXPECT_EQ(kernel.ext().upcalls.ParkedCount(), 0u);
+}
+
+TEST_P(TaskTermModelTest, SelfTerminationKillsSiblings) {
+  KernelConfig config;
+  config.model = GetParam();
+  Kernel kernel(config);
+  Task* task = kernel.CreateTask("suicidal");
+  static int after_terminate;
+  after_terminate = 0;
+  ThreadOptions daemon;
+  daemon.daemon = true;
+  kernel.CreateUserThread(
+      task,
+      [](void*) {
+        for (;;) {
+          UserYield();
+          UserWork(50);
+        }
+      },
+      nullptr, daemon);
+  kernel.CreateUserThread(
+      task,
+      [](void*) {
+        UserYield();
+        UserTaskTerminate(nullptr);  // Self: never returns.
+        ++after_terminate;
+      },
+      nullptr);
+  kernel.Run();
+  EXPECT_EQ(after_terminate, 0);
+  EXPECT_TRUE(task->dead);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, TaskTermModelTest,
+                         testing::Values(ControlTransferModel::kMach25,
+                                         ControlTransferModel::kMK32,
+                                         ControlTransferModel::kMK40),
+                         [](const testing::TestParamInfo<ControlTransferModel>& info) {
+                           switch (info.param) {
+                             case ControlTransferModel::kMach25:
+                               return "Mach25";
+                             case ControlTransferModel::kMK32:
+                               return "MK32";
+                             case ControlTransferModel::kMK40:
+                               return "MK40";
+                           }
+                           return "unknown";
+                         });
+
+}  // namespace
+}  // namespace mkc

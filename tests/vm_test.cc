@@ -1,0 +1,245 @@
+// Integration tests for the VM system: faults, pageins, eviction, pressure.
+#include <gtest/gtest.h>
+
+#include "src/exc/exception.h"
+#include "src/kern/kernel.h"
+#include "src/task/task.h"
+#include "src/task/usermode.h"
+#include "src/vm/vm_system.h"
+
+namespace mkc {
+namespace {
+
+struct VmFixtureState {
+  VmSize region_bytes = 0;
+  bool paged = false;
+  int completed = 0;
+  VmAddress out_addr = 0;
+};
+
+void TouchRegionThread(void* arg) {
+  auto* st = static_cast<VmFixtureState*>(arg);
+  VmAddress base = UserVmAllocate(st->region_bytes, st->paged);
+  st->out_addr = base;
+  for (VmAddress a = base; a < base + st->region_bytes; a += kPageSize) {
+    UserTouch(a, /*write=*/true);
+  }
+  // Re-touch: everything resident, no faults.
+  for (VmAddress a = base; a < base + st->region_bytes; a += kPageSize) {
+    UserTouch(a, /*write=*/false);
+  }
+  ++st->completed;
+}
+
+class VmModelTest : public testing::TestWithParam<ControlTransferModel> {};
+
+TEST_P(VmModelTest, ZeroFillFaultsResolveWithoutBlocking) {
+  KernelConfig config;
+  config.model = GetParam();
+  Kernel kernel(config);
+  Task* task = kernel.CreateTask("t");
+  VmFixtureState st;
+  st.region_bytes = 64 * kPageSize;
+  st.paged = false;
+  kernel.CreateUserThread(task, &TouchRegionThread, &st);
+  kernel.Run();
+
+  EXPECT_EQ(st.completed, 1);
+  const auto& vm = kernel.vm().stats();
+  EXPECT_EQ(vm.zero_fills, 64u);
+  EXPECT_EQ(vm.pageins, 0u);
+  // Zero-fill faults never block.
+  const auto& row =
+      kernel.transfer_stats().by_reason[static_cast<int>(BlockReason::kPageFault)];
+  EXPECT_EQ(row.blocks, 0u);
+}
+
+TEST_P(VmModelTest, PagedFaultsBlockForTheDisk) {
+  KernelConfig config;
+  config.model = GetParam();
+  Kernel kernel(config);
+  Task* task = kernel.CreateTask("t");
+  VmFixtureState st;
+  st.region_bytes = 32 * kPageSize;
+  st.paged = true;
+  kernel.CreateUserThread(task, &TouchRegionThread, &st);
+  kernel.Run();
+
+  EXPECT_EQ(st.completed, 1);
+  const auto& vm = kernel.vm().stats();
+  EXPECT_EQ(vm.pageins, 32u);
+  const auto& row =
+      kernel.transfer_stats().by_reason[static_cast<int>(BlockReason::kPageFault)];
+  EXPECT_EQ(row.blocks, 32u);
+  if (kernel.UsesContinuations()) {
+    // User-level page faults block with continuations (§2.5).
+    EXPECT_EQ(row.discards, row.blocks);
+  } else {
+    EXPECT_EQ(row.discards, 0u);
+  }
+  // Virtual time advanced by the simulated disk.
+  EXPECT_GE(kernel.clock().Now(), config.disk_latency);
+}
+
+TEST_P(VmModelTest, MemoryPressureDrivesThePager) {
+  KernelConfig config;
+  config.model = GetParam();
+  config.physical_pages = 64;  // Small machine: the working set won't fit.
+  Kernel kernel(config);
+  Task* task = kernel.CreateTask("t");
+  VmFixtureState st;
+  st.region_bytes = 200 * kPageSize;
+  st.paged = false;
+  kernel.CreateUserThread(task, &TouchRegionThread, &st);
+  kernel.Run();
+
+  EXPECT_EQ(st.completed, 1);
+  const auto& vm = kernel.vm().stats();
+  EXPECT_GT(vm.pageouts, 100u);  // The pager had to evict most of the region.
+  // Evicted zero-fill pages came back from "swap".
+  EXPECT_GT(vm.pageins, 0u);
+  EXPECT_LE(kernel.vm().pool().TotalCount(), 64u);
+}
+
+TEST_P(VmModelTest, UnmappedAccessRaisesException) {
+  KernelConfig config;
+  config.model = GetParam();
+  Kernel kernel(config);
+  Task* task = kernel.CreateTask("t");
+  static int completed;
+  completed = 0;
+  kernel.CreateUserThread(
+      task,
+      [](void*) {
+        UserTouch(0xdead0000, /*write=*/true);  // No region here.
+        ++completed;
+      },
+      nullptr);
+  kernel.Run();
+  // No exception server: the thread was terminated.
+  EXPECT_EQ(completed, 0);
+  EXPECT_EQ(kernel.vm().stats().protection_exceptions, 1u);
+  EXPECT_EQ(kernel.exc_stats().unhandled, 1u);
+}
+
+struct SharedFaultState {
+  VmAddress base = 0;
+  VmSize bytes = 0;
+  int completed = 0;
+};
+
+void SharedToucher(void* arg) {
+  auto* st = static_cast<SharedFaultState*>(arg);
+  for (VmAddress a = st->base; a < st->base + st->bytes; a += kPageSize) {
+    UserTouch(a, false);
+  }
+  ++st->completed;
+}
+
+TEST_P(VmModelTest, ConcurrentFaultsOnSamePageWaitOnBusy) {
+  KernelConfig config;
+  config.model = GetParam();
+  Kernel kernel(config);
+  Task* task = kernel.CreateTask("t");
+  // Pre-create the region from a setup thread, then race two touchers.
+  static SharedFaultState st;
+  st = SharedFaultState{};
+  st.bytes = 16 * kPageSize;
+  kernel.CreateUserThread(
+      task,
+      [](void*) {
+        st.base = UserVmAllocate(st.bytes, /*paged=*/true);
+        UserThreadCreate(&SharedToucher, &st);
+        UserThreadCreate(&SharedToucher, &st);
+      },
+      nullptr);
+  kernel.Run();
+  EXPECT_EQ(st.completed, 2);
+  // Both threads faulted the same pages; the loser of each race waited on
+  // the busy page (a process-model lock-style wait).
+  EXPECT_GT(kernel.vm().stats().busy_waits, 0u);
+  const auto& row =
+      kernel.transfer_stats().by_reason[static_cast<int>(BlockReason::kLockWait)];
+  EXPECT_EQ(row.discards, 0u);
+}
+
+struct DeallocState {
+  VmAddress region = 0;
+  KernReturn dealloc_kr = KernReturn::kFailure;
+  KernReturn bad_kr = KernReturn::kFailure;
+  bool refaulted = false;
+};
+
+void DeallocThread(void* arg) {
+  auto* st = static_cast<DeallocState*>(arg);
+  st->region = UserVmAllocate(16 * kPageSize, /*paged=*/false);
+  for (VmSize p = 0; p < 16; ++p) {
+    UserTouch(st->region + p * kPageSize, /*write=*/true);
+  }
+  st->bad_kr = UserVmDeallocate(st->region + kPageSize);  // Not the base.
+  st->dealloc_kr = UserVmDeallocate(st->region);
+}
+
+TEST_P(VmModelTest, DeallocateReturnsPagesToThePool) {
+  KernelConfig config;
+  config.model = GetParam();
+  config.physical_pages = 64;
+  Kernel kernel(config);
+  Task* task = kernel.CreateTask("t");
+  DeallocState st;
+  kernel.CreateUserThread(task, &DeallocThread, &st);
+  kernel.Run();
+  EXPECT_EQ(st.bad_kr, KernReturn::kInvalidAddress);
+  EXPECT_EQ(st.dealloc_kr, KernReturn::kSuccess);
+  // All 16 pages went back to the free pool and the region is gone.
+  EXPECT_EQ(kernel.vm().pool().FreeCount(), 64u);
+  EXPECT_EQ(task->map.Lookup(st.region), nullptr);
+  EXPECT_EQ(task->pmap.ResidentPages(), 0u);
+}
+
+TEST_P(VmModelTest, DeallocationRelievesMemoryPressure) {
+  KernelConfig config;
+  config.model = GetParam();
+  config.physical_pages = 48;
+  Kernel kernel(config);
+  Task* task = kernel.CreateTask("t");
+  static int generations;
+  generations = 0;
+  kernel.CreateUserThread(
+      task,
+      [](void*) {
+        // Allocate/walk/free repeatedly: with deallocation the pager is
+        // never needed even though total traffic far exceeds memory.
+        for (int g = 0; g < 8; ++g) {
+          VmAddress r = UserVmAllocate(32 * kPageSize, /*paged=*/false);
+          for (VmSize p = 0; p < 32; ++p) {
+            UserTouch(r + p * kPageSize, /*write=*/true);
+          }
+          ASSERT_EQ(UserVmDeallocate(r), KernReturn::kSuccess);
+          ++generations;
+        }
+      },
+      nullptr);
+  kernel.Run();
+  EXPECT_EQ(generations, 8);
+  EXPECT_EQ(kernel.vm().stats().pageouts, 0u);  // 256 pages through 48 frames.
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, VmModelTest,
+                         testing::Values(ControlTransferModel::kMach25,
+                                         ControlTransferModel::kMK32,
+                                         ControlTransferModel::kMK40),
+                         [](const testing::TestParamInfo<ControlTransferModel>& info) {
+                           switch (info.param) {
+                             case ControlTransferModel::kMach25:
+                               return "Mach25";
+                             case ControlTransferModel::kMK32:
+                               return "MK32";
+                             case ControlTransferModel::kMK40:
+                               return "MK40";
+                           }
+                           return "unknown";
+                         });
+
+}  // namespace
+}  // namespace mkc

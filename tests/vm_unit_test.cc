@@ -1,0 +1,129 @@
+// Unit tests for the VM data structures: pmap, page pool, vm_map, objects.
+#include <gtest/gtest.h>
+
+#include "src/vm/object.h"
+#include "src/vm/page.h"
+#include "src/vm/pmap.h"
+#include "src/vm/vm_map.h"
+
+namespace mkc {
+namespace {
+
+TEST(PmapTest, EnterLookupRemove) {
+  Pmap pmap;
+  EXPECT_EQ(pmap.Lookup(0x1000), nullptr);
+  pmap.Enter(0x1234, 7, /*writable=*/false);
+  const auto* tr = pmap.Lookup(0x1fff);  // Same page as 0x1234.
+  ASSERT_NE(tr, nullptr);
+  EXPECT_EQ(tr->frame, 7u);
+  EXPECT_FALSE(tr->writable);
+  pmap.Remove(0x1000);
+  EXPECT_EQ(pmap.Lookup(0x1234), nullptr);
+  EXPECT_EQ(pmap.stats().misses, 2u);
+  EXPECT_EQ(pmap.stats().enters, 1u);
+  EXPECT_EQ(pmap.stats().removes, 1u);
+}
+
+TEST(PmapTest, EnterUpgradesProtection) {
+  Pmap pmap;
+  pmap.Enter(0x2000, 3, false);
+  pmap.Enter(0x2000, 3, true);
+  const auto* tr = pmap.Lookup(0x2000);
+  ASSERT_NE(tr, nullptr);
+  EXPECT_TRUE(tr->writable);
+  EXPECT_EQ(pmap.ResidentPages(), 1u);
+}
+
+TEST(PagePoolTest, AllocateUntilExhausted) {
+  PagePool pool(4);
+  PhysicalPage* pages[4];
+  for (auto& p : pages) {
+    p = pool.Allocate();
+    ASSERT_NE(p, nullptr);
+  }
+  EXPECT_EQ(pool.Allocate(), nullptr);
+  EXPECT_EQ(pool.FreeCount(), 0u);
+  EXPECT_EQ(pool.stats().min_free, 0u);
+  pool.UnlinkActive(pages[0]);
+  pool.Free(pages[0]);
+  EXPECT_EQ(pool.FreeCount(), 1u);
+  for (int i = 1; i < 4; ++i) {
+    pool.UnlinkActive(pages[i]);
+    pool.Free(pages[i]);
+  }
+}
+
+TEST(PagePoolTest, EvictionCandidatesAreFifoAndSkipBusy) {
+  PagePool pool(3);
+  PhysicalPage* a = pool.Allocate();
+  PhysicalPage* b = pool.Allocate();
+  PhysicalPage* c = pool.Allocate();
+  a->busy = true;
+  EXPECT_EQ(pool.PopEvictionCandidate(), b);  // Oldest non-busy.
+  EXPECT_EQ(pool.PopEvictionCandidate(), c);
+  EXPECT_EQ(pool.PopEvictionCandidate(), nullptr);  // Only busy left.
+  a->busy = false;
+  EXPECT_EQ(pool.PopEvictionCandidate(), a);
+  pool.Free(a);
+  pool.Free(b);
+  pool.Free(c);
+}
+
+TEST(VmMapTest, AllocateAndLookup) {
+  VmMap map;
+  VmAddress r1 = map.Allocate(10 * kPageSize, VmBacking::kZeroFill);
+  VmAddress r2 = map.Allocate(4 * kPageSize, VmBacking::kPaged);
+  EXPECT_NE(r1, r2);
+  ASSERT_NE(map.Lookup(r1), nullptr);
+  ASSERT_NE(map.Lookup(r1 + 9 * kPageSize + 123), nullptr);
+  EXPECT_EQ(map.Lookup(r1 + 10 * kPageSize), nullptr);  // Guard gap.
+  EXPECT_EQ(map.Lookup(r2)->object->backing(), VmBacking::kPaged);
+  EXPECT_EQ(map.Lookup(0), nullptr);
+  EXPECT_EQ(map.RegionCount(), 2u);
+}
+
+TEST(VmMapTest, SizesAreRoundedToPages) {
+  VmMap map;
+  VmAddress r = map.Allocate(100, VmBacking::kZeroFill);  // Sub-page request.
+  VmRegion* region = map.Lookup(r);
+  ASSERT_NE(region, nullptr);
+  EXPECT_EQ(region->size, kPageSize);
+  EXPECT_NE(map.Lookup(r + kPageSize - 1), nullptr);
+}
+
+TEST(VmMapTest, OffsetsArePageAligned) {
+  VmMap map;
+  VmAddress r = map.Allocate(8 * kPageSize, VmBacking::kZeroFill);
+  VmRegion* region = map.Lookup(r);
+  ASSERT_NE(region, nullptr);
+  EXPECT_EQ(region->OffsetOf(r + 3 * kPageSize + 17), 3 * kPageSize);
+}
+
+TEST(VmObjectTest, SlotLifecycle) {
+  VmObject object(VmBacking::kPaged, 16 * kPageSize);
+  EXPECT_FALSE(object.IsResident(0));
+  auto& slot = object.Slot(2 * kPageSize);
+  slot.frame = 5;
+  EXPECT_TRUE(object.IsResident(2 * kPageSize));
+  EXPECT_EQ(object.ResidentCount(), 1u);
+  int visited = 0;
+  object.ForEachResident([&](VmOffset off, VmObject::PageSlot& s) {
+    EXPECT_EQ(off, 2 * kPageSize);
+    EXPECT_EQ(s.frame, 5u);
+    ++visited;
+  });
+  EXPECT_EQ(visited, 1);
+}
+
+TEST(PageConstantsTest, TruncAndRound) {
+  EXPECT_EQ(PageTrunc(0), 0u);
+  EXPECT_EQ(PageTrunc(kPageSize - 1), 0u);
+  EXPECT_EQ(PageTrunc(kPageSize), kPageSize);
+  EXPECT_EQ(PageRound(0), 0u);
+  EXPECT_EQ(PageRound(1), kPageSize);
+  EXPECT_EQ(PageRound(kPageSize), kPageSize);
+  EXPECT_EQ(PageRound(kPageSize + 1), 2 * kPageSize);
+}
+
+}  // namespace
+}  // namespace mkc

@@ -1,0 +1,112 @@
+// Tests for the Table 1/2 workload generators: they must run to completion
+// in every model and produce the qualitative mixes the paper reports.
+#include <gtest/gtest.h>
+
+#include "src/workload/workload.h"
+
+namespace mkc {
+namespace {
+
+double Pct(std::uint64_t part, std::uint64_t whole) {
+  return whole == 0 ? 0.0 : 100.0 * static_cast<double>(part) / static_cast<double>(whole);
+}
+
+class WorkloadModelTest : public testing::TestWithParam<ControlTransferModel> {
+ protected:
+  KernelConfig Config() {
+    KernelConfig config;
+    config.model = GetParam();
+    return config;
+  }
+  WorkloadParams Params() {
+    WorkloadParams params;
+    params.scale = 1;
+    return params;
+  }
+};
+
+TEST_P(WorkloadModelTest, CompileCompletes) {
+  WorkloadReport r = RunCompileWorkload(Config(), Params());
+  EXPECT_GT(r.transfer.total_blocks, 500u);
+  const auto& recv = r.transfer.by_reason[static_cast<int>(BlockReason::kMessageReceive)];
+  EXPECT_GT(Pct(recv.blocks, r.transfer.total_blocks), 60.0);
+}
+
+TEST_P(WorkloadModelTest, KernelBuildCompletes) {
+  WorkloadReport r = RunKernelBuildWorkload(Config(), Params());
+  EXPECT_GT(r.transfer.total_blocks, 3000u);
+  const auto& recv = r.transfer.by_reason[static_cast<int>(BlockReason::kMessageReceive)];
+  EXPECT_GT(Pct(recv.blocks, r.transfer.total_blocks), 60.0);
+}
+
+TEST_P(WorkloadModelTest, DosCompletes) {
+  WorkloadReport r = RunDosWorkload(Config(), Params());
+  EXPECT_GT(r.transfer.total_blocks, 1000u);
+  const auto& exc = r.transfer.by_reason[static_cast<int>(BlockReason::kException)];
+  // The DOS workload is exception-dominated (paper: 37.9%).
+  EXPECT_GT(Pct(exc.blocks, r.transfer.total_blocks), 20.0);
+}
+
+TEST_P(WorkloadModelTest, DeterministicAcrossRuns) {
+  WorkloadReport a = RunCompileWorkload(Config(), Params());
+  WorkloadReport b = RunCompileWorkload(Config(), Params());
+  EXPECT_EQ(a.transfer.total_blocks, b.transfer.total_blocks);
+  EXPECT_EQ(a.transfer.stack_handoffs, b.transfer.stack_handoffs);
+  EXPECT_EQ(a.transfer.recognitions, b.transfer.recognitions);
+  EXPECT_EQ(a.virtual_time, b.virtual_time);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, WorkloadModelTest,
+                         testing::Values(ControlTransferModel::kMach25,
+                                         ControlTransferModel::kMK32,
+                                         ControlTransferModel::kMK40),
+                         [](const testing::TestParamInfo<ControlTransferModel>& info) {
+                           switch (info.param) {
+                             case ControlTransferModel::kMach25:
+                               return "Mach25";
+                             case ControlTransferModel::kMK32:
+                               return "MK32";
+                             case ControlTransferModel::kMK40:
+                               return "MK40";
+                           }
+                           return "unknown";
+                         });
+
+// The paper's headline claims, checked quantitatively under MK40.
+TEST(WorkloadPaperClaims, Mk40StackDiscardDominates) {
+  KernelConfig config;  // MK40 default.
+  WorkloadParams params;
+  for (const auto& entry : kTableWorkloads) {
+    WorkloadReport r = entry.fn(config, params);
+    // Table 1: ~98-100% of blocks use continuations and discard the stack.
+    EXPECT_GT(Pct(r.transfer.TotalDiscards(), r.transfer.total_blocks), 95.0)
+        << entry.name;
+    // Table 2: handoff on nearly all transfers, recognition on most.
+    EXPECT_GT(Pct(r.transfer.stack_handoffs, r.transfer.total_blocks), 90.0) << entry.name;
+    EXPECT_GT(Pct(r.transfer.recognitions, r.transfer.total_blocks), 50.0) << entry.name;
+  }
+}
+
+TEST(WorkloadPaperClaims, Mk40SteadyStateStacksNearTwo) {
+  KernelConfig config;
+  WorkloadParams params;
+  params.scale = 2;
+  WorkloadReport r = RunCompileWorkload(config, params);
+  // §3.4: "the number of kernel stacks was, on average, 2.002".
+  EXPECT_LT(r.stacks.AverageInUse(), 3.0);
+  EXPECT_GE(r.stacks.AverageInUse(), 1.9);
+}
+
+TEST(WorkloadPaperClaims, ProcessModelsKeepPerThreadStacks) {
+  KernelConfig config;
+  config.model = ControlTransferModel::kMK32;
+  WorkloadParams params;
+  WorkloadReport r = RunCompileWorkload(config, params);
+  // MK32: every thread that blocked holds its stack; the average in-use
+  // count tracks the thread population, not the processor count.
+  EXPECT_GT(r.stacks.AverageInUse(), 4.0);
+  EXPECT_EQ(r.transfer.TotalDiscards(), 0u);
+}
+
+}  // namespace
+}  // namespace mkc

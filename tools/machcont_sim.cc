@@ -1,0 +1,161 @@
+// machcont_sim — command-line driver for the simulator.
+//
+//   machcont_sim [options]
+//     --workload=compile|build|dos   workload to run        (default compile)
+//     --model=mk40|mk32|mach25       kernel model           (default mk40)
+//     --scale=N                      work multiplier        (default 5)
+//     --seed=N                       workload RNG seed      (default 42)
+//     --quantum=N                    scheduling quantum     (default 10000)
+//     --pages=N                      physical pages         (default 4096)
+//     --no-handoff                   disable stack handoff  (MK40 ablation)
+//     --no-recognition               disable recognition    (MK40 ablation)
+//     --table                        print the Table 1/2 style breakdown
+//
+// Prints the control-transfer statistics for the run; exit code 0 on
+// success. Useful for quick experiments without writing a bench.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/machine/cycle_model.h"
+#include "src/workload/workload.h"
+
+namespace {
+
+using mkc::BlockReason;
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--workload=compile|build|dos] [--model=mk40|mk32|mach25]\n"
+               "          [--scale=N] [--seed=N] [--quantum=N] [--pages=N]\n"
+               "          [--no-handoff] [--no-recognition] [--table]\n",
+               argv0);
+  return 2;
+}
+
+bool ParseU64(const char* s, std::uint64_t* out) {
+  char* end = nullptr;
+  std::uint64_t v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mkc::KernelConfig config;
+  mkc::WorkloadParams params;
+  params.scale = 5;
+  mkc::WorkloadFn workload = &mkc::RunCompileWorkload;
+  const char* workload_name = "compile";
+  bool table = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&arg]() { return arg.substr(arg.find('=') + 1); };
+    if (arg.rfind("--workload=", 0) == 0) {
+      std::string w = value();
+      if (w == "compile") {
+        workload = &mkc::RunCompileWorkload;
+      } else if (w == "build") {
+        workload = &mkc::RunKernelBuildWorkload;
+      } else if (w == "dos") {
+        workload = &mkc::RunDosWorkload;
+      } else {
+        return Usage(argv[0]);
+      }
+      workload_name = argv[i] + 11;
+    } else if (arg.rfind("--model=", 0) == 0) {
+      std::string m = value();
+      if (m == "mk40") {
+        config.model = mkc::ControlTransferModel::kMK40;
+      } else if (m == "mk32") {
+        config.model = mkc::ControlTransferModel::kMK32;
+      } else if (m == "mach25") {
+        config.model = mkc::ControlTransferModel::kMach25;
+      } else {
+        return Usage(argv[0]);
+      }
+    } else if (arg.rfind("--scale=", 0) == 0) {
+      params.scale = std::atoi(value().c_str());
+      if (params.scale <= 0) {
+        return Usage(argv[0]);
+      }
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      std::uint64_t v;
+      if (!ParseU64(value().c_str(), &v)) {
+        return Usage(argv[0]);
+      }
+      params.seed = v;
+    } else if (arg.rfind("--quantum=", 0) == 0) {
+      std::uint64_t v;
+      if (!ParseU64(value().c_str(), &v)) {
+        return Usage(argv[0]);
+      }
+      config.quantum = v;
+    } else if (arg.rfind("--pages=", 0) == 0) {
+      std::uint64_t v;
+      if (!ParseU64(value().c_str(), &v)) {
+        return Usage(argv[0]);
+      }
+      config.physical_pages = static_cast<std::uint32_t>(v);
+    } else if (arg == "--no-handoff") {
+      config.enable_handoff = false;
+    } else if (arg == "--no-recognition") {
+      config.enable_recognition = false;
+    } else if (arg == "--table") {
+      table = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  mkc::WorkloadReport r = workload(config, params);
+
+  std::printf("workload %s on %s, scale %d, seed %llu\n", workload_name,
+              mkc::ModelName(r.model), params.scale,
+              static_cast<unsigned long long>(params.seed));
+  std::printf("virtual time ...... %llu ticks (%.2f simulated ms)\n",
+              static_cast<unsigned long long>(r.virtual_time),
+              mkc::CyclesToMicros(r.virtual_time) / 1000.0);
+  std::printf("wall time ......... %.3f ms\n", r.wall_seconds * 1000.0);
+  std::printf("blocks ............ %llu (%llu discards, %llu handoffs, %llu recognitions)\n",
+              static_cast<unsigned long long>(r.transfer.total_blocks),
+              static_cast<unsigned long long>(r.transfer.TotalDiscards()),
+              static_cast<unsigned long long>(r.transfer.stack_handoffs),
+              static_cast<unsigned long long>(r.transfer.recognitions));
+  std::printf("kernel stacks ..... avg %.3f in use, max %llu\n", r.stacks.AverageInUse(),
+              static_cast<unsigned long long>(r.stacks.max_in_use));
+  std::printf("ipc ............... %llu msgs (%llu fast-path, %llu queued)\n",
+              static_cast<unsigned long long>(r.ipc.messages_sent),
+              static_cast<unsigned long long>(r.ipc.fast_rpc_handoffs),
+              static_cast<unsigned long long>(r.ipc.queued_sends));
+  std::printf("vm ................ %llu faults (%llu pageins, %llu pageouts)\n",
+              static_cast<unsigned long long>(r.vm.user_faults),
+              static_cast<unsigned long long>(r.vm.pageins),
+              static_cast<unsigned long long>(r.vm.pageouts));
+  std::printf("exceptions ........ %llu raised (%llu fast deliveries)\n",
+              static_cast<unsigned long long>(r.exc.raised),
+              static_cast<unsigned long long>(r.exc.fast_deliveries));
+
+  if (table) {
+    std::printf("\n%-20s %12s %12s %8s\n", "block reason", "blocks", "discards", "%");
+    for (int i = 0; i < static_cast<int>(BlockReason::kCount); ++i) {
+      const auto& row = r.transfer.by_reason[i];
+      if (row.blocks == 0) {
+        continue;
+      }
+      std::printf("%-20s %12llu %12llu %7.1f%%\n",
+                  mkc::BlockReasonName(static_cast<BlockReason>(i)),
+                  static_cast<unsigned long long>(row.blocks),
+                  static_cast<unsigned long long>(row.discards),
+                  100.0 * static_cast<double>(row.blocks) /
+                      static_cast<double>(r.transfer.total_blocks));
+    }
+  }
+  return 0;
+}

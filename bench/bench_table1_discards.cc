@@ -4,12 +4,19 @@
 // reports, per blocking reason, how many blocks discarded the kernel stack —
 // next to the percentages the paper measured on the Toshiba 5200.
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
+#include "src/obs/metrics.h"
 #include "src/workload/workload.h"
 
 namespace mkc {
 namespace {
+
+// Post-run hook target: the workload's full metrics registry as JSON.
+void CaptureMetricsJson(Kernel& kernel, void* arg) {
+  *static_cast<std::string*>(arg) = kernel.metrics().DumpJsonString();
+}
 
 struct PaperColumn {
   // Paper Table 1 percentages per workload column.
@@ -39,7 +46,10 @@ int Main(int argc, char** argv) {
   params.scale = scale;
 
   WorkloadReport reports[3];
+  std::string metrics_json[3];
   for (int i = 0; i < 3; ++i) {
+    params.post_run = &CaptureMetricsJson;
+    params.post_run_arg = &metrics_json[i];
     reports[i] = kTableWorkloads[i].fn(config, params);
   }
 
@@ -93,6 +103,21 @@ int Main(int argc, char** argv) {
                 static_cast<unsigned long long>(reports[i].virtual_time),
                 reports[i].wall_seconds);
   }
+
+  // Optional machine-readable output: one object keyed by workload name,
+  // each value a full metrics-registry dump.
+  std::string combined = "{";
+  for (int i = 0; i < 3; ++i) {
+    if (i > 0) {
+      combined += ",";
+    }
+    combined += "\"";
+    combined += kTableWorkloads[i].name;
+    combined += "\":";
+    combined += metrics_json[i];
+  }
+  combined += "}\n";
+  MaybeWriteBenchJson(combined);
   return 0;
 }
 

@@ -25,6 +25,8 @@ struct ParkState {
   int parked = 0;
   int target = 0;
   std::uint64_t stacks_in_use_when_parked = 0;
+  std::uint64_t max_stacks_in_use = 0;  // Pool high-water mark at snapshot.
+  std::uint64_t max_stacks_cached = 0;  // Free-cache high-water mark.
   std::uint64_t stack_bytes = 0;
 };
 
@@ -44,6 +46,8 @@ void ParkObserver(void* arg) {
   }
   Kernel& k = ActiveKernel();
   st->stacks_in_use_when_parked = k.stack_pool().stats().in_use;
+  st->max_stacks_in_use = k.stack_pool().stats().max_in_use;
+  st->max_stacks_cached = k.stack_pool().stats().max_cached;
   st->stack_bytes = k.stack_pool().stack_bytes();
 }
 
@@ -110,8 +114,26 @@ int Main(int argc, char** argv) {
               static_cast<unsigned long long>(mk40.stacks_in_use_when_parked));
   std::printf("  MK32: %llu kernel stacks in use (one per thread)\n",
               static_cast<unsigned long long>(mk32.stacks_in_use_when_parked));
+  std::printf("  high-water marks: MK40 %llu allocated / %llu cached, MK32 %llu allocated\n",
+              static_cast<unsigned long long>(mk40.max_stacks_in_use),
+              static_cast<unsigned long long>(mk40.max_stacks_cached),
+              static_cast<unsigned long long>(mk32.max_stacks_in_use));
   std::printf("  per-thread savings: %.1f%% [paper: 85%%]\n",
               100.0 * (1.0 - mk40_total / mk32_total));
+
+  char json[512];
+  std::snprintf(json, sizeof(json),
+                "{\"threads\":%d,"
+                "\"mk40\":{\"stacks_in_use\":%llu,\"max_in_use\":%llu,\"max_cached\":%llu,"
+                "\"per_thread_bytes\":%.0f},"
+                "\"mk32\":{\"stacks_in_use\":%llu,\"max_in_use\":%llu,"
+                "\"per_thread_bytes\":%.0f}}\n",
+                threads, static_cast<unsigned long long>(mk40.stacks_in_use_when_parked),
+                static_cast<unsigned long long>(mk40.max_stacks_in_use),
+                static_cast<unsigned long long>(mk40.max_stacks_cached), mk40_total,
+                static_cast<unsigned long long>(mk32.stacks_in_use_when_parked),
+                static_cast<unsigned long long>(mk32.max_stacks_in_use), mk32_total);
+  MaybeWriteBenchJson(json);
   return 0;
 }
 

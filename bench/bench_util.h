@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 namespace mkc {
 
@@ -23,6 +24,25 @@ inline int ScaleFromArgs(int argc, char** argv, int default_scale) {
     }
   }
   return default_scale;
+}
+
+// Machine-readable bench output: when MACHCONT_BENCH_JSON names a file, the
+// bench writes `json` there alongside its human-readable table. Returns true
+// if the file was written.
+inline bool MaybeWriteBenchJson(const std::string& json) {
+  const char* path = std::getenv("MACHCONT_BENCH_JSON");
+  if (path == nullptr || path[0] == '\0') {
+    return false;
+  }
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot open %s for writing\n", path);
+    return false;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "bench: wrote metrics JSON to %s\n", path);
+  return true;
 }
 
 class WallTimer {

@@ -63,6 +63,7 @@ void BlockCommon(Continuation cont, BlockReason reason, Thread* next) {
   }
 
   old_thread->block_reason = reason;
+  old_thread->block_start = k.clock().Now();
   k.transfer_stats().RecordBlock(reason, cont != nullptr);
   k.TracePoint(TraceEvent::kBlock, static_cast<std::uint32_t>(reason), cont != nullptr);
   k.stack_pool().SampleInUse();
@@ -129,6 +130,7 @@ void ThreadHandoff(Continuation cont, Thread* next, BlockReason reason) {
                  "ThreadHandoff called without updating the thread state");
 
   old_thread->block_reason = reason;
+  old_thread->block_start = k.clock().Now();
   k.transfer_stats().RecordBlock(reason, /*with_continuation=*/true);
   k.TracePoint(TraceEvent::kBlock, static_cast<std::uint32_t>(reason), 1);
   k.stack_pool().SampleInUse();

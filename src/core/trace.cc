@@ -26,6 +26,10 @@ const char* TraceEventName(TraceEvent event) {
       return "stack-detach";
     case TraceEvent::kSetrun:
       return "setrun";
+    case TraceEvent::kIpcQueueDepth:
+      return "ipc-queue-depth";
+    case TraceEvent::kStackPoolSize:
+      return "stack-pool-size";
   }
   return "unknown";
 }

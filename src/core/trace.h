@@ -3,10 +3,14 @@
 // The paper's Figure 2 is a trace of the fast RPC path; this facility lets
 // any run produce the same kind of trace (see examples/quickstart and the
 // trace tests). Tracing is off unless KernelConfig::trace_capacity > 0; the
-// hot paths pay one predictable branch when disabled.
+// hot paths pay one predictable branch when disabled. The ring capacity is
+// rounded up to a power of two so the hot-path index update is a mask, not a
+// division. src/obs/trace_export.h serializes the ring as Chrome trace-event
+// JSON for Perfetto.
 #ifndef MACHCONT_SRC_CORE_TRACE_H_
 #define MACHCONT_SRC_CORE_TRACE_H_
 
+#include <bit>
 #include <cstdint>
 #include <cstdio>
 #include <vector>
@@ -27,6 +31,8 @@ enum class TraceEvent : std::uint8_t {
   kStackAttachEvt,
   kStackDetachEvt,
   kSetrun,           // aux = id of the thread made runnable.
+  kIpcQueueDepth,    // aux = port id; aux2 = queued messages after the op.
+  kStackPoolSize,    // aux = stacks in use; aux2 = stacks cached.
 };
 
 const char* TraceEventName(TraceEvent event);
@@ -41,13 +47,17 @@ struct TraceRecord {
 
 class TraceBuffer {
  public:
+  // Sizes the ring to hold at least `capacity` records (rounded up to a
+  // power of two); 0 disables tracing.
   void Configure(std::size_t capacity) {
-    ring_.assign(capacity, TraceRecord{});
+    ring_.assign(capacity == 0 ? 0 : std::bit_ceil(capacity), TraceRecord{});
+    mask_ = ring_.empty() ? 0 : ring_.size() - 1;
     head_ = 0;
     recorded_ = 0;
   }
 
   bool enabled() const { return !ring_.empty(); }
+  std::size_t capacity() const { return ring_.size(); }
 
   void Record(Ticks when, ThreadId thread, TraceEvent event, std::uint32_t aux = 0,
               std::uint32_t aux2 = 0) {
@@ -55,11 +65,19 @@ class TraceBuffer {
       return;
     }
     ring_[head_] = TraceRecord{when, thread, event, aux, aux2};
-    head_ = (head_ + 1) % ring_.size();
+    head_ = (head_ + 1) & mask_;
     ++recorded_;
   }
 
   std::uint64_t recorded() const { return recorded_; }
+
+  // Records still in the ring (oldest ones fall off once it wraps).
+  std::size_t retained() const {
+    return recorded_ < ring_.size() ? static_cast<std::size_t>(recorded_) : ring_.size();
+  }
+
+  // Records lost to ring wraparound (the Drops() of this buffer).
+  std::uint64_t overwritten() const { return recorded_ - retained(); }
 
   // Visits the retained records, oldest first.
   template <typename Fn>
@@ -67,11 +85,10 @@ class TraceBuffer {
     if (ring_.empty()) {
       return;
     }
-    std::size_t count = recorded_ < ring_.size() ? static_cast<std::size_t>(recorded_)
-                                                 : ring_.size();
-    std::size_t start = (head_ + ring_.size() - count) % ring_.size();
+    std::size_t count = retained();
+    std::size_t start = (head_ + ring_.size() - count) & mask_;
     for (std::size_t i = 0; i < count; ++i) {
-      fn(ring_[(start + i) % ring_.size()]);
+      fn(ring_[(start + i) & mask_]);
     }
   }
 
@@ -81,6 +98,7 @@ class TraceBuffer {
  private:
   std::vector<TraceRecord> ring_;
   std::size_t head_ = 0;
+  std::size_t mask_ = 0;
   std::uint64_t recorded_ = 0;
 };
 

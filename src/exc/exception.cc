@@ -33,6 +33,10 @@ void EnterKernelEndpointWait(Thread* thread, Port* reply_port) {
 // reply verdict. Runs as the faulting thread.
 [[noreturn]] void ExceptionReplyFinish(Thread* thread) {
   Kernel& k = ActiveKernel();
+  if (thread->exc_start != 0) {
+    k.lat().exc_service->Record(k.clock().Now() - thread->exc_start);
+    thread->exc_start = 0;
+  }
   auto& st = thread->Scratch<MsgWaitState>();
   if (st.result == KernReturn::kSuccess) {
     // Server handled it: restart the thread at user level, retrying/resuming
@@ -80,6 +84,7 @@ void ExceptionReplyContinue() {
 [[noreturn]] void HandleException(Thread* thread, std::uint64_t code) {
   Kernel& k = ActiveKernel();
   ++k.exc_stats().raised;
+  thread->exc_start = k.clock().Now();
 
   Task* task = thread->task;
   Port* exc_port = task != nullptr ? k.ipc().Lookup(task->exception_port) : nullptr;
@@ -144,6 +149,8 @@ void ExceptionReplyContinue() {
   kmsg->header = hdr;
   std::memcpy(kmsg->body, &req, sizeof(req));
   exc_port->messages.EnqueueTail(kmsg);
+  k.TracePoint(TraceEvent::kIpcQueueDepth, exc_port->id,
+               static_cast<std::uint32_t>(exc_port->messages.Size()));
   k.ChargeCycles(kCycMsgCopyBase + (sizeof(req) / 8) * kCycMsgCopyPerWord + kCycMsgQueueOp);
   if (Thread* waiter = PopReceiverForDelivery(exc_port, sizeof(req))) {
     // Process-model kernels wake the server through the general scheduler.

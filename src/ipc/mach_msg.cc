@@ -93,6 +93,8 @@ bool StrictOptions(std::uint32_t options, std::uint32_t rcv_limit) {
       ThreadSyscallReturn(KernReturn::kRcvTooLarge);
     }
     KMessage* kmsg = from->messages.DequeueHead();
+    k.TracePoint(TraceEvent::kIpcQueueDepth, from->id,
+                 static_cast<std::uint32_t>(from->messages.Size()));
     kmsg->header.seqno = from->next_seqno++;
     CopyOut(k, st.user_buffer, kmsg);
     OolDeliverFromKmsg(k, t->task, kmsg, st.user_buffer);
@@ -259,6 +261,8 @@ KernReturn MsgSendPhase(Thread* t, MachMsgArgs* args) {
     }
   }
   port->messages.EnqueueTail(kmsg);
+  k.TracePoint(TraceEvent::kIpcQueueDepth, port->id,
+               static_cast<std::uint32_t>(port->messages.Size()));
   k.ChargeCycles(kCycMsgQueueOp);
   ++k.ipc().stats().queued_sends;
   if (receiver != nullptr) {
@@ -284,6 +288,8 @@ KernReturn MsgSendPhase(Thread* t, MachMsgArgs* args) {
       ThreadSyscallReturn(KernReturn::kRcvTooLarge);
     }
     KMessage* kmsg = from->messages.DequeueHead();
+    k.TracePoint(TraceEvent::kIpcQueueDepth, from->id,
+                 static_cast<std::uint32_t>(from->messages.Size()));
     kmsg->header.seqno = from->next_seqno++;
     CopyOut(k, args->msg, kmsg);
     OolDeliverFromKmsg(k, t->task, kmsg, args->msg);
@@ -441,6 +447,8 @@ void DeliverDirect(Thread* receiver, const MessageHeader& header, const void* bo
         ThreadSyscallReturn(KernReturn::kRcvTooLarge);
       }
       KMessage* kmsg = from->messages.DequeueHead();
+      k.TracePoint(TraceEvent::kIpcQueueDepth, from->id,
+                   static_cast<std::uint32_t>(from->messages.Size()));
       kmsg->header.seqno = from->next_seqno++;
       CopyOut(k, st.user_buffer, kmsg);
       OolDeliverFromKmsg(k, thread->task, kmsg, st.user_buffer);

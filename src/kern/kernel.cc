@@ -20,6 +20,16 @@ namespace {
 
 Kernel* g_active_kernel = nullptr;
 
+// Stack-pool observer: emits a kStackPoolSize counter event after every
+// Allocate/Free. Installed only when tracing is enabled, so a disabled trace
+// costs the pool nothing (not even the null check it would otherwise share).
+void StackPoolTraceHook(void* ctx, std::uint64_t in_use, std::uint64_t cached) {
+  auto* k = static_cast<Kernel*>(ctx);
+  Thread* t = k->processor().active_thread;
+  k->trace().Record(k->clock().Now(), t != nullptr ? t->id : 0, TraceEvent::kStackPoolSize,
+                    static_cast<std::uint32_t>(in_use), static_cast<std::uint32_t>(cached));
+}
+
 }  // namespace
 
 const char* ModelName(ControlTransferModel model) {
@@ -52,10 +62,85 @@ Kernel::Kernel(const KernelConfig& config)
       stack_pool_(config.kernel_stack_bytes, config.stack_cache_limit),
       rng_(config.seed) {
   trace_.Configure(config.trace_capacity);
+  if (trace_.enabled()) {
+    stack_pool_.SetTraceHook(&StackPoolTraceHook, this);
+  }
   ipc_ = std::make_unique<IpcSpace>(*this);
   vm_ = std::make_unique<VmSystem>(*this, config.physical_pages, config.disk_latency);
   ext_ = std::make_unique<ExtState>(*this);
   devices_ = std::make_unique<DeviceRegistry>(*this);
+  RegisterMetrics();  // After the subsystems exist: counters are views.
+}
+
+void Kernel::RegisterMetrics() {
+  metrics_.SetLabel("model", ModelName(config_.model));
+  metrics_.SetLabel("seed", std::to_string(config_.seed));
+
+  // Control transfers (Tables 1 and 2).
+  for (int i = 0; i < static_cast<int>(BlockReason::kCount); ++i) {
+    auto reason = static_cast<BlockReason>(i);
+    if (reason == BlockReason::kIdle) {
+      continue;  // Idle blocks live under xfer.idle_blocks.
+    }
+    const char* slug = BlockReasonSlug(reason);
+    metrics_.RegisterCounter(std::string("xfer.blocks.") + slug,
+                             &transfer_stats_.by_reason[i].blocks);
+    metrics_.RegisterCounter(std::string("xfer.discards.") + slug,
+                             &transfer_stats_.by_reason[i].discards);
+    lat_.block_to_resume[i] =
+        metrics_.RegisterHistogram(std::string("lat.block_to_resume.") + slug);
+  }
+  metrics_.RegisterCounter("xfer.total_blocks", &transfer_stats_.total_blocks);
+  metrics_.RegisterCounter("xfer.stack_handoffs", &transfer_stats_.stack_handoffs);
+  metrics_.RegisterCounter("xfer.recognitions", &transfer_stats_.recognitions);
+  metrics_.RegisterCounter("xfer.idle_blocks", &transfer_stats_.idle_blocks);
+
+  IpcStats& ipc_stats = ipc_->stats();
+  metrics_.RegisterCounter("ipc.messages_sent", &ipc_stats.messages_sent);
+  metrics_.RegisterCounter("ipc.fast_rpc_handoffs", &ipc_stats.fast_rpc_handoffs);
+  metrics_.RegisterCounter("ipc.direct_copies", &ipc_stats.direct_copies);
+  metrics_.RegisterCounter("ipc.queued_sends", &ipc_stats.queued_sends);
+  metrics_.RegisterCounter("ipc.receive_recognitions", &ipc_stats.receive_recognitions);
+  metrics_.RegisterCounter("ipc.slow_continuations", &ipc_stats.slow_continuations);
+  metrics_.RegisterCounter("ipc.rcv_too_large", &ipc_stats.rcv_too_large);
+  metrics_.RegisterCounter("ipc.kmsg_alloc_blocks", &ipc_stats.kmsg_alloc_blocks);
+  metrics_.RegisterCounter("ipc.send_full_blocks", &ipc_stats.send_full_blocks);
+
+  metrics_.RegisterCounter("exc.raised", &exc_stats_.raised);
+  metrics_.RegisterCounter("exc.fast_deliveries", &exc_stats_.fast_deliveries);
+  metrics_.RegisterCounter("exc.queued_deliveries", &exc_stats_.queued_deliveries);
+  metrics_.RegisterCounter("exc.replies", &exc_stats_.replies);
+  metrics_.RegisterCounter("exc.fast_replies", &exc_stats_.fast_replies);
+  metrics_.RegisterCounter("exc.unhandled", &exc_stats_.unhandled);
+
+  VmStats& vm_stats = vm_->stats();
+  metrics_.RegisterCounter("vm.user_faults", &vm_stats.user_faults);
+  metrics_.RegisterCounter("vm.fast_faults", &vm_stats.fast_faults);
+  metrics_.RegisterCounter("vm.zero_fills", &vm_stats.zero_fills);
+  metrics_.RegisterCounter("vm.pageins", &vm_stats.pageins);
+  metrics_.RegisterCounter("vm.fault_blocks", &vm_stats.fault_blocks);
+  metrics_.RegisterCounter("vm.busy_waits", &vm_stats.busy_waits);
+  metrics_.RegisterCounter("vm.kernel_faults", &vm_stats.kernel_faults);
+  metrics_.RegisterCounter("vm.pageouts", &vm_stats.pageouts);
+  metrics_.RegisterCounter("vm.protection_exceptions", &vm_stats.protection_exceptions);
+
+  const StackPoolStats& sp = stack_pool_.stats();
+  metrics_.RegisterCounter("stack.allocs", &sp.allocs);
+  metrics_.RegisterCounter("stack.frees", &sp.frees);
+  metrics_.RegisterCounter("stack.cache_hits", &sp.cache_hits);
+  metrics_.RegisterCounter("stack.created", &sp.created);
+  metrics_.RegisterCounter("stack.destroyed", &sp.destroyed);
+  metrics_.RegisterCounter("stack.samples", &sp.samples);
+  metrics_.RegisterCounter("stack.sample_sum", &sp.sample_sum);
+  metrics_.RegisterGauge("stack.in_use", &sp.in_use);
+  metrics_.RegisterGauge("stack.max_in_use", &sp.max_in_use);
+  metrics_.RegisterGauge("stack.max_cached", &sp.max_cached);
+
+  lat_.transfer_handoff = metrics_.RegisterHistogram("lat.transfer.handoff");
+  lat_.transfer_switch = metrics_.RegisterHistogram("lat.transfer.switch");
+  lat_.rpc_round_trip = metrics_.RegisterHistogram("lat.rpc.round_trip");
+  lat_.fault_service = metrics_.RegisterHistogram("lat.vm.fault_service");
+  lat_.exc_service = metrics_.RegisterHistogram("lat.exc.service");
 }
 
 Kernel::~Kernel() {
@@ -449,6 +534,9 @@ void Kernel::ResetStats() {
   stack_pool_.ResetStats();
   ipc_->stats() = IpcStats{};
   vm_->stats() = VmStats{};
+  // All of the above assign in place, so the registry's counter/gauge views
+  // stay valid; only the registry-owned histograms need an explicit clear.
+  metrics_.ResetHistograms();
 }
 
 }  // namespace mkc

@@ -20,6 +20,7 @@
 #include "src/kern/transfer_stats.h"
 #include "src/exc/exc_stats.h"
 #include "src/machine/cost_model.h"
+#include "src/obs/metrics.h"
 
 namespace mkc {
 
@@ -59,6 +60,20 @@ struct KernelConfig {
   // Ablation switches (MK40 only; see bench/bench_ablation.cc).
   bool enable_handoff = true;      // Stack handoff between continuations.
   bool enable_recognition = true;  // Continuation recognition fast paths.
+};
+
+// Stable pointers into the metrics registry for the hot-path latency
+// histograms; populated once at kernel construction so recording is a direct
+// pointer dereference (no name lookup, no allocation).
+struct KernelLatencyMetrics {
+  // Block-to-resume latency per blocking reason (kIdle unused — idle blocks
+  // are scheduling artifacts, as in Table 1).
+  LatencyHistogram* block_to_resume[static_cast<int>(BlockReason::kCount)] = {};
+  LatencyHistogram* transfer_handoff = nullptr;  // BlockCommon via stack handoff.
+  LatencyHistogram* transfer_switch = nullptr;   // BlockCommon via full switch.
+  LatencyHistogram* rpc_round_trip = nullptr;    // UserRpc send..reply.
+  LatencyHistogram* fault_service = nullptr;     // Page-fault entry..return.
+  LatencyHistogram* exc_service = nullptr;       // Exception raise..reply.
 };
 
 // User-thread entry point, executed in simulated user mode on the thread's
@@ -116,6 +131,9 @@ class Kernel {
       trace_.Record(clock_.Now(), t != nullptr ? t->id : 0, event, aux, aux2);
     }
   }
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  KernelLatencyMetrics& lat() { return lat_; }
   IpcSpace& ipc() { return *ipc_; }
   VmSystem& vm() { return *vm_; }
   ExcStats& exc_stats() { return exc_stats_; }
@@ -181,6 +199,7 @@ class Kernel {
   friend class KernelTestPeer;
 
   void BootIfNeeded();
+  void RegisterMetrics();
   Thread* AllocateThread();
   [[noreturn]] void ReaperLoop();
 
@@ -200,6 +219,9 @@ class Kernel {
   EventQueue events_;
   Rng rng_;
   TraceBuffer trace_;
+
+  MetricsRegistry metrics_;
+  KernelLatencyMetrics lat_;
 
   std::unique_ptr<IpcSpace> ipc_;
   std::unique_ptr<VmSystem> vm_;

@@ -15,17 +15,23 @@ StackPool::~StackPool() {
 }
 
 KernelStack* StackPool::Allocate() {
-  SpinLockGuard guard(lock_);
-  ++stats_.allocs;
-  KernelStack* stack = cache_.DequeueHead();
-  if (stack != nullptr) {
-    ++stats_.cache_hits;
-  } else {
-    stack = new KernelStack(stack_bytes_);
-    ++stats_.created;
+  KernelStack* stack;
+  {
+    SpinLockGuard guard(lock_);
+    ++stats_.allocs;
+    stack = cache_.DequeueHead();
+    if (stack != nullptr) {
+      ++stats_.cache_hits;
+    } else {
+      stack = new KernelStack(stack_bytes_);
+      ++stats_.created;
+    }
+    ++stats_.in_use;
+    stats_.max_in_use = std::max(stats_.max_in_use, stats_.in_use);
   }
-  ++stats_.in_use;
-  stats_.max_in_use = std::max(stats_.max_in_use, stats_.in_use);
+  if (trace_hook_ != nullptr) {
+    trace_hook_(trace_ctx_, stats_.in_use, cache_.Size());
+  }
   return stack;
 }
 
@@ -33,15 +39,21 @@ void StackPool::Free(KernelStack* stack) {
   MKC_ASSERT(stack != nullptr);
   stack->CheckCanary();
   stack->owner = nullptr;
-  SpinLockGuard guard(lock_);
-  ++stats_.frees;
-  MKC_ASSERT(stats_.in_use > 0);
-  --stats_.in_use;
-  if (cache_.Size() < cache_limit_) {
-    cache_.EnqueueTail(stack);
-  } else {
-    delete stack;
-    ++stats_.destroyed;
+  {
+    SpinLockGuard guard(lock_);
+    ++stats_.frees;
+    MKC_ASSERT(stats_.in_use > 0);
+    --stats_.in_use;
+    if (cache_.Size() < cache_limit_) {
+      cache_.EnqueueTail(stack);
+      stats_.max_cached = std::max(stats_.max_cached, static_cast<std::uint64_t>(cache_.Size()));
+    } else {
+      delete stack;
+      ++stats_.destroyed;
+    }
+  }
+  if (trace_hook_ != nullptr) {
+    trace_hook_(trace_ctx_, stats_.in_use, cache_.Size());
   }
 }
 

@@ -25,6 +25,7 @@ struct StackPoolStats {
   std::uint64_t destroyed = 0;     // Stacks released back to the host.
   std::uint64_t in_use = 0;        // Currently attached or in transit.
   std::uint64_t max_in_use = 0;    // High-water mark.
+  std::uint64_t max_cached = 0;    // High-water mark of the free cache.
   // Time-averaged in-use count, sampled at every block (§3.4 methodology).
   std::uint64_t samples = 0;
   std::uint64_t sample_sum = 0;
@@ -55,8 +56,18 @@ class StackPool {
 
   const StackPoolStats& stats() const { return stats_; }
   std::size_t stack_bytes() const { return stack_bytes_; }
+  std::size_t cached() const { return cache_.Size(); }
 
   void ResetStats();
+
+  // Observer invoked after every Allocate/Free with the new pool shape; the
+  // kernel installs one (to emit kStackPoolSize trace events) only when
+  // tracing is enabled, so a disabled trace pays nothing here.
+  using TraceHook = void (*)(void* ctx, std::uint64_t in_use, std::uint64_t cached);
+  void SetTraceHook(TraceHook hook, void* ctx) {
+    trace_hook_ = hook;
+    trace_ctx_ = ctx;
+  }
 
  private:
   std::size_t stack_bytes_;
@@ -64,6 +75,8 @@ class StackPool {
   SpinLock lock_;
   IntrusiveQueue<KernelStack, &KernelStack::pool_link> cache_;
   StackPoolStats stats_;
+  TraceHook trace_hook_ = nullptr;
+  void* trace_ctx_ = nullptr;
 };
 
 }  // namespace mkc

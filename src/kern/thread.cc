@@ -34,4 +34,36 @@ const char* BlockReasonName(BlockReason reason) {
   return "unknown";
 }
 
+const char* BlockReasonSlug(BlockReason reason) {
+  switch (reason) {
+    case BlockReason::kMessageReceive:
+      return "message-receive";
+    case BlockReason::kException:
+      return "exception";
+    case BlockReason::kPageFault:
+      return "page-fault";
+    case BlockReason::kThreadSwitch:
+      return "thread-switch";
+    case BlockReason::kPreempt:
+      return "preempt";
+    case BlockReason::kInternal:
+      return "internal";
+    case BlockReason::kMsgSend:
+      return "message-send";
+    case BlockReason::kKernelFault:
+      return "kernel-fault";
+    case BlockReason::kMemoryAlloc:
+      return "memory-alloc";
+    case BlockReason::kLockWait:
+      return "lock-wait";
+    case BlockReason::kThreadExit:
+      return "thread-exit";
+    case BlockReason::kIdle:
+      return "idle";
+    case BlockReason::kCount:
+      break;
+  }
+  return "unknown";
+}
+
 }  // namespace mkc

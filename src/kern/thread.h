@@ -59,6 +59,10 @@ enum class BlockReason : std::uint8_t {
 
 const char* BlockReasonName(BlockReason reason);
 
+// Kebab-case form of BlockReasonName, used to build metric names
+// ("lat.block_to_resume.message-receive" and friends).
+const char* BlockReasonSlug(BlockReason reason);
+
 // Scratch area size, straight from the paper: "The kernel's thread data
 // structure contains a scratch area large enough for 28 bytes of state."
 inline constexpr std::size_t kScratchBytes = 28;
@@ -80,6 +84,14 @@ struct Thread {
   bool is_internal = false;     // Internal kernel thread (Table 1 row).
   bool counts_for_liveness = true;  // Daemons/servers don't hold the kernel up.
   Ticks quantum_start = 0;      // Virtual time the current quantum began.
+
+  // --- Observability stamps (virtual time; 0 = not pending) -------------
+  // Written on the corresponding entry path, consumed (and zeroed) when the
+  // matching latency histogram is recorded. Plain fields: no allocation and
+  // no cost when metrics are not inspected.
+  Ticks block_start = 0;  // Set in BlockCommon; read at resume.
+  Ticks fault_start = 0;  // Set at page-fault entry; read at completion.
+  Ticks exc_start = 0;    // Set at exception entry; read at reply-finish.
 
   // --- Continuation machinery (the paper's MI additions) ---------------
   Continuation continuation = nullptr;

@@ -65,6 +65,23 @@ void RestoreKernelRegs(Thread* thread) {
   std::memcpy(g_live_kernel_regs, thread->md.kernel_save_area, sizeof(g_live_kernel_regs));
 }
 
+// Resume-side half of the block-to-resume latency measurement: the blocking
+// paths stamp Thread::block_start, and the two transfer primitives observe
+// it here when the thread next gets the processor. Idle blocks have no
+// registered histogram (null slot), so they cost one load and branch.
+void RecordResumeLatency(Kernel& k, Thread* new_thread) {
+  if (new_thread->block_start == 0) {
+    return;
+  }
+  Ticks start = new_thread->block_start;
+  new_thread->block_start = 0;
+  LatencyHistogram* hist =
+      k.lat().block_to_resume[static_cast<int>(new_thread->block_reason)];
+  if (hist != nullptr) {
+    hist->Record(k.clock().Now() - start);
+  }
+}
+
 }  // namespace
 
 void StackAttach(Thread* thread, KernelStack* stack, StackStartFn start) {
@@ -96,6 +113,7 @@ KernelStack* StackDetach(Thread* thread) {
 void StackHandoff(Thread* new_thread) {
   Kernel& k = ActiveKernel();
   Thread* old_thread = CurrentThread();
+  Ticks transfer_start = k.clock().Now();
   MKC_ASSERT(new_thread != old_thread);
   MKC_ASSERT_MSG(old_thread->kernel_stack != nullptr, "handoff from a stackless thread");
   MKC_ASSERT_MSG(new_thread->kernel_stack == nullptr,
@@ -116,6 +134,8 @@ void StackHandoff(Thread* new_thread) {
   new_thread->quantum_start = k.clock().Now();
   k.cost_model().Account(CostOp::kStackHandoff, 3, 4);
   k.ChargeCycles(kCycStackHandoff);
+  k.lat().transfer_handoff->Record(k.clock().Now() - transfer_start);
+  RecordResumeLatency(k, new_thread);
   // Execution continues in the caller's frame, now owned by new_thread
   // ("stack_handoff returns as the new thread").
 }
@@ -140,6 +160,7 @@ void StackHandoff(Thread* new_thread) {
 Thread* SwitchContext(Continuation cont, Thread* new_thread) {
   Kernel& k = ActiveKernel();
   Thread* old_thread = CurrentThread();
+  Ticks transfer_start = k.clock().Now();
   MKC_ASSERT(new_thread != old_thread);
   MKC_ASSERT(old_thread->kernel_stack != nullptr);
   MKC_ASSERT_MSG(new_thread->kernel_stack != nullptr,
@@ -162,6 +183,8 @@ Thread* SwitchContext(Continuation cont, Thread* new_thread) {
                            kKernelSaveAreaWords + kContextSwitchSavedWords, 0);
     k.ChargeCycles(kCycContextSwitchNoSave);
     k.TracePoint(TraceEvent::kSwitchContext, new_thread->id, 1);
+    k.lat().transfer_switch->Record(k.clock().Now() - transfer_start);
+    RecordResumeLatency(k, new_thread);
     ContextJump(target, old_thread);
   }
 
@@ -173,6 +196,8 @@ Thread* SwitchContext(Continuation cont, Thread* new_thread) {
                          kKernelSaveAreaWords + kContextSwitchSavedWords);
   k.ChargeCycles(kCycContextSwitch);
   k.TracePoint(TraceEvent::kSwitchContext, new_thread->id, 0);
+  k.lat().transfer_switch->Record(k.clock().Now() - transfer_start);
+  RecordResumeLatency(k, new_thread);
   void* pass = ContextSwitch(&old_thread->md.kernel_ctx, target, old_thread);
   // Rescheduled: `pass` is the thread that was running before us.
   return static_cast<Thread*>(pass);

@@ -1,0 +1,46 @@
+// RAII scope timer over the virtual clock.
+//
+// Records the virtual-tick duration of a scope into a LatencyHistogram when
+// the scope exits normally. Only usable on paths that *return* — most kernel
+// control transfers end in a ContextJump and never unwind, so those paths
+// (block-to-resume, fault service, exception service) instead carry explicit
+// start stamps on the Thread and record at their resume/finish points.
+#ifndef MACHCONT_SRC_OBS_TIMED_SCOPE_H_
+#define MACHCONT_SRC_OBS_TIMED_SCOPE_H_
+
+#include "src/base/vclock.h"
+#include "src/obs/metrics.h"
+
+namespace mkc {
+
+class TimedScope {
+ public:
+  TimedScope(VirtualClock& clock, LatencyHistogram* hist)
+      : clock_(clock), hist_(hist), start_(clock.Now()) {}
+
+  ~TimedScope() {
+    if (hist_ != nullptr) {
+      hist_->Record(clock_.Now() - start_);
+    }
+  }
+
+  TimedScope(const TimedScope&) = delete;
+  TimedScope& operator=(const TimedScope&) = delete;
+
+ private:
+  VirtualClock& clock_;
+  LatencyHistogram* hist_;
+  Ticks start_;
+};
+
+#define MKC_OBS_CONCAT2(a, b) a##b
+#define MKC_OBS_CONCAT(a, b) MKC_OBS_CONCAT2(a, b)
+
+// Times the rest of the enclosing scope into `hist` (a LatencyHistogram*,
+// may be null) using `kernel`'s virtual clock.
+#define MKC_TIMED_SCOPE(kernel, hist) \
+  ::mkc::TimedScope MKC_OBS_CONCAT(mkc_timed_scope_, __LINE__)((kernel).clock(), (hist))
+
+}  // namespace mkc
+
+#endif  // MACHCONT_SRC_OBS_TIMED_SCOPE_H_

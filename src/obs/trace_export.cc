@@ -1,0 +1,99 @@
+#include "src/obs/trace_export.h"
+
+#include <cinttypes>
+
+#include "src/kern/thread.h"
+#include "src/machine/cycle_model.h"
+
+namespace mkc {
+namespace {
+
+// Event-specific argument rendering: aux/aux2 mean different things per
+// event (see TraceEvent), and the exported trace should say which.
+void AppendArgs(std::string* out, const TraceRecord& r) {
+  char buf[128];
+  switch (r.event) {
+    case TraceEvent::kBlock:
+      std::snprintf(buf, sizeof(buf), "{\"reason\":\"%s\",\"continuation\":%u}",
+                    BlockReasonName(static_cast<BlockReason>(r.aux)), r.aux2);
+      break;
+    case TraceEvent::kHandoff:
+    case TraceEvent::kSetrun:
+    case TraceEvent::kStackAttachEvt:
+    case TraceEvent::kStackDetachEvt:
+      std::snprintf(buf, sizeof(buf), "{\"thread\":%u}", r.aux);
+      break;
+    case TraceEvent::kSwitchContext:
+      std::snprintf(buf, sizeof(buf), "{\"thread\":%u,\"no_save\":%u}", r.aux, r.aux2);
+      break;
+    case TraceEvent::kRecognition:
+      std::snprintf(buf, sizeof(buf), "{\"site\":%u}", r.aux);
+      break;
+    default:
+      std::snprintf(buf, sizeof(buf), "{\"aux\":%u,\"aux2\":%u}", r.aux, r.aux2);
+      break;
+  }
+  *out += buf;
+}
+
+void AppendEvent(std::string* out, const TraceRecord& r, bool* first) {
+  char buf[192];
+  if (!*first) {
+    *out += ",\n";
+  }
+  *first = false;
+  // Virtual ticks -> simulated DS3100 microseconds; trace-event "ts" is in
+  // microseconds. Three decimals keep sub-microsecond primitives apart.
+  double ts = CyclesToMicros(r.when);
+  switch (r.event) {
+    case TraceEvent::kStackPoolSize:
+      // Counter track: stacks in use and cached, one series each.
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"kernel-stacks\",\"ph\":\"C\",\"ts\":%.3f,\"pid\":1,"
+                    "\"args\":{\"in_use\":%u,\"cached\":%u}}",
+                    ts, r.aux, r.aux2);
+      *out += buf;
+      return;
+    case TraceEvent::kIpcQueueDepth:
+      // One counter track per port.
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"port-%u-depth\",\"ph\":\"C\",\"ts\":%.3f,\"pid\":1,"
+                    "\"args\":{\"depth\":%u}}",
+                    r.aux, ts, r.aux2);
+      *out += buf;
+      return;
+    default:
+      break;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "{\"name\":\"%s\",\"ph\":\"i\",\"ts\":%.3f,\"pid\":1,\"tid\":%u,"
+                "\"s\":\"t\",\"args\":",
+                TraceEventName(r.event), ts, r.thread);
+  *out += buf;
+  AppendArgs(out, r);
+  *out += "}";
+}
+
+}  // namespace
+
+std::string ChromeTraceString(const TraceBuffer& trace) {
+  std::string out;
+  out.reserve(256 + trace.retained() * 96);
+  out += "[\n";
+  bool first = true;
+  // Name the one simulated machine so Perfetto's track group reads well.
+  out +=
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+      "\"args\":{\"name\":\"machcont kernel\"}}";
+  first = false;
+  trace.ForEach([&](const TraceRecord& r) { AppendEvent(&out, r, &first); });
+  out += "\n]\n";
+  return out;
+}
+
+void WriteChromeTrace(const TraceBuffer& trace, std::FILE* out) {
+  std::string json = ChromeTraceString(trace);
+  std::fwrite(json.data(), 1, json.size(), out);
+}
+
+}  // namespace mkc

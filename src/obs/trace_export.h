@@ -1,0 +1,27 @@
+// Chrome trace-event export for the control-transfer trace ring.
+//
+// Serializes a TraceBuffer as the JSON array flavor of the Chrome
+// trace-event format, loadable directly in Perfetto (ui.perfetto.dev) or
+// chrome://tracing: kernel events become instant events on their thread's
+// track, and the IPC queue-depth / stack-pool samples become counter tracks.
+// Timestamps are simulated DS3100 microseconds (virtual ticks through
+// CyclesToMicros), so a trace is bit-deterministic per (config, seed).
+#ifndef MACHCONT_SRC_OBS_TRACE_EXPORT_H_
+#define MACHCONT_SRC_OBS_TRACE_EXPORT_H_
+
+#include <cstdio>
+#include <string>
+
+#include "src/core/trace.h"
+
+namespace mkc {
+
+// Writes the retained records as one JSON array of trace events.
+void WriteChromeTrace(const TraceBuffer& trace, std::FILE* out);
+
+// Same serialization, into a string (tests, tools).
+std::string ChromeTraceString(const TraceBuffer& trace);
+
+}  // namespace mkc
+
+#endif  // MACHCONT_SRC_OBS_TRACE_EXPORT_H_

@@ -2,7 +2,9 @@
 
 #include "src/base/panic.h"
 #include "src/ipc/mach_msg.h"
+#include "src/kern/kernel.h"
 #include "src/machine/trap.h"
+#include "src/obs/timed_scope.h"
 #include "src/task/syscalls.h"
 #include "src/vm/vm_system.h"
 
@@ -222,6 +224,10 @@ bool UserUpcallTrigger(std::uint64_t payload) {
 
 KernReturn UserRpc(UserMessage* msg, std::uint32_t send_size, PortId reply_port,
                    std::uint32_t rcv_limit) {
+  // The one blocking primitive that returns to its caller normally, so the
+  // RPC round trip (send through reply received) can use the scoped timer.
+  Kernel& k = ActiveKernel();
+  MKC_TIMED_SCOPE(k, k.lat().rpc_round_trip);
   msg->header.reply = reply_port;
   return UserMachMsg(msg, kMsgSendOpt | kMsgRcvOpt, send_size, rcv_limit, reply_port);
 }

@@ -11,6 +11,21 @@
 #include "src/vm/object.h"
 
 namespace mkc {
+namespace {
+
+// Completes the page-fault service-time measurement begun in FaultInternal
+// (first, non-retry entry). Called just before the fault path returns to
+// user level, whichever resolution it took.
+void RecordFaultService(Thread* thread) {
+  if (thread->fault_start == 0) {
+    return;
+  }
+  Kernel& k = ActiveKernel();
+  k.lat().fault_service->Record(k.clock().Now() - thread->fault_start);
+  thread->fault_start = 0;
+}
+
+}  // namespace
 
 VmSystem::VmSystem(Kernel& kernel, std::uint32_t physical_pages, Ticks disk_latency)
     : kernel_(kernel),
@@ -54,6 +69,7 @@ void VmSystem::VmFaultMapContinue() {
   k.ChargeCycles(kCycFaultBase);
   if (!is_retry) {
     ++stats_.user_faults;
+    thread->fault_start = k.clock().Now();
   }
   for (;;) {
     Task* task = thread->task;
@@ -86,6 +102,7 @@ void VmSystem::VmFaultMapContinue() {
         page->dirty = true;
       }
       ++stats_.fast_faults;
+      RecordFaultService(thread);
       ThreadExceptionReturn();
     }
 
@@ -120,6 +137,7 @@ void VmSystem::VmFaultMapContinue() {
       page->mapped_task = task;
       page->mapped_va = PageTrunc(addr);
       page->dirty = write;
+      RecordFaultService(thread);
       ThreadExceptionReturn();
     }
 

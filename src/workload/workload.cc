@@ -110,11 +110,17 @@ WorkloadReport Collect(const char* name, Kernel& kernel, double wall_seconds) {
 }
 
 template <typename SetupAndRun>
-WorkloadReport TimeRun(const char* name, Kernel& kernel, SetupAndRun&& run) {
+WorkloadReport TimeRun(const char* name, Kernel& kernel, const WorkloadParams& params,
+                       SetupAndRun&& run) {
   kernel.ResetStats();
   auto start = std::chrono::steady_clock::now();
   run();
   std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+  // Observability hook: the caller sees the kernel (metrics, trace) before
+  // it is torn down, outside the wall-clock measurement.
+  if (params.post_run != nullptr) {
+    params.post_run(kernel, params.post_run_arg);
+  }
   return Collect(name, kernel, elapsed.count());
 }
 
@@ -225,7 +231,7 @@ WorkloadReport RunCompileWorkload(const KernelConfig& config, const WorkloadPara
   TickerState ticker;
   StartTicker<0>(kernel, &ticker, /*period=*/4000, "callout");
 
-  return TimeRun("Compile Test", kernel, [&] { kernel.Run(); });
+  return TimeRun("Compile Test", kernel, params, [&] { kernel.Run(); });
 }
 
 // ============================================================================
@@ -337,7 +343,7 @@ WorkloadReport RunKernelBuildWorkload(const KernelConfig& config, const Workload
   StartTicker<0>(kernel, &net_ticker, /*period=*/2500, "netisr");
   StartTicker<1>(kernel, &callout_ticker, /*period=*/7000, "callout");
 
-  return TimeRun("Kernel Build", kernel, [&] { kernel.Run(); });
+  return TimeRun("Kernel Build", kernel, params, [&] { kernel.Run(); });
 }
 
 // ============================================================================
@@ -453,7 +459,7 @@ WorkloadReport RunDosWorkload(const KernelConfig& config, const WorkloadParams& 
   TickerState ticker;
   StartTicker<0>(kernel, &ticker, /*period=*/30000, "callout");
 
-  return TimeRun("DOS Emulation", kernel, [&] { kernel.Run(); });
+  return TimeRun("DOS Emulation", kernel, params, [&] { kernel.Run(); });
 }
 
 }  // namespace mkc

@@ -28,6 +28,12 @@ struct WorkloadParams {
   // approach the paper's block counts (the kernel build ran 1.6M blocks).
   int scale = 1;
   std::uint64_t seed = 42;
+
+  // Invoked after the run completes, while the workload's Kernel is still
+  // alive (it is destroyed before the WorkloadReport is returned). Tools use
+  // this to dump the metrics registry and trace buffer.
+  void (*post_run)(Kernel& kernel, void* arg) = nullptr;
+  void* post_run_arg = nullptr;
 };
 
 struct WorkloadReport {

@@ -14,6 +14,7 @@
 #include "src/task/task.h"
 #include "src/task/usermode.h"
 #include "src/vm/vm_system.h"
+#include "src/workload/workload.h"
 
 namespace mkc {
 namespace {
@@ -254,6 +255,39 @@ TEST_P(PortDeathModelTest, SendToSetMemberAfterSetDestroyStillWorks) {
   kernel.Run();
   EXPECT_EQ(send_kr, KernReturn::kSuccess);
   EXPECT_EQ(rcv_kr, KernReturn::kSuccess);
+}
+
+// --- Determinism: metrics are a pure function of (config, seed) ---------------
+
+void CaptureMetricsJson(Kernel& kernel, void* arg) {
+  *static_cast<std::string*>(arg) = kernel.metrics().DumpJsonString();
+}
+
+TEST(MetricsDeterminismTest, SameSeedSameConfigYieldsByteIdenticalMetricsJson) {
+  KernelConfig config;
+  config.trace_capacity = 1024;  // Tracing on must not perturb the metrics.
+  WorkloadParams params;
+  params.scale = 1;
+  params.seed = 1234;
+  params.post_run = &CaptureMetricsJson;
+
+  std::string first;
+  std::string second;
+  params.post_run_arg = &first;
+  RunCompileWorkload(config, params);
+  params.post_run_arg = &second;
+  RunCompileWorkload(config, params);
+
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+
+  // A different seed must actually change the distributions (guards against
+  // the dump ignoring the run).
+  std::string other_seed;
+  params.seed = 99;
+  params.post_run_arg = &other_seed;
+  RunCompileWorkload(config, params);
+  EXPECT_NE(first, other_seed);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllModels, PortDeathModelTest,

@@ -1,0 +1,358 @@
+// Observability layer: log2 latency histograms, the metrics registry and its
+// JSON dump, the power-of-two trace ring, and the Chrome trace-event export.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "src/core/trace.h"
+#include "src/kern/kernel.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace_export.h"
+#include "src/workload/workload.h"
+
+namespace mkc {
+namespace {
+
+// --- Minimal JSON well-formedness checker -----------------------------------
+//
+// Recursive-descent validator for the subset the dumps emit (objects, arrays,
+// strings, unsigned numbers with optional fraction, true/false/null). Enough
+// to prove a real parser would accept the output without adding a dependency.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : p_(text.c_str()) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) {
+      return false;
+    }
+    SkipWs();
+    return *p_ == '\0';
+  }
+
+ private:
+  void SkipWs() {
+    while (*p_ == ' ' || *p_ == '\n' || *p_ == '\t' || *p_ == '\r') {
+      ++p_;
+    }
+  }
+
+  bool Value() {
+    SkipWs();
+    switch (*p_) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      default:
+        return NumberOrLiteral();
+    }
+  }
+
+  bool Object() {
+    ++p_;  // '{'
+    SkipWs();
+    if (*p_ == '}') {
+      ++p_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (!String()) {
+        return false;
+      }
+      SkipWs();
+      if (*p_ != ':') {
+        return false;
+      }
+      ++p_;
+      if (!Value()) {
+        return false;
+      }
+      SkipWs();
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == '}') {
+        ++p_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++p_;  // '['
+    SkipWs();
+    if (*p_ == ']') {
+      ++p_;
+      return true;
+    }
+    for (;;) {
+      if (!Value()) {
+        return false;
+      }
+      SkipWs();
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == ']') {
+        ++p_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (*p_ != '"') {
+      return false;
+    }
+    ++p_;
+    while (*p_ != '"') {
+      if (*p_ == '\0') {
+        return false;
+      }
+      if (*p_ == '\\') {
+        ++p_;
+        if (*p_ == '\0') {
+          return false;
+        }
+      }
+      ++p_;
+    }
+    ++p_;
+    return true;
+  }
+
+  bool NumberOrLiteral() {
+    if (std::strncmp(p_, "true", 4) == 0) {
+      p_ += 4;
+      return true;
+    }
+    if (std::strncmp(p_, "false", 5) == 0) {
+      p_ += 5;
+      return true;
+    }
+    if (std::strncmp(p_, "null", 4) == 0) {
+      p_ += 4;
+      return true;
+    }
+    const char* start = p_;
+    if (*p_ == '-') {
+      ++p_;
+    }
+    while (*p_ >= '0' && *p_ <= '9') {
+      ++p_;
+    }
+    if (*p_ == '.') {
+      ++p_;
+      while (*p_ >= '0' && *p_ <= '9') {
+        ++p_;
+      }
+    }
+    return p_ != start;
+  }
+
+  const char* p_;
+};
+
+// --- Histogram ---------------------------------------------------------------
+
+TEST(LatencyHistogramTest, BucketsValuesByBitWidth) {
+  LatencyHistogram h;
+  h.Record(0);    // bucket 0
+  h.Record(1);    // bucket 1: [1,1]
+  h.Record(2);    // bucket 2: [2,3]
+  h.Record(3);    // bucket 2
+  h.Record(4);    // bucket 3: [4,7]
+  h.Record(255);  // bucket 8: [128,255]
+  h.Record(256);  // bucket 9: [256,511]
+
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_EQ(h.sum(), 0u + 1 + 2 + 3 + 4 + 255 + 256);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 256u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.bucket(8), 1u);
+  EXPECT_EQ(h.bucket(9), 1u);
+}
+
+TEST(LatencyHistogramTest, BucketBounds) {
+  EXPECT_EQ(LatencyHistogram::BucketLowerBound(0), 0u);
+  EXPECT_EQ(LatencyHistogram::BucketUpperBound(0), 0u);
+  EXPECT_EQ(LatencyHistogram::BucketLowerBound(1), 1u);
+  EXPECT_EQ(LatencyHistogram::BucketUpperBound(1), 1u);
+  EXPECT_EQ(LatencyHistogram::BucketLowerBound(8), 128u);
+  EXPECT_EQ(LatencyHistogram::BucketUpperBound(8), 255u);
+}
+
+TEST(LatencyHistogramTest, PercentilesAreBucketBoundsClampedToMax) {
+  LatencyHistogram h;
+  for (int i = 0; i < 99; ++i) {
+    h.Record(10);  // bucket 4: [8,15]
+  }
+  h.Record(1000);  // bucket 10: [512,1023]
+
+  // 99 of 100 recordings are 10, so ranks through 99 land in bucket 4 and
+  // report its upper bound, 15.
+  EXPECT_EQ(h.P50(), 15u);
+  EXPECT_EQ(h.P90(), 15u);
+  // p99 rank is 99 -> still bucket 4; the tail value only shows at p100.
+  EXPECT_EQ(h.P99(), 15u);
+  EXPECT_EQ(h.Percentile(100.0), 1000u);  // Clamped to the observed max.
+}
+
+TEST(LatencyHistogramTest, EmptyAndReset) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.P50(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  h.Record(7);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.P99(), 7u);  // Single sample: every percentile is its value.
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+// --- Registry ----------------------------------------------------------------
+
+TEST(MetricsRegistryTest, LookupFindsRegisteredViews) {
+  MetricsRegistry reg;
+  std::uint64_t counter = 41;
+  std::uint64_t gauge = 7;
+  reg.RegisterCounter("test.counter", &counter);
+  reg.RegisterGauge("test.gauge", &gauge);
+  LatencyHistogram* h = reg.RegisterHistogram("test.hist");
+  ASSERT_NE(h, nullptr);
+
+  ++counter;  // Views see subsequent writes to the underlying storage.
+  ASSERT_NE(reg.FindCounter("test.counter"), nullptr);
+  EXPECT_EQ(*reg.FindCounter("test.counter"), 42u);
+  ASSERT_NE(reg.FindGauge("test.gauge"), nullptr);
+  EXPECT_EQ(*reg.FindGauge("test.gauge"), 7u);
+  EXPECT_EQ(reg.FindHistogram("test.hist"), h);
+  EXPECT_EQ(reg.FindCounter("absent"), nullptr);
+  EXPECT_EQ(reg.FindGauge("absent"), nullptr);
+  EXPECT_EQ(reg.FindHistogram("absent"), nullptr);
+}
+
+TEST(MetricsRegistryTest, KernelRegistersTheCatalog) {
+  Kernel kernel{KernelConfig{}};
+  const MetricsRegistry& reg = kernel.metrics();
+  EXPECT_NE(reg.FindCounter("xfer.total_blocks"), nullptr);
+  EXPECT_NE(reg.FindCounter("xfer.blocks.message-receive"), nullptr);
+  EXPECT_NE(reg.FindCounter("xfer.discards.exception"), nullptr);
+  EXPECT_NE(reg.FindCounter("ipc.messages_sent"), nullptr);
+  EXPECT_NE(reg.FindCounter("vm.user_faults"), nullptr);
+  EXPECT_NE(reg.FindCounter("exc.raised"), nullptr);
+  EXPECT_NE(reg.FindGauge("stack.max_in_use"), nullptr);
+  EXPECT_NE(reg.FindGauge("stack.max_cached"), nullptr);
+  EXPECT_NE(reg.FindHistogram("lat.block_to_resume.message-receive"), nullptr);
+  EXPECT_NE(reg.FindHistogram("lat.transfer.handoff"), nullptr);
+  EXPECT_NE(reg.FindHistogram("lat.transfer.switch"), nullptr);
+  EXPECT_NE(reg.FindHistogram("lat.rpc.round_trip"), nullptr);
+  EXPECT_NE(reg.FindHistogram("lat.vm.fault_service"), nullptr);
+  // Idle has no block-to-resume histogram (scheduling artifact).
+  EXPECT_EQ(reg.FindHistogram("lat.block_to_resume.idle"), nullptr);
+}
+
+// --- Trace ring --------------------------------------------------------------
+
+TEST(TraceBufferTest, RoundsCapacityUpToPowerOfTwo) {
+  TraceBuffer t;
+  t.Configure(3);
+  EXPECT_EQ(t.capacity(), 4u);
+  t.Configure(4);
+  EXPECT_EQ(t.capacity(), 4u);
+  t.Configure(5);
+  EXPECT_EQ(t.capacity(), 8u);
+  t.Configure(0);
+  EXPECT_FALSE(t.enabled());
+  EXPECT_EQ(t.capacity(), 0u);
+}
+
+TEST(TraceBufferTest, TracksOverwrittenRecords) {
+  TraceBuffer t;
+  t.Configure(4);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    t.Record(i, 1, TraceEvent::kSetrun, i);
+  }
+  EXPECT_EQ(t.recorded(), 10u);
+  EXPECT_EQ(t.retained(), 4u);
+  EXPECT_EQ(t.overwritten(), 6u);
+  // The retained window is the most recent records, oldest first.
+  std::uint32_t expected = 6;
+  t.ForEach([&](const TraceRecord& r) { EXPECT_EQ(r.aux, expected++); });
+  EXPECT_EQ(expected, 10u);
+}
+
+// --- End-to-end JSON ---------------------------------------------------------
+
+struct CapturedJson {
+  std::string metrics;
+  std::string trace;
+};
+
+void CaptureJson(Kernel& kernel, void* arg) {
+  auto* out = static_cast<CapturedJson*>(arg);
+  out->metrics = kernel.metrics().DumpJsonString();
+  out->trace = ChromeTraceString(kernel.trace());
+}
+
+TEST(ObsJsonTest, MetricsAndTraceDumpsAreWellFormed) {
+  KernelConfig config;
+  config.trace_capacity = 2048;
+  WorkloadParams params;
+  params.scale = 1;
+  CapturedJson captured;
+  params.post_run = &CaptureJson;
+  params.post_run_arg = &captured;
+  WorkloadReport report = RunCompileWorkload(config, params);
+  ASSERT_GT(report.transfer.total_blocks, 0u);
+
+  ASSERT_FALSE(captured.metrics.empty());
+  EXPECT_TRUE(JsonChecker(captured.metrics).Valid()) << captured.metrics.substr(0, 200);
+  // Spot-check required content made it into the dump.
+  EXPECT_NE(captured.metrics.find("\"xfer.blocks.message-receive\""), std::string::npos);
+  EXPECT_NE(captured.metrics.find("\"lat.rpc.round_trip\""), std::string::npos);
+  EXPECT_NE(captured.metrics.find("\"p99\""), std::string::npos);
+
+  ASSERT_FALSE(captured.trace.empty());
+  EXPECT_TRUE(JsonChecker(captured.trace).Valid()) << captured.trace.substr(0, 200);
+  EXPECT_NE(captured.trace.find("\"ph\":\"C\""), std::string::npos);  // Counter tracks.
+  EXPECT_NE(captured.trace.find("\"kernel-stacks\""), std::string::npos);
+}
+
+TEST(ObsJsonTest, RpcWorkloadPopulatesLatencyHistograms) {
+  KernelConfig config;
+  WorkloadParams params;
+  params.scale = 1;
+  static std::uint64_t rpc_count;
+  static std::uint64_t handoff_count;
+  static std::uint64_t resume_count;
+  rpc_count = handoff_count = resume_count = 0;
+  params.post_run = [](Kernel& kernel, void*) {
+    rpc_count = kernel.metrics().FindHistogram("lat.rpc.round_trip")->count();
+    handoff_count = kernel.metrics().FindHistogram("lat.transfer.handoff")->count();
+    resume_count =
+        kernel.metrics().FindHistogram("lat.block_to_resume.message-receive")->count();
+  };
+  RunCompileWorkload(config, params);
+  EXPECT_GT(rpc_count, 0u);
+  EXPECT_GT(handoff_count, 0u);
+  EXPECT_GT(resume_count, 0u);
+}
+
+}  // namespace
+}  // namespace mkc

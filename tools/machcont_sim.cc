@@ -10,15 +10,22 @@
 //     --no-handoff                   disable stack handoff  (MK40 ablation)
 //     --no-recognition               disable recognition    (MK40 ablation)
 //     --table                        print the Table 1/2 style breakdown
+//     --hist                         print the latency histogram summary
+//     --trace=N                      trace ring capacity (0 disables)
+//     --trace-out=FILE               write Chrome trace-event JSON (Perfetto)
+//     --metrics-json=FILE|-          write the metrics registry as JSON
 //
-// Prints the control-transfer statistics for the run; exit code 0 on
-// success. Useful for quick experiments without writing a bench.
+// With --metrics-json=- the JSON is the only thing on stdout (the human
+// summary moves to stderr), so pipelines can parse it directly. Exit code 0
+// on success.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "src/machine/cycle_model.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace_export.h"
 #include "src/workload/workload.h"
 
 namespace {
@@ -29,7 +36,8 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--workload=compile|build|dos] [--model=mk40|mk32|mach25]\n"
                "          [--scale=N] [--seed=N] [--quantum=N] [--pages=N]\n"
-               "          [--no-handoff] [--no-recognition] [--table]\n",
+               "          [--no-handoff] [--no-recognition] [--table] [--hist]\n"
+               "          [--trace=N] [--trace-out=FILE] [--metrics-json=FILE|-]\n",
                argv0);
   return 2;
 }
@@ -44,6 +52,64 @@ bool ParseU64(const char* s, std::uint64_t* out) {
   return true;
 }
 
+// Everything the tool needs from the kernel, captured by the post-run hook
+// before the workload destroys it.
+struct ObsCapture {
+  bool want_trace = false;
+  bool want_hist = false;
+  std::string metrics_json;
+  std::string trace_json;
+  std::string hist_text;
+  std::uint64_t trace_recorded = 0;
+  std::uint64_t trace_retained = 0;
+  std::uint64_t trace_overwritten = 0;
+};
+
+void CaptureObservability(mkc::Kernel& kernel, void* arg) {
+  auto* cap = static_cast<ObsCapture*>(arg);
+  cap->metrics_json = kernel.metrics().DumpJsonString();
+  if (cap->want_trace) {
+    cap->trace_json = mkc::ChromeTraceString(kernel.trace());
+  }
+  cap->trace_recorded = kernel.trace().recorded();
+  cap->trace_retained = kernel.trace().retained();
+  cap->trace_overwritten = kernel.trace().overwritten();
+  if (cap->want_hist) {
+    char line[256];
+    std::snprintf(line, sizeof(line), "\n%-36s %10s %10s %10s %10s %10s\n", "histogram", "count",
+                  "p50", "p90", "p99", "max");
+    cap->hist_text += line;
+    kernel.metrics().ForEachHistogram([&](const std::string& name,
+                                          const mkc::LatencyHistogram& h) {
+      if (h.count() == 0) {
+        return;
+      }
+      std::snprintf(line, sizeof(line), "%-36s %10llu %10llu %10llu %10llu %10llu\n",
+                    name.c_str(), static_cast<unsigned long long>(h.count()),
+                    static_cast<unsigned long long>(h.P50()),
+                    static_cast<unsigned long long>(h.P90()),
+                    static_cast<unsigned long long>(h.P99()),
+                    static_cast<unsigned long long>(h.max()));
+      cap->hist_text += line;
+    });
+  }
+}
+
+bool WriteFileOrStdout(const std::string& path, const std::string& contents) {
+  if (path == "-") {
+    std::fwrite(contents.data(), 1, contents.size(), stdout);
+    return true;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "machcont_sim: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fwrite(contents.data(), 1, contents.size(), f);
+  std::fclose(f);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -53,6 +119,10 @@ int main(int argc, char** argv) {
   mkc::WorkloadFn workload = &mkc::RunCompileWorkload;
   const char* workload_name = "compile";
   bool table = false;
+  bool hist = false;
+  bool trace_capacity_set = false;
+  std::string trace_out;
+  std::string metrics_json;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -103,59 +173,124 @@ int main(int argc, char** argv) {
         return Usage(argv[0]);
       }
       config.physical_pages = static_cast<std::uint32_t>(v);
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      std::uint64_t v;
+      if (!ParseU64(value().c_str(), &v)) {
+        return Usage(argv[0]);
+      }
+      config.trace_capacity = static_cast<std::size_t>(v);
+      trace_capacity_set = true;
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = value();
+      if (trace_out.empty()) {
+        return Usage(argv[0]);
+      }
+    } else if (arg.rfind("--metrics-json=", 0) == 0) {
+      metrics_json = value();
+      if (metrics_json.empty()) {
+        return Usage(argv[0]);
+      }
     } else if (arg == "--no-handoff") {
       config.enable_handoff = false;
     } else if (arg == "--no-recognition") {
       config.enable_recognition = false;
     } else if (arg == "--table") {
       table = true;
+    } else if (arg == "--hist") {
+      hist = true;
     } else {
       return Usage(argv[0]);
     }
   }
 
+  // --trace-out without --trace gets a generously sized default ring.
+  if (!trace_out.empty() && !trace_capacity_set) {
+    config.trace_capacity = 65536;
+  }
+
+  ObsCapture cap;
+  cap.want_trace = !trace_out.empty();
+  cap.want_hist = hist;
+  params.post_run = &CaptureObservability;
+  params.post_run_arg = &cap;
+
   mkc::WorkloadReport r = workload(config, params);
 
-  std::printf("workload %s on %s, scale %d, seed %llu\n", workload_name,
-              mkc::ModelName(r.model), params.scale,
-              static_cast<unsigned long long>(params.seed));
-  std::printf("virtual time ...... %llu ticks (%.2f simulated ms)\n",
-              static_cast<unsigned long long>(r.virtual_time),
-              mkc::CyclesToMicros(r.virtual_time) / 1000.0);
-  std::printf("wall time ......... %.3f ms\n", r.wall_seconds * 1000.0);
-  std::printf("blocks ............ %llu (%llu discards, %llu handoffs, %llu recognitions)\n",
-              static_cast<unsigned long long>(r.transfer.total_blocks),
-              static_cast<unsigned long long>(r.transfer.TotalDiscards()),
-              static_cast<unsigned long long>(r.transfer.stack_handoffs),
-              static_cast<unsigned long long>(r.transfer.recognitions));
-  std::printf("kernel stacks ..... avg %.3f in use, max %llu\n", r.stacks.AverageInUse(),
-              static_cast<unsigned long long>(r.stacks.max_in_use));
-  std::printf("ipc ............... %llu msgs (%llu fast-path, %llu queued)\n",
-              static_cast<unsigned long long>(r.ipc.messages_sent),
-              static_cast<unsigned long long>(r.ipc.fast_rpc_handoffs),
-              static_cast<unsigned long long>(r.ipc.queued_sends));
-  std::printf("vm ................ %llu faults (%llu pageins, %llu pageouts)\n",
-              static_cast<unsigned long long>(r.vm.user_faults),
-              static_cast<unsigned long long>(r.vm.pageins),
-              static_cast<unsigned long long>(r.vm.pageouts));
-  std::printf("exceptions ........ %llu raised (%llu fast deliveries)\n",
-              static_cast<unsigned long long>(r.exc.raised),
-              static_cast<unsigned long long>(r.exc.fast_deliveries));
+  // When the metrics JSON goes to stdout, keep stdout pure JSON.
+  std::FILE* human = metrics_json == "-" ? stderr : stdout;
+
+  std::fprintf(human, "workload %s on %s, scale %d, seed %llu\n", workload_name,
+               mkc::ModelName(r.model), params.scale,
+               static_cast<unsigned long long>(params.seed));
+  // One-line machine-grepable summary, always printed.
+  std::fprintf(human,
+               "summary: blocks=%llu discards=%llu handoffs=%llu recognitions=%llu "
+               "msgs=%llu faults=%llu exceptions=%llu vtime=%llu\n",
+               static_cast<unsigned long long>(r.transfer.total_blocks),
+               static_cast<unsigned long long>(r.transfer.TotalDiscards()),
+               static_cast<unsigned long long>(r.transfer.stack_handoffs),
+               static_cast<unsigned long long>(r.transfer.recognitions),
+               static_cast<unsigned long long>(r.ipc.messages_sent),
+               static_cast<unsigned long long>(r.vm.user_faults),
+               static_cast<unsigned long long>(r.exc.raised),
+               static_cast<unsigned long long>(r.virtual_time));
+  std::fprintf(human, "virtual time ...... %llu ticks (%.2f simulated ms)\n",
+               static_cast<unsigned long long>(r.virtual_time),
+               mkc::CyclesToMicros(r.virtual_time) / 1000.0);
+  std::fprintf(human, "wall time ......... %.3f ms\n", r.wall_seconds * 1000.0);
+  std::fprintf(human,
+               "blocks ............ %llu (%llu discards, %llu handoffs, %llu recognitions)\n",
+               static_cast<unsigned long long>(r.transfer.total_blocks),
+               static_cast<unsigned long long>(r.transfer.TotalDiscards()),
+               static_cast<unsigned long long>(r.transfer.stack_handoffs),
+               static_cast<unsigned long long>(r.transfer.recognitions));
+  std::fprintf(human, "kernel stacks ..... avg %.3f in use, max %llu (cache max %llu)\n",
+               r.stacks.AverageInUse(), static_cast<unsigned long long>(r.stacks.max_in_use),
+               static_cast<unsigned long long>(r.stacks.max_cached));
+  std::fprintf(human, "ipc ............... %llu msgs (%llu fast-path, %llu queued)\n",
+               static_cast<unsigned long long>(r.ipc.messages_sent),
+               static_cast<unsigned long long>(r.ipc.fast_rpc_handoffs),
+               static_cast<unsigned long long>(r.ipc.queued_sends));
+  std::fprintf(human, "vm ................ %llu faults (%llu pageins, %llu pageouts)\n",
+               static_cast<unsigned long long>(r.vm.user_faults),
+               static_cast<unsigned long long>(r.vm.pageins),
+               static_cast<unsigned long long>(r.vm.pageouts));
+  std::fprintf(human, "exceptions ........ %llu raised (%llu fast deliveries)\n",
+               static_cast<unsigned long long>(r.exc.raised),
+               static_cast<unsigned long long>(r.exc.fast_deliveries));
+  if (config.trace_capacity > 0) {
+    std::fprintf(human, "trace ............. recorded=%llu retained=%llu overwritten=%llu\n",
+                 static_cast<unsigned long long>(cap.trace_recorded),
+                 static_cast<unsigned long long>(cap.trace_retained),
+                 static_cast<unsigned long long>(cap.trace_overwritten));
+  }
 
   if (table) {
-    std::printf("\n%-20s %12s %12s %8s\n", "block reason", "blocks", "discards", "%");
+    std::fprintf(human, "\n%-20s %12s %12s %8s\n", "block reason", "blocks", "discards", "%");
     for (int i = 0; i < static_cast<int>(BlockReason::kCount); ++i) {
       const auto& row = r.transfer.by_reason[i];
       if (row.blocks == 0) {
         continue;
       }
-      std::printf("%-20s %12llu %12llu %7.1f%%\n",
-                  mkc::BlockReasonName(static_cast<BlockReason>(i)),
-                  static_cast<unsigned long long>(row.blocks),
-                  static_cast<unsigned long long>(row.discards),
-                  100.0 * static_cast<double>(row.blocks) /
-                      static_cast<double>(r.transfer.total_blocks));
+      std::fprintf(human, "%-20s %12llu %12llu %7.1f%%\n",
+                   mkc::BlockReasonName(static_cast<BlockReason>(i)),
+                   static_cast<unsigned long long>(row.blocks),
+                   static_cast<unsigned long long>(row.discards),
+                   100.0 * static_cast<double>(row.blocks) /
+                       static_cast<double>(r.transfer.total_blocks));
     }
   }
-  return 0;
+
+  if (hist) {
+    std::fputs(cap.hist_text.c_str(), human);
+  }
+
+  bool ok = true;
+  if (!metrics_json.empty()) {
+    ok = WriteFileOrStdout(metrics_json, cap.metrics_json) && ok;
+  }
+  if (!trace_out.empty()) {
+    ok = WriteFileOrStdout(trace_out, cap.trace_json) && ok;
+  }
+  return ok ? 0 : 1;
 }

@@ -1,0 +1,168 @@
+// SMP scale-out: RPC throughput of the server-farm workload swept over
+// 1/2/4/8 simulated processors.
+//
+// Two legs per CPU count:
+//   throughput — MK40 full: eight client/server pairs ping-ponging through
+//     the RPC fast path. Virtual time is the frontier of the per-CPU clocks,
+//     so RPCs-per-virtual-tick is the machine's parallel throughput.
+//   stack     — MK40 with handoff disabled: every block discards its stack
+//     and every resume allocates one, hammering the per-CPU free-stack
+//     caches that front the global pool. Reports their hit rate.
+//
+// With MACHCONT_BENCH_JSON set, writes one JSON object with a point per CPU
+// count (the CI perf-smoke step parses it).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/kern/kernel.h"
+#include "src/kern/processor.h"
+#include "src/workload/workload.h"
+
+namespace mkc {
+namespace {
+
+// Per-CPU scheduler/stack counters, captured by the post-run hook while the
+// workload's kernel is still alive.
+struct CpuCounters {
+  int cpus = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t local_dequeues = 0;
+  std::uint64_t idle_yields = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  double min_cpu_hit_rate = 1.0;  // Worst per-CPU stack-cache hit rate.
+};
+
+void CaptureCpuCounters(Kernel& kernel, void* arg) {
+  auto* c = static_cast<CpuCounters*>(arg);
+  *c = CpuCounters{};
+  c->cpus = kernel.ncpu();
+  for (int i = 0; i < kernel.ncpu(); ++i) {
+    const Processor& cpu = kernel.cpu(i);
+    c->steals += cpu.steals;
+    c->local_dequeues += cpu.local_dequeues;
+    c->idle_yields += cpu.idle_yields;
+    c->cache_hits += cpu.stack_cache_hits;
+    c->cache_misses += cpu.stack_cache_misses;
+    std::uint64_t total = cpu.stack_cache_hits + cpu.stack_cache_misses;
+    if (total > 0) {
+      c->min_cpu_hit_rate = std::min(
+          c->min_cpu_hit_rate, static_cast<double>(cpu.stack_cache_hits) /
+                                   static_cast<double>(total));
+    }
+  }
+}
+
+struct PointResult {
+  int cpus = 0;
+  std::uint64_t rpcs = 0;
+  Ticks virtual_time = 0;
+  double rpc_per_mtick = 0.0;  // RPC round trips per million virtual ticks.
+  CpuCounters sched;           // From the throughput leg.
+  Ticks stack_virtual_time = 0;
+  CpuCounters stack;           // From the no-handoff leg.
+  double stack_hit_rate = 0.0;
+};
+
+PointResult RunPoint(int cpus, int scale) {
+  PointResult p;
+  p.cpus = cpus;
+
+  WorkloadParams params;
+  params.scale = scale;
+  params.post_run = &CaptureCpuCounters;
+
+  KernelConfig config;
+  config.ncpu = cpus;
+  params.post_run_arg = &p.sched;
+  WorkloadReport r = RunServerFarmWorkload(config, params);
+  // UserRpc is a send + a reply: two messages per round trip.
+  p.rpcs = r.ipc.messages_sent / 2;
+  p.virtual_time = r.virtual_time;
+  p.rpc_per_mtick = r.virtual_time > 0
+                        ? 1e6 * static_cast<double>(p.rpcs) /
+                              static_cast<double>(r.virtual_time)
+                        : 0.0;
+
+  config.enable_handoff = false;
+  params.post_run_arg = &p.stack;
+  WorkloadReport rs = RunServerFarmWorkload(config, params);
+  p.stack_virtual_time = rs.virtual_time;
+  std::uint64_t total = p.stack.cache_hits + p.stack.cache_misses;
+  if (cpus == 1) {
+    // Single CPU bypasses the per-CPU caches: the comparable number is the
+    // global pool's free-list hit rate.
+    p.stack_hit_rate = rs.stacks.allocs > 0
+                           ? static_cast<double>(rs.stacks.cache_hits) /
+                                 static_cast<double>(rs.stacks.allocs)
+                           : 0.0;
+    p.stack.min_cpu_hit_rate = p.stack_hit_rate;
+  } else {
+    p.stack_hit_rate =
+        total > 0 ? static_cast<double>(p.stack.cache_hits) / static_cast<double>(total) : 0.0;
+  }
+  return p;
+}
+
+int Main(int argc, char** argv) {
+  int scale = ScaleFromArgs(argc, argv, 20);
+  constexpr int kCpuPoints[] = {1, 2, 4, 8};
+
+  std::printf("SMP scale-out: server-farm RPC throughput vs simulated CPUs (scale %d)\n\n",
+              scale);
+  std::printf("%5s %10s %14s %12s %9s %8s %12s %13s\n", "cpus", "RPCs", "virtual ticks",
+              "RPC/Mtick", "speedup", "steals", "stk hit rate", "min CPU rate");
+
+  PointResult points[4];
+  double base = 0.0;
+  std::string json = "{\"bench\":\"smp_scaling\",\"workload\":\"farm\",\"scale\":" +
+                     std::to_string(scale) + ",\"points\":[";
+  for (int i = 0; i < 4; ++i) {
+    PointResult p = RunPoint(kCpuPoints[i], scale);
+    points[i] = p;
+    if (base == 0.0) {
+      base = p.rpc_per_mtick;
+    }
+    double speedup = base > 0.0 ? p.rpc_per_mtick / base : 0.0;
+    std::printf("%5d %10llu %14llu %12.2f %8.2fx %8llu %11.1f%% %12.1f%%\n", p.cpus,
+                static_cast<unsigned long long>(p.rpcs),
+                static_cast<unsigned long long>(p.virtual_time), p.rpc_per_mtick, speedup,
+                static_cast<unsigned long long>(p.sched.steals), 100.0 * p.stack_hit_rate,
+                100.0 * p.stack.min_cpu_hit_rate);
+
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"cpus\":%d,\"rpcs\":%llu,\"virtual_time\":%llu,"
+                  "\"rpc_per_mtick\":%.4f,\"speedup\":%.4f,\"steals\":%llu,"
+                  "\"local_dequeues\":%llu,\"idle_yields\":%llu,"
+                  "\"stack_leg\":{\"virtual_time\":%llu,\"cache_hits\":%llu,"
+                  "\"cache_misses\":%llu,\"hit_rate\":%.4f,\"min_cpu_hit_rate\":%.4f}}",
+                  i == 0 ? "" : ",", p.cpus, static_cast<unsigned long long>(p.rpcs),
+                  static_cast<unsigned long long>(p.virtual_time), p.rpc_per_mtick, speedup,
+                  static_cast<unsigned long long>(p.sched.steals),
+                  static_cast<unsigned long long>(p.sched.local_dequeues),
+                  static_cast<unsigned long long>(p.sched.idle_yields),
+                  static_cast<unsigned long long>(p.stack_virtual_time),
+                  static_cast<unsigned long long>(p.stack.cache_hits),
+                  static_cast<unsigned long long>(p.stack.cache_misses), p.stack_hit_rate,
+                  p.stack.min_cpu_hit_rate);
+    json += buf;
+  }
+  json += "]}\n";
+
+  double speedup4 = base > 0.0 ? points[2].rpc_per_mtick / base : 0.0;
+  std::printf("\n4-CPU speedup %.2fx; 4-CPU stack-cache hit rate %.1f%%; "
+              "steals at 4 CPUs: %llu\n",
+              speedup4, 100.0 * points[2].stack_hit_rate,
+              static_cast<unsigned long long>(points[2].sched.steals));
+
+  MaybeWriteBenchJson(json);
+  return 0;
+}
+
+}  // namespace
+}  // namespace mkc
+
+int main(int argc, char** argv) { return mkc::Main(argc, argv); }

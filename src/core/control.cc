@@ -23,7 +23,7 @@ void ThreadDispatch(Thread* old_thread) {
     // The old thread blocked with a continuation: its stack holds nothing of
     // value. Return it to the free pool.
     KernelStack* stack = StackDetach(old_thread);
-    k.stack_pool().Free(stack);
+    k.FreeStack(stack);
   }
   if (old_thread->state == ThreadState::kRunnable) {
     // Preemption-style block: the old thread still wants the processor.
@@ -63,7 +63,9 @@ void BlockCommon(Continuation cont, BlockReason reason, Thread* next) {
   }
 
   old_thread->block_reason = reason;
-  old_thread->block_start = k.clock().Now();
+  // LatencyNow, not this CPU's clock: the resume may happen on another CPU
+  // (work steal) whose clock could be behind the blocking CPU's.
+  old_thread->block_start = k.LatencyNow();
   k.transfer_stats().RecordBlock(reason, cont != nullptr);
   k.TracePoint(TraceEvent::kBlock, static_cast<std::uint32_t>(reason), cont != nullptr);
   k.stack_pool().SampleInUse();
@@ -92,7 +94,7 @@ void BlockCommon(Continuation cont, BlockReason reason, Thread* next) {
     // The new thread is stackless but we must preserve our own context (or
     // handoff is disabled): give the new thread a fresh stack that will
     // start in ThreadContinue.
-    KernelStack* stack = k.stack_pool().Allocate();
+    KernelStack* stack = k.AllocateStack();
     StackAttach(new_thread, stack, ThreadContinue);
   }
 
@@ -111,8 +113,9 @@ void ThreadRunDirected(Thread* next, BlockReason reason) {
   MKC_ASSERT(next != nullptr);
   MKC_ASSERT_MSG(next->state != ThreadState::kRunning, "directed switch to a running thread");
   if (next->state == ThreadState::kRunnable && IntrusiveQueue<Thread, &Thread::run_link>::OnAQueue(next)) {
-    // Pull the target off the run queue: we are scheduling it directly.
-    ActiveKernel().run_queue().Remove(next);
+    // Pull the target off whichever CPU's run queue holds it: we are
+    // scheduling it directly, here.
+    ActiveKernel().RunQueueRemove(next);
   }
   BlockCommon(nullptr, reason, next);
 }
@@ -130,7 +133,7 @@ void ThreadHandoff(Continuation cont, Thread* next, BlockReason reason) {
                  "ThreadHandoff called without updating the thread state");
 
   old_thread->block_reason = reason;
-  old_thread->block_start = k.clock().Now();
+  old_thread->block_start = k.LatencyNow();
   k.transfer_stats().RecordBlock(reason, /*with_continuation=*/true);
   k.TracePoint(TraceEvent::kBlock, static_cast<std::uint32_t>(reason), 1);
   k.stack_pool().SampleInUse();

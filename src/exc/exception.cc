@@ -34,7 +34,7 @@ void EnterKernelEndpointWait(Thread* thread, Port* reply_port) {
 [[noreturn]] void ExceptionReplyFinish(Thread* thread) {
   Kernel& k = ActiveKernel();
   if (thread->exc_start != 0) {
-    k.lat().exc_service->Record(k.clock().Now() - thread->exc_start);
+    k.lat().exc_service->Record(k.LatencyNow() - thread->exc_start);
     thread->exc_start = 0;
   }
   auto& st = thread->Scratch<MsgWaitState>();
@@ -84,7 +84,7 @@ void ExceptionReplyContinue() {
 [[noreturn]] void HandleException(Thread* thread, std::uint64_t code) {
   Kernel& k = ActiveKernel();
   ++k.exc_stats().raised;
-  thread->exc_start = k.clock().Now();
+  thread->exc_start = k.LatencyNow();
 
   Task* task = thread->task;
   Port* exc_port = task != nullptr ? k.ipc().Lookup(task->exception_port) : nullptr;

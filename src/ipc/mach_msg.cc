@@ -204,8 +204,9 @@ KernReturn MsgSendPhase(Thread* t, MachMsgArgs* args) {
           // NOTREACHED
         }
         // Send-only (or fast path unavailable): the receiver got its
-        // message by direct copy; wake it through the scheduler.
-        k.ThreadSetrun(receiver);
+        // message by direct copy; wake it through the scheduler — on this
+        // CPU, where the just-copied message is cache-hot.
+        k.ThreadSetrunOn(receiver, k.processor().id);
         return KernReturn::kSuccess;
       }
       case ControlTransferModel::kMK32: {
@@ -224,7 +225,7 @@ KernReturn MsgSendPhase(Thread* t, MachMsgArgs* args) {
           ProcessModelReceiveFinish(t);
           // NOTREACHED
         }
-        k.ThreadSetrun(receiver);
+        k.ThreadSetrunOn(receiver, k.processor().id);
         return KernReturn::kSuccess;
       }
       case ControlTransferModel::kMach25:
@@ -266,7 +267,9 @@ KernReturn MsgSendPhase(Thread* t, MachMsgArgs* args) {
   k.ChargeCycles(kCycMsgQueueOp);
   ++k.ipc().stats().queued_sends;
   if (receiver != nullptr) {
-    k.ThreadSetrun(receiver);  // Mach 2.5: wake through the general scheduler.
+    // Mach 2.5: wake through the general scheduler, on the sending CPU —
+    // the queued message it will dequeue is hot in this CPU's cache.
+    k.ThreadSetrunOn(receiver, k.processor().id);
   }
   return KernReturn::kSuccess;
 }

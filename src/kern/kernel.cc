@@ -61,6 +61,18 @@ Kernel::Kernel(const KernelConfig& config)
     : config_(config),
       stack_pool_(config.kernel_stack_bytes, config.stack_cache_limit),
       rng_(config.seed) {
+  if (config_.ncpu < 1) {
+    config_.ncpu = 1;
+  }
+  if (config_.ncpu > kMaxCpus) {
+    config_.ncpu = kMaxCpus;
+  }
+  for (int i = 0; i < config_.ncpu; ++i) {
+    cpus_.push_back(std::make_unique<Processor>());
+    cpus_.back()->id = i;
+    cpus_.back()->run_queue.set_cpu(i);
+  }
+  current_cpu_ = cpus_[0].get();
   trace_.Configure(config.trace_capacity);
   if (trace_.enabled()) {
     stack_pool_.SetTraceHook(&StackPoolTraceHook, this);
@@ -141,13 +153,34 @@ void Kernel::RegisterMetrics() {
   lat_.rpc_round_trip = metrics_.RegisterHistogram("lat.rpc.round_trip");
   lat_.fault_service = metrics_.RegisterHistogram("lat.vm.fault_service");
   lat_.exc_service = metrics_.RegisterHistogram("lat.exc.service");
+
+  // Per-CPU counters exist only on a multiprocessor: a uniprocessor's
+  // metrics JSON must stay byte-identical to the pre-SMP kernel's.
+  if (config_.ncpu > 1) {
+    metrics_.SetLabel("cpus", std::to_string(config_.ncpu));
+    for (int i = 0; i < config_.ncpu; ++i) {
+      Processor& cpu = *cpus_[static_cast<std::size_t>(i)];
+      std::string prefix = "cpu" + std::to_string(i) + ".";
+      metrics_.RegisterCounter(prefix + "sched.local_dequeues", &cpu.local_dequeues);
+      metrics_.RegisterCounter(prefix + "sched.steals", &cpu.steals);
+      metrics_.RegisterCounter(prefix + "sched.idle_yields", &cpu.idle_yields);
+      metrics_.RegisterCounter(prefix + "sched.idle_ticks", &cpu.idle_ticks);
+      metrics_.RegisterCounter(prefix + "stack.cache_hits", &cpu.stack_cache_hits);
+      metrics_.RegisterCounter(prefix + "stack.cache_misses", &cpu.stack_cache_misses);
+    }
+  }
 }
 
 Kernel::~Kernel() {
   // Drain every intrusive queue and release machine resources. Nothing is
   // executing at this point; bypass the machdep layer (it requires an
   // active kernel).
-  while (run_queue_.DequeueBest() != nullptr) {
+  for (auto& cpu : cpus_) {
+    while (cpu->run_queue.DequeueBest() != nullptr) {
+    }
+    while (KernelStack* stack = cpu->stack_cache.DequeueHead()) {
+      delete stack;  // Cached per-CPU stacks are free memory, like the pool's.
+    }
   }
   for (auto& bucket : wait_buckets_) {
     while (bucket.DequeueHead() != nullptr) {
@@ -211,8 +244,18 @@ Thread* Kernel::CreateUserThread(Task* task, UserEntry entry, void* arg,
   if (thread->counts_for_liveness) {
     ++live_threads_;
   }
-  run_queue_.Enqueue(thread);
+  EnqueueNewThread(thread, options.home_cpu);
   return thread;
+}
+
+void Kernel::EnqueueNewThread(Thread* thread, int home_cpu) {
+  if (home_cpu >= 0 && home_cpu < config_.ncpu) {
+    thread->last_cpu = home_cpu;
+  } else {
+    thread->last_cpu = next_place_cpu_;
+    next_place_cpu_ = (next_place_cpu_ + 1) % config_.ncpu;
+  }
+  cpus_[static_cast<std::size_t>(thread->last_cpu)]->run_queue.Enqueue(thread);
 }
 
 namespace {
@@ -254,7 +297,7 @@ Thread* Kernel::CreateKernelThread(std::string name, Continuation loop, int prio
   thread->priority = priority;
   thread->kthread_body = loop;
   thread->continuation = &KernelThreadRunner;
-  run_queue_.Enqueue(thread);
+  EnqueueNewThread(thread);
   return thread;
 }
 
@@ -264,14 +307,17 @@ void Kernel::BootIfNeeded() {
   }
   booted_ = true;
 
-  Thread* idle = AllocateThread();
-  idle->is_idle = true;
-  idle->is_internal = true;
-  idle->counts_for_liveness = false;
-  idle->priority = 0;
-  idle->state = ThreadState::kWaiting;
-  idle->continuation = &Kernel::IdleContinuation;
-  processor_.idle_thread = idle;
+  for (auto& cpu : cpus_) {
+    Thread* idle = AllocateThread();
+    idle->is_idle = true;
+    idle->is_internal = true;
+    idle->counts_for_liveness = false;
+    idle->priority = 0;
+    idle->state = ThreadState::kWaiting;
+    idle->continuation = &Kernel::IdleContinuation;
+    idle->last_cpu = cpu->id;
+    cpu->idle_thread = idle;
+  }
 
   // The reaper: the paper's internal kernel thread that never blocks with a
   // continuation (§3.4 footnote 3) — the one constant per-machine stack.
@@ -290,37 +336,108 @@ void Kernel::Run() {
 
   BootIfNeeded();
 
-  // Start the processor: give the idle thread a stack and switch into it.
-  Thread* idle = processor_.idle_thread;
-  processor_.active_thread = idle;
-  idle->state = ThreadState::kRunning;
-  KernelStack* stack = stack_pool_.Allocate();
-  StackAttach(idle, stack, &ThreadContinue);
-  Context target = idle->md.kernel_ctx;
-  idle->md.kernel_ctx.reset();
-  ContextSwitch(&processor_.boot_ctx, target, /*pass=*/nullptr);
+  // Start every processor: give each idle thread a stack and park the
+  // resulting fresh context as the CPU's suspended guest flow. Boot costs
+  // are charged to each CPU's own clock.
+  for (auto& cpu : cpus_) {
+    current_cpu_ = cpu.get();
+    Thread* idle = cpu->idle_thread;
+    cpu->active_thread = idle;
+    idle->state = ThreadState::kRunning;
+    KernelStack* stack = AllocateStack();
+    StackAttach(idle, stack, &ThreadContinue);
+    cpu->resume_ctx = idle->md.kernel_ctx;
+    idle->md.kernel_ctx.reset();
+  }
 
-  // The idle loop jumped back: simulation over.
+  // Enter CPU 0. The other CPUs first run when its idle loop (or a slice
+  // expiry) hands the host onward.
+  current_cpu_ = cpus_[0].get();
+  Context target = current_cpu_->resume_ctx;
+  current_cpu_->resume_ctx.reset();
+  ContextSwitch(&boot_ctx_, target, /*pass=*/nullptr);
+
+  // A CPU's idle loop jumped back: simulation over.
   running_ = false;
   g_active_kernel = nullptr;
+}
+
+void Kernel::SwitchToCpu(int target) {
+  Processor& from = *current_cpu_;
+  Processor& to = *cpus_[static_cast<std::size_t>(target)];
+  if (&to == &from) {
+    return;
+  }
+  MKC_ASSERT_MSG(to.resume_ctx.valid(), "target CPU has no suspended context");
+  // Refresh the target's slice so it gets a full turn; we resume (much)
+  // later, when some CPU hands the host back to us.
+  to.slice_start = to.clock.Now();
+  current_cpu_ = &to;
+  Context target_ctx = to.resume_ctx;
+  to.resume_ctx.reset();
+  ContextSwitch(&from.resume_ctx, target_ctx, /*pass=*/nullptr);
+  // Resumed: whoever switched back to us set current_cpu_ = &from first.
+  MKC_ASSERT(current_cpu_ == &from);
+}
+
+void Kernel::CpuInterleaveTick() {
+  if (config_.ncpu == 1) {
+    return;
+  }
+  Processor& cpu = *current_cpu_;
+  if (cpu.clock.Now() - cpu.slice_start < config_.cpu_slice) {
+    return;
+  }
+  SwitchToCpu((cpu.id + 1) % config_.ncpu);
+}
+
+bool Kernel::StealableWorkExists() const {
+  for (const auto& cpu : cpus_) {
+    if (cpu.get() != current_cpu_ && !cpu->run_queue.Empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Kernel::OtherCpusParked() const {
+  for (const auto& cpu : cpus_) {
+    if (cpu.get() != current_cpu_ && !cpu->in_idle_wait) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t Kernel::TotalRunnable() const {
+  std::uint64_t n = 0;
+  for (const auto& cpu : cpus_) {
+    n += cpu->run_queue.count();
+  }
+  return n;
 }
 
 void Kernel::IdleContinuation() { ActiveKernel().IdleLoop(); }
 
 [[noreturn]] void Kernel::IdleLoop() {
-  Thread* idle = processor_.idle_thread;
+  Processor& cpu = processor();
+  Thread* idle = cpu.idle_thread;
   MKC_ASSERT(CurrentThread() == idle);
   for (;;) {
-    while (run_queue_.Empty()) {
-      if (live_threads_ == 0) {
-        // Simulation complete: park the idle thread for the next Run() and
-        // hand the host its context back. The stack free is safe — nothing
-        // allocates between here and the jump.
-        idle->continuation = &Kernel::IdleContinuation;
-        idle->state = ThreadState::kWaiting;
-        KernelStack* stack = StackDetach(idle);
-        stack_pool_.Free(stack);
-        ContextJump(processor_.boot_ctx, nullptr);
+    // Wait until this CPU has something to run: a local thread, or a remote
+    // one it can steal (ThreadSelect does the actual stealing).
+    while (cpu.run_queue.Empty() && !StealableWorkExists()) {
+      if (live_threads_ == 0 && OtherCpusParked()) {
+        ShutdownFromIdle();
+      }
+      if (config_.ncpu > 1 && !OtherCpusParked()) {
+        // Another CPU is still executing: lend it the host thread. We are
+        // resumed round-robin and re-check from the top.
+        ++cpu.idle_yields;
+        cpu.in_idle_wait = true;
+        SwitchToCpu((cpu.id + 1) % config_.ncpu);
+        cpu.in_idle_wait = false;
+        continue;
       }
       if (events_.Empty()) {
         for (const auto& t : threads_) {
@@ -335,13 +452,37 @@ void Kernel::IdleContinuation() { ActiveKernel().IdleLoop(); }
         Panic("deadlock: %llu live threads, nothing runnable, no pending events",
               static_cast<unsigned long long>(live_threads_));
       }
-      events_.RunNext(clock_);
+      // Whole machine idle but time-driven work is pending: skip this CPU's
+      // clock forward to the next deadline and run it.
+      Ticks before = cpu.clock.Now();
+      events_.RunNext(cpu.clock);
+      cpu.idle_ticks += cpu.clock.Now() - before;
     }
     // Someone is runnable: give up the processor until the queue drains.
     idle->state = ThreadState::kWaiting;
     ThreadBlock(&Kernel::IdleContinuation, BlockReason::kIdle);
     // Process-model kernels return here once the idle thread is reselected.
   }
+}
+
+[[noreturn]] void Kernel::ShutdownFromIdle() {
+  // Simulation complete. Every other CPU is parked at its idle yield point,
+  // so their suspended contexts contain nothing but the idle loop — park
+  // each idle thread for the next Run() and free its stack. The invoking
+  // CPU's own stack free is safe: nothing allocates before the jump.
+  for (auto& cpu : cpus_) {
+    Thread* idle = cpu->idle_thread;
+    idle->continuation = &Kernel::IdleContinuation;
+    idle->state = ThreadState::kWaiting;
+    cpu->resume_ctx.reset();
+    cpu->in_idle_wait = false;
+    if (idle->kernel_stack != nullptr) {
+      KernelStack* stack = StackDetach(idle);
+      stack_pool_.Free(stack);
+    }
+    idle->md.kernel_ctx.reset();
+  }
+  ContextJump(boot_ctx_, nullptr);
 }
 
 void Kernel::ReaperBootstrap() { ActiveKernel().ReaperLoop(); }
@@ -355,7 +496,7 @@ void Kernel::ReaperBootstrap() { ActiveKernel().ReaperLoop(); }
       if (dead->kernel_stack != nullptr) {
         // Process-model kernels: the dead thread still owns its stack.
         KernelStack* stack = StackDetach(dead);
-        stack_pool_.Free(stack);
+        FreeStack(stack);
       }
       if (dead->md.user_stack != nullptr) {
         std::free(dead->md.user_stack);
@@ -392,7 +533,7 @@ void Kernel::HaltedContinuation() { Panic("halted thread was resumed"); }
 void Kernel::TerminateTask(Task* task) {
   MKC_ASSERT(task != nullptr && !task->dead);
   task->dead = true;
-  Thread* self = processor_.active_thread;
+  Thread* self = processor().active_thread;
   bool suicide = false;
 
   // Abort every thread of the task, wherever it waits.
@@ -406,7 +547,7 @@ void Kernel::TerminateTask(Task* task) {
         return;  // Already with the reaper.
       case ThreadState::kRunnable:
         if (IntrusiveQueue<Thread, &Thread::run_link>::OnAQueue(t)) {
-          run_queue_.Remove(t);
+          RunQueueRemove(t);
         }
         break;
       case ThreadState::kWaiting:
@@ -452,20 +593,89 @@ void Kernel::UserBootstrapContinuation() {
 }
 
 void Kernel::ThreadSetrun(Thread* thread) {
+  ThreadSetrunOn(thread, thread->last_cpu);
+}
+
+void Kernel::ThreadSetrunOn(Thread* thread, int target_cpu) {
   MKC_ASSERT(thread->state != ThreadState::kRunning);
   MKC_ASSERT(thread->state != ThreadState::kHalted);
+  MKC_ASSERT(target_cpu >= 0 && target_cpu < config_.ncpu);
   ChargeCycles(kCycThreadSetrun);
   TracePoint(TraceEvent::kSetrun, thread->id);
-  run_queue_.Enqueue(thread);
+  thread->last_cpu = target_cpu;
+  cpus_[static_cast<std::size_t>(target_cpu)]->run_queue.Enqueue(thread);
 }
 
 Thread* Kernel::ThreadSelect() {
+  Processor& cpu = processor();
   ChargeCycles(kCycThreadSelect);
-  Thread* thread = run_queue_.DequeueBest();
-  if (thread == nullptr) {
-    thread = processor_.idle_thread;
+  Thread* thread = cpu.run_queue.DequeueBest();
+  if (thread != nullptr) {
+    ++cpu.local_dequeues;
+    return thread;
   }
-  return thread;
+  if (config_.ncpu > 1) {
+    // Local queue dry: steal from the busiest remote queue (ties break to
+    // the lowest CPU id, keeping the pick deterministic).
+    Processor* victim = nullptr;
+    std::uint64_t most = 0;
+    for (auto& other : cpus_) {
+      if (other.get() == &cpu) {
+        continue;
+      }
+      if (other->run_queue.count() > most) {
+        most = other->run_queue.count();
+        victim = other.get();
+      }
+    }
+    if (victim != nullptr) {
+      thread = victim->run_queue.DequeueBest();
+      if (thread != nullptr) {
+        ++cpu.steals;
+        thread->last_cpu = cpu.id;
+        return thread;
+      }
+    }
+  }
+  return cpu.idle_thread;
+}
+
+void Kernel::RunQueueRemove(Thread* thread) {
+  MKC_ASSERT(thread != nullptr);
+  MKC_ASSERT_MSG(thread->runq_cpu >= 0 && thread->runq_cpu < config_.ncpu,
+                 "thread %u is not on any run queue", thread->id);
+  cpus_[static_cast<std::size_t>(thread->runq_cpu)]->run_queue.Remove(thread);
+}
+
+KernelStack* Kernel::AllocateStack() {
+  if (config_.ncpu == 1) {
+    return stack_pool_.Allocate();
+  }
+  Processor& cpu = processor();
+  if (KernelStack* stack = cpu.stack_cache.DequeueHead()) {
+    ++cpu.stack_cache_hits;
+    stack_pool_.NoteCacheAllocate();
+    return stack;
+  }
+  ++cpu.stack_cache_misses;
+  return stack_pool_.Allocate();
+}
+
+void Kernel::FreeStack(KernelStack* stack) {
+  if (config_.ncpu == 1) {
+    stack_pool_.Free(stack);
+    return;
+  }
+  Processor& cpu = processor();
+  if (cpu.stack_cache.Size() < config_.cpu_stack_cache_limit) {
+    MKC_ASSERT(stack != nullptr);
+    stack->CheckCanary();
+    stack->owner = nullptr;
+    cpu.stack_cache.EnqueueHead(stack);  // LIFO, same as the global pool.
+    stack_pool_.NoteCacheFree();
+    return;
+  }
+  stack_pool_.Free(stack);
 }
 
 int Kernel::WaitBucket(const void* event) {
@@ -520,18 +730,30 @@ bool Kernel::ThreadWakeupOne(const void* event, KernReturn result) {
 
 std::uint64_t Kernel::RunDueEvents() {
   std::uint64_t ran = 0;
-  while (!events_.Empty() && events_.NextDeadline() <= clock_.Now()) {
-    events_.RunNext(clock_);
+  while (!events_.Empty() && events_.NextDeadline() <= clock().Now()) {
+    events_.RunNext(clock());
     ++ran;
   }
   return ran;
 }
+
+// Declared in src/obs/timed_scope.h, which deliberately does not see the
+// Kernel definition.
+Ticks KernelLatencyNow(const Kernel& kernel) { return kernel.LatencyNow(); }
 
 void Kernel::ResetStats() {
   transfer_stats_.Reset();
   exc_stats_ = ExcStats{};
   cost_model_.Reset();
   stack_pool_.ResetStats();
+  for (auto& cpu : cpus_) {
+    cpu->local_dequeues = 0;
+    cpu->steals = 0;
+    cpu->stack_cache_hits = 0;
+    cpu->stack_cache_misses = 0;
+    cpu->idle_ticks = 0;
+    cpu->idle_yields = 0;
+  }
   ipc_->stats() = IpcStats{};
   vm_->stats() = VmStats{};
   // All of the above assign in place, so the registry's counter/gauge views

@@ -48,6 +48,17 @@ struct KernelConfig {
   std::size_t user_stack_bytes = 128 * 1024;
   std::size_t stack_cache_limit = 16;
 
+  // Simulated processors (1..kMaxCpus). With ncpu == 1 every code path is
+  // exactly the uniprocessor kernel's: same scheduling decisions, same
+  // metrics, byte-identical output.
+  int ncpu = 1;
+  // Host-interleave granularity: a CPU hands the host thread to the next
+  // CPU after this many local ticks at the clock-interrupt safe point.
+  Ticks cpu_slice = 5000;
+  // Per-CPU free-stack cache depth (ncpu > 1 only); overflow goes to the
+  // global pool governed by stack_cache_limit.
+  std::size_t cpu_stack_cache_limit = 8;
+
   Ticks quantum = 10000;          // Virtual ticks per scheduling quantum.
   std::uint32_t physical_pages = 4096;  // Simulated physical memory.
   Ticks disk_latency = 2000;      // Virtual ticks per simulated disk I/O.
@@ -84,6 +95,9 @@ struct ThreadOptions {
   int priority = 16;
   bool daemon = false;  // Daemon threads don't keep the simulation alive.
   std::size_t user_stack_bytes = 0;  // 0 = the kernel config default.
+  // Initial CPU placement: -1 spreads new threads round-robin; 0..ncpu-1
+  // pins the first run (the thread migrates freely afterwards).
+  int home_cpu = -1;
 };
 
 class Kernel {
@@ -113,22 +127,44 @@ class Kernel {
   ControlTransferModel model() const { return config_.model; }
   bool UsesContinuations() const { return config_.model == ControlTransferModel::kMK40; }
 
-  Processor& processor() { return processor_; }
-  RunQueue& run_queue() { return run_queue_; }
+  // The processor this flow of control is executing on. With ncpu == 1 this
+  // is the machine's only CPU; otherwise it changes as the host thread is
+  // interleaved between the simulated CPUs.
+  Processor& processor() { return *current_cpu_; }
+  Processor& cpu(int i) { return *cpus_[static_cast<std::size_t>(i)]; }
+  const Processor& cpu(int i) const { return *cpus_[static_cast<std::size_t>(i)]; }
+  int ncpu() const { return config_.ncpu; }
+
+  // The invoking CPU's run queue and clock. Kernel paths always mean "my
+  // CPU's" — cross-CPU access goes through cpu(i) explicitly.
+  RunQueue& run_queue() { return current_cpu_->run_queue; }
   StackPool& stack_pool() { return stack_pool_; }
   CostModel& cost_model() { return cost_model_; }
   TransferStats& transfer_stats() { return transfer_stats_; }
   const TransferStats& transfer_stats() const { return transfer_stats_; }
-  VirtualClock& clock() { return clock_; }
+  VirtualClock& clock() { return current_cpu_->clock; }
   EventQueue& events() { return events_; }
   Rng& rng() { return rng_; }
   TraceBuffer& trace() { return trace_; }
 
+  // Machine-wide elapsed virtual time: the frontier (max) of the per-CPU
+  // clocks. This is the "wall clock" of the simulated machine — N CPUs
+  // working in parallel advance it at 1/N the rate of their summed work.
+  Ticks VirtualTime() const {
+    Ticks t = 0;
+    for (const auto& cpu : cpus_) {
+      if (cpu->clock.Now() > t) {
+        t = cpu->clock.Now();
+      }
+    }
+    return t;
+  }
+
   // Trace helper: records with the current virtual time and thread.
   void TracePoint(TraceEvent event, std::uint32_t aux = 0, std::uint32_t aux2 = 0) {
     if (trace_.enabled()) {
-      Thread* t = processor_.active_thread;
-      trace_.Record(clock_.Now(), t != nullptr ? t->id : 0, event, aux, aux2);
+      Thread* t = current_cpu_->active_thread;
+      trace_.Record(current_cpu_->clock.Now(), t != nullptr ? t->id : 0, event, aux, aux2);
     }
   }
   MetricsRegistry& metrics() { return metrics_; }
@@ -145,11 +181,26 @@ class Kernel {
   const std::vector<std::unique_ptr<Thread>>& threads() const { return threads_; }
 
   // --- Scheduling helpers ------------------------------------------------
-  // Places `thread` on the run queue (the paper's thread_setrun).
+  // Places `thread` on a run queue (the paper's thread_setrun). The target
+  // CPU is the thread's affinity home (last_cpu) unless the caller directs
+  // it elsewhere with ThreadSetrunOn.
   void ThreadSetrun(Thread* thread);
+  void ThreadSetrunOn(Thread* thread, int target_cpu);
 
-  // Picks the next thread to run: best runnable thread or the idle thread.
+  // Picks the next thread to run on the invoking CPU: best local runnable
+  // thread, else one stolen from the busiest remote queue, else this CPU's
+  // idle thread.
   Thread* ThreadSelect();
+
+  // Removes a runnable thread from whichever CPU's queue holds it.
+  void RunQueueRemove(Thread* thread);
+
+  // --- Kernel stack allocation -------------------------------------------
+  // Stack allocate/free routed through the invoking CPU's free-stack cache
+  // (ncpu > 1), falling back to the global pool. With ncpu == 1 these are
+  // exactly StackPool::Allocate/Free.
+  KernelStack* AllocateStack();
+  void FreeStack(KernelStack* stack);
 
   // Event-based waits (Mach's assert_wait/thread_wakeup). AssertWait marks
   // the current thread waiting on `event`; the caller then calls
@@ -185,12 +236,23 @@ class Kernel {
   std::uint64_t RunDueEvents();
 
   // Charges machine time for a primitive (machine/cycle_model.h): kernel
-  // work advances the virtual clock just like user work does.
+  // work advances the invoking CPU's virtual clock just like user work does.
   void ChargeCycles(std::uint64_t cycles) {
-    clock_.Advance(cycles);
+    current_cpu_->clock.Advance(cycles);
     machine_cycles_ += cycles;
   }
   std::uint64_t machine_cycles() const { return machine_cycles_; }
+
+  // Timestamp source for latency stamps that may be consumed on a different
+  // CPU than the one that set them (block-to-resume, fault/exc service, RPC
+  // round trips): the machine frontier is monotonic across migrations where
+  // a single CPU's clock is not. Equal to clock().Now() when ncpu == 1.
+  Ticks LatencyNow() const { return VirtualTime(); }
+
+  // The interleave safe point (the multi-CPU analog of the clock interrupt):
+  // hands the host thread to the next CPU round-robin once the invoking CPU
+  // has run for config.cpu_slice local ticks. No-op when ncpu == 1.
+  void CpuInterleaveTick();
 
   // Statistics helpers for benches.
   void ResetStats();
@@ -203,19 +265,39 @@ class Kernel {
   Thread* AllocateThread();
   [[noreturn]] void ReaperLoop();
 
+  // --- SMP interleave internals -----------------------------------------
+  // First placement of a newly created thread on a run queue.
+  void EnqueueNewThread(Thread* thread, int home_cpu = -1);
+  // Suspends the invoking CPU's guest flow and resumes `target`'s.
+  void SwitchToCpu(int target);
+  // True when some other CPU's run queue has a thread to steal.
+  bool StealableWorkExists() const;
+  // True when every CPU other than the invoking one is parked in its idle
+  // yield point (their suspended contexts hold no in-progress work).
+  bool OtherCpusParked() const;
+  std::uint64_t TotalRunnable() const;
+  // Ends the simulation from the idle loop: parks every idle thread, frees
+  // their stacks, and jumps back to the host context saved by Run().
+  [[noreturn]] void ShutdownFromIdle();
+
   static void IdleContinuation();
   static void ReaperBootstrap();
   static void UserBootstrapContinuation();
   static void HaltedContinuation();
 
   KernelConfig config_;
-  Processor processor_;
-  RunQueue run_queue_;
+  // The simulated CPUs (stable addresses: the metrics registry holds views
+  // into their counters) and the one currently executing. cpus_[0] exists
+  // for the kernel's whole life so pre-Run paths (thread creation, traces)
+  // have a processor to stand on.
+  std::vector<std::unique_ptr<Processor>> cpus_;
+  Processor* current_cpu_ = nullptr;
+  int next_place_cpu_ = 0;  // Round-robin cursor for first placements.
+  Context boot_ctx_;        // Host context to resume when the machine stops.
   StackPool stack_pool_;
   CostModel cost_model_;
   TransferStats transfer_stats_;
   ExcStats exc_stats_;
-  VirtualClock clock_;
   EventQueue events_;
   Rng rng_;
   TraceBuffer trace_;

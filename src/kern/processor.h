@@ -1,17 +1,31 @@
 // Per-processor state.
 //
-// The reproduction simulates one processor (like the paper's DS3100 and
-// Toshiba 5200 measurements) but keeps per-processor state in its own
-// structure so the code stays multiprocessor-shaped.
+// The simulation runs N processors by deterministically interleaving one
+// guest context per CPU on a single host thread (round-robin at the
+// clock-interrupt safe points), so a multi-CPU run is still bit-reproducible.
+// Everything a CPU owns privately lives here: its active/idle threads, its
+// loaded address space, its virtual clock (per-CPU time is what makes the
+// simulation model *parallel* time), its run queue, and its free-stack cache
+// — the paper's §3.4 "stacks as a per-processor resource" made literal.
 #ifndef MACHCONT_SRC_KERN_PROCESSOR_H_
 #define MACHCONT_SRC_KERN_PROCESSOR_H_
 
+#include <cstdint>
+
+#include "src/base/queue.h"
+#include "src/base/vclock.h"
+#include "src/kern/sched.h"
 #include "src/kern/thread.h"
 #include "src/machine/context.h"
+#include "src/machine/stack.h"
 
 namespace mkc {
 
 struct Task;
+
+// Upper bound on simulated CPUs (the steal scan is O(ncpu), so keep it
+// small enough that a full scan stays cheap).
+inline constexpr int kMaxCpus = 64;
 
 struct Processor {
   int id = 0;
@@ -29,8 +43,40 @@ struct Processor {
   // kernel, so this only changes when a thread from a different task runs.
   Task* loaded_task = nullptr;
 
-  // Host context to resume when the simulation shuts down.
-  Context boot_ctx;
+  // This CPU's virtual time. Each CPU advances only its own clock, so the
+  // machine-wide elapsed time is the max over CPUs — N CPUs doing N units of
+  // work in parallel cost one unit of machine time.
+  VirtualClock clock;
+
+  // This CPU's run queue (bitmap-priority local dispatch; remote CPUs touch
+  // it only to steal).
+  RunQueue run_queue;
+
+  // The host context of this CPU's suspended guest flow while another CPU
+  // holds the host thread. Valid exactly when the CPU is not executing.
+  Context resume_ctx;
+
+  // True while this CPU is suspended inside the idle loop's yield point,
+  // i.e. it has nothing to run and has lent the host to the other CPUs.
+  // When every CPU is parked here and no work remains, the machine stops.
+  bool in_idle_wait = false;
+
+  // Local clock value when this CPU last received the host; the interleave
+  // safe point hands the host onward after config.cpu_slice local ticks.
+  Ticks slice_start = 0;
+
+  // Per-CPU free-stack cache (LIFO, so the cache-warm stack is reused
+  // first), in front of the global overflow StackPool. Active only when
+  // ncpu > 1; a uniprocessor uses the global pool directly, as before.
+  IntrusiveQueue<KernelStack, &KernelStack::pool_link> stack_cache;
+
+  // --- Per-CPU counters (registered with the MetricsRegistry when ncpu>1) --
+  std::uint64_t local_dequeues = 0;     // ThreadSelect hits on the local queue.
+  std::uint64_t steals = 0;             // Threads this CPU stole from remotes.
+  std::uint64_t stack_cache_hits = 0;   // Stack allocations served locally.
+  std::uint64_t stack_cache_misses = 0; // Fell through to the global pool.
+  std::uint64_t idle_ticks = 0;         // Local clock spent skipping to events.
+  std::uint64_t idle_yields = 0;        // Times idle lent the host onward.
 };
 
 }  // namespace mkc

@@ -12,6 +12,7 @@ void RunQueue::Enqueue(Thread* thread) {
   MKC_ASSERT(thread->priority >= 0 && thread->priority < kNumPriorities);
   SpinLockGuard guard(lock_);
   thread->state = ThreadState::kRunnable;
+  thread->runq_cpu = cpu_;
   queues_[thread->priority].EnqueueTail(thread);
   occupied_bitmap_ |= 1u << thread->priority;
   ++count_;
@@ -25,6 +26,7 @@ Thread* RunQueue::DequeueBest() {
   int best = 31 - std::countl_zero(occupied_bitmap_);
   Thread* thread = queues_[best].DequeueHead();
   MKC_ASSERT(thread != nullptr);
+  thread->runq_cpu = -1;
   if (queues_[best].Empty()) {
     occupied_bitmap_ &= ~(1u << best);
   }
@@ -33,9 +35,14 @@ Thread* RunQueue::DequeueBest() {
 }
 
 void RunQueue::Remove(Thread* thread) {
+  MKC_ASSERT(thread != nullptr);
+  MKC_ASSERT(thread->priority >= 0 && thread->priority < kNumPriorities);
+  MKC_ASSERT_MSG(thread->runq_cpu == cpu_, "thread removed from a queue it is not on");
   SpinLockGuard guard(lock_);
   auto& q = queues_[thread->priority];
-  q.Remove(thread);
+  q.Remove(thread);  // IntrusiveQueue::Unlink clears the entry's links.
+  thread->runq_cpu = -1;
+  MKC_ASSERT(thread->run_link.next == nullptr && thread->run_link.prev == nullptr);
   if (q.Empty()) {
     occupied_bitmap_ &= ~(1u << thread->priority);
   }

@@ -20,6 +20,12 @@ inline constexpr int kNumPriorities = 32;
 
 class RunQueue {
  public:
+  // Which CPU this queue belongs to; stamped into Thread::runq_cpu on
+  // enqueue so a thread can always be removed from the queue that holds it,
+  // wherever the remover runs. The default (0) suits standalone unit tests.
+  void set_cpu(int cpu) { cpu_ = cpu; }
+  int cpu() const { return cpu_; }
+
   // Makes `thread` runnable (the paper's thread_setrun).
   void Enqueue(Thread* thread);
 
@@ -27,6 +33,7 @@ class RunQueue {
   Thread* DequeueBest();
 
   // Removes a specific thread (e.g. directed handoff to a runnable thread).
+  // The thread's queue links are left cleared, ready for re-enqueue.
   void Remove(Thread* thread);
 
   bool Empty() const { return count_ == 0; }
@@ -36,6 +43,7 @@ class RunQueue {
   std::array<IntrusiveQueue<Thread, &Thread::run_link>, kNumPriorities> queues_;
   std::uint32_t occupied_bitmap_ = 0;
   std::uint64_t count_ = 0;
+  int cpu_ = 0;
   SpinLock lock_;
 };
 

@@ -45,7 +45,9 @@ void StackPool::Free(KernelStack* stack) {
     MKC_ASSERT(stats_.in_use > 0);
     --stats_.in_use;
     if (cache_.Size() < cache_limit_) {
-      cache_.EnqueueTail(stack);
+      // LIFO: Allocate pops the head, so push the head. The just-freed stack
+      // is the one whose lines are still warm in the cache.
+      cache_.EnqueueHead(stack);
       stats_.max_cached = std::max(stats_.max_cached, static_cast<std::uint64_t>(cache_.Size()));
     } else {
       delete stack;
@@ -55,6 +57,21 @@ void StackPool::Free(KernelStack* stack) {
   if (trace_hook_ != nullptr) {
     trace_hook_(trace_ctx_, stats_.in_use, cache_.Size());
   }
+}
+
+void StackPool::NoteCacheAllocate() {
+  SpinLockGuard guard(lock_);
+  ++stats_.allocs;
+  ++stats_.cache_hits;
+  ++stats_.in_use;
+  stats_.max_in_use = std::max(stats_.max_in_use, stats_.in_use);
+}
+
+void StackPool::NoteCacheFree() {
+  SpinLockGuard guard(lock_);
+  ++stats_.frees;
+  MKC_ASSERT(stats_.in_use > 0);
+  --stats_.in_use;
 }
 
 void StackPool::SampleInUse() {

@@ -45,11 +45,20 @@ class StackPool {
   StackPool(const StackPool&) = delete;
   StackPool& operator=(const StackPool&) = delete;
 
-  // Returns a stack, from the cache when possible.
+  // Returns a stack, from the cache when possible. The cache is LIFO: the
+  // most recently freed (cache-warm) stack is handed out first.
   KernelStack* Allocate();
 
   // Returns `stack` to the cache (or to the host if the cache is full).
   void Free(KernelStack* stack);
+
+  // Accounting for the per-CPU stack caches that sit in front of this pool
+  // when the kernel simulates more than one processor. A stack recycled
+  // through a CPU-local cache never touches the pool's free list, but it is
+  // still an allocation/free of a pooled stack, so the global stats (and the
+  // §3.4 in-use invariant) must see it.
+  void NoteCacheAllocate();
+  void NoteCacheFree();
 
   // Records one sample of the in-use count for the §3.4 average.
   void SampleInUse();

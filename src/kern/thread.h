@@ -84,6 +84,8 @@ struct Thread {
   bool is_internal = false;     // Internal kernel thread (Table 1 row).
   bool counts_for_liveness = true;  // Daemons/servers don't hold the kernel up.
   Ticks quantum_start = 0;      // Virtual time the current quantum began.
+  int last_cpu = 0;             // CPU this thread last ran on (wakeup target).
+  int runq_cpu = -1;            // CPU whose run queue holds it, or -1.
 
   // --- Observability stamps (virtual time; 0 = not pending) -------------
   // Written on the corresponding entry path, consumed (and zeroed) when the

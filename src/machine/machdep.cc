@@ -52,17 +52,20 @@ void ContinuationEntry(void* /*pass*/, void* arg) {
   Panic("continuation returned");
 }
 
-// The simulated machine's live kernel register file. A full context switch
-// spills it to the outgoing thread's save area and refills it from the
-// incoming thread's — real memory traffic a stack handoff never performs.
-std::uint64_t g_live_kernel_regs[kKernelSaveAreaWords];
+// The simulated machine's live kernel register files, one per CPU. A full
+// context switch spills the invoking CPU's file to the outgoing thread's
+// save area and refills it from the incoming thread's — real memory traffic
+// a stack handoff never performs.
+std::uint64_t g_live_kernel_regs[kMaxCpus][kKernelSaveAreaWords];
 
-void SaveKernelRegs(Thread* thread) {
-  std::memcpy(thread->md.kernel_save_area, g_live_kernel_regs, sizeof(g_live_kernel_regs));
+void SaveKernelRegs(Kernel& k, Thread* thread) {
+  std::memcpy(thread->md.kernel_save_area, g_live_kernel_regs[k.processor().id],
+              sizeof(g_live_kernel_regs[0]));
 }
 
-void RestoreKernelRegs(Thread* thread) {
-  std::memcpy(g_live_kernel_regs, thread->md.kernel_save_area, sizeof(g_live_kernel_regs));
+void RestoreKernelRegs(Kernel& k, Thread* thread) {
+  std::memcpy(g_live_kernel_regs[k.processor().id], thread->md.kernel_save_area,
+              sizeof(g_live_kernel_regs[0]));
 }
 
 // Resume-side half of the block-to-resume latency measurement: the blocking
@@ -78,7 +81,10 @@ void RecordResumeLatency(Kernel& k, Thread* new_thread) {
   LatencyHistogram* hist =
       k.lat().block_to_resume[static_cast<int>(new_thread->block_reason)];
   if (hist != nullptr) {
-    hist->Record(k.clock().Now() - start);
+    // block_start was stamped with LatencyNow (the machine frontier), so
+    // measure against the same source: this CPU's clock may lag the stamp
+    // when the thread was stolen across CPUs.
+    hist->Record(k.LatencyNow() - start);
   }
 }
 
@@ -131,6 +137,7 @@ void StackHandoff(Thread* new_thread) {
 
   PmapActivate(k, new_thread);
   k.processor().active_thread = new_thread;
+  new_thread->last_cpu = k.processor().id;
   new_thread->quantum_start = k.clock().Now();
   k.cost_model().Account(CostOp::kStackHandoff, 3, 4);
   k.ChargeCycles(kCycStackHandoff);
@@ -169,6 +176,7 @@ Thread* SwitchContext(Continuation cont, Thread* new_thread) {
 
   PmapActivate(k, new_thread);
   k.processor().active_thread = new_thread;
+  new_thread->last_cpu = k.processor().id;
   new_thread->state = ThreadState::kRunning;
   new_thread->quantum_start = k.clock().Now();
 
@@ -178,7 +186,7 @@ Thread* SwitchContext(Continuation cont, Thread* new_thread) {
   if (cont != nullptr) {
     // The caller blocked with a continuation: nothing of this flow is worth
     // saving. Restore-only switch.
-    RestoreKernelRegs(new_thread);
+    RestoreKernelRegs(k, new_thread);
     k.cost_model().Account(CostOp::kContextSwitch,
                            kKernelSaveAreaWords + kContextSwitchSavedWords, 0);
     k.ChargeCycles(kCycContextSwitchNoSave);
@@ -189,8 +197,8 @@ Thread* SwitchContext(Continuation cont, Thread* new_thread) {
   }
 
   // Full save and restore — the 250-instruction column of Table 4.
-  SaveKernelRegs(old_thread);
-  RestoreKernelRegs(new_thread);
+  SaveKernelRegs(k, old_thread);
+  RestoreKernelRegs(k, new_thread);
   k.cost_model().Account(CostOp::kContextSwitch,
                          kKernelSaveAreaWords + kContextSwitchSavedWords,
                          kKernelSaveAreaWords + kContextSwitchSavedWords);

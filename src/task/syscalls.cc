@@ -36,7 +36,7 @@ void YieldContinuation() { ThreadSyscallReturn(KernReturn::kSuccess); }
     ThreadSyscallReturn(KernReturn::kFailure);
   }
   if (IntrusiveQueue<Thread, &Thread::run_link>::OnAQueue(target)) {
-    k.run_queue().Remove(target);
+    k.RunQueueRemove(target);
   }
   self->state = ThreadState::kRunnable;
   if (k.UsesContinuations() && k.config().enable_handoff && target->continuation != nullptr) {

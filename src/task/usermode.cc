@@ -72,6 +72,9 @@ void UserWork(Ticks ticks) {
   // Deliver any "device interrupts" whose virtual time has come — disk and
   // network completions must not wait for an idle processor.
   k.RunDueEvents();
+  // Multi-CPU interleave point: hand the host thread to the next simulated
+  // CPU once this one has consumed its host slice.
+  k.CpuInterleaveTick();
   // The simulation's clock interrupt: quantum expiry is noticed at this safe
   // point and enters the kernel like any other interrupt.
   if (k.clock().Now() - thread->quantum_start >= k.config().quantum &&

@@ -21,7 +21,7 @@ void RecordFaultService(Thread* thread) {
     return;
   }
   Kernel& k = ActiveKernel();
-  k.lat().fault_service->Record(k.clock().Now() - thread->fault_start);
+  k.lat().fault_service->Record(k.LatencyNow() - thread->fault_start);
   thread->fault_start = 0;
 }
 
@@ -69,7 +69,7 @@ void VmSystem::VmFaultMapContinue() {
   k.ChargeCycles(kCycFaultBase);
   if (!is_retry) {
     ++stats_.user_faults;
-    thread->fault_start = k.clock().Now();
+    thread->fault_start = k.LatencyNow();
   }
   for (;;) {
     Task* task = thread->task;

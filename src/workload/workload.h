@@ -61,6 +61,12 @@ WorkloadReport RunKernelBuildWorkload(const KernelConfig& config, const Workload
 // device RPCs and preemptions.
 WorkloadReport RunDosWorkload(const KernelConfig& config, const WorkloadParams& params);
 
+// The SMP-scaling workload: eight independent client/server RPC pairs (a
+// "server farm"). Not one of the paper's Table 1 columns — it exists to
+// measure multi-processor RPC throughput (bench/bench_smp_scaling.cc), so it
+// is not in kTableWorkloads.
+WorkloadReport RunServerFarmWorkload(const KernelConfig& config, const WorkloadParams& params);
+
 using WorkloadFn = WorkloadReport (*)(const KernelConfig&, const WorkloadParams&);
 
 struct WorkloadEntry {

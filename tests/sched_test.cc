@@ -73,5 +73,47 @@ TEST(RunQueueTest, IdleThreadRejected) {
   EXPECT_DEATH(rq.Enqueue(&idle), "idle thread");
 }
 
+TEST(RunQueueTest, RemoveClearsLinksForReEnqueue) {
+  RunQueue rq;
+  Thread a, b;
+  a.priority = b.priority = 7;
+  rq.Enqueue(&a);
+  rq.Enqueue(&b);
+  rq.Remove(&a);
+  EXPECT_EQ(a.run_link.next, nullptr);
+  EXPECT_EQ(a.run_link.prev, nullptr);
+  EXPECT_EQ(a.runq_cpu, -1);
+  // A removed thread must be immediately re-enqueueable.
+  rq.Enqueue(&a);
+  EXPECT_EQ(rq.DequeueBest(), &b);
+  EXPECT_EQ(rq.DequeueBest(), &a);
+}
+
+TEST(RunQueueTest, EnqueueStampsOwningCpu) {
+  RunQueue rq;
+  rq.set_cpu(3);
+  Thread t;
+  rq.Enqueue(&t);
+  EXPECT_EQ(t.runq_cpu, 3);
+  rq.DequeueBest();
+  EXPECT_EQ(t.runq_cpu, -1);
+}
+
+TEST(RunQueueTest, RemoveRejectsBadArguments) {
+  RunQueue rq;
+  EXPECT_DEATH(rq.Remove(nullptr), "");
+  Thread wrong_queue;
+  wrong_queue.priority = 4;
+  RunQueue other;
+  other.set_cpu(1);
+  other.Enqueue(&wrong_queue);
+  // rq owns CPU 0 but the thread is stamped for CPU 1.
+  EXPECT_DEATH(rq.Remove(&wrong_queue), "queue it is not on");
+  other.Remove(&wrong_queue);  // Drain before destruction.
+  Thread bad_priority;
+  bad_priority.priority = kNumPriorities;
+  EXPECT_DEATH(rq.Remove(&bad_priority), "");
+}
+
 }  // namespace
 }  // namespace mkc

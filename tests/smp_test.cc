@@ -1,0 +1,266 @@
+// Multi-processor simulation tests: determinism of the interleave, work
+// stealing correctness, thread placement, and the §3.4 stack invariant
+// extended to N CPUs.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "src/ipc/ipc_space.h"
+#include "src/kern/kernel.h"
+#include "src/kern/processor.h"
+#include "src/task/task.h"
+#include "src/task/usermode.h"
+#include "src/workload/workload.h"
+
+namespace mkc {
+namespace {
+
+void CaptureMetricsJson(Kernel& kernel, void* arg) {
+  *static_cast<std::string*>(arg) = kernel.metrics().DumpJsonString();
+}
+
+// --- Determinism ------------------------------------------------------------
+
+TEST(SmpDeterminismTest, FourCpuRunIsByteIdenticalAcrossRuns) {
+  KernelConfig config;
+  config.ncpu = 4;
+  WorkloadParams params;
+  params.scale = 1;
+  params.seed = 4242;
+  params.post_run = &CaptureMetricsJson;
+
+  std::string first;
+  std::string second;
+  params.post_run_arg = &first;
+  RunServerFarmWorkload(config, params);
+  params.post_run_arg = &second;
+  RunServerFarmWorkload(config, params);
+
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+
+  // The per-CPU counters must actually be in the dump (ncpu > 1 registers
+  // them), and a 1-CPU run of the same workload must not have them.
+  EXPECT_NE(first.find("cpu0.sched.local_dequeues"), std::string::npos);
+  std::string single;
+  config.ncpu = 1;
+  params.post_run_arg = &single;
+  RunServerFarmWorkload(config, params);
+  EXPECT_EQ(single.find("cpu0.sched.local_dequeues"), std::string::npos);
+}
+
+TEST(SmpDeterminismTest, ExplicitSingleCpuMatchesDefaultConfig) {
+  // ncpu = 1 must be the exact uniprocessor kernel: same metrics, byte for
+  // byte, as a config that never mentions ncpu.
+  WorkloadParams params;
+  params.scale = 1;
+  params.seed = 7;
+  params.post_run = &CaptureMetricsJson;
+
+  std::string implicit;
+  std::string explicit_one;
+  KernelConfig config;
+  params.post_run_arg = &implicit;
+  RunCompileWorkload(config, params);
+  config.ncpu = 1;
+  params.post_run_arg = &explicit_one;
+  RunCompileWorkload(config, params);
+  ASSERT_FALSE(implicit.empty());
+  EXPECT_EQ(implicit, explicit_one);
+}
+
+// --- Work stealing ----------------------------------------------------------
+
+struct StealEnv {
+  int runs[8] = {};  // Per-worker completion count: exactly 1 when correct.
+};
+
+StealEnv* g_steal_env = nullptr;
+
+void PinnedWorker(void* arg) {
+  auto idx = reinterpret_cast<std::uintptr_t>(arg);
+  for (int i = 0; i < 30; ++i) {
+    UserWork(1000);
+  }
+  ++g_steal_env->runs[idx];
+}
+
+TEST(SmpStealTest, PiledUpThreadsAreStolenNotLostNotDuplicated) {
+  KernelConfig config;
+  config.ncpu = 4;
+  config.cpu_slice = 2000;  // Frequent interleave so idle CPUs get to steal.
+  Kernel kernel(config);
+  Task* task = kernel.CreateTask("pile");
+
+  static StealEnv env;
+  env = StealEnv{};
+  g_steal_env = &env;
+
+  // All eight workers pinned to CPU 0: CPUs 1-3 boot idle and can only get
+  // work by stealing it.
+  for (std::uintptr_t i = 0; i < 8; ++i) {
+    ThreadOptions opts;
+    opts.home_cpu = 0;
+    kernel.CreateUserThread(task, &PinnedWorker, reinterpret_cast<void*>(i), opts);
+  }
+  kernel.Run();
+
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(env.runs[i], 1) << "worker " << i << " ran " << env.runs[i] << " times";
+  }
+  // The initially idle CPUs can only have run anything by stealing it.
+  std::uint64_t remote_steals = 0;
+  for (int i = 1; i < kernel.ncpu(); ++i) {
+    remote_steals += kernel.cpu(i).steals;
+  }
+  EXPECT_GT(remote_steals, 0u);
+}
+
+TEST(SmpStealTest, HomeCpuPinsFirstPlacement) {
+  KernelConfig config;
+  config.ncpu = 4;
+  Kernel kernel(config);
+  Task* task = kernel.CreateTask("pin");
+  ThreadOptions opts;
+  opts.home_cpu = 2;
+  Thread* t = kernel.CreateUserThread(
+      task, [](void*) { UserWork(100); }, nullptr, opts);
+  EXPECT_EQ(t->last_cpu, 2);
+  EXPECT_EQ(t->runq_cpu, 2);
+  kernel.Run();
+}
+
+// --- The §3.4 invariant on N CPUs -------------------------------------------
+
+struct InvariantEnv {
+  std::uint64_t checks = 0;
+  std::uint64_t violations = 0;
+  int done = 0;
+};
+
+InvariantEnv* g_inv_env = nullptr;
+
+// At a user-mode safe point every suspended flow of control has its stack
+// attached, so the pool's in-use count must equal the number of threads
+// holding a stack, and the number of running threads can't exceed ncpu.
+void CheckStackInvariant() {
+  Kernel& k = ActiveKernel();
+  std::uint64_t attached = 0;
+  std::uint64_t running = 0;
+  for (const auto& t : k.threads()) {
+    if (t->kernel_stack != nullptr) {
+      ++attached;
+    }
+    if (t->state == ThreadState::kRunning) {
+      ++running;
+    }
+  }
+  ++g_inv_env->checks;
+  if (k.stack_pool().stats().in_use != attached ||
+      running > static_cast<std::uint64_t>(k.ncpu())) {
+    ++g_inv_env->violations;
+  }
+}
+
+void InvariantClient(void* arg) {
+  auto port = static_cast<PortId*>(arg)[0];
+  auto reply = static_cast<PortId*>(arg)[1];
+  UserMessage msg;
+  for (int i = 0; i < 25; ++i) {
+    msg.header.dest = port;
+    UserRpc(&msg, 32, reply);
+    UserWork(1200);
+    CheckStackInvariant();
+  }
+  ++g_inv_env->done;
+}
+
+void InvariantServer(void* arg) {
+  auto port = static_cast<PortId*>(arg)[0];
+  UserMessage msg;
+  if (UserServeOnce(&msg, 0, port) != KernReturn::kSuccess) {
+    return;
+  }
+  for (;;) {
+    msg.header.dest = msg.header.reply;
+    if (UserServeOnce(&msg, 32, port) != KernReturn::kSuccess) {
+      return;
+    }
+  }
+}
+
+class SmpInvariantTest : public testing::TestWithParam<int> {};
+
+TEST_P(SmpInvariantTest, StackCountMatchesAttachedStacksOnEveryCpuCount) {
+  KernelConfig config;
+  config.ncpu = GetParam();
+  config.cpu_slice = 1500;
+  Kernel kernel(config);
+  Task* clients = kernel.CreateTask("clients");
+  Task* servers = kernel.CreateTask("servers");
+
+  static InvariantEnv env;
+  env = InvariantEnv{};
+  g_inv_env = &env;
+
+  static PortId ports[4][2];
+  ThreadOptions daemon;
+  daemon.daemon = true;
+  for (int i = 0; i < 4; ++i) {
+    ports[i][0] = kernel.ipc().AllocatePort(servers);
+    ports[i][1] = kernel.ipc().AllocatePort(clients);
+    kernel.CreateUserThread(servers, &InvariantServer, ports[i], daemon);
+  }
+  for (int i = 0; i < 4; ++i) {
+    kernel.CreateUserThread(clients, &InvariantClient, ports[i]);
+  }
+  kernel.Run();
+
+  EXPECT_EQ(env.done, 4);
+  EXPECT_GT(env.checks, 0u);
+  EXPECT_EQ(env.violations, 0u);
+  // Everything wound down: only the reaper's permanent stack remains.
+  EXPECT_LE(kernel.stack_pool().stats().in_use, 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(CpuCounts, SmpInvariantTest, testing::Values(1, 2, 4, 8),
+                         [](const testing::TestParamInfo<int>& info) {
+                           return "cpus" + std::to_string(info.param);
+                         });
+
+// --- Per-CPU stack caches ---------------------------------------------------
+
+TEST(SmpStackCacheTest, PerCpuCachesServeRepeatTraffic) {
+  // With handoff disabled every RPC block frees a stack and every resume
+  // allocates one; on a multi-CPU machine that traffic must be absorbed by
+  // the per-CPU caches after they warm up.
+  KernelConfig config;
+  config.ncpu = 4;
+  config.enable_handoff = false;
+  WorkloadParams params;
+  params.scale = 2;
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t pool_in_use_at_end = 0;
+  };
+  static Stats stats;
+  stats = Stats{};
+  params.post_run = [](Kernel& k, void*) {
+    for (int i = 0; i < k.ncpu(); ++i) {
+      stats.hits += k.cpu(i).stack_cache_hits;
+      stats.misses += k.cpu(i).stack_cache_misses;
+    }
+    stats.pool_in_use_at_end = k.stack_pool().stats().in_use;
+  };
+  RunServerFarmWorkload(config, params);
+
+  EXPECT_GT(stats.hits, 0u);
+  // Hit rate well above 90%: misses only while the caches warm up.
+  EXPECT_GT(stats.hits, 9 * stats.misses);
+}
+
+}  // namespace
+}  // namespace mkc

@@ -41,6 +41,38 @@ TEST(StackPoolTest, CacheLimitBoundsRetention) {
   EXPECT_EQ(pool.stats().destroyed, 2u);
 }
 
+TEST(StackPoolTest, FreeCacheIsLifo) {
+  StackPool pool(16 * 1024, 4);
+  KernelStack* a = pool.Allocate();
+  KernelStack* b = pool.Allocate();
+  KernelStack* c = pool.Allocate();
+  pool.Free(a);
+  pool.Free(b);
+  pool.Free(c);
+  // Most recently freed (cache-warm) first: c, then b, then a.
+  EXPECT_EQ(pool.Allocate(), c);
+  EXPECT_EQ(pool.Allocate(), b);
+  EXPECT_EQ(pool.Allocate(), a);
+  pool.Free(a);
+  pool.Free(b);
+  pool.Free(c);
+}
+
+TEST(StackPoolTest, CacheNotesKeepGlobalStatsConsistent) {
+  // NoteCacheAllocate/NoteCacheFree stand in for Allocate/Free when a stack
+  // recycles through a per-CPU cache; the pool-wide stats must balance.
+  StackPool pool(16 * 1024, 4);
+  KernelStack* s = pool.Allocate();
+  pool.Free(s);
+  pool.NoteCacheAllocate();
+  EXPECT_EQ(pool.stats().in_use, 1u);
+  EXPECT_EQ(pool.stats().allocs, 2u);
+  EXPECT_EQ(pool.stats().cache_hits, 1u);
+  pool.NoteCacheFree();
+  EXPECT_EQ(pool.stats().in_use, 0u);
+  EXPECT_EQ(pool.stats().frees, 2u);
+}
+
 TEST(StackPoolTest, SamplingTracksAverage) {
   StackPool pool(16 * 1024, 4);
   KernelStack* a = pool.Allocate();

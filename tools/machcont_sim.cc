@@ -1,9 +1,10 @@
 // machcont_sim — command-line driver for the simulator.
 //
 //   machcont_sim [options]
-//     --workload=compile|build|dos   workload to run        (default compile)
+//     --workload=compile|build|dos|farm  workload to run    (default compile)
 //     --model=mk40|mk32|mach25       kernel model           (default mk40)
 //     --scale=N                      work multiplier        (default 5)
+//     --cpus=N                       simulated processors   (default 1)
 //     --seed=N                       workload RNG seed      (default 42)
 //     --quantum=N                    scheduling quantum     (default 10000)
 //     --pages=N                      physical pages         (default 4096)
@@ -34,8 +35,8 @@ using mkc::BlockReason;
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--workload=compile|build|dos] [--model=mk40|mk32|mach25]\n"
-               "          [--scale=N] [--seed=N] [--quantum=N] [--pages=N]\n"
+               "usage: %s [--workload=compile|build|dos|farm] [--model=mk40|mk32|mach25]\n"
+               "          [--scale=N] [--cpus=N] [--seed=N] [--quantum=N] [--pages=N]\n"
                "          [--no-handoff] [--no-recognition] [--table] [--hist]\n"
                "          [--trace=N] [--trace-out=FILE] [--metrics-json=FILE|-]\n",
                argv0);
@@ -60,6 +61,7 @@ struct ObsCapture {
   std::string metrics_json;
   std::string trace_json;
   std::string hist_text;
+  std::string cpu_text;
   std::uint64_t trace_recorded = 0;
   std::uint64_t trace_retained = 0;
   std::uint64_t trace_overwritten = 0;
@@ -70,6 +72,27 @@ void CaptureObservability(mkc::Kernel& kernel, void* arg) {
   cap->metrics_json = kernel.metrics().DumpJsonString();
   if (cap->want_trace) {
     cap->trace_json = mkc::ChromeTraceString(kernel.trace());
+  }
+  if (kernel.ncpu() > 1) {
+    // Per-CPU utilization and scheduler counters; only with --cpus > 1 so
+    // the single-CPU summary stays byte-identical to older builds.
+    mkc::Ticks vtime = kernel.VirtualTime();
+    for (int i = 0; i < kernel.ncpu(); ++i) {
+      const mkc::Processor& cpu = kernel.cpu(i);
+      mkc::Ticks busy = cpu.clock.Now() > cpu.idle_ticks ? cpu.clock.Now() - cpu.idle_ticks : 0;
+      double util = vtime > 0 ? 100.0 * static_cast<double>(busy) / static_cast<double>(vtime)
+                              : 0.0;
+      char line[192];
+      std::snprintf(line, sizeof(line),
+                    "cpu%d .............. %5.1f%% util (dequeues=%llu steals=%llu "
+                    "stack-hits=%llu misses=%llu idle-yields=%llu)\n",
+                    i, util, static_cast<unsigned long long>(cpu.local_dequeues),
+                    static_cast<unsigned long long>(cpu.steals),
+                    static_cast<unsigned long long>(cpu.stack_cache_hits),
+                    static_cast<unsigned long long>(cpu.stack_cache_misses),
+                    static_cast<unsigned long long>(cpu.idle_yields));
+      cap->cpu_text += line;
+    }
   }
   cap->trace_recorded = kernel.trace().recorded();
   cap->trace_retained = kernel.trace().retained();
@@ -135,6 +158,8 @@ int main(int argc, char** argv) {
         workload = &mkc::RunKernelBuildWorkload;
       } else if (w == "dos") {
         workload = &mkc::RunDosWorkload;
+      } else if (w == "farm") {
+        workload = &mkc::RunServerFarmWorkload;
       } else {
         return Usage(argv[0]);
       }
@@ -155,6 +180,13 @@ int main(int argc, char** argv) {
       if (params.scale <= 0) {
         return Usage(argv[0]);
       }
+    } else if (arg.rfind("--cpus=", 0) == 0) {
+      std::uint64_t v;
+      if (!ParseU64(value().c_str(), &v) || v < 1 ||
+          v > static_cast<std::uint64_t>(mkc::kMaxCpus)) {
+        return Usage(argv[0]);
+      }
+      config.ncpu = static_cast<int>(v);
     } else if (arg.rfind("--seed=", 0) == 0) {
       std::uint64_t v;
       if (!ParseU64(value().c_str(), &v)) {
@@ -258,6 +290,7 @@ int main(int argc, char** argv) {
   std::fprintf(human, "exceptions ........ %llu raised (%llu fast deliveries)\n",
                static_cast<unsigned long long>(r.exc.raised),
                static_cast<unsigned long long>(r.exc.fast_deliveries));
+  std::fputs(cap.cpu_text.c_str(), human);
   if (config.trace_capacity > 0) {
     std::fprintf(human, "trace ............. recorded=%llu retained=%llu overwritten=%llu\n",
                  static_cast<unsigned long long>(cap.trace_recorded),

@@ -105,6 +105,7 @@ int Main(int argc, char** argv) {
   std::printf("%-20s %10s %9s %10s %12s %12s\n", "variant", "sim us/RPC", "vs full",
               "host ns", "handoffs", "recognitions");
   double baseline = 0.0;
+  std::string variant_json = "[";
   for (const auto& v : variants) {
     AblationResult r = RunRpc(v.config, iterations);
     if (baseline == 0.0) {
@@ -114,11 +115,22 @@ int Main(int argc, char** argv) {
                 r.sim_us_per_rpc / baseline, r.ns_per_rpc,
                 static_cast<unsigned long long>(r.handoffs),
                 static_cast<unsigned long long>(r.recognitions));
+    char buf[224];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"variant\":\"%s\",\"sim_us_per_rpc\":%.4f,\"vs_full\":%.4f,"
+                  "\"handoffs\":%llu,\"recognitions\":%llu}",
+                  variant_json.size() > 1 ? "," : "", v.name, r.sim_us_per_rpc,
+                  r.sim_us_per_rpc / baseline,
+                  static_cast<unsigned long long>(r.handoffs),
+                  static_cast<unsigned long long>(r.recognitions));
+    variant_json += buf;
   }
+  variant_json += "]";
 
   std::printf("\nAblation 2: free-stack cache size (MK40 -handoff, the stack-hungry path)\n\n");
   std::printf("%-12s %12s %14s %16s\n", "cache size", "host ns/RPC", "stack allocs",
               "host allocations");
+  std::string cache_json = "[";
   for (std::size_t cache : {std::size_t{0}, std::size_t{1}, std::size_t{4}, std::size_t{16}}) {
     KernelConfig config;
     config.enable_handoff = false;  // Forces a stack attach per resumption.
@@ -127,7 +139,21 @@ int Main(int argc, char** argv) {
     std::printf("%-12zu %12.0f %14llu %16llu\n", cache, r.ns_per_rpc,
                 static_cast<unsigned long long>(r.stack_allocs),
                 static_cast<unsigned long long>(r.stacks_created));
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"cache_size\":%zu,\"stack_allocs\":%llu,\"stacks_created\":%llu}",
+                  cache_json.size() > 1 ? "," : "", cache,
+                  static_cast<unsigned long long>(r.stack_allocs),
+                  static_cast<unsigned long long>(r.stacks_created));
+    cache_json += buf;
   }
+  cache_json += "]";
+
+  BenchJsonBuilder("ablation")
+      .Config("iterations", iterations)
+      .MetricJson("variants", variant_json)
+      .MetricJson("cache_sweep", cache_json)
+      .Write();
   return 0;
 }
 

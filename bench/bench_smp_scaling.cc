@@ -117,8 +117,7 @@ int Main(int argc, char** argv) {
 
   PointResult points[4];
   double base = 0.0;
-  std::string json = "{\"bench\":\"smp_scaling\",\"workload\":\"farm\",\"scale\":" +
-                     std::to_string(scale) + ",\"points\":[";
+  std::string point_json = "[";
   for (int i = 0; i < 4; ++i) {
     PointResult p = RunPoint(kCpuPoints[i], scale);
     points[i] = p;
@@ -148,9 +147,9 @@ int Main(int argc, char** argv) {
                   static_cast<unsigned long long>(p.stack.cache_hits),
                   static_cast<unsigned long long>(p.stack.cache_misses), p.stack_hit_rate,
                   p.stack.min_cpu_hit_rate);
-    json += buf;
+    point_json += buf;
   }
-  json += "]}\n";
+  point_json += "]";
 
   double speedup4 = base > 0.0 ? points[2].rpc_per_mtick / base : 0.0;
   std::printf("\n4-CPU speedup %.2fx; 4-CPU stack-cache hit rate %.1f%%; "
@@ -158,7 +157,11 @@ int Main(int argc, char** argv) {
               speedup4, 100.0 * points[2].stack_hit_rate,
               static_cast<unsigned long long>(points[2].sched.steals));
 
-  MaybeWriteBenchJson(json);
+  BenchJsonBuilder("smp_scaling")
+      .Config("workload", "farm")
+      .Config("scale", scale)
+      .MetricJson("points", point_json)
+      .Write();
   return 0;
 }
 

@@ -78,11 +78,20 @@ int Main(int argc, char** argv) {
   params.scale = scale;
   std::printf("%-16s %14s %14s %10s    [paper avg 2.002, worst 3-6]\n", "workload",
               "avg stacks", "max stacks", "samples");
+  BenchJsonBuilder json("stack_count");
+  json.Config("scale", scale).Config("model", "mk40");
   for (const auto& entry : kTableWorkloads) {
     WorkloadReport r = entry.fn(config, params);
     std::printf("%-16s %14.3f %14llu %10llu\n", entry.name, r.stacks.AverageInUse(),
                 static_cast<unsigned long long>(r.stacks.max_in_use),
                 static_cast<unsigned long long>(r.stacks.samples));
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"avg_stacks\":%.3f,\"max_stacks\":%llu,\"samples\":%llu}",
+                  r.stacks.AverageInUse(),
+                  static_cast<unsigned long long>(r.stacks.max_in_use),
+                  static_cast<unsigned long long>(r.stacks.samples));
+    json.MetricJson(entry.name, buf);
   }
 
   // --- Firefly scenario: 886 blocked threads ----------------------------
@@ -96,6 +105,14 @@ int Main(int argc, char** argv) {
   std::printf("  MK32: %llu stacks for %llu kernel threads   [process model: one each]\n",
               static_cast<unsigned long long>(mk32.stacks_in_use),
               static_cast<unsigned long long>(mk32.threads_total));
+
+  char firefly[160];
+  std::snprintf(firefly, sizeof(firefly),
+                "{\"threads\":886,\"mk40_stacks\":%llu,\"mk32_stacks\":%llu}",
+                static_cast<unsigned long long>(mk40.stacks_in_use),
+                static_cast<unsigned long long>(mk32.stacks_in_use));
+  json.MetricJson("firefly", firefly);
+  json.Write();
   return 0;
 }
 

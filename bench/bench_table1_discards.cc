@@ -104,20 +104,14 @@ int Main(int argc, char** argv) {
                 reports[i].wall_seconds);
   }
 
-  // Optional machine-readable output: one object keyed by workload name,
-  // each value a full metrics-registry dump.
-  std::string combined = "{";
+  // Optional machine-readable output: metrics holds one key per workload,
+  // each value that run's full metrics-registry dump.
+  BenchJsonBuilder json("table1_discards");
+  json.Config("scale", scale).Config("model", "mk40");
   for (int i = 0; i < 3; ++i) {
-    if (i > 0) {
-      combined += ",";
-    }
-    combined += "\"";
-    combined += kTableWorkloads[i].name;
-    combined += "\":";
-    combined += metrics_json[i];
+    json.MetricJson(kTableWorkloads[i].name, metrics_json[i]);
   }
-  combined += "}\n";
-  MaybeWriteBenchJson(combined);
+  json.Write();
   return 0;
 }
 

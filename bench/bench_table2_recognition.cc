@@ -56,6 +56,23 @@ int Main(int argc, char** argv) {
                 Pct(st.recognitions, st.total_blocks), paper_recognition[i]);
   }
   std::printf("\n");
+
+  BenchJsonBuilder json("table2_recognition");
+  json.Config("scale", scale).Config("model", "mk40");
+  for (int i = 0; i < 3; ++i) {
+    const auto& st = reports[i].transfer;
+    char buf[224];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"total_blocks\":%llu,\"stack_handoffs\":%llu,"
+                  "\"recognitions\":%llu,\"handoff_pct\":%.2f,\"recognition_pct\":%.2f}",
+                  static_cast<unsigned long long>(st.total_blocks),
+                  static_cast<unsigned long long>(st.stack_handoffs),
+                  static_cast<unsigned long long>(st.recognitions),
+                  Pct(st.stack_handoffs, st.total_blocks),
+                  Pct(st.recognitions, st.total_blocks));
+    json.MetricJson(kTableWorkloads[i].name, buf);
+  }
+  json.Write();
   return 0;
 }
 

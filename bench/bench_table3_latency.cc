@@ -182,6 +182,19 @@ int Main(int argc, char** argv) {
               rpc[2].host_ns);
   std::printf("  exception: %6.0f / %6.0f / %6.0f ns\n", exc[0].host_ns, exc[1].host_ns,
               exc[2].host_ns);
+
+  BenchJsonBuilder json("table3_latency");
+  json.Config("iterations", iterations);
+  const char* model_names[3] = {"mk40", "mk32", "mach25"};
+  for (int i = 0; i < 3; ++i) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"rpc_sim_us\":%.4f,\"exception_sim_us\":%.4f,"
+                  "\"rpc_host_ns\":%.1f,\"exception_host_ns\":%.1f}",
+                  rpc[i].sim_us, exc[i].sim_us, rpc[i].host_ns, exc[i].host_ns);
+    json.MetricJson(model_names[i], buf);
+  }
+  json.Write();
   return 0;
 }
 

@@ -154,6 +154,19 @@ int Main(int argc, char** argv) {
                   : "no");
   std::printf("  context backend: %s (%d callee-saved words per raw switch)\n",
               kContextBackendName, kContextSwitchSavedWords);
+
+  BenchJsonBuilder("table4_components")
+      .Config("iterations", iterations)
+      .Metric("mk40_syscall_cycles", mk40_syscall.cycles_per_op)
+      .Metric("mk32_syscall_cycles", mk32_syscall.cycles_per_op)
+      .Metric("mk40_transfer_cycles", mk40_transfer.cycles_per_op)
+      .Metric("mk32_transfer_cycles", mk32_transfer.cycles_per_op)
+      .Metric("switch_over_handoff",
+              mk32_transfer.cycles_per_op / mk40_transfer.cycles_per_op)
+      .Metric("handoff_cycles", static_cast<unsigned long long>(kCycStackHandoff))
+      .Metric("context_switch_cycles",
+              static_cast<unsigned long long>(kCycContextSwitch))
+      .Write();
   return 0;
 }
 

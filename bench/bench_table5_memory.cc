@@ -121,19 +121,23 @@ int Main(int argc, char** argv) {
   std::printf("  per-thread savings: %.1f%% [paper: 85%%]\n",
               100.0 * (1.0 - mk40_total / mk32_total));
 
-  char json[512];
-  std::snprintf(json, sizeof(json),
-                "{\"threads\":%d,"
-                "\"mk40\":{\"stacks_in_use\":%llu,\"max_in_use\":%llu,\"max_cached\":%llu,"
-                "\"per_thread_bytes\":%.0f},"
-                "\"mk32\":{\"stacks_in_use\":%llu,\"max_in_use\":%llu,"
-                "\"per_thread_bytes\":%.0f}}\n",
-                threads, static_cast<unsigned long long>(mk40.stacks_in_use_when_parked),
+  char mk40_json[192];
+  std::snprintf(mk40_json, sizeof(mk40_json),
+                "{\"stacks_in_use\":%llu,\"max_in_use\":%llu,\"max_cached\":%llu,"
+                "\"per_thread_bytes\":%.0f}",
+                static_cast<unsigned long long>(mk40.stacks_in_use_when_parked),
                 static_cast<unsigned long long>(mk40.max_stacks_in_use),
-                static_cast<unsigned long long>(mk40.max_stacks_cached), mk40_total,
+                static_cast<unsigned long long>(mk40.max_stacks_cached), mk40_total);
+  char mk32_json[192];
+  std::snprintf(mk32_json, sizeof(mk32_json),
+                "{\"stacks_in_use\":%llu,\"max_in_use\":%llu,\"per_thread_bytes\":%.0f}",
                 static_cast<unsigned long long>(mk32.stacks_in_use_when_parked),
                 static_cast<unsigned long long>(mk32.max_stacks_in_use), mk32_total);
-  MaybeWriteBenchJson(json);
+  BenchJsonBuilder("table5_memory")
+      .Config("threads", threads)
+      .MetricJson("mk40", mk40_json)
+      .MetricJson("mk32", mk32_json)
+      .Write();
   return 0;
 }
 

@@ -7,6 +7,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+
+#include "src/obs/trace_export.h"  // JsonEscape
 
 namespace mkc {
 
@@ -44,6 +47,105 @@ inline bool MaybeWriteBenchJson(const std::string& json) {
   std::fprintf(stderr, "bench: wrote metrics JSON to %s\n", path);
   return true;
 }
+
+// Unified machine-readable bench output. Every bench_* binary reports
+// through one schema:
+//
+//   {"bench": "<name>", "config": {...}, "metrics": {...}}
+//
+// `config` holds the knobs that shaped the run (scale, iterations, model);
+// `metrics` holds what was measured. CI and tools/check_perf_regression.py
+// parse this shape uniformly, so additions must stay backward-compatible:
+// add keys, don't move them. Scalars go in via Config()/Metric(); nested
+// arrays or objects are pre-rendered and attached with ConfigJson()/
+// MetricJson(). (bench_micro is the one exception: google-benchmark already
+// has its own --benchmark_format=json.)
+class BenchJsonBuilder {
+ public:
+  explicit BenchJsonBuilder(std::string bench) : bench_(std::move(bench)) {}
+
+  BenchJsonBuilder& Config(const std::string& key, long long v) {
+    return ConfigJson(key, std::to_string(v));
+  }
+  BenchJsonBuilder& Config(const std::string& key, unsigned long long v) {
+    return ConfigJson(key, std::to_string(v));
+  }
+  BenchJsonBuilder& Config(const std::string& key, int v) {
+    return Config(key, static_cast<long long>(v));
+  }
+  BenchJsonBuilder& Config(const std::string& key, const std::string& v) {
+    return ConfigJson(key, Quoted(v));
+  }
+  BenchJsonBuilder& Config(const std::string& key, const char* v) {
+    return Config(key, std::string(v));
+  }
+  BenchJsonBuilder& ConfigJson(const std::string& key, const std::string& rendered) {
+    Append(&config_, key, rendered);
+    return *this;
+  }
+
+  BenchJsonBuilder& Metric(const std::string& key, long long v) {
+    return MetricJson(key, std::to_string(v));
+  }
+  BenchJsonBuilder& Metric(const std::string& key, unsigned long long v) {
+    return MetricJson(key, std::to_string(v));
+  }
+  BenchJsonBuilder& Metric(const std::string& key, std::uint64_t v) {
+    return Metric(key, static_cast<unsigned long long>(v));
+  }
+  BenchJsonBuilder& Metric(const std::string& key, int v) {
+    return Metric(key, static_cast<long long>(v));
+  }
+  BenchJsonBuilder& Metric(const std::string& key, double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.4f", v);
+    return MetricJson(key, buf);
+  }
+  BenchJsonBuilder& Metric(const std::string& key, const std::string& v) {
+    return MetricJson(key, Quoted(v));
+  }
+  BenchJsonBuilder& MetricJson(const std::string& key, const std::string& rendered) {
+    Append(&metrics_, key, rendered);
+    return *this;
+  }
+
+  std::string Str() const {
+    std::string out = "{\"bench\":\"";
+    out += JsonEscape(bench_);
+    out += "\",\"config\":{";
+    out += config_;
+    out += "},\"metrics\":{";
+    out += metrics_;
+    out += "}}\n";
+    return out;
+  }
+
+  // Writes to $MACHCONT_BENCH_JSON if set; returns whether a file was written.
+  bool Write() const { return MaybeWriteBenchJson(Str()); }
+
+ private:
+  static std::string Quoted(const std::string& v) {
+    std::string out = "\"";
+    out += JsonEscape(v);
+    out += '"';
+    return out;
+  }
+
+  static void Append(std::string* out, const std::string& key,
+                     const std::string& rendered) {
+    if (!out->empty()) {
+      *out += ',';
+    }
+    *out += '"';
+    *out += JsonEscape(key);
+    *out += "\":";
+    *out += rendered;
+  }
+
+  std::string bench_;
+  std::string config_;
+  std::string metrics_;
+};
 
 class WallTimer {
  public:

@@ -26,11 +26,14 @@ int Main(int argc, char** argv) {
   std::printf("Simulated elapsed = virtual ticks at %.2f MHz; stacks = avg in use\n\n",
               kSimulatedMhz);
 
+  BenchJsonBuilder json("workload_models");
+  json.Config("scale", scale);
   for (const auto& entry : kTableWorkloads) {
     std::printf("%s\n", entry.name);
     std::printf("  %-10s %14s %14s %12s %10s %12s\n", "model", "elapsed(ms)", "blocks",
                 "handoffs", "stacks", "wall(ms)");
     double mk40_elapsed = 0.0;
+    std::string models_json = "{";
     for (ControlTransferModel model : kModels) {
       KernelConfig config;
       config.model = model;
@@ -47,9 +50,21 @@ int Main(int argc, char** argv) {
         std::printf("   (%.2fx vs MK40)", elapsed_ms / mk40_elapsed);
       }
       std::printf("\n");
+      char buf[192];
+      std::snprintf(buf, sizeof(buf),
+                    "%s\"%s\":{\"elapsed_ms\":%.4f,\"blocks\":%llu,\"handoffs\":%llu,"
+                    "\"avg_stacks\":%.3f}",
+                    models_json.size() > 1 ? "," : "", ModelName(model), elapsed_ms,
+                    static_cast<unsigned long long>(r.transfer.total_blocks),
+                    static_cast<unsigned long long>(r.transfer.stack_handoffs),
+                    r.stacks.AverageInUse());
+      models_json += buf;
     }
+    models_json += "}";
+    json.MetricJson(entry.name, models_json);
     std::printf("\n");
   }
+  json.Write();
   std::printf("Reading: the kernels run identical workloads; elapsed-time differences\n"
               "are pure control-transfer overhead. The kernel-intensive mixes (heavy\n"
               "IPC/exceptions per unit of computation) show the largest spread.\n");

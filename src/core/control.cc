@@ -14,6 +14,19 @@ Continuation TakeContinuation(Thread* thread) {
   return cont;
 }
 
+namespace {
+
+// A still-runnable thread going back on the invoking CPU's queue
+// (preemption-style block). Stamp it so its next dispatch records run-queue
+// wait rather than wakeup→run delay.
+void RequeuePreempted(Kernel& k, Thread* thread) {
+  thread->runnable_start = k.LatencyNow();
+  thread->runnable_from = RunnableFrom::kRequeue;
+  k.run_queue().Enqueue(thread);
+}
+
+}  // namespace
+
 void ThreadDispatch(Thread* old_thread) {
   if (old_thread == nullptr) {
     return;  // First activation after boot: nothing preceded us.
@@ -27,7 +40,7 @@ void ThreadDispatch(Thread* old_thread) {
   }
   if (old_thread->state == ThreadState::kRunnable) {
     // Preemption-style block: the old thread still wants the processor.
-    k.run_queue().Enqueue(old_thread);
+    RequeuePreempted(k, old_thread);
   }
 }
 
@@ -85,7 +98,7 @@ void BlockCommon(Continuation cont, BlockReason reason, Thread* next) {
         ++k.transfer_stats().stack_handoffs;
       }
       if (old_thread->state == ThreadState::kRunnable) {
-        k.run_queue().Enqueue(old_thread);
+        RequeuePreempted(k, old_thread);
       }
       new_thread->state = ThreadState::kRunning;
       CallContinuation(TakeContinuation(new_thread));
@@ -143,7 +156,7 @@ void ThreadHandoff(Continuation cont, Thread* next, BlockReason reason) {
   k.TracePoint(TraceEvent::kHandoff, old_thread->id);
   ++k.transfer_stats().stack_handoffs;
   if (old_thread->state == ThreadState::kRunnable) {
-    k.run_queue().Enqueue(old_thread);
+    RequeuePreempted(k, old_thread);
   }
   next->state = ThreadState::kRunning;
   // Unlike ThreadBlock, we do NOT call next's continuation: the caller —

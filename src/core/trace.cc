@@ -30,15 +30,21 @@ const char* TraceEventName(TraceEvent event) {
       return "ipc-queue-depth";
     case TraceEvent::kStackPoolSize:
       return "stack-pool-size";
+    case TraceEvent::kSpanBegin:
+      return "span-begin";
+    case TraceEvent::kSpanEnd:
+      return "span-end";
+    case TraceEvent::kSteal:
+      return "steal";
   }
   return "unknown";
 }
 
 void TraceBuffer::Dump(std::FILE* out) const {
   ForEach([out](const TraceRecord& r) {
-    std::fprintf(out, "%10llu  t%-3u %-18s aux=%u aux2=%u\n",
-                 static_cast<unsigned long long>(r.when), r.thread, TraceEventName(r.event),
-                 r.aux, r.aux2);
+    std::fprintf(out, "%10llu  cpu%-2u t%-3u s%-4u %-18s aux=%u aux2=%u\n",
+                 static_cast<unsigned long long>(r.when), r.cpu, r.thread, r.span,
+                 TraceEventName(r.event), r.aux, r.aux2);
   });
 }
 

@@ -30,9 +30,12 @@ enum class TraceEvent : std::uint8_t {
   kCallContinuation,
   kStackAttachEvt,
   kStackDetachEvt,
-  kSetrun,           // aux = id of the thread made runnable.
+  kSetrun,           // aux = id of the thread made runnable; aux2 = target CPU.
   kIpcQueueDepth,    // aux = port id; aux2 = queued messages after the op.
   kStackPoolSize,    // aux = stacks in use; aux2 = stacks cached.
+  kSpanBegin,        // aux = SpanKind; aux2 = parent span id (0 = root).
+  kSpanEnd,          // aux = SpanKind.
+  kSteal,            // aux = id of the stolen thread; aux2 = victim CPU.
 };
 
 const char* TraceEventName(TraceEvent event);
@@ -41,8 +44,10 @@ struct TraceRecord {
   Ticks when = 0;
   ThreadId thread = 0;
   TraceEvent event = TraceEvent::kTrapEnter;
+  std::uint16_t cpu = 0;   // CPU that recorded the event.
   std::uint32_t aux = 0;
   std::uint32_t aux2 = 0;
+  std::uint32_t span = 0;  // Causal span (src/obs/span.h); 0 = none.
 };
 
 class TraceBuffer {
@@ -60,11 +65,11 @@ class TraceBuffer {
   std::size_t capacity() const { return ring_.size(); }
 
   void Record(Ticks when, ThreadId thread, TraceEvent event, std::uint32_t aux = 0,
-              std::uint32_t aux2 = 0) {
+              std::uint32_t aux2 = 0, std::uint32_t span = 0, std::uint16_t cpu = 0) {
     if (ring_.empty()) {
       return;
     }
-    ring_[head_] = TraceRecord{when, thread, event, aux, aux2};
+    ring_[head_] = TraceRecord{when, thread, event, cpu, aux, aux2, span};
     head_ = (head_ + 1) & mask_;
     ++recorded_;
   }

@@ -36,6 +36,7 @@ void EnterKernelEndpointWait(Thread* thread, Port* reply_port) {
   if (thread->exc_start != 0) {
     k.lat().exc_service->Record(k.LatencyNow() - thread->exc_start);
     thread->exc_start = 0;
+    k.SpanEnd(SpanKind::kException);
   }
   auto& st = thread->Scratch<MsgWaitState>();
   if (st.result == KernReturn::kSuccess) {
@@ -85,6 +86,7 @@ void ExceptionReplyContinue() {
   Kernel& k = ActiveKernel();
   ++k.exc_stats().raised;
   thread->exc_start = k.LatencyNow();
+  k.SpanBegin(SpanKind::kException);
 
   Task* task = thread->task;
   Port* exc_port = task != nullptr ? k.ipc().Lookup(task->exception_port) : nullptr;
@@ -110,6 +112,7 @@ void ExceptionReplyContinue() {
   hdr.reply = thread->exc_reply_port;
   hdr.msg_id = kExcRequestMsgId;
   hdr.size = sizeof(req);
+  hdr.span = thread->span_id;  // The server works on the faulter's behalf.
 
   // The exception fast path exists only in the continuation kernel; MK32
   // never optimized exception handling (§3.3: "the exception handling path

@@ -38,6 +38,9 @@ void CopyOut(Kernel& k, UserMessage* msg, const KMessage* kmsg) {
   msg->header = kmsg->header;
   std::memcpy(msg->body, kmsg->body, kmsg->header.size);
   AccountCopy(k, kmsg->header.size);
+  // Every queued-path receive finishes here, on the receiving thread: adopt
+  // the sender's span so the request's causal chain survives the queue.
+  k.SpanAdopt(CurrentThread(), kmsg->header.span);
 }
 
 void WakeOneBlockedSender(Kernel& k, Port* port) {
@@ -143,6 +146,9 @@ KernReturn MsgSendPhase(Thread* t, MachMsgArgs* args) {
   }
   msg->header.size = args->send_size;
   msg->header.bits = 0;
+  // Unconditional store: t->span_id is always 0 when tracing is disabled,
+  // so this is the send path's entire span-propagation cost.
+  msg->header.span = t->span_id;
   if ((args->options & kMsgOolOpt) != 0) {
     if (args->send_size < sizeof(OolDescriptor)) {
       return KernReturn::kInvalidArgument;
@@ -422,6 +428,7 @@ void DeliverDirect(Thread* receiver, const MessageHeader& header, const void* bo
   st.result = KernReturn::kSuccess;
   st.flags |= kMsgWaitDirectComplete;
   ++k.ipc().stats().direct_copies;
+  k.SpanAdopt(receiver, header.span);
 }
 
 [[noreturn]] void ProcessModelReceiveFinish(Thread* thread) {

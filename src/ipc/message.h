@@ -26,6 +26,11 @@ struct MessageHeader {
   std::uint32_t size = 0;   // Body bytes, <= kMaxInlineBytes.
   std::uint32_t bits = 0;   // kMsgHeader* flags.
   std::uint32_t seqno = 0;  // Per-port delivery sequence (stamped by the kernel).
+  // Causal span of the request this message belongs to (src/obs/span.h),
+  // stamped at send and adopted by the receiver — what ties one logical RPC
+  // together across queueing, handoff and CPU migration. 0 when tracing is
+  // disabled (spans are never allocated then).
+  std::uint32_t span = 0;
 };
 
 // The user-space view of a message buffer.

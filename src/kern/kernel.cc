@@ -26,8 +26,10 @@ Kernel* g_active_kernel = nullptr;
 void StackPoolTraceHook(void* ctx, std::uint64_t in_use, std::uint64_t cached) {
   auto* k = static_cast<Kernel*>(ctx);
   Thread* t = k->processor().active_thread;
-  k->trace().Record(k->clock().Now(), t != nullptr ? t->id : 0, TraceEvent::kStackPoolSize,
-                    static_cast<std::uint32_t>(in_use), static_cast<std::uint32_t>(cached));
+  k->trace().Record(k->TraceNow(), t != nullptr ? t->id : 0, TraceEvent::kStackPoolSize,
+                    static_cast<std::uint32_t>(in_use), static_cast<std::uint32_t>(cached),
+                    t != nullptr ? t->span_id : 0,
+                    static_cast<std::uint16_t>(k->processor().id));
 }
 
 }  // namespace
@@ -154,10 +156,24 @@ void Kernel::RegisterMetrics() {
   lat_.fault_service = metrics_.RegisterHistogram("lat.vm.fault_service");
   lat_.exc_service = metrics_.RegisterHistogram("lat.exc.service");
 
+  // Scheduler latencies. On a uniprocessor the machine-wide histograms are
+  // the recording storage; on a multiprocessor each CPU records into its own
+  // shard and the machine-wide names are merged views over the shards, so
+  // cross-CPU percentiles are exact without double-counting.
+  if (config_.ncpu == 1) {
+    Processor& cpu0 = *cpus_[0];
+    cpu0.lat_wakeup_to_run = metrics_.RegisterHistogram("lat.sched.wakeup_to_run");
+    cpu0.lat_runq_wait = metrics_.RegisterHistogram("lat.sched.runq_wait");
+    cpu0.lat_steal = metrics_.RegisterHistogram("lat.sched.steal");
+  }
+
   // Per-CPU counters exist only on a multiprocessor: a uniprocessor's
   // metrics JSON must stay byte-identical to the pre-SMP kernel's.
   if (config_.ncpu > 1) {
     metrics_.SetLabel("cpus", std::to_string(config_.ncpu));
+    std::vector<const LatencyHistogram*> wakeup_shards;
+    std::vector<const LatencyHistogram*> runq_shards;
+    std::vector<const LatencyHistogram*> steal_shards;
     for (int i = 0; i < config_.ncpu; ++i) {
       Processor& cpu = *cpus_[static_cast<std::size_t>(i)];
       std::string prefix = "cpu" + std::to_string(i) + ".";
@@ -167,7 +183,16 @@ void Kernel::RegisterMetrics() {
       metrics_.RegisterCounter(prefix + "sched.idle_ticks", &cpu.idle_ticks);
       metrics_.RegisterCounter(prefix + "stack.cache_hits", &cpu.stack_cache_hits);
       metrics_.RegisterCounter(prefix + "stack.cache_misses", &cpu.stack_cache_misses);
+      cpu.lat_wakeup_to_run = metrics_.RegisterHistogram(prefix + "lat.sched.wakeup_to_run");
+      cpu.lat_runq_wait = metrics_.RegisterHistogram(prefix + "lat.sched.runq_wait");
+      cpu.lat_steal = metrics_.RegisterHistogram(prefix + "lat.sched.steal");
+      wakeup_shards.push_back(cpu.lat_wakeup_to_run);
+      runq_shards.push_back(cpu.lat_runq_wait);
+      steal_shards.push_back(cpu.lat_steal);
     }
+    metrics_.RegisterMergedHistogram("lat.sched.wakeup_to_run", std::move(wakeup_shards));
+    metrics_.RegisterMergedHistogram("lat.sched.runq_wait", std::move(runq_shards));
+    metrics_.RegisterMergedHistogram("lat.sched.steal", std::move(steal_shards));
   }
 }
 
@@ -601,7 +626,13 @@ void Kernel::ThreadSetrunOn(Thread* thread, int target_cpu) {
   MKC_ASSERT(thread->state != ThreadState::kHalted);
   MKC_ASSERT(target_cpu >= 0 && target_cpu < config_.ncpu);
   ChargeCycles(kCycThreadSetrun);
-  TracePoint(TraceEvent::kSetrun, thread->id);
+  // A wakeup: stamp when the thread became runnable so its next dispatch
+  // records wakeup→run delay. The event carries the *woken* thread's span —
+  // the wakeup is part of that request's critical path, not the waker's.
+  thread->runnable_start = LatencyNow();
+  thread->runnable_from = RunnableFrom::kWakeup;
+  TracePointSpan(thread->span_id, TraceEvent::kSetrun, thread->id,
+                 static_cast<std::uint32_t>(target_cpu));
   thread->last_cpu = target_cpu;
   cpus_[static_cast<std::size_t>(target_cpu)]->run_queue.Enqueue(thread);
 }
@@ -632,6 +663,14 @@ Thread* Kernel::ThreadSelect() {
       thread = victim->run_queue.DequeueBest();
       if (thread != nullptr) {
         ++cpu.steals;
+        // Steal latency: how long the thread sat runnable before a remote
+        // CPU picked it up. The stamp is deliberately *not* consumed — the
+        // stolen thread still records wakeup→run when it actually runs.
+        if (thread->runnable_start != 0 && cpu.lat_steal != nullptr) {
+          cpu.lat_steal->Record(LatencyNow() - thread->runnable_start);
+        }
+        TracePointSpan(thread->span_id, TraceEvent::kSteal, thread->id,
+                       static_cast<std::uint32_t>(victim->id));
         thread->last_cpu = cpu.id;
         return thread;
       }
@@ -740,6 +779,49 @@ std::uint64_t Kernel::RunDueEvents() {
 // Declared in src/obs/timed_scope.h, which deliberately does not see the
 // Kernel definition.
 Ticks KernelLatencyNow(const Kernel& kernel) { return kernel.LatencyNow(); }
+
+std::uint32_t Kernel::SpanBegin(SpanKind kind) {
+  if (!trace_.enabled()) {
+    return 0;
+  }
+  Thread* t = CurrentThread();
+  std::uint32_t id = next_span_id_++;
+  // Nesting (e.g. a fault raised inside an RPC): remember the enclosing
+  // span so SpanEnd can restore it.
+  t->span_parent = t->span_id;
+  t->span_id = id;
+  trace_.Record(TraceNow(), t->id, TraceEvent::kSpanBegin,
+                static_cast<std::uint32_t>(kind), t->span_parent, id,
+                static_cast<std::uint16_t>(current_cpu_->id));
+  return id;
+}
+
+void Kernel::SpanEnd(SpanKind kind) {
+  if (!trace_.enabled()) {
+    return;
+  }
+  Thread* t = CurrentThread();
+  if (t->span_id == 0) {
+    return;  // Span began before tracing was (re)configured.
+  }
+  trace_.Record(TraceNow(), t->id, TraceEvent::kSpanEnd,
+                static_cast<std::uint32_t>(kind), 0, t->span_id,
+                static_cast<std::uint16_t>(current_cpu_->id));
+  t->span_id = t->span_parent;
+  t->span_parent = 0;
+}
+
+void Kernel::SpanAdopt(Thread* thread, std::uint32_t span) {
+  if (!trace_.enabled() || span == 0) {
+    return;
+  }
+  // Same-span adoption (a client receiving the reply to its own request) is
+  // a no-op so the client's own span_parent survives the delivery.
+  if (thread->span_id != span) {
+    thread->span_id = span;
+    thread->span_parent = 0;
+  }
+}
 
 void Kernel::ResetStats() {
   transfer_stats_.Reset();

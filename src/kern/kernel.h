@@ -21,6 +21,7 @@
 #include "src/exc/exc_stats.h"
 #include "src/machine/cost_model.h"
 #include "src/obs/metrics.h"
+#include "src/obs/span.h"
 
 namespace mkc {
 
@@ -160,13 +161,48 @@ class Kernel {
     return t;
   }
 
-  // Trace helper: records with the current virtual time and thread.
+  // Timestamp source for trace records. The machine frontier, not the local
+  // CPU clock: execution order (= ring record order) advances the frontier
+  // monotonically, so cross-CPU deltas between consecutive records of one
+  // span are non-negative and the analyzer's segment sums are exact.
+  // Identical to clock().Now() when ncpu == 1.
+  Ticks TraceNow() const { return VirtualTime(); }
+
+  // Trace helper: records with the current virtual time, thread, and the
+  // thread's causal span (src/obs/span.h).
   void TracePoint(TraceEvent event, std::uint32_t aux = 0, std::uint32_t aux2 = 0) {
     if (trace_.enabled()) {
       Thread* t = current_cpu_->active_thread;
-      trace_.Record(current_cpu_->clock.Now(), t != nullptr ? t->id : 0, event, aux, aux2);
+      trace_.Record(TraceNow(), t != nullptr ? t->id : 0, event, aux, aux2,
+                    t != nullptr ? t->span_id : 0,
+                    static_cast<std::uint16_t>(current_cpu_->id));
     }
   }
+
+  // Trace helper for events whose causal span belongs to a thread other
+  // than the one running (setrun of a sleeper, steal of a runnable thread,
+  // stack attach/detach on behalf of the subject thread).
+  void TracePointSpan(std::uint32_t span, TraceEvent event, std::uint32_t aux = 0,
+                      std::uint32_t aux2 = 0) {
+    if (trace_.enabled()) {
+      Thread* t = current_cpu_->active_thread;
+      trace_.Record(TraceNow(), t != nullptr ? t->id : 0, event, aux, aux2, span,
+                    static_cast<std::uint16_t>(current_cpu_->id));
+    }
+  }
+
+  // --- Causal spans (src/obs/span.h) -------------------------------------
+  // SpanBegin allocates a span id for a logical request entering the system
+  // (RPC send, page fault, exception raise), stamps it on the current
+  // thread, and records a span-begin event; SpanEnd closes it and restores
+  // the enclosing span. SpanAdopt re-stamps a thread with a span carried in
+  // a message header so the request's identity survives delivery, handoff,
+  // migration and steal. All three are no-ops (and span ids stay 0
+  // everywhere) when tracing is disabled — spans cost nothing unless a
+  // trace ring is configured.
+  std::uint32_t SpanBegin(SpanKind kind);
+  void SpanEnd(SpanKind kind);
+  void SpanAdopt(Thread* thread, std::uint32_t span);
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
   KernelLatencyMetrics& lat() { return lat_; }
@@ -314,6 +350,7 @@ class Kernel {
   std::vector<std::unique_ptr<Thread>> threads_;
   ThreadId next_thread_id_ = 1;
   TaskId next_task_id_ = 1;
+  std::uint32_t next_span_id_ = 1;  // Monotonic causal-span allocator.
 
   std::uint64_t live_threads_ = 0;  // Non-daemon user threads still alive.
   std::uint64_t machine_cycles_ = 0;  // Modeled kernel machine time.

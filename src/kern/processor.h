@@ -22,6 +22,7 @@
 namespace mkc {
 
 struct Task;
+class LatencyHistogram;
 
 // Upper bound on simulated CPUs (the steal scan is O(ncpu), so keep it
 // small enough that a full scan stays cheap).
@@ -77,6 +78,16 @@ struct Processor {
   std::uint64_t stack_cache_misses = 0; // Fell through to the global pool.
   std::uint64_t idle_ticks = 0;         // Local clock spent skipping to events.
   std::uint64_t idle_yields = 0;        // Times idle lent the host onward.
+
+  // --- Scheduler-latency histograms (registry-owned storage) -------------
+  // Hot paths record only through these per-CPU pointers. At ncpu == 1 they
+  // alias the machine-wide lat.sched.* histograms directly; at ncpu > 1 each
+  // CPU gets its own shard and the machine-wide names are merged views over
+  // the shards (MetricsRegistry::RegisterMergedHistogram), so nothing is
+  // ever double-counted.
+  LatencyHistogram* lat_wakeup_to_run = nullptr;  // Setrun → first run.
+  LatencyHistogram* lat_runq_wait = nullptr;      // Requeue → next run.
+  LatencyHistogram* lat_steal = nullptr;          // Setrun → stolen by this CPU.
 };
 
 }  // namespace mkc

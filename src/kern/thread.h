@@ -63,6 +63,14 @@ const char* BlockReasonName(BlockReason reason);
 // ("lat.block_to_resume.message-receive" and friends).
 const char* BlockReasonSlug(BlockReason reason);
 
+// How a thread last became runnable — selects which scheduler-latency
+// histogram its next resume records into.
+enum class RunnableFrom : std::uint8_t {
+  kNone = 0,
+  kWakeup,   // ThreadSetrun/ThreadSetrunOn (wakeup → run delay).
+  kRequeue,  // Preemption-style requeue while still runnable (run-queue wait).
+};
+
 // Scratch area size, straight from the paper: "The kernel's thread data
 // structure contains a scratch area large enough for 28 bytes of state."
 inline constexpr std::size_t kScratchBytes = 28;
@@ -94,6 +102,18 @@ struct Thread {
   Ticks block_start = 0;  // Set in BlockCommon; read at resume.
   Ticks fault_start = 0;  // Set at page-fault entry; read at completion.
   Ticks exc_start = 0;    // Set at exception entry; read at reply-finish.
+  // Scheduler-latency stamp: when (and how) the thread was last made
+  // runnable; consumed when it next gets a processor (RecordResumeLatency).
+  Ticks runnable_start = 0;
+  RunnableFrom runnable_from = RunnableFrom::kNone;
+
+  // --- Causal span (src/obs/span.h) -------------------------------------
+  // The logical request this thread is currently servicing, re-stamped on
+  // message delivery so it follows the request across handoffs and steals.
+  // Lives here rather than in the scratch area: MsgWaitState fills the
+  // paper's 28 bytes exactly. Both always 0 when tracing is disabled.
+  std::uint32_t span_id = 0;
+  std::uint32_t span_parent = 0;  // Enclosing span, restored at SpanEnd.
 
   // --- Continuation machinery (the paper's MI additions) ---------------
   Continuation continuation = nullptr;

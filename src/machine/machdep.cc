@@ -73,6 +73,22 @@ void RestoreKernelRegs(Kernel& k, Thread* thread) {
 // it here when the thread next gets the processor. Idle blocks have no
 // registered histogram (null slot), so they cost one load and branch.
 void RecordResumeLatency(Kernel& k, Thread* new_thread) {
+  // Scheduler latency: stamped by ThreadSetrunOn (wakeup) or the preempt
+  // requeue paths, consumed here when the thread actually gets a processor.
+  // The recording shard is the *dispatching* CPU's — the CPU that paid the
+  // scheduling delay.
+  if (new_thread->runnable_start != 0) {
+    Ticks delay = k.LatencyNow() - new_thread->runnable_start;
+    LatencyHistogram* sched =
+        new_thread->runnable_from == RunnableFrom::kWakeup
+            ? k.processor().lat_wakeup_to_run
+            : k.processor().lat_runq_wait;
+    if (sched != nullptr) {
+      sched->Record(delay);
+    }
+    new_thread->runnable_start = 0;
+    new_thread->runnable_from = RunnableFrom::kNone;
+  }
   if (new_thread->block_start == 0) {
     return;
   }
@@ -101,7 +117,9 @@ void StackAttach(Thread* thread, KernelStack* stack, StackStartFn start) {
   // Frame construction: ~8 word stores.
   k.cost_model().Account(CostOp::kStackAttach, 0, 8);
   k.ChargeCycles(kCycStackAttach);
-  k.TracePoint(TraceEvent::kStackAttachEvt, thread->id);
+  // The attach belongs to the subject thread's request, not whoever happens
+  // to be running (e.g. the scheduler attaching on a wakeup's behalf).
+  k.TracePointSpan(thread->span_id, TraceEvent::kStackAttachEvt, thread->id);
 }
 
 KernelStack* StackDetach(Thread* thread) {
@@ -112,7 +130,7 @@ KernelStack* StackDetach(Thread* thread) {
   stack->owner = nullptr;
   k.cost_model().Account(CostOp::kStackDetach, 1, 2);
   k.ChargeCycles(kCycStackDetach);
-  k.TracePoint(TraceEvent::kStackDetachEvt, thread->id);
+  k.TracePointSpan(thread->span_id, TraceEvent::kStackDetachEvt, thread->id);
   return stack;
 }
 

@@ -1,0 +1,535 @@
+#include "src/obs/critical_path.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+
+namespace mkc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader — just enough for the exporter's output (objects,
+// arrays, strings, numbers, bools, null). No dependencies; integers are kept
+// exact so tick arithmetic never rounds.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::uint64_t unsigned_int = 0;  // Valid when is_uint (exact tick values).
+  bool is_uint = false;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Find(const char* key) const {
+    for (const auto& kv : object) {
+      if (kv.first == key) {
+        return &kv.second;
+      }
+    }
+    return nullptr;
+  }
+  std::uint64_t AsU64() const {
+    return is_uint ? unsigned_int : static_cast<std::uint64_t>(number);
+  }
+};
+
+class JsonParser {
+ public:
+  JsonParser(const char* begin, const char* end) : p_(begin), end_(end) {}
+
+  bool Parse(JsonValue* out) {
+    SkipWs();
+    if (!ParseValue(out)) {
+      return false;
+    }
+    SkipWs();
+    return p_ == end_;  // Trailing garbage is a parse error.
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  bool Fail(const char* what) {
+    if (error_.empty()) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "%s at offset %zu", what,
+                    static_cast<std::size_t>(p_ - start_));
+      error_ = buf;
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r')) {
+      ++p_;
+    }
+  }
+
+  bool Literal(const char* word, std::size_t len) {
+    if (static_cast<std::size_t>(end_ - p_) < len || std::memcmp(p_, word, len) != 0) {
+      return Fail("bad literal");
+    }
+    p_ += len;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (p_ == end_ || *p_ != '"') {
+      return Fail("expected string");
+    }
+    ++p_;
+    out->clear();
+    while (p_ != end_ && *p_ != '"') {
+      char c = *p_++;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (p_ == end_) {
+        return Fail("truncated escape");
+      }
+      char esc = *p_++;
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'n': out->push_back('\n'); break;
+        case 't': out->push_back('\t'); break;
+        case 'r': out->push_back('\r'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'u': {
+          if (end_ - p_ < 4) {
+            return Fail("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = *p_++;
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Fail("bad \\u escape");
+            }
+          }
+          // The exporter only escapes control characters, so one byte holds
+          // everything we produce.
+          out->push_back(static_cast<char>(code & 0xff));
+          break;
+        }
+        default:
+          return Fail("unknown escape");
+      }
+    }
+    if (p_ == end_) {
+      return Fail("unterminated string");
+    }
+    ++p_;  // Closing quote.
+    return true;
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const char* begin = p_;
+    bool integral = true;
+    if (p_ != end_ && *p_ == '-') {
+      integral = false;  // Exporter never emits negatives; keep as double.
+      ++p_;
+    }
+    while (p_ != end_ &&
+           ((*p_ >= '0' && *p_ <= '9') || *p_ == '.' || *p_ == 'e' || *p_ == 'E' ||
+            *p_ == '+' || *p_ == '-')) {
+      if (*p_ == '.' || *p_ == 'e' || *p_ == 'E') {
+        integral = false;
+      }
+      ++p_;
+    }
+    if (p_ == begin) {
+      return Fail("expected number");
+    }
+    std::string text(begin, p_);
+    out->type = JsonValue::Type::kNumber;
+    out->number = std::strtod(text.c_str(), nullptr);
+    if (integral) {
+      out->unsigned_int = std::strtoull(text.c_str(), nullptr, 10);
+      out->is_uint = true;
+    }
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipWs();
+    if (p_ == end_) {
+      return Fail("unexpected end of input");
+    }
+    switch (*p_) {
+      case '{': {
+        ++p_;
+        out->type = JsonValue::Type::kObject;
+        SkipWs();
+        if (p_ != end_ && *p_ == '}') {
+          ++p_;
+          return true;
+        }
+        for (;;) {
+          SkipWs();
+          std::string key;
+          if (!ParseString(&key)) {
+            return false;
+          }
+          SkipWs();
+          if (p_ == end_ || *p_ != ':') {
+            return Fail("expected ':'");
+          }
+          ++p_;
+          JsonValue value;
+          if (!ParseValue(&value)) {
+            return false;
+          }
+          out->object.emplace_back(std::move(key), std::move(value));
+          SkipWs();
+          if (p_ != end_ && *p_ == ',') {
+            ++p_;
+            continue;
+          }
+          if (p_ != end_ && *p_ == '}') {
+            ++p_;
+            return true;
+          }
+          return Fail("expected ',' or '}'");
+        }
+      }
+      case '[': {
+        ++p_;
+        out->type = JsonValue::Type::kArray;
+        SkipWs();
+        if (p_ != end_ && *p_ == ']') {
+          ++p_;
+          return true;
+        }
+        for (;;) {
+          JsonValue value;
+          if (!ParseValue(&value)) {
+            return false;
+          }
+          out->array.push_back(std::move(value));
+          SkipWs();
+          if (p_ != end_ && *p_ == ',') {
+            ++p_;
+            continue;
+          }
+          if (p_ != end_ && *p_ == ']') {
+            ++p_;
+            return true;
+          }
+          return Fail("expected ',' or ']'");
+        }
+      }
+      case '"':
+        out->type = JsonValue::Type::kString;
+        return ParseString(&out->str);
+      case 't':
+        out->type = JsonValue::Type::kBool;
+        out->boolean = true;
+        return Literal("true", 4);
+      case 'f':
+        out->type = JsonValue::Type::kBool;
+        out->boolean = false;
+        return Literal("false", 5);
+      case 'n':
+        out->type = JsonValue::Type::kNull;
+        return Literal("null", 4);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  const char* p_;
+  const char* end_;
+  const char* start_ = p_;
+  std::string error_;
+};
+
+// ---------------------------------------------------------------------------
+// Span reconstruction.
+// ---------------------------------------------------------------------------
+
+struct SpanEventRec {
+  Ticks tick = 0;
+  std::string name;
+};
+
+struct SpanState {
+  bool has_begin = false;
+  bool has_end = false;
+  Ticks begin = 0;
+  Ticks end = 0;
+  std::string kind;
+  std::vector<SpanEventRec> events;
+};
+
+// How the gap between two consecutive events of one span is attributed.
+// Priority order matters: a setrun→anything gap is scheduling delay even if
+// the next event is a switch; a gap *ending* in a transfer primitive is that
+// primitive's cost; a gap starting at a block that nothing woke yet is queue
+// wait; the rest is the request's own work.
+Ticks* ClassifySegment(SpanBreakdown* b, const SpanEventRec& from, const SpanEventRec& to) {
+  if (from.name == "setrun" || from.name == "steal") {
+    return &b->run_delay;
+  }
+  if (to.name == "stack-handoff") {
+    return &b->handoff;
+  }
+  if (to.name == "switch-context") {
+    return &b->full_switch;
+  }
+  if (to.name == "stack-attach" || to.name == "stack-detach") {
+    return &b->stack;
+  }
+  if (from.name == "block") {
+    return &b->queue_wait;
+  }
+  return &b->work;
+}
+
+SpanBreakdown BuildBreakdown(std::uint32_t id, SpanState& st) {
+  SpanBreakdown b;
+  b.id = id;
+  b.kind = st.kind;
+  b.begin = st.begin;
+  b.end = st.end;
+  b.total = st.end - st.begin;
+
+  // Keep only events inside [begin, end]: a server thread keeps the span
+  // stamped until its next request arrives, so it can emit stragglers after
+  // span-end. Those belong to no one's critical path.
+  std::vector<SpanEventRec> evs;
+  evs.reserve(st.events.size());
+  for (auto& e : st.events) {
+    if (e.tick >= st.begin && e.tick <= st.end) {
+      evs.push_back(std::move(e));
+    }
+  }
+  std::stable_sort(evs.begin(), evs.end(),
+                   [](const SpanEventRec& a, const SpanEventRec& e) { return a.tick < e.tick; });
+
+  for (std::size_t i = 0; i + 1 < evs.size(); ++i) {
+    Ticks delta = evs[i + 1].tick - evs[i].tick;
+    *ClassifySegment(&b, evs[i], evs[i + 1]) += delta;
+  }
+  for (const auto& e : evs) {
+    if (e.name == "stack-handoff") {
+      ++b.handoffs;
+    } else if (e.name == "switch-context") {
+      ++b.switches;
+    } else if (e.name == "steal") {
+      ++b.steals;
+    }
+  }
+  if (b.handoffs > 0 && b.switches == 0) {
+    b.path = "handoff";
+  } else if (b.switches > 0 && b.handoffs == 0) {
+    b.path = "switch";
+  } else if (b.handoffs > 0 && b.switches > 0) {
+    b.path = "mixed";
+  } else {
+    b.path = "none";
+  }
+  return b;
+}
+
+// Exact nearest-rank percentile over an ascending-sorted vector.
+Ticks PercentileSorted(const std::vector<Ticks>& sorted, double p) {
+  if (sorted.empty()) {
+    return 0;
+  }
+  auto rank = static_cast<std::size_t>(
+      std::ceil((p / 100.0) * static_cast<double>(sorted.size())));
+  if (rank == 0) {
+    rank = 1;
+  }
+  if (rank > sorted.size()) {
+    rank = sorted.size();
+  }
+  return sorted[rank - 1];
+}
+
+double Pct(Ticks part, Ticks whole) {
+  return whole == 0 ? 0.0
+                    : 100.0 * static_cast<double>(part) / static_cast<double>(whole);
+}
+
+}  // namespace
+
+TraceAnalysis AnalyzeChromeTrace(const std::string& json) {
+  TraceAnalysis out;
+  JsonValue root;
+  JsonParser parser(json.data(), json.data() + json.size());
+  if (!parser.Parse(&root)) {
+    out.error = parser.error();
+    return out;
+  }
+  if (root.type != JsonValue::Type::kArray) {
+    out.error = "top-level JSON value is not an array";
+    return out;
+  }
+  out.parse_ok = true;
+
+  // std::map: span ids ascend, and ids are allocated in begin order, so the
+  // final span list comes out begin-ordered without another sort.
+  std::map<std::uint32_t, SpanState> spans;
+  for (const JsonValue& ev : root.array) {
+    if (ev.type != JsonValue::Type::kObject) {
+      continue;
+    }
+    const JsonValue* name = ev.Find("name");
+    const JsonValue* ph = ev.Find("ph");
+    if (name == nullptr || ph == nullptr) {
+      continue;
+    }
+    if (ph->str == "M") {
+      if (name->str == "trace-overflow") {
+        if (const JsonValue* args = ev.Find("args")) {
+          if (const JsonValue* ow = args->Find("overwritten")) {
+            out.overwritten = ow->AsU64();
+          }
+        }
+      }
+      continue;
+    }
+    if (ph->str != "i") {
+      continue;  // Counter tracks are not control-flow events.
+    }
+    const JsonValue* span = ev.Find("span");
+    const JsonValue* tick = ev.Find("tick");
+    if (span == nullptr || tick == nullptr || span->AsU64() == 0) {
+      continue;
+    }
+    auto id = static_cast<std::uint32_t>(span->AsU64());
+    SpanState& st = spans[id];
+    Ticks when = tick->AsU64();
+    if (name->str == "span-begin") {
+      st.has_begin = true;
+      st.begin = when;
+      if (const JsonValue* args = ev.Find("args")) {
+        if (const JsonValue* kind = args->Find("kind")) {
+          st.kind = kind->str;
+        }
+      }
+    } else if (name->str == "span-end") {
+      st.has_end = true;
+      st.end = when;
+    }
+    st.events.push_back(SpanEventRec{when, name->str});
+  }
+
+  for (auto& [id, st] : spans) {
+    if (!st.has_begin || !st.has_end) {
+      // The ring wrapped over one edge of the span (or the run was cut
+      // short): no exact decomposition is possible.
+      ++out.dropped_incomplete;
+      continue;
+    }
+    out.spans.push_back(BuildBreakdown(id, st));
+  }
+  return out;
+}
+
+std::string FormatBreakdownTable(const TraceAnalysis& analysis) {
+  // Group by (kind, path); std::map keeps the row order deterministic.
+  struct Group {
+    std::vector<Ticks> totals;
+    SpanBreakdown sum;  // Component-wise sums (id/kind fields unused).
+  };
+  std::map<std::pair<std::string, std::string>, Group> groups;
+  for (const SpanBreakdown& s : analysis.spans) {
+    Group& g = groups[{s.kind, s.path}];
+    g.totals.push_back(s.total);
+    g.sum.total += s.total;
+    g.sum.queue_wait += s.queue_wait;
+    g.sum.run_delay += s.run_delay;
+    g.sum.handoff += s.handoff;
+    g.sum.full_switch += s.full_switch;
+    g.sum.stack += s.stack;
+    g.sum.work += s.work;
+  }
+
+  std::string out;
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "%-10s %-8s %6s %9s %9s  %6s %6s %6s %6s %6s %6s\n",
+                "kind", "path", "count", "p50", "p99", "queue%", "rundl%", "hndof%",
+                "switc%", "stack%", "work%");
+  out += buf;
+  for (auto& [key, g] : groups) {
+    std::sort(g.totals.begin(), g.totals.end());
+    std::snprintf(buf, sizeof(buf),
+                  "%-10s %-8s %6zu %9llu %9llu  %6.1f %6.1f %6.1f %6.1f %6.1f %6.1f\n",
+                  key.first.c_str(), key.second.c_str(), g.totals.size(),
+                  static_cast<unsigned long long>(PercentileSorted(g.totals, 50.0)),
+                  static_cast<unsigned long long>(PercentileSorted(g.totals, 99.0)),
+                  Pct(g.sum.queue_wait, g.sum.total), Pct(g.sum.run_delay, g.sum.total),
+                  Pct(g.sum.handoff, g.sum.total), Pct(g.sum.full_switch, g.sum.total),
+                  Pct(g.sum.stack, g.sum.total), Pct(g.sum.work, g.sum.total));
+    out += buf;
+  }
+  if (groups.empty()) {
+    out += "(no completed spans)\n";
+  }
+  return out;
+}
+
+std::string FormatSlowest(const TraceAnalysis& analysis, std::size_t n) {
+  std::vector<const SpanBreakdown*> order;
+  order.reserve(analysis.spans.size());
+  for (const SpanBreakdown& s : analysis.spans) {
+    order.push_back(&s);
+  }
+  std::sort(order.begin(), order.end(), [](const SpanBreakdown* a, const SpanBreakdown* b) {
+    if (a->total != b->total) {
+      return a->total > b->total;
+    }
+    return a->id < b->id;
+  });
+  if (order.size() > n) {
+    order.resize(n);
+  }
+
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "slowest %zu spans (of %zu complete):\n", order.size(),
+                analysis.spans.size());
+  out += buf;
+  for (const SpanBreakdown* s : order) {
+    std::snprintf(buf, sizeof(buf),
+                  "  span %-6u %-10s %-8s total=%-8llu begin=%llu end=%llu\n", s->id,
+                  s->kind.c_str(), s->path.c_str(),
+                  static_cast<unsigned long long>(s->total),
+                  static_cast<unsigned long long>(s->begin),
+                  static_cast<unsigned long long>(s->end));
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "    queue_wait=%llu run_delay=%llu handoff=%llu full_switch=%llu "
+                  "stack=%llu work=%llu (handoffs=%u switches=%u steals=%u)\n",
+                  static_cast<unsigned long long>(s->queue_wait),
+                  static_cast<unsigned long long>(s->run_delay),
+                  static_cast<unsigned long long>(s->handoff),
+                  static_cast<unsigned long long>(s->full_switch),
+                  static_cast<unsigned long long>(s->stack),
+                  static_cast<unsigned long long>(s->work), s->handoffs, s->switches,
+                  s->steals);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace mkc

@@ -1,0 +1,75 @@
+// Critical-path analysis over exported Chrome traces.
+//
+// Consumes the JSON that WriteChromeTrace produces and reconstructs, for
+// every completed causal span (src/obs/span.h), where its end-to-end time
+// went: run-queue wait, wakeup→run delay, stack handoff vs. full context
+// switch, stack allocation, and actual work. The decomposition partitions
+// the span's [begin, end] interval by the deltas between its consecutive
+// trace events, so the components sum *exactly* to the end-to-end latency —
+// a telescoping sum, not an estimate. tools/machcont_trace is the CLI.
+#ifndef MACHCONT_SRC_OBS_CRITICAL_PATH_H_
+#define MACHCONT_SRC_OBS_CRITICAL_PATH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/types.h"
+
+namespace mkc {
+
+// One completed span's critical-path decomposition. All times are virtual
+// ticks, straight from the trace records' "tick" fields.
+struct SpanBreakdown {
+  std::uint32_t id = 0;
+  std::string kind;  // "rpc" / "fault" / "exception" (span-begin's kind).
+  Ticks begin = 0;
+  Ticks end = 0;
+  Ticks total = 0;  // end - begin.
+
+  // The components. Their sum is exactly `total` (ComponentSum()).
+  Ticks queue_wait = 0;   // Blocked, waiting to be made runnable.
+  Ticks run_delay = 0;    // Runnable (after setrun/steal), waiting for a CPU.
+  Ticks handoff = 0;      // Transferred control via stack handoff.
+  Ticks full_switch = 0;  // Transferred control via context switch.
+  Ticks stack = 0;        // Stack attach/detach machinery.
+  Ticks work = 0;         // Everything else: the request's own processing.
+
+  // Event counts, for classifying the span's transfer path.
+  std::uint32_t handoffs = 0;
+  std::uint32_t switches = 0;
+  std::uint32_t steals = 0;
+
+  // "handoff" (only stack handoffs), "switch" (only full/no-save context
+  // switches), "mixed" (both), or "none" (neither — e.g. a fast fault).
+  std::string path;
+
+  Ticks ComponentSum() const {
+    return queue_wait + run_delay + handoff + full_switch + stack + work;
+  }
+};
+
+struct TraceAnalysis {
+  bool parse_ok = false;
+  std::string error;                  // Set when parse_ok is false.
+  std::vector<SpanBreakdown> spans;   // Completed spans, in begin order.
+  std::uint64_t dropped_incomplete = 0;  // Spans missing begin or end.
+  std::uint64_t overwritten = 0;      // From the trace-overflow metadata.
+};
+
+// Parses a Chrome trace JSON document (the exporter's format) and computes
+// the per-span breakdowns.
+TraceAnalysis AnalyzeChromeTrace(const std::string& json);
+
+// The per-kind × per-path breakdown table: span counts, p50/p99 end-to-end
+// latency (exact nearest-rank over the span totals), and the percentage of
+// total time in each component.
+std::string FormatBreakdownTable(const TraceAnalysis& analysis);
+
+// The N slowest spans by end-to-end latency (ties broken toward the lower
+// span id), each with its full component decomposition.
+std::string FormatSlowest(const TraceAnalysis& analysis, std::size_t n);
+
+}  // namespace mkc
+
+#endif  // MACHCONT_SRC_OBS_CRITICAL_PATH_H_

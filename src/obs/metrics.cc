@@ -107,8 +107,13 @@ void MetricsRegistry::RegisterGauge(std::string name, const std::uint64_t* value
 }
 
 LatencyHistogram* MetricsRegistry::RegisterHistogram(std::string name) {
-  histograms_.push_back(Hist{std::move(name), std::make_unique<LatencyHistogram>()});
+  histograms_.push_back(Hist{std::move(name), std::make_unique<LatencyHistogram>(), {}});
   return histograms_.back().hist.get();
+}
+
+void MetricsRegistry::RegisterMergedHistogram(
+    std::string name, std::vector<const LatencyHistogram*> sources) {
+  histograms_.push_back(Hist{std::move(name), nullptr, std::move(sources)});
 }
 
 const std::uint64_t* MetricsRegistry::FindCounter(const std::string& name) const {
@@ -132,6 +137,8 @@ const std::uint64_t* MetricsRegistry::FindGauge(const std::string& name) const {
 const LatencyHistogram* MetricsRegistry::FindHistogram(const std::string& name) const {
   for (const auto& h : histograms_) {
     if (h.name == name) {
+      // Merged views own no storage; callers wanting their contents go
+      // through ForEachHistogram / DumpJson, which materialize the fold.
       return h.hist.get();
     }
   }
@@ -140,7 +147,9 @@ const LatencyHistogram* MetricsRegistry::FindHistogram(const std::string& name) 
 
 void MetricsRegistry::ResetHistograms() {
   for (auto& h : histograms_) {
-    h.hist->Reset();
+    if (h.hist != nullptr) {
+      h.hist->Reset();
+    }
   }
 }
 
@@ -188,7 +197,7 @@ std::string MetricsRegistry::DumpJsonString() const {
     }
     first = false;
     WriteJsonString(&out, h.name);
-    const LatencyHistogram& hist = *h.hist;
+    const LatencyHistogram hist = h.sources.empty() ? *h.hist : MaterializeMerged(h);
     out += ":{\"count\":";
     WriteU64(&out, hist.count());
     out += ",\"sum\":";

@@ -71,6 +71,28 @@ class LatencyHistogram {
   Ticks P90() const { return Percentile(90.0); }
   Ticks P99() const { return Percentile(99.0); }
 
+  // Folds `other` into this histogram, bucket-wise. Because the bucket
+  // boundaries are fixed, merging N shards is exactly equivalent to having
+  // recorded every value into one histogram: counts, sums, min/max and all
+  // percentiles come out identical. Used to present per-CPU shards as one
+  // machine-wide histogram without double-counting.
+  void Merge(const LatencyHistogram& other) {
+    if (other.count_ == 0) {
+      return;
+    }
+    if (count_ == 0 || other.min_ < min_) {
+      min_ = other.min_;
+    }
+    if (other.max_ > max_) {
+      max_ = other.max_;
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    for (int i = 0; i < kBuckets; ++i) {
+      buckets_[i] += other.buckets_[i];
+    }
+  }
+
   void Reset() { *this = LatencyHistogram{}; }
 
  private:
@@ -106,6 +128,14 @@ class MetricsRegistry {
   // the registry's lifetime and is what hot paths record through.
   LatencyHistogram* RegisterHistogram(std::string name);
 
+  // Registers a read-only merged view: dumps and ForEachHistogram present
+  // the fold (LatencyHistogram::Merge) of `sources` under `name`. The view
+  // owns no storage — hot paths keep recording into the sources — so
+  // nothing is double-counted and ResetHistograms has nothing to clear.
+  // Source pointers must outlive the registry entry.
+  void RegisterMergedHistogram(std::string name,
+                               std::vector<const LatencyHistogram*> sources);
+
   // Name lookup (linear; tools and tests only). Null when absent.
   const std::uint64_t* FindCounter(const std::string& name) const;
   const std::uint64_t* FindGauge(const std::string& name) const;
@@ -121,7 +151,11 @@ class MetricsRegistry {
   template <typename Fn>  // Fn(const std::string&, const LatencyHistogram&)
   void ForEachHistogram(Fn&& fn) const {
     for (const auto& h : histograms_) {
-      fn(h.name, *h.hist);
+      if (h.sources.empty()) {
+        fn(h.name, *h.hist);
+      } else {
+        fn(h.name, MaterializeMerged(h));
+      }
     }
   }
 
@@ -142,8 +176,17 @@ class MetricsRegistry {
   };
   struct Hist {
     std::string name;
-    std::unique_ptr<LatencyHistogram> hist;
+    std::unique_ptr<LatencyHistogram> hist;  // Null for merged views.
+    std::vector<const LatencyHistogram*> sources;  // Non-empty for merged views.
   };
+
+  static LatencyHistogram MaterializeMerged(const Hist& h) {
+    LatencyHistogram merged;
+    for (const LatencyHistogram* src : h.sources) {
+      merged.Merge(*src);
+    }
+    return merged;
+  }
 
   std::vector<std::pair<std::string, std::string>> labels_;
   std::vector<View> counters_;

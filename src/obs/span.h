@@ -1,0 +1,52 @@
+// Causal spans: the identity of one logical request (an RPC, a page fault,
+// an exception) as it crosses blocks, stack handoffs, migrations and steals.
+//
+// The continuation machinery deliberately destroys the stack that would
+// normally carry causality (a handed-off RPC is serviced in the *sender's*
+// frame, a stolen thread resumes on another CPU), so causality is carried
+// explicitly instead: a SpanId is allocated at each request entry point,
+// propagated through mach_msg message headers, and re-stamped onto whichever
+// thread is currently servicing the request. Every trace record then carries
+// the span of the thread that emitted it, which is what lets
+// tools/machcont_trace reassemble one request's critical path out of events
+// taken on different threads, stacks and CPUs.
+//
+// Span ids live on the Thread itself (span_id/span_parent), NOT in the
+// 28-byte scratch area: MsgWaitState already fills the scratch exactly, and
+// the paper's discipline ("allocate side structures for anything larger")
+// applies to observability state too. Spans cost nothing when tracing is
+// disabled — SpanBegin/SpanEnd are behind the same single branch as
+// TracePoint, and the id a message header carries is then always 0.
+#ifndef MACHCONT_SRC_OBS_SPAN_H_
+#define MACHCONT_SRC_OBS_SPAN_H_
+
+#include <cstdint>
+
+namespace mkc {
+
+// What kind of request a span tracks. Values appear in trace records
+// (kSpanBegin's aux), so they are part of the exported trace format.
+enum class SpanKind : std::uint8_t {
+  kNone = 0,
+  kRpc,        // UserRpc send → reply received.
+  kFault,      // Page-fault entry → thread_exception_return.
+  kException,  // Exception raised → reply finished.
+};
+
+inline const char* SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kNone:
+      return "none";
+    case SpanKind::kRpc:
+      return "rpc";
+    case SpanKind::kFault:
+      return "fault";
+    case SpanKind::kException:
+      return "exception";
+  }
+  return "unknown";
+}
+
+}  // namespace mkc
+
+#endif  // MACHCONT_SRC_OBS_SPAN_H_

@@ -4,6 +4,7 @@
 
 #include "src/kern/thread.h"
 #include "src/machine/cycle_model.h"
+#include "src/obs/span.h"
 
 namespace mkc {
 namespace {
@@ -18,16 +19,29 @@ void AppendArgs(std::string* out, const TraceRecord& r) {
                     BlockReasonName(static_cast<BlockReason>(r.aux)), r.aux2);
       break;
     case TraceEvent::kHandoff:
-    case TraceEvent::kSetrun:
     case TraceEvent::kStackAttachEvt:
     case TraceEvent::kStackDetachEvt:
       std::snprintf(buf, sizeof(buf), "{\"thread\":%u}", r.aux);
+      break;
+    case TraceEvent::kSetrun:
+      std::snprintf(buf, sizeof(buf), "{\"thread\":%u,\"cpu\":%u}", r.aux, r.aux2);
+      break;
+    case TraceEvent::kSteal:
+      std::snprintf(buf, sizeof(buf), "{\"thread\":%u,\"victim_cpu\":%u}", r.aux, r.aux2);
       break;
     case TraceEvent::kSwitchContext:
       std::snprintf(buf, sizeof(buf), "{\"thread\":%u,\"no_save\":%u}", r.aux, r.aux2);
       break;
     case TraceEvent::kRecognition:
       std::snprintf(buf, sizeof(buf), "{\"site\":%u}", r.aux);
+      break;
+    case TraceEvent::kSpanBegin:
+      std::snprintf(buf, sizeof(buf), "{\"kind\":\"%s\",\"parent\":%u}",
+                    SpanKindName(static_cast<SpanKind>(r.aux)), r.aux2);
+      break;
+    case TraceEvent::kSpanEnd:
+      std::snprintf(buf, sizeof(buf), "{\"kind\":\"%s\"}",
+                    SpanKindName(static_cast<SpanKind>(r.aux)));
       break;
     default:
       std::snprintf(buf, sizeof(buf), "{\"aux\":%u,\"aux2\":%u}", r.aux, r.aux2);
@@ -37,44 +51,79 @@ void AppendArgs(std::string* out, const TraceRecord& r) {
 }
 
 void AppendEvent(std::string* out, const TraceRecord& r, bool* first) {
-  char buf[192];
+  char buf[256];
   if (!*first) {
     *out += ",\n";
   }
   *first = false;
   // Virtual ticks -> simulated DS3100 microseconds; trace-event "ts" is in
   // microseconds. Three decimals keep sub-microsecond primitives apart.
+  // "tick" additionally carries the raw virtual tick so consumers (the
+  // critical-path analyzer) can do exact integer arithmetic.
   double ts = CyclesToMicros(r.when);
+  auto tick = static_cast<unsigned long long>(r.when);
   switch (r.event) {
     case TraceEvent::kStackPoolSize:
       // Counter track: stacks in use and cached, one series each.
       std::snprintf(buf, sizeof(buf),
-                    "{\"name\":\"kernel-stacks\",\"ph\":\"C\",\"ts\":%.3f,\"pid\":1,"
+                    "{\"name\":\"kernel-stacks\",\"ph\":\"C\",\"ts\":%.3f,\"tick\":%llu,"
+                    "\"pid\":1,\"cpu\":%u,\"span\":%u,"
                     "\"args\":{\"in_use\":%u,\"cached\":%u}}",
-                    ts, r.aux, r.aux2);
+                    ts, tick, r.cpu, r.span, r.aux, r.aux2);
       *out += buf;
       return;
     case TraceEvent::kIpcQueueDepth:
       // One counter track per port.
       std::snprintf(buf, sizeof(buf),
-                    "{\"name\":\"port-%u-depth\",\"ph\":\"C\",\"ts\":%.3f,\"pid\":1,"
-                    "\"args\":{\"depth\":%u}}",
-                    r.aux, ts, r.aux2);
+                    "{\"name\":\"port-%u-depth\",\"ph\":\"C\",\"ts\":%.3f,\"tick\":%llu,"
+                    "\"pid\":1,\"cpu\":%u,\"span\":%u,\"args\":{\"depth\":%u}}",
+                    r.aux, ts, tick, r.cpu, r.span, r.aux2);
       *out += buf;
       return;
     default:
       break;
   }
+  std::string name = JsonEscape(TraceEventName(r.event));
   std::snprintf(buf, sizeof(buf),
-                "{\"name\":\"%s\",\"ph\":\"i\",\"ts\":%.3f,\"pid\":1,\"tid\":%u,"
-                "\"s\":\"t\",\"args\":",
-                TraceEventName(r.event), ts, r.thread);
+                "{\"name\":\"%s\",\"ph\":\"i\",\"ts\":%.3f,\"tick\":%llu,\"pid\":1,"
+                "\"tid\":%u,\"cpu\":%u,\"span\":%u,\"s\":\"t\",\"args\":",
+                name.c_str(), ts, tick, r.thread, r.cpu, r.span);
   *out += buf;
   AppendArgs(out, r);
   *out += "}";
 }
 
 }  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
 
 std::string ChromeTraceString(const TraceBuffer& trace) {
   std::string out;
@@ -86,6 +135,18 @@ std::string ChromeTraceString(const TraceBuffer& trace) {
       "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
       "\"args\":{\"name\":\"machcont kernel\"}}";
   first = false;
+  if (trace.overwritten() > 0) {
+    // The ring wrapped: say so in-band, so a consumer of the file knows the
+    // oldest records are missing (and how many).
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  ",\n{\"name\":\"trace-overflow\",\"ph\":\"M\",\"pid\":1,"
+                  "\"args\":{\"overwritten\":%llu,\"recorded\":%llu,\"retained\":%llu}}",
+                  static_cast<unsigned long long>(trace.overwritten()),
+                  static_cast<unsigned long long>(trace.recorded()),
+                  static_cast<unsigned long long>(trace.retained()));
+    out += buf;
+  }
   trace.ForEach([&](const TraceRecord& r) { AppendEvent(&out, r, &first); });
   out += "\n]\n";
   return out;

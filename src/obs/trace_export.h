@@ -22,6 +22,10 @@ void WriteChromeTrace(const TraceBuffer& trace, std::FILE* out);
 // Same serialization, into a string (tests, tools).
 std::string ChromeTraceString(const TraceBuffer& trace);
 
+// JSON string escaping used for every name the export emits (quotes,
+// backslashes, control characters). Exposed for the analyzer and tests.
+std::string JsonEscape(const std::string& s);
+
 }  // namespace mkc
 
 #endif  // MACHCONT_SRC_OBS_TRACE_EXPORT_H_

@@ -231,8 +231,16 @@ KernReturn UserRpc(UserMessage* msg, std::uint32_t send_size, PortId reply_port,
   // RPC round trip (send through reply received) can use the scoped timer.
   Kernel& k = ActiveKernel();
   MKC_TIMED_SCOPE(k, k.lat().rpc_round_trip);
+  // Each round trip is one causal span: the send stamps it into the message
+  // header, the server adopts it, and the reply delivery brings control back
+  // here still inside it.
+  std::uint32_t span = k.SpanBegin(SpanKind::kRpc);
   msg->header.reply = reply_port;
-  return UserMachMsg(msg, kMsgSendOpt | kMsgRcvOpt, send_size, rcv_limit, reply_port);
+  KernReturn kr = UserMachMsg(msg, kMsgSendOpt | kMsgRcvOpt, send_size, rcv_limit, reply_port);
+  if (span != 0) {
+    k.SpanEnd(SpanKind::kRpc);
+  }
+  return kr;
 }
 
 KernReturn UserServeOnce(UserMessage* msg, std::uint32_t reply_size, PortId service_port,

@@ -23,6 +23,7 @@ void RecordFaultService(Thread* thread) {
   Kernel& k = ActiveKernel();
   k.lat().fault_service->Record(k.LatencyNow() - thread->fault_start);
   thread->fault_start = 0;
+  k.SpanEnd(SpanKind::kFault);
 }
 
 }  // namespace
@@ -70,6 +71,7 @@ void VmSystem::VmFaultMapContinue() {
   if (!is_retry) {
     ++stats_.user_faults;
     thread->fault_start = k.LatencyNow();
+    k.SpanBegin(SpanKind::kFault);
   }
   for (;;) {
     Task* task = thread->task;
@@ -77,6 +79,13 @@ void VmSystem::VmFaultMapContinue() {
     VmRegion* region = task->map.Lookup(addr);
     if (region == nullptr || (write && region->prot != VmProt::kReadWrite)) {
       ++stats_.protection_exceptions;
+      // The fault is not serviced — it escalates. Close its measurement and
+      // span here; otherwise the stale fault_start would inflate the *next*
+      // legitimate fault's service latency.
+      if (thread->fault_start != 0) {
+        thread->fault_start = 0;
+        k.SpanEnd(SpanKind::kFault);
+      }
       HandleException(thread, MakeBadAccessCode(addr));
       // NOTREACHED
     }

@@ -11,6 +11,7 @@
 #include "src/ipc/ipc_space.h"
 #include "src/ipc/mach_msg.h"
 #include "src/kern/kernel.h"
+#include "src/obs/trace_export.h"
 #include "src/task/task.h"
 #include "src/task/usermode.h"
 #include "src/vm/vm_system.h"
@@ -288,6 +289,37 @@ TEST(MetricsDeterminismTest, SameSeedSameConfigYieldsByteIdenticalMetricsJson) {
   params.post_run_arg = &other_seed;
   RunCompileWorkload(config, params);
   EXPECT_NE(first, other_seed);
+}
+
+void CaptureTraceJson(Kernel& kernel, void* arg) {
+  *static_cast<std::string*>(arg) = ChromeTraceString(kernel.trace());
+}
+
+TEST(MetricsDeterminismTest, SameSeedFourCpusYieldsByteIdenticalTraceJson) {
+  // The full exported trace — span ids, CPU stamps, steal events and all —
+  // must be a pure function of (config, seed), even with four CPUs
+  // interleaving and stealing work.
+  KernelConfig config;
+  config.ncpu = 4;
+  config.trace_capacity = 1 << 14;
+  WorkloadParams params;
+  params.scale = 1;
+  params.seed = 77;
+  params.post_run = &CaptureTraceJson;
+
+  std::string first;
+  std::string second;
+  params.post_run_arg = &first;
+  RunServerFarmWorkload(config, params);
+  params.post_run_arg = &second;
+  RunServerFarmWorkload(config, params);
+
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+
+  // Sanity: the trace actually contains span and per-CPU content.
+  EXPECT_NE(first.find("\"span-begin\""), std::string::npos);
+  EXPECT_NE(first.find("\"cpu\":3"), std::string::npos);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllModels, PortDeathModelTest,

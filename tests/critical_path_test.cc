@@ -1,0 +1,164 @@
+// Causal spans and the critical-path analyzer: span events propagate through
+// IPC and continuations, the exported trace reconstructs into per-span
+// breakdowns whose components sum exactly to each span's end-to-end latency,
+// and the handoff path is distinguishable from the full-switch path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/kern/kernel.h"
+#include "src/obs/critical_path.h"
+#include "src/obs/trace_export.h"
+#include "src/workload/workload.h"
+
+namespace mkc {
+namespace {
+
+struct Captured {
+  std::string trace;
+  std::uint64_t recorded = 0;
+};
+
+void CaptureTrace(Kernel& kernel, void* arg) {
+  auto* out = static_cast<Captured*>(arg);
+  out->trace = ChromeTraceString(kernel.trace());
+  out->recorded = kernel.trace().recorded();
+}
+
+Captured RunFarm(int ncpu, ControlTransferModel model, std::size_t trace_capacity) {
+  KernelConfig config;
+  config.ncpu = ncpu;
+  config.model = model;
+  config.trace_capacity = trace_capacity;
+  WorkloadParams params;
+  params.scale = 1;
+  Captured captured;
+  params.post_run = &CaptureTrace;
+  params.post_run_arg = &captured;
+  RunServerFarmWorkload(config, params);
+  return captured;
+}
+
+// The tentpole's core guarantee: every completed span's component breakdown
+// is a partition of its [begin, end] interval — a telescoping sum over the
+// span's own trace events — so the parts add up to the whole exactly, for
+// every span, even when its events land on different CPUs.
+TEST(CriticalPathTest, ComponentsSumExactlyToEndToEndLatency) {
+  Captured captured = RunFarm(4, ControlTransferModel::kMK40, 1 << 14);
+  TraceAnalysis analysis = AnalyzeChromeTrace(captured.trace);
+  ASSERT_TRUE(analysis.parse_ok) << analysis.error;
+  ASSERT_GT(analysis.spans.size(), 0u);
+  EXPECT_EQ(analysis.overwritten, 0u);
+  for (const SpanBreakdown& s : analysis.spans) {
+    EXPECT_EQ(s.ComponentSum(), s.total) << "span " << s.id << " kind " << s.kind;
+    EXPECT_GE(s.end, s.begin) << "span " << s.id;
+  }
+}
+
+// MK40's RPC fast path transfers control by stack handoff; the analyzer must
+// label those spans "handoff" and attribute time to the handoff component.
+TEST(CriticalPathTest, Mk40RpcSpansTakeTheHandoffPath) {
+  Captured captured = RunFarm(4, ControlTransferModel::kMK40, 1 << 14);
+  TraceAnalysis analysis = AnalyzeChromeTrace(captured.trace);
+  ASSERT_TRUE(analysis.parse_ok) << analysis.error;
+  std::size_t handoff_rpcs = 0;
+  for (const SpanBreakdown& s : analysis.spans) {
+    if (s.kind == "rpc" && s.path == "handoff") {
+      ++handoff_rpcs;
+      EXPECT_GT(s.handoffs, 0u);
+      EXPECT_EQ(s.switches, 0u);
+    }
+  }
+  EXPECT_GT(handoff_rpcs, 0u);
+}
+
+// The same workload on MK32 (process model: no handoff, every transfer is a
+// full context switch) must produce switch-path spans — the breakdown
+// distinguishes the two regimes the paper's Table 4 compares.
+TEST(CriticalPathTest, Mk32RpcSpansTakeTheSwitchPath) {
+  Captured captured = RunFarm(1, ControlTransferModel::kMK32, 1 << 14);
+  TraceAnalysis analysis = AnalyzeChromeTrace(captured.trace);
+  ASSERT_TRUE(analysis.parse_ok) << analysis.error;
+  std::size_t switch_rpcs = 0;
+  for (const SpanBreakdown& s : analysis.spans) {
+    if (s.kind == "rpc" && s.path == "switch") {
+      ++switch_rpcs;
+      EXPECT_EQ(s.handoffs, 0u);
+      EXPECT_GT(s.switches, 0u);
+      EXPECT_GT(s.full_switch, 0u);
+    }
+  }
+  EXPECT_GT(switch_rpcs, 0u);
+}
+
+// trace_capacity == 0 disables the span layer entirely: no span ids are
+// allocated, no events recorded — the instrumented build costs nothing when
+// tracing is off.
+TEST(CriticalPathTest, ZeroTraceCapacityRecordsNothing) {
+  Captured captured = RunFarm(4, ControlTransferModel::kMK40, 0);
+  EXPECT_EQ(captured.recorded, 0u);
+  TraceAnalysis analysis = AnalyzeChromeTrace(captured.trace);
+  ASSERT_TRUE(analysis.parse_ok) << analysis.error;
+  EXPECT_EQ(analysis.spans.size(), 0u);
+  EXPECT_EQ(analysis.dropped_incomplete, 0u);
+}
+
+// Tracing must be an observer, not a participant: the virtual-time results
+// of a run are identical with the trace ring on and off.
+TEST(CriticalPathTest, TracingDoesNotPerturbVirtualTime) {
+  KernelConfig config;
+  config.ncpu = 4;
+  WorkloadParams params;
+  params.scale = 1;
+
+  config.trace_capacity = 0;
+  WorkloadReport off = RunServerFarmWorkload(config, params);
+  config.trace_capacity = 1 << 14;
+  WorkloadReport on = RunServerFarmWorkload(config, params);
+
+  EXPECT_EQ(off.virtual_time, on.virtual_time);
+  EXPECT_EQ(off.ipc.messages_sent, on.ipc.messages_sent);
+  EXPECT_EQ(off.transfer.total_blocks, on.transfer.total_blocks);
+}
+
+// The human-readable reports: the breakdown table carries the rpc/handoff
+// row, and --slowest lists spans in descending end-to-end order.
+TEST(CriticalPathTest, ReportsFormatAndOrderSpans) {
+  Captured captured = RunFarm(4, ControlTransferModel::kMK40, 1 << 14);
+  TraceAnalysis analysis = AnalyzeChromeTrace(captured.trace);
+  ASSERT_TRUE(analysis.parse_ok) << analysis.error;
+
+  std::string table = FormatBreakdownTable(analysis);
+  EXPECT_NE(table.find("rpc"), std::string::npos);
+  EXPECT_NE(table.find("handoff"), std::string::npos);
+  EXPECT_NE(table.find("p99"), std::string::npos);
+
+  std::string slowest = FormatSlowest(analysis, 5);
+  EXPECT_NE(slowest.find("slowest"), std::string::npos);
+  // Verify descending order against the analysis itself.
+  std::vector<Ticks> totals;
+  for (const SpanBreakdown& s : analysis.spans) {
+    totals.push_back(s.total);
+  }
+  std::sort(totals.begin(), totals.end(), std::greater<Ticks>());
+  ASSERT_GE(totals.size(), 1u);
+  char expect[32];
+  std::snprintf(expect, sizeof(expect), "total=%llu",
+                static_cast<unsigned long long>(totals[0]));
+  EXPECT_NE(slowest.find(expect), std::string::npos) << slowest.substr(0, 400);
+}
+
+// A malformed document must fail cleanly, not crash or mis-parse.
+TEST(CriticalPathTest, MalformedJsonIsRejected) {
+  EXPECT_FALSE(AnalyzeChromeTrace("not json").parse_ok);
+  EXPECT_FALSE(AnalyzeChromeTrace("[{\"name\":\"x\"").parse_ok);
+  EXPECT_TRUE(AnalyzeChromeTrace("[]").parse_ok);
+}
+
+}  // namespace
+}  // namespace mkc

@@ -225,6 +225,41 @@ TEST(LatencyHistogramTest, EmptyAndReset) {
   EXPECT_EQ(h.max(), 0u);
 }
 
+TEST(LatencyHistogramTest, MergeMatchesSingleHistogramRun) {
+  // Record one stream of values split across two shards, and the same stream
+  // into one histogram: the merged shards must be indistinguishable from the
+  // single run — counts, extrema, and every percentile.
+  LatencyHistogram shard_a;
+  LatencyHistogram shard_b;
+  LatencyHistogram combined;
+  for (std::uint64_t v = 0; v < 2000; ++v) {
+    std::uint64_t sample = (v * v) % 4096;
+    (v % 2 == 0 ? shard_a : shard_b).Record(sample);
+    combined.Record(sample);
+  }
+
+  LatencyHistogram merged;
+  merged.Merge(shard_a);
+  merged.Merge(shard_b);
+
+  EXPECT_EQ(merged.count(), combined.count());
+  EXPECT_EQ(merged.sum(), combined.sum());
+  EXPECT_EQ(merged.min(), combined.min());
+  EXPECT_EQ(merged.max(), combined.max());
+  EXPECT_EQ(merged.P50(), combined.P50());
+  EXPECT_EQ(merged.P90(), combined.P90());
+  EXPECT_EQ(merged.P99(), combined.P99());
+  for (int b = 0; b < LatencyHistogram::kBuckets; ++b) {
+    EXPECT_EQ(merged.bucket(b), combined.bucket(b)) << "bucket " << b;
+  }
+
+  // Merging an empty histogram is a no-op (it must not disturb min()).
+  LatencyHistogram empty;
+  merged.Merge(empty);
+  EXPECT_EQ(merged.count(), combined.count());
+  EXPECT_EQ(merged.min(), combined.min());
+}
+
 // --- Registry ----------------------------------------------------------------
 
 TEST(MetricsRegistryTest, LookupFindsRegisteredViews) {
@@ -267,6 +302,60 @@ TEST(MetricsRegistryTest, KernelRegistersTheCatalog) {
   EXPECT_EQ(reg.FindHistogram("lat.block_to_resume.idle"), nullptr);
 }
 
+TEST(MetricsRegistryTest, MergedHistogramViewFoldsShardsWithoutDoubleCounting) {
+  MetricsRegistry reg;
+  LatencyHistogram* a = reg.RegisterHistogram("cpu0.lat.x");
+  LatencyHistogram* b = reg.RegisterHistogram("cpu1.lat.x");
+  reg.RegisterMergedHistogram("lat.x", {a, b});
+  a->Record(10);
+  a->Record(20);
+  b->Record(1000);
+
+  // The dump presents the fold under the machine-wide name...
+  std::string json = reg.DumpJsonString();
+  EXPECT_NE(json.find("\"lat.x\":{\"count\":3"), std::string::npos) << json;
+  // ...while the shards keep their own entries (count 2 and 1).
+  EXPECT_NE(json.find("\"cpu0.lat.x\":{\"count\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cpu1.lat.x\":{\"count\":1"), std::string::npos) << json;
+
+  // ForEachHistogram sees the materialized fold too.
+  std::uint64_t merged_count = 0;
+  reg.ForEachHistogram([&](const std::string& name, const LatencyHistogram& h) {
+    if (name == "lat.x") {
+      merged_count = h.count();
+    }
+  });
+  EXPECT_EQ(merged_count, 3u);
+
+  // The view owns no storage: recording continues through the shards.
+  b->Record(2000);
+  std::uint64_t after = 0;
+  reg.ForEachHistogram([&](const std::string& name, const LatencyHistogram& h) {
+    if (name == "lat.x") {
+      after = h.count();
+    }
+  });
+  EXPECT_EQ(after, 4u);
+}
+
+TEST(MetricsRegistryTest, KernelRegistersSchedulerLatencyHistograms) {
+  // Uniprocessor: the machine-wide names are the CPU's own histograms.
+  Kernel uni{KernelConfig{}};
+  EXPECT_NE(uni.metrics().FindHistogram("lat.sched.wakeup_to_run"), nullptr);
+  EXPECT_NE(uni.metrics().FindHistogram("lat.sched.runq_wait"), nullptr);
+  EXPECT_NE(uni.metrics().FindHistogram("lat.sched.steal"), nullptr);
+
+  // SMP: per-CPU shards plus machine-wide merged views in the dump.
+  KernelConfig smp_config;
+  smp_config.ncpu = 4;
+  Kernel smp{smp_config};
+  std::string json = smp.metrics().DumpJsonString();
+  EXPECT_NE(json.find("\"cpu0.lat.sched.wakeup_to_run\""), std::string::npos);
+  EXPECT_NE(json.find("\"cpu3.lat.sched.steal\""), std::string::npos);
+  EXPECT_NE(json.find("\"lat.sched.wakeup_to_run\""), std::string::npos);
+  EXPECT_NE(json.find("\"lat.sched.steal\""), std::string::npos);
+}
+
 // --- Trace ring --------------------------------------------------------------
 
 TEST(TraceBufferTest, RoundsCapacityUpToPowerOfTwo) {
@@ -295,6 +384,54 @@ TEST(TraceBufferTest, TracksOverwrittenRecords) {
   std::uint32_t expected = 6;
   t.ForEach([&](const TraceRecord& r) { EXPECT_EQ(r.aux, expected++); });
   EXPECT_EQ(expected, 10u);
+}
+
+// --- Trace export edge cases -------------------------------------------------
+
+TEST(TraceExportTest, JsonEscapeHandlesSpecialCharacters) {
+  EXPECT_EQ(JsonEscape("plain-name"), "plain-name");
+  EXPECT_EQ(JsonEscape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(JsonEscape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(JsonEscape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(JsonEscape(std::string("ctrl\x01") + "end"), "ctrl\\u0001end");
+  EXPECT_EQ(JsonEscape(""), "");
+}
+
+TEST(TraceExportTest, WrappedRingExportsNewestRecordsInOrderWithOverflowNote) {
+  TraceBuffer t;
+  t.Configure(4);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    // Strictly increasing ticks so export order is checkable.
+    t.Record(/*when=*/100 + i, /*thread=*/1, TraceEvent::kSetrun, /*aux=*/i);
+  }
+  std::string json = ChromeTraceString(t);
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json.substr(0, 200);
+
+  // The overflow metadata event reports exactly what was dropped.
+  EXPECT_NE(json.find("\"trace-overflow\""), std::string::npos);
+  EXPECT_NE(json.find("\"overwritten\":6"), std::string::npos);
+  EXPECT_NE(json.find("\"recorded\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"retained\":4"), std::string::npos);
+
+  // Only the newest four records survive, oldest first: ticks 106..109.
+  EXPECT_EQ(json.find("\"tick\":105"), std::string::npos);
+  std::size_t pos106 = json.find("\"tick\":106");
+  std::size_t pos107 = json.find("\"tick\":107");
+  std::size_t pos108 = json.find("\"tick\":108");
+  std::size_t pos109 = json.find("\"tick\":109");
+  ASSERT_NE(pos106, std::string::npos);
+  ASSERT_NE(pos109, std::string::npos);
+  EXPECT_LT(pos106, pos107);
+  EXPECT_LT(pos107, pos108);
+  EXPECT_LT(pos108, pos109);
+}
+
+TEST(TraceExportTest, UnwrappedRingHasNoOverflowMetadata) {
+  TraceBuffer t;
+  t.Configure(8);
+  t.Record(1, 1, TraceEvent::kSetrun, 0);
+  std::string json = ChromeTraceString(t);
+  EXPECT_EQ(json.find("\"trace-overflow\""), std::string::npos);
 }
 
 // --- End-to-end JSON ---------------------------------------------------------

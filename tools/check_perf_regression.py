@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the unified bench JSON schema.
+
+Compares freshly produced bench output (BenchJsonBuilder's
+{"bench", "config", "metrics"} shape) against checked-in baselines in
+bench/baselines/ and fails when:
+
+  * smp_scaling: any CPU point's rpc_per_mtick (RPC round trips per million
+    virtual ticks) drops more than --tolerance below baseline, or
+  * table1_discards: any workload's lat.rpc.round_trip p99 grows more than
+    --tolerance above baseline.
+
+Both signals are virtual-tick quantities, so for a fixed (config, seed,
+scale) they are bit-deterministic: any drift at all is a real code change,
+and the tolerance only exists to let intentional small changes through
+without a baseline refresh. The baselines must have been generated at the
+same scale the gate runs (the script cross-checks config).
+
+Usage:
+  check_perf_regression.py --baseline-dir bench/baselines \
+      --smp BENCH_smp.json --table1 BENCH_table1.json [--tolerance 0.10]
+
+Exit status: 0 clean, 1 regression (or schema/scale mismatch).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        d = json.load(f)
+    for key in ("bench", "config", "metrics"):
+        if key not in d:
+            sys.exit(f"error: {path} lacks '{key}' — not the unified bench schema")
+    return d
+
+
+def check_config_matches(name, base, cur):
+    if base["config"] != cur["config"]:
+        sys.exit(
+            f"error: {name}: config mismatch — baseline {base['config']} vs "
+            f"current {cur['config']}; regenerate the baseline at the gate's scale"
+        )
+
+
+def check_smp(base, cur, tolerance):
+    failures = []
+    base_points = {p["cpus"]: p for p in base["metrics"]["points"]}
+    cur_points = {p["cpus"]: p for p in cur["metrics"]["points"]}
+    if set(base_points) != set(cur_points):
+        sys.exit(
+            f"error: smp_scaling: CPU points differ — baseline "
+            f"{sorted(base_points)} vs current {sorted(cur_points)}"
+        )
+    for cpus in sorted(base_points):
+        want = base_points[cpus]["rpc_per_mtick"]
+        got = cur_points[cpus]["rpc_per_mtick"]
+        floor = want * (1.0 - tolerance)
+        status = "ok"
+        if got < floor:
+            status = "REGRESSION"
+            failures.append(
+                f"smp_scaling @ {cpus} cpus: rpc_per_mtick {got:.2f} < "
+                f"{floor:.2f} (baseline {want:.2f} - {tolerance:.0%})"
+            )
+        print(
+            f"  smp_scaling {cpus} cpus: rpc_per_mtick {got:.2f} "
+            f"(baseline {want:.2f}) {status}"
+        )
+    return failures
+
+
+def rpc_p99(bench, workload):
+    try:
+        return bench["metrics"][workload]["histograms"]["lat.rpc.round_trip"]["p99"]
+    except KeyError:
+        sys.exit(
+            f"error: table1_discards: no lat.rpc.round_trip p99 for "
+            f"workload '{workload}'"
+        )
+
+
+def check_table1(base, cur, tolerance):
+    failures = []
+    workloads = sorted(base["metrics"])
+    if workloads != sorted(cur["metrics"]):
+        sys.exit(
+            f"error: table1_discards: workloads differ — baseline {workloads} "
+            f"vs current {sorted(cur['metrics'])}"
+        )
+    for workload in workloads:
+        want = rpc_p99(base, workload)
+        got = rpc_p99(cur, workload)
+        ceiling = want * (1.0 + tolerance)
+        status = "ok"
+        if got > ceiling:
+            status = "REGRESSION"
+            failures.append(
+                f"table1_discards '{workload}': lat.rpc.round_trip p99 {got} > "
+                f"{ceiling:.0f} (baseline {want} + {tolerance:.0%})"
+            )
+        print(
+            f"  table1_discards '{workload}': rpc p99 {got} ticks "
+            f"(baseline {want}) {status}"
+        )
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline-dir", required=True)
+    ap.add_argument("--smp", help="current smp_scaling bench JSON")
+    ap.add_argument("--table1", help="current table1_discards bench JSON")
+    ap.add_argument("--tolerance", type=float, default=0.10)
+    args = ap.parse_args()
+    if not args.smp and not args.table1:
+        ap.error("nothing to check: pass --smp and/or --table1")
+
+    failures = []
+    if args.smp:
+        base = load(os.path.join(args.baseline_dir, "smp_scaling.json"))
+        cur = load(args.smp)
+        check_config_matches("smp_scaling", base, cur)
+        failures += check_smp(base, cur, args.tolerance)
+    if args.table1:
+        base = load(os.path.join(args.baseline_dir, "table1_discards.json"))
+        cur = load(args.table1)
+        check_config_matches("table1_discards", base, cur)
+        failures += check_table1(base, cur, args.tolerance)
+
+    if failures:
+        print("\nperf regression gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("perf regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,8 @@
 // machcont_sim — command-line driver for the simulator.
 //
 //   machcont_sim [options]
-//     --workload=compile|build|dos|farm  workload to run    (default compile)
+//     --workload=compile|build|dos|farm|rpc  workload       (default compile)
+//                                    (rpc = alias for farm: client/server RPC)
 //     --model=mk40|mk32|mach25       kernel model           (default mk40)
 //     --scale=N                      work multiplier        (default 5)
 //     --cpus=N                       simulated processors   (default 1)
@@ -35,7 +36,7 @@ using mkc::BlockReason;
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--workload=compile|build|dos|farm] [--model=mk40|mk32|mach25]\n"
+               "usage: %s [--workload=compile|build|dos|farm|rpc] [--model=mk40|mk32|mach25]\n"
                "          [--scale=N] [--cpus=N] [--seed=N] [--quantum=N] [--pages=N]\n"
                "          [--no-handoff] [--no-recognition] [--table] [--hist]\n"
                "          [--trace=N] [--trace-out=FILE] [--metrics-json=FILE|-]\n",
@@ -158,7 +159,7 @@ int main(int argc, char** argv) {
         workload = &mkc::RunKernelBuildWorkload;
       } else if (w == "dos") {
         workload = &mkc::RunDosWorkload;
-      } else if (w == "farm") {
+      } else if (w == "farm" || w == "rpc") {
         workload = &mkc::RunServerFarmWorkload;
       } else {
         return Usage(argv[0]);
@@ -296,6 +297,12 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(cap.trace_recorded),
                  static_cast<unsigned long long>(cap.trace_retained),
                  static_cast<unsigned long long>(cap.trace_overwritten));
+    if (cap.trace_overwritten > 0) {
+      std::fprintf(stderr,
+                   "machcont_sim: warning: trace ring overflowed; %llu oldest records "
+                   "dropped (raise --trace=N)\n",
+                   static_cast<unsigned long long>(cap.trace_overwritten));
+    }
   }
 
   if (table) {

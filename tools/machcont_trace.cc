@@ -1,0 +1,99 @@
+// machcont_trace: critical-path analyzer for exported kernel traces.
+//
+// Consumes the Chrome trace JSON written by `machcont_sim --trace-out=...`
+// (or WriteChromeTrace in tests) and reconstructs where each causal span's
+// end-to-end latency went: run-queue wait, wakeup→run delay, stack handoff
+// vs. full context switch, stack machinery, and the request's own work.
+//
+// Usage:
+//   machcont_trace TRACE.json [--slowest=N]
+//
+// Prints the per-kind × per-path breakdown table, then (with --slowest) the
+// N slowest spans with their full decompositions. Exits 0 when the trace
+// parsed, 1 otherwise.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/obs/critical_path.h"
+
+namespace {
+
+bool ReadFile(const char* path, std::string* out) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) {
+    return false;
+  }
+  char buf[65536];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out->append(buf, n);
+  }
+  std::fclose(f);
+  return true;
+}
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s TRACE.json [--slowest=N]\n", argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* path = nullptr;
+  long slowest = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--slowest=", 10) == 0) {
+      slowest = std::strtol(arg + 10, nullptr, 10);
+      if (slowest < 0) {
+        slowest = 0;
+      }
+    } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      Usage(argv[0]);
+      return 0;
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "machcont_trace: unknown option '%s'\n", arg);
+      Usage(argv[0]);
+      return 1;
+    } else if (path == nullptr) {
+      path = arg;
+    } else {
+      Usage(argv[0]);
+      return 1;
+    }
+  }
+  if (path == nullptr) {
+    Usage(argv[0]);
+    return 1;
+  }
+
+  std::string json;
+  if (!ReadFile(path, &json)) {
+    std::fprintf(stderr, "machcont_trace: cannot read '%s'\n", path);
+    return 1;
+  }
+
+  mkc::TraceAnalysis analysis = mkc::AnalyzeChromeTrace(json);
+  if (!analysis.parse_ok) {
+    std::fprintf(stderr, "machcont_trace: parse error in '%s': %s\n", path,
+                 analysis.error.c_str());
+    return 1;
+  }
+
+  std::printf("%s", mkc::FormatBreakdownTable(analysis).c_str());
+  if (analysis.dropped_incomplete > 0) {
+    std::printf("(%llu incomplete spans dropped — begin or end fell off the trace ring)\n",
+                static_cast<unsigned long long>(analysis.dropped_incomplete));
+  }
+  if (analysis.overwritten > 0) {
+    std::printf("(trace ring overflowed: %llu oldest records were lost)\n",
+                static_cast<unsigned long long>(analysis.overwritten));
+  }
+  if (slowest > 0) {
+    std::printf("\n%s",
+                mkc::FormatSlowest(analysis, static_cast<std::size_t>(slowest)).c_str());
+  }
+  return 0;
+}

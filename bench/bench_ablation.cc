@@ -5,6 +5,9 @@
 //      and Mach 2.5 baselines.
 //   2. The stack cache: how the free-stack cache size affects host
 //      allocations and latency (Mach kept a cache for the same reason).
+//   3. The kmsg magazines: per-CPU magazine depth against the modeled
+//      allocation cycles on the queueing (Mach 2.5) RPC path, where every
+//      round trip materializes a kmsg.
 #include <cstdio>
 
 #include "bench/bench_util.h"
@@ -53,6 +56,10 @@ struct AblationResult {
   std::uint64_t recognitions = 0;
   std::uint64_t stack_allocs = 0;
   std::uint64_t stacks_created = 0;
+  std::uint64_t kmsg_allocs = 0;
+  std::uint64_t kmsg_magazine_hits = 0;
+  std::uint64_t kmsg_refills = 0;
+  std::uint64_t kmsg_alloc_cycles = 0;
 };
 
 AblationResult RunRpc(const KernelConfig& config, int iterations) {
@@ -78,6 +85,13 @@ AblationResult RunRpc(const KernelConfig& config, int iterations) {
   result.recognitions = kernel.transfer_stats().recognitions;
   result.stack_allocs = kernel.stack_pool().stats().allocs;
   result.stacks_created = kernel.stack_pool().stats().created;
+  for (const Zone* zone : {&kernel.ipc().kmsg_small_zone(), &kernel.ipc().kmsg_full_zone()}) {
+    const ZoneStats& zs = zone->stats();
+    result.kmsg_allocs += zs.allocs;
+    result.kmsg_magazine_hits += zs.magazine_hits;
+    result.kmsg_refills += zs.refills;
+    result.kmsg_alloc_cycles += zs.alloc_cycles;
+  }
   return result;
 }
 
@@ -149,10 +163,37 @@ int Main(int argc, char** argv) {
   }
   cache_json += "]";
 
+  std::printf("\nAblation 3: kmsg magazine depth (Mach 2.5, the queueing path)\n\n");
+  std::printf("%-12s %12s %14s %12s %14s\n", "depth", "alloc cyc/op", "magazine hits",
+              "refills", "hit rate");
+  std::string zone_json = "[";
+  for (std::size_t depth : {std::size_t{0}, std::size_t{2}, std::size_t{8}, std::size_t{16}}) {
+    KernelConfig config;
+    config.model = ControlTransferModel::kMach25;
+    config.kmsg_magazine_depth = depth;
+    AblationResult r = RunRpc(config, iterations / 2);
+    std::uint64_t ops = r.kmsg_allocs * 2;  // Each kmsg is one alloc + one free.
+    double cyc_per_op = ops == 0 ? 0.0 : static_cast<double>(r.kmsg_alloc_cycles) / ops;
+    double hit_rate = ops == 0 ? 0.0 : 100.0 * r.kmsg_magazine_hits / ops;
+    std::printf("%-12zu %12.2f %14llu %12llu %13.1f%%\n", depth, cyc_per_op,
+                static_cast<unsigned long long>(r.kmsg_magazine_hits),
+                static_cast<unsigned long long>(r.kmsg_refills), hit_rate);
+    char buf[224];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"depth\":%zu,\"alloc_cycles_per_op\":%.4f,\"magazine_hits\":%llu,"
+                  "\"refills\":%llu,\"hit_rate_pct\":%.2f}",
+                  zone_json.size() > 1 ? "," : "", depth, cyc_per_op,
+                  static_cast<unsigned long long>(r.kmsg_magazine_hits),
+                  static_cast<unsigned long long>(r.kmsg_refills), hit_rate);
+    zone_json += buf;
+  }
+  zone_json += "]";
+
   BenchJsonBuilder("ablation")
       .Config("iterations", iterations)
       .MetricJson("variants", variant_json)
       .MetricJson("cache_sweep", cache_json)
+      .MetricJson("kmsg_zone_sweep", zone_json)
       .Write();
   return 0;
 }

@@ -51,6 +51,46 @@ void ParkObserver(void* arg) {
   st->stack_bytes = k.stack_pool().stack_bytes();
 }
 
+struct ZoneFootprint {
+  std::uint64_t small_elem = 0;
+  std::uint64_t full_elem = 0;
+  std::uint64_t small_footprint = 0;
+  std::uint64_t full_footprint = 0;
+  std::uint64_t queued = 0;
+};
+
+void QueueSender(void* arg) {
+  auto* st = static_cast<ParkState*>(arg);
+  UserMessage msg;
+  msg.header.dest = st->port;
+  for (int i = 0; i < st->target; ++i) {
+    UserMachMsg(&msg, kMsgSendOpt, 64, 0, kInvalidPort);
+  }
+}
+
+// Queues 64-byte messages on a port nobody receives from and reads the kmsg
+// zones' host footprint: with size-classing each queued message occupies a
+// small element instead of a full kMaxInlineBytes one.
+ZoneFootprint RunQueuedFootprint(int queued) {
+  KernelConfig config;
+  config.model = ControlTransferModel::kMach25;  // The queueing path.
+  Kernel kernel(config);
+  Task* task = kernel.CreateTask("senders");
+  static ParkState st;
+  st = ParkState{};
+  st.port = kernel.ipc().AllocatePort(task);
+  st.target = queued;
+  kernel.CreateUserThread(task, &QueueSender, &st);
+  kernel.Run();
+  ZoneFootprint fp;
+  fp.queued = static_cast<std::uint64_t>(queued);
+  fp.small_elem = kernel.ipc().kmsg_small_zone().elem_size();
+  fp.full_elem = kernel.ipc().kmsg_full_zone().elem_size();
+  fp.small_footprint = kernel.ipc().kmsg_small_zone().footprint_bytes();
+  fp.full_footprint = kernel.ipc().kmsg_full_zone().footprint_bytes();
+  return fp;
+}
+
 ParkState RunParked(ControlTransferModel model, int threads) {
   KernelConfig config;
   config.model = model;
@@ -121,6 +161,17 @@ int Main(int argc, char** argv) {
   std::printf("  per-thread savings: %.1f%% [paper: 85%%]\n",
               100.0 * (1.0 - mk40_total / mk32_total));
 
+  // --- kmsg zone memory (the §3.4 argument applied to messages) ----------
+  ZoneFootprint fp = RunQueuedFootprint(48);
+  std::printf("\nkmsg zone memory: size-classed elements (small %llu B, full %llu B)\n",
+              static_cast<unsigned long long>(fp.small_elem),
+              static_cast<unsigned long long>(fp.full_elem));
+  std::printf("  %llu queued 64-byte messages: %llu zone bytes "
+              "(full-sized elements would need %llu)\n",
+              static_cast<unsigned long long>(fp.queued),
+              static_cast<unsigned long long>(fp.small_footprint + fp.full_footprint),
+              static_cast<unsigned long long>(fp.queued * fp.full_elem));
+
   char mk40_json[192];
   std::snprintf(mk40_json, sizeof(mk40_json),
                 "{\"stacks_in_use\":%llu,\"max_in_use\":%llu,\"max_cached\":%llu,"
@@ -133,10 +184,20 @@ int Main(int argc, char** argv) {
                 "{\"stacks_in_use\":%llu,\"max_in_use\":%llu,\"per_thread_bytes\":%.0f}",
                 static_cast<unsigned long long>(mk32.stacks_in_use_when_parked),
                 static_cast<unsigned long long>(mk32.max_stacks_in_use), mk32_total);
+  char zone_row[224];
+  std::snprintf(zone_row, sizeof(zone_row),
+                "{\"small_elem_bytes\":%llu,\"full_elem_bytes\":%llu,\"queued\":%llu,"
+                "\"small_footprint_bytes\":%llu,\"full_footprint_bytes\":%llu}",
+                static_cast<unsigned long long>(fp.small_elem),
+                static_cast<unsigned long long>(fp.full_elem),
+                static_cast<unsigned long long>(fp.queued),
+                static_cast<unsigned long long>(fp.small_footprint),
+                static_cast<unsigned long long>(fp.full_footprint));
   BenchJsonBuilder("table5_memory")
       .Config("threads", threads)
       .MetricJson("mk40", mk40_json)
       .MetricJson("mk32", mk32_json)
+      .MetricJson("kmsg_zones", zone_row)
       .Write();
   return 0;
 }

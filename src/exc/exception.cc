@@ -148,7 +148,20 @@ void ExceptionReplyContinue() {
 
   // Slow path: create the request message and send it like any other.
   ++k.exc_stats().queued_deliveries;
-  KMessage* kmsg = k.ipc().AllocKmsg();
+  KMessage* kmsg = k.ipc().AllocKmsg(sizeof(req));  // May block (kMemoryAlloc).
+  // The allocation can block, and the exception port may die meanwhile —
+  // with port_generations its slot may even be reclaimed (the cached
+  // pointer dangles), so revalidate by name; an unreachable handler means
+  // the exception goes unhandled, as if the port had been dead at raise
+  // time. Without the flag the dead Port object is pinned in its slot and
+  // the legacy behavior — queue onto it — is preserved exactly.
+  if (Port* revalidated = k.ipc().Lookup(hdr.dest)) {
+    exc_port = revalidated;
+  } else if (k.config().port_generations) {
+    k.ipc().FreeKmsg(kmsg);
+    ++k.exc_stats().unhandled;
+    k.ThreadTerminateSelf();
+  }
   kmsg->header = hdr;
   std::memcpy(kmsg->body, &req, sizeof(req));
   exc_port->messages.EnqueueTail(kmsg);

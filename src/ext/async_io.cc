@@ -38,7 +38,7 @@ void AsyncIoComplete(Kernel& k, PortId notify_port, std::uint32_t request_id) {
     ++stats.notify_direct;
     return;
   }
-  KMessage* kmsg = k.ipc().TryAllocKmsg();
+  KMessage* kmsg = k.ipc().TryAllocKmsg(sizeof(body));
   if (kmsg == nullptr) {
     ++stats.notify_dropped;
     return;

@@ -1,5 +1,7 @@
 #include "src/ipc/ipc_space.h"
 
+#include <new>
+
 #include "src/base/panic.h"
 #include "src/core/control.h"
 #include "src/ipc/mach_msg.h"
@@ -9,33 +11,63 @@
 
 namespace mkc {
 
+IpcSpace::IpcSpace(Kernel& kernel, std::size_t kmsg_zone_limit)
+    : kernel_(kernel), kmsg_zone_limit_(kmsg_zone_limit) {
+  // With the zones flag off every kmsg comes from the full-size depot with
+  // no magazines, which charges exactly the legacy per-element costs.
+  const std::size_t depth =
+      kernel.config().ipc_kmsg_zones ? kernel.config().kmsg_magazine_depth : 0;
+  kmsg_small_zone_ = std::make_unique<Zone>(kernel, "kmsg.small",
+                                            sizeof(KMessage) + kSmallKmsgBytes, depth,
+                                            kCycKmsgAlloc, kCycKmsgFree);
+  kmsg_full_zone_ = std::make_unique<Zone>(kernel, "kmsg.full",
+                                           sizeof(KMessage) + kMaxInlineBytes, depth,
+                                           kCycKmsgAlloc, kCycKmsgFree);
+}
+
 IpcSpace::~IpcSpace() {
-  // Release queued messages and the kmsg cache. Waiting threads are owned by
-  // the kernel and torn down separately.
+  // Release messages still queued on ports. The zones own the backing
+  // blocks and free them in their destructors; here we only drop payloads
+  // the messages were carrying and empty the queues, so the Port
+  // destructors never touch zone memory after it is gone.
   for (auto& port : ports_) {
     if (port == nullptr) {
       continue;
     }
     while (KMessage* kmsg = port->messages.DequeueHead()) {
-      delete kmsg;
+      delete kmsg->ool_object;  // Undelivered out-of-line payload.
+      kmsg->~KMessage();
     }
-  }
-  while (KMessage* kmsg = kmsg_cache_.DequeueHead()) {
-    delete kmsg;
   }
 }
 
 PortId IpcSpace::AllocatePort(Task* owner) {
   auto port = std::make_unique<Port>();
-  port->id = static_cast<PortId>(ports_.size() + 1);
   port->owner = owner;
+  if (!kernel_.config().port_generations) {
+    // Legacy namespace: the table only grows and names are bare indices.
+    port->id = static_cast<PortId>(ports_.size() + 1);
+    ports_.push_back(std::move(port));
+    return ports_.back()->id;
+  }
+  if (!free_slots_.empty()) {
+    std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    port->id = MakePortId(slot, port_gens_[slot]);
+    ports_[slot] = std::move(port);
+    return ports_[slot]->id;
+  }
+  std::uint32_t slot = static_cast<std::uint32_t>(ports_.size());
+  MKC_ASSERT_MSG(slot + 1 < kPortIndexMask, "port table exceeds the 20-bit name space");
+  port->id = MakePortId(slot, 0);  // Generation 0 == the legacy slot+1 name.
   ports_.push_back(std::move(port));
+  port_gens_.push_back(0);
   return ports_.back()->id;
 }
 
 PortId IpcSpace::AllocatePortSet(Task* owner) {
   PortId id = AllocatePort(owner);
-  ports_[id - 1]->is_set = true;
+  Lookup(id)->is_set = true;
   return id;
 }
 
@@ -64,10 +96,21 @@ KernReturn IpcSpace::RemoveFromSet(PortId port_id) {
 }
 
 Port* IpcSpace::Lookup(PortId id) {
-  if (id == kInvalidPort || id > ports_.size()) {
+  if (!kernel_.config().port_generations) {
+    if (id == kInvalidPort || id > ports_.size()) {
+      return nullptr;
+    }
+    Port* port = ports_[id - 1].get();
+    return (port != nullptr && port->alive) ? port : nullptr;
+  }
+  std::uint32_t slot = PortSlotOf(id);
+  if (slot >= ports_.size()) {  // Also rejects kInvalidPort (slot == ~0u).
     return nullptr;
   }
-  Port* port = ports_[id - 1].get();
+  if (port_gens_[slot] != PortGenOf(id)) {
+    return nullptr;  // Stale name: the slot has been reused since.
+  }
+  Port* port = ports_[slot].get();
   return (port != nullptr && port->alive) ? port : nullptr;
 }
 
@@ -92,12 +135,29 @@ void IpcSpace::DestroyPort(PortId id) {
     sender->wait_result = KernReturn::kSendInvalidDest;
     kernel_.ThreadSetrun(sender);
   }
+  if (!kernel_.config().port_generations) {
+    return;  // Legacy: the dead Port object stays in its slot forever.
+  }
+  // Detach set relationships in both directions before the object dies: a
+  // member must not keep a back-pointer into a reclaimed set, and a dead
+  // member must not linger on a surviving set's member list.
+  while (Port* member = port->members.DequeueHead()) {
+    member->owner_set = nullptr;
+  }
+  if (port->owner_set != nullptr) {
+    port->owner_set->members.Remove(port);
+    port->owner_set = nullptr;
+  }
+  std::uint32_t slot = PortSlotOf(port->id);
+  port_gens_[slot] = (port_gens_[slot] + 1) & kPortGenMask;  // Stale names now miss.
+  ports_[slot].reset();  // Free immediately so stale derefs are loud under ASan.
+  free_slots_.push_back(slot);
 }
 
 void IpcSpace::DestroyTaskPorts(Task* task) {
   for (auto& port : ports_) {
     if (port != nullptr && port->alive && port->owner == task) {
-      DestroyPort(port->id);
+      DestroyPort(port->id);  // May reclaim the slot and reset `port`.
     }
   }
 }
@@ -118,47 +178,62 @@ bool IpcSpace::AbortThreadWait(Thread* thread) {
   return false;
 }
 
-KMessage* IpcSpace::AllocKmsg() {
+Zone& IpcSpace::ZoneForBody(std::uint32_t body_bytes) {
+  if (kernel_.config().ipc_kmsg_zones && body_bytes <= kSmallKmsgBytes) {
+    return *kmsg_small_zone_;
+  }
+  return *kmsg_full_zone_;
+}
+
+KMessage* IpcSpace::ConstructKmsg(Zone& zone, std::uint32_t capacity) {
+  // The element is the struct plus its trailing body storage; reconstructing
+  // on every allocation means a recycled element can never leak stale state.
+  auto* kmsg = new (zone.Alloc()) KMessage;
+  kmsg->body = reinterpret_cast<std::byte*>(kmsg + 1);
+  kmsg->body_capacity = capacity;
+  return kmsg;
+}
+
+KMessage* IpcSpace::AllocKmsg(std::uint32_t body_bytes) {
   // Zone exhaustion blocks under the process model — one of the paper's
-  // "memory allocation" rows that never use continuations (§3.2).
+  // "memory allocation" rows that never use continuations (§3.2). The cap
+  // is shared across both size classes, as the single zone's was.
   while (kmsg_in_flight_ >= kmsg_zone_limit_) {
     ++stats_.kmsg_alloc_blocks;
     kernel_.AssertWait(&kmsg_zone_limit_);
     ThreadBlock(nullptr, BlockReason::kMemoryAlloc);
   }
   ++kmsg_in_flight_;
-  kernel_.ChargeCycles(kCycKmsgAlloc);
-  KMessage* kmsg = kmsg_cache_.DequeueHead();
-  if (kmsg == nullptr) {
-    kmsg = new KMessage;
-  }
-  return kmsg;
+  Zone& zone = ZoneForBody(body_bytes);
+  return ConstructKmsg(zone, static_cast<std::uint32_t>(zone.elem_size() - sizeof(KMessage)));
 }
 
-KMessage* IpcSpace::TryAllocKmsg() {
+KMessage* IpcSpace::TryAllocKmsg(std::uint32_t body_bytes) {
   if (kmsg_in_flight_ >= kmsg_zone_limit_) {
     return nullptr;
   }
   ++kmsg_in_flight_;
-  KMessage* kmsg = kmsg_cache_.DequeueHead();
-  if (kmsg == nullptr) {
-    kmsg = new KMessage;
-  }
-  return kmsg;
+  Zone& zone = ZoneForBody(body_bytes);
+  return ConstructKmsg(zone, static_cast<std::uint32_t>(zone.elem_size() - sizeof(KMessage)));
 }
 
 void IpcSpace::FreeKmsg(KMessage* kmsg) {
   MKC_ASSERT(kmsg_in_flight_ > 0);
-  if (kmsg->ool_object != nullptr) {
-    // Undelivered out-of-line payload (e.g. the port died): drop it.
-    delete kmsg->ool_object;
-    kmsg->ool_object = nullptr;
-  }
+  // Undelivered out-of-line payload (e.g. the port died): a scoped owner
+  // drops it however this function exits.
+  std::unique_ptr<VmObject> ool(kmsg->ool_object);
+  kmsg->ool_object = nullptr;
   kmsg->ool_size = 0;
   --kmsg_in_flight_;
-  kernel_.ChargeCycles(kCycKmsgFree);
-  kmsg_cache_.EnqueueTail(kmsg);
+  Zone& zone = kmsg->body_capacity <= kSmallKmsgBytes ? *kmsg_small_zone_ : *kmsg_full_zone_;
+  kmsg->~KMessage();
+  zone.Free(kmsg);
   kernel_.ThreadWakeupOne(&kmsg_zone_limit_);
+}
+
+void IpcSpace::ResetZoneStats() {
+  kmsg_small_zone_->ResetStats();
+  kmsg_full_zone_->ResetStats();
 }
 
 }  // namespace mkc

@@ -1,4 +1,4 @@
-// The kernel's port table and kmsg zone, plus IPC statistics.
+// The kernel's port table and kmsg zones, plus IPC statistics.
 #ifndef MACHCONT_SRC_IPC_IPC_SPACE_H_
 #define MACHCONT_SRC_IPC_IPC_SPACE_H_
 
@@ -8,6 +8,7 @@
 
 #include "src/base/queue.h"
 #include "src/ipc/port.h"
+#include "src/kern/zone.h"
 
 namespace mkc {
 
@@ -27,14 +28,15 @@ struct IpcStats {
 
 class IpcSpace {
  public:
-  explicit IpcSpace(Kernel& kernel, std::size_t kmsg_zone_limit = 1024)
-      : kernel_(kernel), kmsg_zone_limit_(kmsg_zone_limit) {}
+  explicit IpcSpace(Kernel& kernel, std::size_t kmsg_zone_limit = 1024);
   ~IpcSpace();
 
   IpcSpace(const IpcSpace&) = delete;
   IpcSpace& operator=(const IpcSpace&) = delete;
 
   // Creates a port owned by `owner` (may be null for kernel-internal ports).
+  // With config.port_generations the name comes from the slot freelist and
+  // carries the slot's current generation; otherwise the table only grows.
   PortId AllocatePort(Task* owner);
 
   // Creates a port set: receivers on the set get messages sent to any
@@ -47,11 +49,13 @@ class IpcSpace {
   // Removes `port` from its set, if any.
   KernReturn RemoveFromSet(PortId port);
 
-  // Returns the port for `id`, or nullptr if invalid/dead.
+  // Returns the port for `id`, or nullptr if invalid/stale/dead.
   Port* Lookup(PortId id);
 
   // Marks the port dead: flushes queued messages and fails out any waiting
-  // receivers with kRcvPortDied.
+  // receivers with kRcvPortDied. With port_generations the slot is then
+  // reclaimed (the Port object is freed and the generation bumped, so stale
+  // names miss) and pushed on the freelist for O(1) reuse.
   void DestroyPort(PortId id);
 
   // Destroys every port owned by `task` (task termination).
@@ -61,22 +65,43 @@ class IpcSpace {
   // (linear scan; used by task termination). Returns true if found.
   bool AbortThreadWait(Thread* thread);
 
-  // kmsg zone. Allocate may block (process model, kMemoryAlloc) when the
-  // zone is exhausted — one of the paper's non-continuation block sites.
-  KMessage* AllocKmsg();
+  // kmsg zones, size-classed by body bytes (≤ kSmallKmsgBytes rides the
+  // small zone when config.ipc_kmsg_zones is on). Allocate may block
+  // (process model, kMemoryAlloc) when the shared in-flight cap is hit —
+  // one of the paper's non-continuation block sites.
+  KMessage* AllocKmsg(std::uint32_t body_bytes = kMaxInlineBytes);
   // Non-blocking variant for contexts that must not block (event callbacks,
   // the idle path). Returns nullptr when the zone is exhausted.
-  KMessage* TryAllocKmsg();
+  KMessage* TryAllocKmsg(std::uint32_t body_bytes = kMaxInlineBytes);
   void FreeKmsg(KMessage* kmsg);
 
   IpcStats& stats() { return stats_; }
   const IpcStats& stats() const { return stats_; }
   std::size_t kmsg_in_flight() const { return kmsg_in_flight_; }
 
+  Zone& kmsg_small_zone() { return *kmsg_small_zone_; }
+  const Zone& kmsg_small_zone() const { return *kmsg_small_zone_; }
+  Zone& kmsg_full_zone() { return *kmsg_full_zone_; }
+  const Zone& kmsg_full_zone() const { return *kmsg_full_zone_; }
+  void ResetZoneStats();
+
+  // Port-table shape, for tests and Table 5 accounting: total slots ever
+  // carved and how many currently hold a live-or-dead Port object.
+  std::size_t port_table_size() const { return ports_.size(); }
+  std::size_t port_slots_free() const { return free_slots_.size(); }
+
  private:
+  // Places a fresh KMessage over a zone element and returns it; shared by
+  // the blocking and non-blocking allocators.
+  KMessage* ConstructKmsg(Zone& zone, std::uint32_t capacity);
+  Zone& ZoneForBody(std::uint32_t body_bytes);
+
   Kernel& kernel_;
   std::vector<std::unique_ptr<Port>> ports_;
-  IntrusiveQueue<KMessage, &KMessage::queue_link> kmsg_cache_;
+  std::vector<std::uint32_t> port_gens_;     // Current generation per slot.
+  std::vector<std::uint32_t> free_slots_;    // Reclaimed slots (LIFO).
+  std::unique_ptr<Zone> kmsg_small_zone_;
+  std::unique_ptr<Zone> kmsg_full_zone_;
   std::size_t kmsg_in_flight_ = 0;
   std::size_t kmsg_zone_limit_;
   IpcStats stats_;

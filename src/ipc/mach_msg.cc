@@ -53,10 +53,13 @@ void WakeOneBlockedSender(Kernel& k, Port* port) {
 // The "extra processing on every receive" that constrained receivers need
 // (§2.4): a body-parsing pass, here a checksum over the received words.
 void StrictReceiveChecks(Kernel& k, const UserMessage* msg) {
-  const auto* words = reinterpret_cast<const std::uint64_t*>(msg->body);
+  // The user buffer carries no alignment guarantee, so assemble each word
+  // with memcpy instead of a (possibly misaligned) uint64_t load.
   std::uint64_t sum = 0;
   for (std::uint32_t i = 0; i < msg->header.size / 8; ++i) {
-    sum ^= words[i];
+    std::uint64_t word;
+    std::memcpy(&word, msg->body + i * 8, sizeof(word));
+    sum ^= word;
   }
   // The checksum's value is irrelevant; the loads are the cost.
   k.cost_model().Account(CostOp::kMsgCopy, msg->header.size / 8, 0);
@@ -251,11 +254,15 @@ KernReturn MsgSendPhase(Thread* t, MachMsgArgs* args) {
     if (t->wait_result != KernReturn::kSuccess) {
       return t->wait_result;
     }
-    if (!port->alive) {
+    // The block may have outlived the port: revalidate the name instead of
+    // the cached pointer, which dangles once DestroyPort reclaims the slot
+    // (port_generations). A destroyed port fails the lookup in every mode.
+    port = k.ipc().Lookup(msg->header.dest);
+    if (port == nullptr) {
       return KernReturn::kSendInvalidDest;
     }
   }
-  KMessage* kmsg = k.ipc().AllocKmsg();  // May block (kMemoryAlloc).
+  KMessage* kmsg = k.ipc().AllocKmsg(args->send_size);  // May block (kMemoryAlloc).
   if (args->send_size >= kKernelBufferTouchThreshold) {
     k.vm().KernelBufferTouch(msg->header.msg_id);  // May block (kKernelFault).
   }
@@ -266,6 +273,18 @@ KernReturn MsgSendPhase(Thread* t, MachMsgArgs* args) {
       k.ipc().FreeKmsg(kmsg);
       return kr;
     }
+  }
+  // The kmsg allocation, kernel-buffer touch and OOL capture above can all
+  // block, and the destination may die meanwhile. With port_generations the
+  // slot may even be reclaimed (the cached pointer dangles), so revalidate
+  // by name and fail the send. Without it the dead Port object is pinned in
+  // its slot forever, and the legacy behavior — enqueue onto the dead port —
+  // is preserved exactly.
+  if (Port* revalidated = k.ipc().Lookup(msg->header.dest)) {
+    port = revalidated;
+  } else if (k.config().port_generations) {
+    k.ipc().FreeKmsg(kmsg);
+    return KernReturn::kSendInvalidDest;
   }
   port->messages.EnqueueTail(kmsg);
   k.TracePoint(TraceEvent::kIpcQueueDepth, port->id,

@@ -16,6 +16,13 @@ namespace mkc {
 // (see VmSystem::KernelBufferTouch).
 inline constexpr std::uint32_t kMaxInlineBytes = 1024;
 
+// Size-class boundary for the kmsg zones (kern/zone.h): bodies at or below
+// this allocate from the small zone, so the dominant small-RPC traffic does
+// not pay full-size kmsg footprint. Chosen to cover every kernel-internal
+// message (exception requests, async-I/O notifications) and typical RPC
+// payloads.
+inline constexpr std::uint32_t kSmallKmsgBytes = 128;
+
 // MessageHeader::bits flags.
 inline constexpr std::uint32_t kMsgHeaderOolBit = 1u << 0;
 
@@ -39,13 +46,18 @@ struct UserMessage {
   std::byte body[kMaxInlineBytes];
 };
 
-// The kernel's in-flight copy, allocated from the kmsg zone and chained on
-// port queues (only on the slow, queueing paths — the fast RPC path never
-// materializes one, which is precisely its advantage).
+// The kernel's in-flight copy, allocated from a size-classed kmsg zone and
+// chained on port queues (only on the slow, queueing paths — the fast RPC
+// path never materializes one, which is precisely its advantage). The body
+// storage trails the struct in the zone element; `body` points at it and
+// `body_capacity` is the element's size class (kSmallKmsgBytes or
+// kMaxInlineBytes), which is also how FreeKmsg routes the element back to
+// the zone it came from.
 struct KMessage {
   QueueEntry queue_link;
   MessageHeader header;
-  std::byte body[kMaxInlineBytes];
+  std::byte* body = nullptr;
+  std::uint32_t body_capacity = 0;
   // Out-of-line payload captured at send time (owned; consumed at receive).
   class VmObject* ool_object = nullptr;
   VmSize ool_size = 0;

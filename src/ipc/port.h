@@ -13,6 +13,27 @@ namespace mkc {
 
 struct Task;
 
+// Generation-tagged port names. A PortId packs (generation << 20) |
+// (slot + 1): 20 bits of table index, 12 bits of generation. A fresh slot
+// starts at generation 0, so its name equals the legacy slot+1 encoding;
+// DestroyPort bumps the slot's generation, so any name minted before the
+// destroy decodes to a mismatched generation and Lookup fails it — stale
+// names are detected in O(1) while the slot itself is reused immediately.
+// The generation wraps at 4096 reuses of one slot, after which a name from
+// 4096 lifetimes ago would alias (the classic tagged-handle tradeoff).
+inline constexpr std::uint32_t kPortIndexBits = 20;
+inline constexpr std::uint32_t kPortIndexMask = (1u << kPortIndexBits) - 1;
+inline constexpr std::uint32_t kPortGenMask = (1u << (32 - kPortIndexBits)) - 1;
+
+inline constexpr PortId MakePortId(std::uint32_t slot, std::uint32_t gen) {
+  return ((gen & kPortGenMask) << kPortIndexBits) | ((slot + 1) & kPortIndexMask);
+}
+// Slot index, or ~0u for the invalid name (index bits all zero).
+inline constexpr std::uint32_t PortSlotOf(PortId id) {
+  return (id & kPortIndexMask) == 0 ? ~0u : (id & kPortIndexMask) - 1;
+}
+inline constexpr std::uint32_t PortGenOf(PortId id) { return id >> kPortIndexBits; }
+
 struct Port {
   PortId id = kInvalidPort;
   Task* owner = nullptr;

@@ -150,6 +150,24 @@ void Kernel::RegisterMetrics() {
   metrics_.RegisterGauge("stack.max_in_use", &sp.max_in_use);
   metrics_.RegisterGauge("stack.max_cached", &sp.max_cached);
 
+  // Zone counters exist only when the kmsg zones are enabled: with the flag
+  // off the metrics JSON must stay byte-identical to the pre-zone kernel's.
+  if (config_.ipc_kmsg_zones) {
+    for (Zone* zone : {&ipc_->kmsg_small_zone(), &ipc_->kmsg_full_zone()}) {
+      const ZoneStats& zs = zone->stats();
+      std::string prefix = "zone." + zone->name() + ".";
+      metrics_.RegisterCounter(prefix + "allocs", &zs.allocs);
+      metrics_.RegisterCounter(prefix + "frees", &zs.frees);
+      metrics_.RegisterCounter(prefix + "magazine_hits", &zs.magazine_hits);
+      metrics_.RegisterCounter(prefix + "refills", &zs.refills);
+      metrics_.RegisterCounter(prefix + "flushes", &zs.flushes);
+      metrics_.RegisterCounter(prefix + "created", &zs.created);
+      metrics_.RegisterCounter(prefix + "alloc_cycles", &zs.alloc_cycles);
+      metrics_.RegisterGauge(prefix + "in_use", &zs.in_use);
+      metrics_.RegisterGauge(prefix + "high_water", &zs.high_water);
+    }
+  }
+
   lat_.transfer_handoff = metrics_.RegisterHistogram("lat.transfer.handoff");
   lat_.transfer_switch = metrics_.RegisterHistogram("lat.transfer.switch");
   lat_.rpc_round_trip = metrics_.RegisterHistogram("lat.rpc.round_trip");
@@ -183,6 +201,15 @@ void Kernel::RegisterMetrics() {
       metrics_.RegisterCounter(prefix + "sched.idle_ticks", &cpu.idle_ticks);
       metrics_.RegisterCounter(prefix + "stack.cache_hits", &cpu.stack_cache_hits);
       metrics_.RegisterCounter(prefix + "stack.cache_misses", &cpu.stack_cache_misses);
+      if (config_.ipc_kmsg_zones) {
+        for (Zone* zone : {&ipc_->kmsg_small_zone(), &ipc_->kmsg_full_zone()}) {
+          const ZoneCpuStats& shard = zone->cpu_stats(i);
+          std::string zprefix = prefix + "zone." + zone->name() + ".";
+          metrics_.RegisterCounter(zprefix + "magazine_hits", &shard.magazine_hits);
+          metrics_.RegisterCounter(zprefix + "refills", &shard.refills);
+          metrics_.RegisterCounter(zprefix + "flushes", &shard.flushes);
+        }
+      }
       cpu.lat_wakeup_to_run = metrics_.RegisterHistogram(prefix + "lat.sched.wakeup_to_run");
       cpu.lat_runq_wait = metrics_.RegisterHistogram(prefix + "lat.sched.runq_wait");
       cpu.lat_steal = metrics_.RegisterHistogram(prefix + "lat.sched.steal");
@@ -214,6 +241,13 @@ Kernel::~Kernel() {
   while (reaper_queue_.DequeueHead() != nullptr) {
   }
   ipc_.reset();  // Drops port queues (which link threads via ipc_link).
+  ext_.reset();  // Drops the upcall pool (parked threads, also via ipc_link).
+  // threads_ is declared after tasks_ and so destructs first; unthread the
+  // task membership queues now or ~Task would walk freed Thread objects.
+  for (auto& task : tasks_) {
+    while (task->threads.DequeueHead() != nullptr) {
+    }
+  }
   for (auto& thread : threads_) {
     if (thread->kernel_stack != nullptr) {
       KernelStack* stack = thread->kernel_stack;
@@ -382,7 +416,12 @@ void Kernel::Run() {
   current_cpu_->resume_ctx.reset();
   ContextSwitch(&boot_ctx_, target, /*pass=*/nullptr);
 
-  // A CPU's idle loop jumped back: simulation over.
+  // A CPU's idle loop jumped back: simulation over. Free the stack the
+  // shutdown flow was still standing on when it jumped here.
+  if (shutdown_stack_ != nullptr) {
+    stack_pool_.Free(shutdown_stack_);
+    shutdown_stack_ = nullptr;
+  }
   running_ = false;
   g_active_kernel = nullptr;
 }
@@ -495,6 +534,7 @@ void Kernel::IdleContinuation() { ActiveKernel().IdleLoop(); }
   // so their suspended contexts contain nothing but the idle loop — park
   // each idle thread for the next Run() and free its stack. The invoking
   // CPU's own stack free is safe: nothing allocates before the jump.
+  Thread* self = CurrentThread();
   for (auto& cpu : cpus_) {
     Thread* idle = cpu->idle_thread;
     idle->continuation = &Kernel::IdleContinuation;
@@ -503,7 +543,13 @@ void Kernel::IdleContinuation() { ActiveKernel().IdleLoop(); }
     cpu->in_idle_wait = false;
     if (idle->kernel_stack != nullptr) {
       KernelStack* stack = StackDetach(idle);
-      stack_pool_.Free(stack);
+      if (idle == self) {
+        // Still executing on this one — freeing it here would run the rest
+        // of StackPool::Free on freed memory. The boot flow frees it.
+        shutdown_stack_ = stack;
+      } else {
+        stack_pool_.Free(stack);
+      }
     }
     idle->md.kernel_ctx.reset();
   }
@@ -837,6 +883,7 @@ void Kernel::ResetStats() {
     cpu->idle_yields = 0;
   }
   ipc_->stats() = IpcStats{};
+  ipc_->ResetZoneStats();
   vm_->stats() = VmStats{};
   // All of the above assign in place, so the registry's counter/gauge views
   // stay valid; only the registry-owned histograms need an explicit clear.

@@ -72,6 +72,21 @@ struct KernelConfig {
   // Ablation switches (MK40 only; see bench/bench_ablation.cc).
   bool enable_handoff = true;      // Stack handoff between continuations.
   bool enable_recognition = true;  // Continuation recognition fast paths.
+
+  // --- Allocation-free IPC hot paths (all models; see kern/zone.h) --------
+  // Size-classed kmsg zones with per-CPU magazines. Disabled, every kmsg
+  // comes from the full-size depot at exactly the legacy per-element cycle
+  // costs and no zone metrics are registered, so simulated output is
+  // byte-identical to the pre-zone kernel (modulo the TryAllocKmsg
+  // undercosting fix, documented in INTERNALS.md).
+  bool ipc_kmsg_zones = true;
+  // Elements cached per CPU per kmsg zone; 0 disables magazines while
+  // keeping the size classes.
+  std::size_t kmsg_magazine_depth = 8;
+  // Port-slot freelist with generation-tagged names: DestroyPort reclaims
+  // the slot in O(1) and bumps its generation so stale PortIds miss.
+  // Disabled, dead slots accumulate forever (the legacy behavior).
+  bool port_generations = true;
 };
 
 // Stable pointers into the metrics registry for the hot-path latency
@@ -330,6 +345,8 @@ class Kernel {
   Processor* current_cpu_ = nullptr;
   int next_place_cpu_ = 0;  // Round-robin cursor for first placements.
   Context boot_ctx_;        // Host context to resume when the machine stops.
+  KernelStack* shutdown_stack_ = nullptr;  // Shutdown flow's own stack; the
+                                           // boot flow frees it post-jump.
   StackPool stack_pool_;
   CostModel cost_model_;
   TransferStats transfer_stats_;

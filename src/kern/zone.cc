@@ -1,0 +1,129 @@
+#include "src/kern/zone.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "src/base/panic.h"
+#include "src/kern/kernel.h"
+
+namespace mkc {
+
+Zone::Zone(Kernel& kernel, std::string name, std::size_t elem_size,
+           std::size_t magazine_depth, Cycles alloc_cost, Cycles free_cost,
+           Cycles hit_cost, Cycles lock_cost)
+    : kernel_(kernel),
+      name_(std::move(name)),
+      elem_size_(elem_size),
+      magazine_depth_(magazine_depth),
+      alloc_cost_(alloc_cost),
+      free_cost_(free_cost),
+      hit_cost_(hit_cost),
+      lock_cost_(lock_cost) {
+  magazines_.resize(static_cast<std::size_t>(kernel.ncpu()));
+  for (auto& m : magazines_) {
+    m.elems.reserve(magazine_depth_);
+  }
+}
+
+Zone::~Zone() {
+  // The zone owns every block it ever carved, whether it is in the depot,
+  // in a magazine, or still out with a caller at teardown (queued messages
+  // die with the IpcSpace, which drains them before the zones destruct).
+  for (void* block : blocks_) {
+    ::operator delete(block);
+  }
+}
+
+void* Zone::DepotPop() {
+  if (!depot_.empty()) {
+    void* elem = depot_.back();
+    depot_.pop_back();
+    return elem;
+  }
+  void* block = ::operator new(elem_size_);
+  blocks_.push_back(block);
+  ++stats_.created;
+  return block;
+}
+
+void* Zone::Alloc() {
+  ++stats_.allocs;
+  ++stats_.in_use;
+  stats_.high_water = std::max(stats_.high_water, stats_.in_use);
+
+  Cycles cost;
+  void* elem;
+  if (magazine_depth_ == 0) {
+    // Bare depot: exactly the legacy freelist's per-element price.
+    cost = alloc_cost_;
+    elem = DepotPop();
+  } else {
+    Magazine& m = magazines_[static_cast<std::size_t>(kernel_.processor().id)];
+    if (!m.elems.empty()) {
+      cost = hit_cost_;
+      elem = m.elems.back();
+      m.elems.pop_back();
+      ++m.shard.magazine_hits;
+      ++stats_.magazine_hits;
+    } else {
+      // Refill: one lock handshake and one allocation's worth of depot work
+      // buys magazine_depth elements.
+      cost = lock_cost_ + alloc_cost_;
+      ++m.shard.refills;
+      ++stats_.refills;
+      for (std::size_t i = 1; i < magazine_depth_; ++i) {
+        m.elems.push_back(DepotPop());
+      }
+      elem = DepotPop();
+    }
+  }
+  stats_.alloc_cycles += cost;
+  kernel_.ChargeCycles(cost);
+  return elem;
+}
+
+void Zone::Free(void* elem) {
+  MKC_ASSERT(elem != nullptr);
+  MKC_ASSERT(stats_.in_use > 0);
+  ++stats_.frees;
+  --stats_.in_use;
+
+  Cycles cost;
+  if (magazine_depth_ == 0) {
+    cost = free_cost_;
+    depot_.push_back(elem);
+  } else {
+    Magazine& m = magazines_[static_cast<std::size_t>(kernel_.processor().id)];
+    if (m.elems.size() < magazine_depth_) {
+      cost = hit_cost_;
+      m.elems.push_back(elem);
+      ++m.shard.magazine_hits;
+      ++stats_.magazine_hits;
+    } else {
+      // Flush: spill the full magazine to the depot under the lock, then
+      // keep the just-freed (cache-warm) element locally.
+      cost = lock_cost_ + free_cost_;
+      ++m.shard.flushes;
+      ++stats_.flushes;
+      depot_.insert(depot_.end(), m.elems.begin(), m.elems.end());
+      m.elems.clear();
+      m.elems.push_back(elem);
+    }
+  }
+  stats_.alloc_cycles += cost;
+  kernel_.ChargeCycles(cost);
+}
+
+void Zone::ResetStats() {
+  std::uint64_t in_use = stats_.in_use;
+  std::uint64_t created = stats_.created;
+  stats_ = ZoneStats{};
+  stats_.in_use = in_use;
+  stats_.high_water = in_use;
+  stats_.created = created;  // Footprint is a property of the heap, not the run.
+  for (auto& m : magazines_) {
+    m.shard = ZoneCpuStats{};
+  }
+}
+
+}  // namespace mkc

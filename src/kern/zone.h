@@ -1,0 +1,131 @@
+// A Mach-style zone allocator with per-CPU magazine caches.
+//
+// The paper's §3.4 argument — turning an expensive per-thread resource into
+// a cheap per-processor *cached* resource — applies to every hot-path kernel
+// object, not just stacks. A Zone hands out fixed-size elements from a
+// global depot (the classic zalloc free list, guarded by the zone lock);
+// layered in front of it, each simulated CPU keeps a small magazine of
+// elements so the common alloc/free never touches shared state. Magazine
+// hits charge the cheap kCycKmsgMagazineHit; only the batch refill/flush
+// path pays the depot's lock plus the full allocation cost, amortized over
+// the magazine depth.
+//
+// With magazine_depth == 0 the zone degenerates to the bare depot and
+// charges exactly (alloc_cost, free_cost) per element — byte-identical in
+// simulated time to the pre-zone freelist it replaces.
+//
+// The simulation interleaves all CPUs on one host thread, so no host
+// synchronization is needed; kCycZoneLock models what the real lock would
+// cost on the simulated machine.
+#ifndef MACHCONT_SRC_KERN_ZONE_H_
+#define MACHCONT_SRC_KERN_ZONE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/machine/cycle_model.h"
+
+namespace mkc {
+
+class Kernel;
+
+// Global (merged) counters for one zone, shaped like StackPoolStats.
+struct ZoneStats {
+  std::uint64_t allocs = 0;         // Elements handed out.
+  std::uint64_t frees = 0;          // Elements returned.
+  std::uint64_t magazine_hits = 0;  // Alloc or free served CPU-locally.
+  std::uint64_t refills = 0;        // Magazine refills from the depot.
+  std::uint64_t flushes = 0;        // Magazine spills back to the depot.
+  std::uint64_t created = 0;        // Fresh blocks carved from the host heap.
+  std::uint64_t in_use = 0;         // Elements currently out.
+  std::uint64_t high_water = 0;     // Max in_use ever seen.
+  // Modeled cycles charged by Alloc/Free — the allocation path's total
+  // simulated cost, the quantity bench_ipc_alloc gates on.
+  std::uint64_t alloc_cycles = 0;
+
+  double MagazineHitRate() const {
+    std::uint64_t ops = allocs + frees;
+    return ops == 0 ? 0.0
+                    : static_cast<double>(magazine_hits) / static_cast<double>(ops);
+  }
+};
+
+// Per-CPU shard counters (registered with the metrics registry when
+// ncpu > 1, mirroring the per-CPU stack-cache counters).
+struct ZoneCpuStats {
+  std::uint64_t magazine_hits = 0;
+  std::uint64_t refills = 0;
+  std::uint64_t flushes = 0;
+};
+
+class Zone {
+ public:
+  // `magazine_depth` elements are cached per CPU (0 disables magazines).
+  // The cycle costs parameterize the simulated price of each path: every
+  // depot element alloc/free charges alloc_cost/free_cost, a magazine hit
+  // charges hit_cost, and each refill/flush batch charges lock_cost once.
+  Zone(Kernel& kernel, std::string name, std::size_t elem_size,
+       std::size_t magazine_depth, Cycles alloc_cost, Cycles free_cost,
+       Cycles hit_cost = kCycKmsgMagazineHit, Cycles lock_cost = kCycZoneLock);
+  ~Zone();
+
+  Zone(const Zone&) = delete;
+  Zone& operator=(const Zone&) = delete;
+
+  // Returns a raw elem_size()-byte block. Never fails (the depot grows on
+  // demand); zone limits are the caller's policy, as with the kmsg
+  // in-flight cap in IpcSpace.
+  void* Alloc();
+  void Free(void* elem);
+
+  const std::string& name() const { return name_; }
+  std::size_t elem_size() const { return elem_size_; }
+  std::size_t magazine_depth() const { return magazine_depth_; }
+  const ZoneStats& stats() const { return stats_; }
+  ZoneStats& stats() { return stats_; }
+  const ZoneCpuStats& cpu_stats(int cpu) const {
+    return magazines_[static_cast<std::size_t>(cpu)].shard;
+  }
+  ZoneCpuStats& cpu_stats(int cpu) {
+    return magazines_[static_cast<std::size_t>(cpu)].shard;
+  }
+  // Host bytes backing this zone (Table 5 memory accounting).
+  std::uint64_t footprint_bytes() const {
+    return stats_.created * static_cast<std::uint64_t>(elem_size_);
+  }
+
+  // Clears the counters but preserves the live in-use count, exactly like
+  // StackPool::ResetStats, so the registry's views stay coherent across a
+  // bench's warmup reset.
+  void ResetStats();
+
+ private:
+  struct Magazine {
+    std::vector<void*> elems;  // LIFO: the cache-warm element is on top.
+    ZoneCpuStats shard;
+  };
+
+  // Pops a depot element, carving a fresh block when the free list is dry.
+  // Charges nothing; callers account the batch.
+  void* DepotPop();
+
+  Kernel& kernel_;
+  std::string name_;
+  std::size_t elem_size_;
+  std::size_t magazine_depth_;
+  Cycles alloc_cost_;
+  Cycles free_cost_;
+  Cycles hit_cost_;
+  Cycles lock_cost_;
+
+  std::vector<Magazine> magazines_;  // One per simulated CPU.
+  std::vector<void*> depot_;         // Global free list (LIFO).
+  std::vector<void*> blocks_;        // Every block ever carved; owned.
+  ZoneStats stats_;
+};
+
+}  // namespace mkc
+
+#endif  // MACHCONT_SRC_KERN_ZONE_H_

@@ -31,6 +31,16 @@ namespace mkc {
 struct Context {
   void* sp = nullptr;
 
+  // AddressSanitizer fiber bookkeeping (see context_asm.cc): the bounds of
+  // the stack this context runs on, and the ASan fake-stack handle of the
+  // suspended flow. Present in every build so the layout doesn't depend on
+  // compile flags; only sanitizer builds read them. reset() deliberately
+  // leaves them alone — a suspended flow reads its own fake-stack handle
+  // through the saved Context after the resumer has reset() the sp.
+  const void* asan_stack_bottom = nullptr;
+  std::size_t asan_stack_size = 0;
+  void* asan_fake_stack = nullptr;
+
   bool valid() const { return sp != nullptr; }
   void reset() { sp = nullptr; }
 };

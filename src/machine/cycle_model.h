@@ -56,6 +56,12 @@ inline constexpr Cycles kCycMsgCopyPerWord = 2;  // Load + store per body word.
 inline constexpr Cycles kCycMsgQueueOp = 15;     // Enqueue or dequeue a kmsg.
 inline constexpr Cycles kCycKmsgAlloc = 25;
 inline constexpr Cycles kCycKmsgFree = 10;
+// Zone allocation with per-CPU magazines (kern/zone.h). A magazine hit is a
+// couple of loads, a store and a bounds check on CPU-private state; taking
+// the shared zone lock to refill or flush pays the lock handshake on top of
+// the allocation/free work itself.
+inline constexpr Cycles kCycKmsgMagazineHit = 6;
+inline constexpr Cycles kCycZoneLock = 12;
 inline constexpr Cycles kCycRecognitionCheck = 6;  // Compare and branch.
 
 // Exception RPC pieces (request construction / reply interpretation, §2.5).

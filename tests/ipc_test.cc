@@ -287,6 +287,109 @@ TEST_P(IpcModelTest, FullQueueBlocksSenderUntilDrained) {
   EXPECT_EQ(row.discards, 0u);
 }
 
+// --- Generation-tagged port namespace ------------------------------------
+
+TEST(PortGenerationTest, StaleNameMissesAfterSlotReuse) {
+  KernelConfig config;
+  Kernel kernel(config);
+  Task* task = kernel.CreateTask("t");
+  IpcSpace& ipc = kernel.ipc();
+
+  PortId stale = ipc.AllocatePort(task);
+  ASSERT_NE(ipc.Lookup(stale), nullptr);
+  ipc.DestroyPort(stale);
+  EXPECT_EQ(ipc.Lookup(stale), nullptr);
+
+  // The slot is reused under a new generation: the fresh name resolves, the
+  // stale one still misses instead of aliasing the new port.
+  PortId fresh = ipc.AllocatePort(task);
+  ASSERT_NE(ipc.Lookup(fresh), nullptr);
+  EXPECT_NE(fresh, stale);
+  EXPECT_EQ(ipc.Lookup(stale), nullptr);
+}
+
+TEST(PortGenerationTest, SendToStaleNameFailsInvalidDest) {
+  KernelConfig config;
+  Kernel kernel(config);
+  Task* task = kernel.CreateTask("t");
+  static PortId stale_name;
+  static PortId fresh_name;
+  static KernReturn send_result;
+  stale_name = kernel.ipc().AllocatePort(task);
+  kernel.ipc().DestroyPort(stale_name);
+  fresh_name = kernel.ipc().AllocatePort(task);  // Reuses the slot.
+  kernel.CreateUserThread(
+      task,
+      [](void*) {
+        UserMessage msg;
+        msg.header.dest = stale_name;
+        send_result = UserMachMsg(&msg, kMsgSendOpt, 8, 0, kInvalidPort);
+      },
+      nullptr);
+  kernel.Run();
+  EXPECT_EQ(send_result, KernReturn::kSendInvalidDest);
+  // The reusing port never saw the stale send.
+  Port* fresh = kernel.ipc().Lookup(fresh_name);
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_EQ(fresh->messages.Size(), 0u);
+}
+
+TEST(PortGenerationTest, PortChurnKeepsTheTableBounded) {
+  KernelConfig config;
+  Kernel kernel(config);
+  Task* task = kernel.CreateTask("t");
+  IpcSpace& ipc = kernel.ipc();
+
+  // Allocate/destroy churn: with generations the freelist recycles slots,
+  // so the table stops growing after the first round.
+  constexpr int kLive = 8;
+  constexpr int kRounds = 100;
+  for (int round = 0; round < kRounds; ++round) {
+    PortId ids[kLive];
+    for (int i = 0; i < kLive; ++i) {
+      ids[i] = ipc.AllocatePort(task);
+    }
+    for (int i = 0; i < kLive; ++i) {
+      ipc.DestroyPort(ids[i]);
+    }
+  }
+  EXPECT_LE(ipc.port_table_size(), kLive);
+  EXPECT_EQ(ipc.port_slots_free(), ipc.port_table_size());
+}
+
+TEST(PortGenerationTest, LegacyModeGrowsTheTableAndPinsDeadPorts) {
+  KernelConfig config;
+  config.port_generations = false;
+  Kernel kernel(config);
+  Task* task = kernel.CreateTask("t");
+  IpcSpace& ipc = kernel.ipc();
+
+  PortId a = ipc.AllocatePort(task);
+  ipc.DestroyPort(a);
+  PortId b = ipc.AllocatePort(task);
+  // Legacy append-only namespace: no reuse, distinct slots, table grows.
+  EXPECT_NE(a, b);
+  EXPECT_EQ(ipc.port_table_size(), 2u);
+  EXPECT_EQ(ipc.port_slots_free(), 0u);
+  EXPECT_EQ(ipc.Lookup(a), nullptr);  // Dead, but the slot is never recycled.
+  EXPECT_NE(ipc.Lookup(b), nullptr);
+}
+
+TEST(PortGenerationTest, DestroyTaskPortsRecyclesEverySlot) {
+  KernelConfig config;
+  Kernel kernel(config);
+  Task* task = kernel.CreateTask("doomed");
+  IpcSpace& ipc = kernel.ipc();
+
+  for (int i = 0; i < 16; ++i) {
+    ipc.AllocatePort(task);
+  }
+  std::size_t table = ipc.port_table_size();
+  ipc.DestroyTaskPorts(task);
+  EXPECT_EQ(ipc.port_table_size(), table);  // Slots retained...
+  EXPECT_EQ(ipc.port_slots_free(), table);  // ...but all back on the freelist.
+}
+
 INSTANTIATE_TEST_SUITE_P(AllModels, IpcModelTest,
                          testing::Values(ControlTransferModel::kMach25,
                                          ControlTransferModel::kMK32,

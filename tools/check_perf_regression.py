@@ -8,7 +8,11 @@ bench/baselines/ and fails when:
   * smp_scaling: any CPU point's rpc_per_mtick (RPC round trips per million
     virtual ticks) drops more than --tolerance below baseline, or
   * table1_discards: any workload's lat.rpc.round_trip p99 grows more than
-    --tolerance above baseline.
+    --tolerance above baseline, or
+  * ipc_alloc: the kmsg-magazine win decays — any CPU point's magazines-on
+    alloc_cycles_per_msg grows more than --tolerance above baseline, or the
+    4-CPU reduction_pct falls below --min-alloc-reduction (the headline
+    "magazines pay for themselves" guarantee).
 
 Both signals are virtual-tick quantities, so for a fixed (config, seed,
 scale) they are bit-deterministic: any drift at all is a real code change,
@@ -109,15 +113,51 @@ def check_table1(base, cur, tolerance):
     return failures
 
 
+def check_ipc_alloc(base, cur, tolerance, min_reduction):
+    failures = []
+    base_points = {p["cpus"]: p for p in base["metrics"]["points"]}
+    cur_points = {p["cpus"]: p for p in cur["metrics"]["points"]}
+    if set(base_points) != set(cur_points):
+        sys.exit(
+            f"error: ipc_alloc: CPU points differ — baseline "
+            f"{sorted(base_points)} vs current {sorted(cur_points)}"
+        )
+    for cpus in sorted(base_points):
+        want = base_points[cpus]["magazines_on"]["alloc_cycles_per_msg"]
+        got = cur_points[cpus]["magazines_on"]["alloc_cycles_per_msg"]
+        reduction = cur_points[cpus]["reduction_pct"]
+        ceiling = want * (1.0 + tolerance)
+        status = "ok"
+        if got > ceiling:
+            status = "REGRESSION"
+            failures.append(
+                f"ipc_alloc @ {cpus} cpus: alloc_cycles_per_msg {got:.2f} > "
+                f"{ceiling:.2f} (baseline {want:.2f} + {tolerance:.0%})"
+            )
+        if cpus == 4 and reduction < min_reduction:
+            status = "REGRESSION"
+            failures.append(
+                f"ipc_alloc @ 4 cpus: reduction {reduction:.1f}% < "
+                f"{min_reduction:.0f}% floor"
+            )
+        print(
+            f"  ipc_alloc {cpus} cpus: alloc cyc/msg {got:.2f} "
+            f"(baseline {want:.2f}), reduction {reduction:.1f}% {status}"
+        )
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline-dir", required=True)
     ap.add_argument("--smp", help="current smp_scaling bench JSON")
     ap.add_argument("--table1", help="current table1_discards bench JSON")
+    ap.add_argument("--ipc-alloc", help="current ipc_alloc bench JSON")
     ap.add_argument("--tolerance", type=float, default=0.10)
+    ap.add_argument("--min-alloc-reduction", type=float, default=20.0)
     args = ap.parse_args()
-    if not args.smp and not args.table1:
-        ap.error("nothing to check: pass --smp and/or --table1")
+    if not args.smp and not args.table1 and not args.ipc_alloc:
+        ap.error("nothing to check: pass --smp, --table1 and/or --ipc-alloc")
 
     failures = []
     if args.smp:
@@ -130,6 +170,12 @@ def main():
         cur = load(args.table1)
         check_config_matches("table1_discards", base, cur)
         failures += check_table1(base, cur, args.tolerance)
+    if args.ipc_alloc:
+        base = load(os.path.join(args.baseline_dir, "ipc_alloc.json"))
+        cur = load(args.ipc_alloc)
+        check_config_matches("ipc_alloc", base, cur)
+        failures += check_ipc_alloc(base, cur, args.tolerance,
+                                    args.min_alloc_reduction)
 
     if failures:
         print("\nperf regression gate FAILED:", file=sys.stderr)

@@ -11,6 +11,8 @@
 //     --pages=N                      physical pages         (default 4096)
 //     --no-handoff                   disable stack handoff  (MK40 ablation)
 //     --no-recognition               disable recognition    (MK40 ablation)
+//     --no-kmsg-zones                disable kmsg magazine caching
+//     --no-port-gens                 disable generation-tagged port names
 //     --table                        print the Table 1/2 style breakdown
 //     --hist                         print the latency histogram summary
 //     --trace=N                      trace ring capacity (0 disables)
@@ -25,6 +27,7 @@
 #include <cstring>
 #include <string>
 
+#include "src/ipc/ipc_space.h"
 #include "src/machine/cycle_model.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace_export.h"
@@ -38,7 +41,8 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--workload=compile|build|dos|farm|rpc] [--model=mk40|mk32|mach25]\n"
                "          [--scale=N] [--cpus=N] [--seed=N] [--quantum=N] [--pages=N]\n"
-               "          [--no-handoff] [--no-recognition] [--table] [--hist]\n"
+               "          [--no-handoff] [--no-recognition] [--no-kmsg-zones] [--no-port-gens]\n"
+               "          [--table] [--hist]\n"
                "          [--trace=N] [--trace-out=FILE] [--metrics-json=FILE|-]\n",
                argv0);
   return 2;
@@ -63,6 +67,7 @@ struct ObsCapture {
   std::string trace_json;
   std::string hist_text;
   std::string cpu_text;
+  std::string zone_text;
   std::uint64_t trace_recorded = 0;
   std::uint64_t trace_retained = 0;
   std::uint64_t trace_overwritten = 0;
@@ -93,6 +98,23 @@ void CaptureObservability(mkc::Kernel& kernel, void* arg) {
                     static_cast<unsigned long long>(cpu.stack_cache_misses),
                     static_cast<unsigned long long>(cpu.idle_yields));
       cap->cpu_text += line;
+    }
+  }
+  if (kernel.config().ipc_kmsg_zones) {
+    // Per-zone summary; only when the zones flag is on so the legacy
+    // summary stays byte-identical under --no-kmsg-zones.
+    for (const mkc::Zone* zone :
+         {&kernel.ipc().kmsg_small_zone(), &kernel.ipc().kmsg_full_zone()}) {
+      const mkc::ZoneStats& zs = zone->stats();
+      char line[192];
+      std::snprintf(line, sizeof(line),
+                    "zone %-10s ... in-use=%llu high-water=%llu created=%llu "
+                    "magazine-hit-rate=%.1f%%\n",
+                    zone->name().c_str(), static_cast<unsigned long long>(zs.in_use),
+                    static_cast<unsigned long long>(zs.high_water),
+                    static_cast<unsigned long long>(zs.created),
+                    100.0 * zs.MagazineHitRate());
+      cap->zone_text += line;
     }
   }
   cap->trace_recorded = kernel.trace().recorded();
@@ -227,6 +249,10 @@ int main(int argc, char** argv) {
       config.enable_handoff = false;
     } else if (arg == "--no-recognition") {
       config.enable_recognition = false;
+    } else if (arg == "--no-kmsg-zones") {
+      config.ipc_kmsg_zones = false;
+    } else if (arg == "--no-port-gens") {
+      config.port_generations = false;
     } else if (arg == "--table") {
       table = true;
     } else if (arg == "--hist") {
@@ -284,6 +310,7 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(r.ipc.messages_sent),
                static_cast<unsigned long long>(r.ipc.fast_rpc_handoffs),
                static_cast<unsigned long long>(r.ipc.queued_sends));
+  std::fputs(cap.zone_text.c_str(), human);
   std::fprintf(human, "vm ................ %llu faults (%llu pageins, %llu pageouts)\n",
                static_cast<unsigned long long>(r.vm.user_faults),
                static_cast<unsigned long long>(r.vm.pageins),

@@ -1,0 +1,123 @@
+// Cross-node RPC throughput under packet loss: the canonical cluster RPC
+// workload (clients on node 0, echo servers on nodes 1..N-1) swept over link
+// drop rates. Every point is bit-deterministic for a fixed (scale, seed):
+// same sequence of drops, same retransmit schedule, same virtual time.
+//
+// The sweep shows the go-back-N protocol's cost curve: at drop=0 the wire
+// adds only serialization plus link latency per hop; as loss grows, head
+// timeouts resend whole windows and throughput decays smoothly — with zero
+// give-ups (no RPC dead-names) anywhere in the sweep.
+//
+// With MACHCONT_BENCH_JSON set, writes one JSON object with a point per
+// drop rate (the CI netipc perf gate parses it).
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/net/cluster.h"
+
+namespace mkc {
+namespace {
+
+constexpr int kNodes = 4;
+constexpr std::uint64_t kSeed = 7;
+
+struct PointResult {
+  std::uint32_t drop_per_mille = 0;
+  std::uint64_t rpcs = 0;
+  Ticks virtual_time = 0;
+  double rpc_per_mtick = 0.0;  // RPC round trips per million virtual ticks.
+  NetStats net;
+};
+
+PointResult RunPoint(std::uint32_t drop_per_mille, int scale) {
+  PointResult p;
+  p.drop_per_mille = drop_per_mille;
+
+  KernelConfig config;
+  config.seed = kSeed;
+  LinkConfig link;
+  link.drop_per_mille = drop_per_mille;
+  Cluster cluster(config, kNodes, link);
+
+  ClusterRpcParams params;
+  params.scale = scale;
+  ClusterReport r = RunClusterRpcWorkload(cluster, params);
+
+  p.rpcs = r.rpcs_ok;
+  p.virtual_time = r.virtual_time;
+  p.rpc_per_mtick = r.virtual_time > 0
+                        ? 1e6 * static_cast<double>(r.rpcs_ok) /
+                              static_cast<double>(r.virtual_time)
+                        : 0.0;
+  p.net = r.net;
+  if (r.rpcs_failed > 0) {
+    std::fprintf(stderr, "bench_netipc: %llu RPCs dead-named at drop=%u\n",
+                 static_cast<unsigned long long>(r.rpcs_failed), drop_per_mille);
+  }
+  return p;
+}
+
+int Main(int argc, char** argv) {
+  int scale = ScaleFromArgs(argc, argv, 10);
+  constexpr std::uint32_t kDropPoints[] = {0, 5, 10, 20};
+
+  std::printf(
+      "netipc: cross-node RPC throughput vs link loss "
+      "(%d nodes, scale %d, seed %llu)\n\n",
+      kNodes, scale, static_cast<unsigned long long>(kSeed));
+  std::printf("%9s %8s %14s %12s %8s %8s %8s %8s\n", "drop/1000", "RPCs",
+              "virtual ticks", "RPC/Mtick", "drops", "retx", "giveups",
+              "acks");
+
+  std::string point_json = "[";
+  double base = 0.0;
+  for (std::size_t i = 0; i < sizeof(kDropPoints) / sizeof(kDropPoints[0]);
+       ++i) {
+    PointResult p = RunPoint(kDropPoints[i], scale);
+    if (base == 0.0) {
+      base = p.rpc_per_mtick;
+    }
+    std::printf("%9u %8llu %14llu %12.2f %8llu %8llu %8llu %8llu\n",
+                p.drop_per_mille, static_cast<unsigned long long>(p.rpcs),
+                static_cast<unsigned long long>(p.virtual_time),
+                p.rpc_per_mtick, static_cast<unsigned long long>(p.net.drops),
+                static_cast<unsigned long long>(p.net.retransmits),
+                static_cast<unsigned long long>(p.net.give_ups),
+                static_cast<unsigned long long>(p.net.acks_rx));
+
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s{\"drop_per_mille\":%u,\"rpcs\":%llu,\"virtual_time\":%llu,"
+        "\"rpc_per_mtick\":%.4f,\"drops\":%llu,\"retransmits\":%llu,"
+        "\"give_ups\":%llu,\"packets_tx\":%llu,\"bytes_tx\":%llu}",
+        i == 0 ? "" : ",", p.drop_per_mille,
+        static_cast<unsigned long long>(p.rpcs),
+        static_cast<unsigned long long>(p.virtual_time), p.rpc_per_mtick,
+        static_cast<unsigned long long>(p.net.drops),
+        static_cast<unsigned long long>(p.net.retransmits),
+        static_cast<unsigned long long>(p.net.give_ups),
+        static_cast<unsigned long long>(p.net.packets_tx),
+        static_cast<unsigned long long>(p.net.bytes_tx));
+    point_json += buf;
+  }
+  point_json += "]";
+
+  std::printf("\nloss-free throughput %.2f RPC/Mtick; all points give_ups=0 "
+              "expected\n", base);
+
+  BenchJsonBuilder("netipc")
+      .Config("workload", "cluster_rpc")
+      .Config("nodes", kNodes)
+      .Config("scale", scale)
+      .Config("seed", static_cast<unsigned long long>(kSeed))
+      .MetricJson("points", point_json)
+      .Write();
+  return 0;
+}
+
+}  // namespace
+}  // namespace mkc
+
+int main(int argc, char** argv) { return mkc::Main(argc, argv); }

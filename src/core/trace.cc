@@ -36,6 +36,10 @@ const char* TraceEventName(TraceEvent event) {
       return "span-end";
     case TraceEvent::kSteal:
       return "steal";
+    case TraceEvent::kNetTx:
+      return "net-tx";
+    case TraceEvent::kNetRx:
+      return "net-rx";
   }
   return "unknown";
 }

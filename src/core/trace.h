@@ -36,6 +36,8 @@ enum class TraceEvent : std::uint8_t {
   kSpanBegin,        // aux = SpanKind; aux2 = parent span id (0 = root).
   kSpanEnd,          // aux = SpanKind.
   kSteal,            // aux = id of the stolen thread; aux2 = victim CPU.
+  kNetTx,            // aux = destination node; aux2 = wire bytes.
+  kNetRx,            // aux = source node; aux2 = wire bytes.
 };
 
 const char* TraceEventName(TraceEvent event);

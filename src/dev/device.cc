@@ -11,14 +11,12 @@ namespace {
 
 // Static continuation trampolines: one per registry slot, since kernel
 // thread bodies are bare function pointers (continuations take no
-// arguments; the device is recovered from the slot table).
-Device* g_device_slots[DeviceRegistry::kMaxDevices] = {};
-
+// arguments). The device is recovered through the active kernel's registry —
+// a service thread only ever runs while its own kernel is active, so the
+// slot index stays meaningful with multiple kernels in one process.
 template <int Slot>
 void DeviceServiceBody() {
-  Device* dev = g_device_slots[Slot];
-  MKC_ASSERT(dev != nullptr);
-  dev->ServiceStep();
+  ActiveKernel().devices().slot(Slot).ServiceStep();
   // ServiceStep ends with ThreadBlock; under the process-model kernels it
   // returns here and the kernel-thread runner loops.
 }
@@ -109,7 +107,6 @@ Device& DeviceRegistry::Add(std::string name, Ticks latency) {
   MKC_ASSERT_MSG(slot < kMaxDevices, "device registry full");
   devices_.push_back(std::make_unique<Device>(kernel_, std::move(name), latency));
   Device* dev = devices_.back().get();
-  g_device_slots[slot] = dev;
   kernel_.CreateKernelThread(dev->name() + "-intr", kServiceBodies[slot],
                              kNumPriorities - 3);
   return *dev;

@@ -89,6 +89,7 @@ class DeviceRegistry {
 
   Device& disk() { return *devices_[0]; }
   Device& nic() { return *devices_[1]; }
+  Device& slot(int i) { return *devices_[static_cast<std::size_t>(i)]; }
 
   Device& Add(std::string name, Ticks latency);
 

@@ -119,6 +119,11 @@ void IpcSpace::DestroyPort(PortId id) {
   if (port == nullptr) {
     return;
   }
+  if (death_hook_ != nullptr) {
+    // Dead-name notification while the port is still intact: the hook may
+    // look the port up but must not destroy ports itself.
+    death_hook_(death_hook_ctx_, id);
+  }
   port->alive = false;
   while (KMessage* kmsg = port->messages.DequeueHead()) {
     FreeKmsg(kmsg);

@@ -58,6 +58,17 @@ class IpcSpace {
   // names miss) and pushed on the freelist for O(1) reuse.
   void DestroyPort(PortId id);
 
+  // Dead-name notification: invoked at the top of DestroyPort for every port
+  // that actually dies, before its queues are flushed. The netipc server
+  // (src/net/netipc.h) uses this to garbage-collect proxy state — both the
+  // local tables and, via PORT_DEATH packets, the remote proxies pointing
+  // here — instead of leaking them. At most one hook per space.
+  using PortDeathHook = void (*)(void* ctx, PortId id);
+  void SetPortDeathHook(PortDeathHook hook, void* ctx) {
+    death_hook_ = hook;
+    death_hook_ctx_ = ctx;
+  }
+
   // Destroys every port owned by `task` (task termination).
   void DestroyTaskPorts(Task* task);
 
@@ -105,6 +116,8 @@ class IpcSpace {
   std::size_t kmsg_in_flight_ = 0;
   std::size_t kmsg_zone_limit_;
   IpcStats stats_;
+  PortDeathHook death_hook_ = nullptr;
+  void* death_hook_ctx_ = nullptr;
 };
 
 }  // namespace mkc

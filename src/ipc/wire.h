@@ -1,0 +1,64 @@
+// Wire (de)serialization for cross-node Mach IPC (src/net/netipc.h).
+//
+// A wire packet is a WireHeader optionally followed by the inline message
+// body. DATA packets carry a rewritten mach header (dest = the real port on
+// the destination node, reply = the reply port's home reference) plus the
+// body bytes and the size of any out-of-line payload; control packets (ACK,
+// DEAD, PORT_DEATH) are a bare header. Everything is fixed-width
+// little-struct layout copied with memcpy, so a packet round-trips
+// byte-exactly — including the PR-3 causal span id riding in the mach
+// header, which is how one RPC stays one span chain across nodes.
+#ifndef MACHCONT_SRC_IPC_WIRE_H_
+#define MACHCONT_SRC_IPC_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/ipc/message.h"
+
+namespace mkc {
+
+enum class WireKind : std::uint32_t {
+  kData = 1,       // A forwarded mach message; seq-numbered, retransmitted.
+  kAck = 2,        // Cumulative acknowledgement: seq = highest in-order seq.
+  kDead = 3,       // DATA `seq` was delivered to a dead port (also acks ≤ seq).
+  kPortDeath = 4,  // Port `seq` on src_node died: GC proxies for it.
+};
+
+struct WireHeader {
+  std::uint32_t kind = 0;        // WireKind.
+  std::uint32_t src_node = 0;    // Sending node id.
+  std::uint32_t seq = 0;         // Meaning depends on kind (see WireKind).
+  std::uint32_t reply_node = 0;  // DATA: node the mach reply port lives on.
+  std::uint32_t ool_size = 0;    // DATA: out-of-line payload bytes (0 = none).
+  MessageHeader mach;            // DATA: the forwarded mach header.
+};
+
+// The mach header is seven naturally-aligned 32-bit words and the wire
+// header five more; both layouts are padding-free, so memcpy round-trips
+// are byte-exact by construction.
+static_assert(sizeof(MessageHeader) == 28, "mach header layout drifted");
+static_assert(sizeof(WireHeader) == 48, "wire header layout drifted");
+
+inline constexpr std::uint32_t kWireHeaderBytes = sizeof(WireHeader);
+
+// Largest body a wire packet can carry: the whole packet must fit a
+// full-size kmsg element. Cross-node sends above this fail at the proxy
+// (documented in docs/INTERNALS.md).
+inline constexpr std::uint32_t kMaxWireBody = kMaxInlineBytes - kWireHeaderBytes;
+
+// Serializes `header` (+ `body_bytes` of `body`, DATA only) into `out`.
+// Returns the packet length, or 0 if it does not fit `out_capacity`.
+std::uint32_t WireSerialize(const WireHeader& header, const void* body,
+                            std::uint32_t body_bytes, std::byte* out,
+                            std::uint32_t out_capacity);
+
+// Parses a packet. On success `*header` is filled, `*body` points into
+// `bytes` (null for control packets) and `*body_bytes` is the body length.
+// Returns false for truncated or inconsistent packets.
+bool WireDeserialize(const std::byte* bytes, std::uint32_t len, WireHeader* header,
+                     const std::byte** body, std::uint32_t* body_bytes);
+
+}  // namespace mkc
+
+#endif  // MACHCONT_SRC_IPC_WIRE_H_

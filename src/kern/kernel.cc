@@ -75,6 +75,12 @@ Kernel::Kernel(const KernelConfig& config)
     cpus_.back()->run_queue.set_cpu(i);
   }
   current_cpu_ = cpus_[0].get();
+  if (config_.node_id > 0) {
+    // Partition the span-id space by node so one RPC's cross-node span chain
+    // never collides with another node's spans. Node 0 keeps the legacy base
+    // (1), so a single machine is byte-identical to the pre-cluster kernel.
+    next_span_id_ = (static_cast<std::uint32_t>(config_.node_id) << 24) + 1;
+  }
   trace_.Configure(config.trace_capacity);
   if (trace_.enabled()) {
     stack_pool_.SetTraceHook(&StackPoolTraceHook, this);
@@ -491,7 +497,7 @@ void Kernel::IdleContinuation() { ActiveKernel().IdleLoop(); }
     // Wait until this CPU has something to run: a local thread, or a remote
     // one it can steal (ThreadSelect does the actual stealing).
     while (cpu.run_queue.Empty() && !StealableWorkExists()) {
-      if (live_threads_ == 0 && OtherCpusParked()) {
+      if (cluster_ == nullptr && live_threads_ == 0 && OtherCpusParked()) {
         ShutdownFromIdle();
       }
       if (config_.ncpu > 1 && !OtherCpusParked()) {
@@ -503,7 +509,16 @@ void Kernel::IdleContinuation() { ActiveKernel().IdleLoop(); }
         cpu.in_idle_wait = false;
         continue;
       }
-      if (events_.Empty()) {
+      if (cluster_ != nullptr) {
+        // Clustered machine: the whole node is idle. Whether to drain our
+        // next event or to park (return from Run()) so a sibling node runs
+        // first is the cluster driver's call — it owns the global time
+        // frontier. Liveness is also cluster-wide; a pure-server node with
+        // zero local user threads must keep parking, not shut down.
+        if (events_.Empty() || !cluster_->MayRunNextEvent(*this)) {
+          ShutdownFromIdle();
+        }
+      } else if (events_.Empty()) {
         for (const auto& t : threads_) {
           std::fprintf(stderr,
                        "  thread %u state=%d reason=%s cont=%p stack=%p internal=%d idle=%d "

@@ -30,6 +30,21 @@ class IpcSpace;
 class VmSystem;
 struct ExtState;
 class DeviceRegistry;
+class NetIpc;
+class Kernel;
+
+// Arbitration interface a multi-node driver (net/cluster.h) installs on each
+// member kernel. A clustered kernel's idle loop consults the arbiter instead
+// of unilaterally draining its event queue or shutting down: the arbiter
+// decides whether this node may run its next virtual-time event now, or must
+// park (return from Run()) so another node — possibly with an earlier
+// deadline or runnable work — gets the host thread. This is what keeps N
+// per-node clocks forming one deterministic global frontier.
+class ClusterArbiter {
+ public:
+  virtual ~ClusterArbiter() = default;
+  virtual bool MayRunNextEvent(Kernel& node) = 0;
+};
 
 // Which kernel the simulation behaves as (§3.1):
 //   kMach25 — process model; messages always queued; receivers woken through
@@ -87,6 +102,15 @@ struct KernelConfig {
   // the slot in O(1) and bumps its generation so stale PortIds miss.
   // Disabled, dead slots accumulate forever (the legacy behavior).
   bool port_generations = true;
+
+  // --- Multi-node netipc (src/net/) --------------------------------------
+  // Number of simulated machines in the cluster and this kernel's position
+  // in it. With nnodes == 1 no net subsystem exists and every code path is
+  // exactly the single-machine kernel's (byte-identical output). Node ids
+  // partition the causal-span id space so cross-node span chains stay
+  // collision-free.
+  int nnodes = 1;
+  int node_id = 0;
 };
 
 // Stable pointers into the metrics registry for the hot-path latency
@@ -273,6 +297,19 @@ class Kernel {
   // this call does not return.
   void TerminateTask(Task* task);
 
+  // --- Multi-node cluster hooks (src/net/) -------------------------------
+  // Installed by the cluster driver on member kernels; never set for a
+  // standalone machine. The netipc server is per-node and owned by the
+  // driver — the kernel only holds a borrowed pointer so protocol
+  // continuations can reach their server through ActiveKernel().
+  void SetClusterArbiter(ClusterArbiter* arbiter) { cluster_ = arbiter; }
+  void SetNetIpc(NetIpc* netipc) { netipc_ = netipc; }
+  NetIpc* netipc() { return netipc_; }
+
+  // True when some thread could run right now (any CPU's queue non-empty).
+  // The cluster driver uses this to pick which parked node to resume.
+  bool HasRunnableWork() const { return TotalRunnable() > 0; }
+
   // --- Liveness / shutdown ----------------------------------------------
   std::uint64_t live_threads() const { return live_threads_; }
 
@@ -368,6 +405,9 @@ class Kernel {
   ThreadId next_thread_id_ = 1;
   TaskId next_task_id_ = 1;
   std::uint32_t next_span_id_ = 1;  // Monotonic causal-span allocator.
+
+  ClusterArbiter* cluster_ = nullptr;  // Set only on clustered kernels.
+  NetIpc* netipc_ = nullptr;           // Per-node netmsg server (borrowed).
 
   std::uint64_t live_threads_ = 0;  // Non-daemon user threads still alive.
   std::uint64_t machine_cycles_ = 0;  // Modeled kernel machine time.

@@ -1,0 +1,249 @@
+#include "src/net/cluster.h"
+
+#include <chrono>
+
+#include "src/base/panic.h"
+#include "src/ipc/ipc_space.h"
+#include "src/task/task.h"
+#include "src/task/usermode.h"
+
+namespace mkc {
+
+Cluster::Cluster(const KernelConfig& base, int nnodes, const LinkConfig& link) {
+  MKC_ASSERT(nnodes >= 2);
+  net_ = std::make_unique<Network>(link, base.seed ^ 0x6e657469ull, nnodes);
+  for (int i = 0; i < nnodes; ++i) {
+    KernelConfig cfg = base;
+    cfg.nnodes = nnodes;
+    cfg.node_id = i;
+    cfg.seed = base.seed + static_cast<std::uint64_t>(i);
+    nodes_.push_back(std::make_unique<Kernel>(cfg));
+  }
+  for (int i = 0; i < nnodes; ++i) {
+    netipcs_.push_back(std::make_unique<NetIpc>(*nodes_[static_cast<std::size_t>(i)],
+                                                i, *net_));
+  }
+  std::vector<NetIpc*> peers;
+  for (auto& n : netipcs_) {
+    peers.push_back(n.get());
+  }
+  for (auto& n : netipcs_) {
+    n->AttachPeers(peers);
+    n->kernel().SetClusterArbiter(this);
+  }
+}
+
+Ticks Cluster::VirtualTime() const {
+  Ticks t = 0;
+  for (const auto& n : nodes_) {
+    if (n->VirtualTime() > t) {
+      t = n->VirtualTime();
+    }
+  }
+  return t;
+}
+
+std::uint64_t Cluster::TotalLiveThreads() const {
+  std::uint64_t total = 0;
+  for (const auto& n : nodes_) {
+    total += n->live_threads();
+  }
+  return total;
+}
+
+NetStats Cluster::TotalNetStats() const {
+  NetStats total;
+  for (const auto& n : netipcs_) {
+    const NetStats& s = n->stats();
+    total.bytes_tx += s.bytes_tx;
+    total.bytes_rx += s.bytes_rx;
+    total.packets_tx += s.packets_tx;
+    total.packets_rx += s.packets_rx;
+    total.drops += s.drops;
+    total.dups += s.dups;
+    total.queue_full += s.queue_full;
+    total.retransmits += s.retransmits;
+    total.give_ups += s.give_ups;
+    total.acks_tx += s.acks_tx;
+    total.acks_rx += s.acks_rx;
+    total.dead_tx += s.dead_tx;
+    total.dead_rx += s.dead_rx;
+    total.rx_backpressure += s.rx_backpressure;
+    total.rx_dup_data += s.rx_dup_data;
+    total.msgs_out += s.msgs_out;
+    total.msgs_in += s.msgs_in;
+    total.proxy_gcs += s.proxy_gcs;
+    total.proxy_table += s.proxy_table;
+  }
+  return total;
+}
+
+Kernel* Cluster::PickEventNode() {
+  // Earliest pending event wins; node id breaks ties, so the schedule is a
+  // pure function of the event deadlines.
+  Kernel* best = nullptr;
+  Ticks best_deadline = 0;
+  for (auto& n : nodes_) {
+    if (n->events().Empty()) {
+      continue;
+    }
+    const Ticks d = n->events().NextDeadline();
+    if (best == nullptr || d < best_deadline) {
+      best = n.get();
+      best_deadline = d;
+    }
+  }
+  return best;
+}
+
+bool Cluster::MayRunNextEvent(Kernel& node) {
+  for (auto& n : nodes_) {
+    if (n.get() != &node && n->HasRunnableWork()) {
+      return false;  // A sibling has threads to run: yield the host first.
+    }
+  }
+  return PickEventNode() == &node;
+}
+
+void Cluster::RunInternal(bool drain) {
+  for (;;) {
+    Kernel* pick = nullptr;
+    for (auto& n : nodes_) {
+      if (n->HasRunnableWork()) {
+        pick = n.get();
+        break;
+      }
+    }
+    if (pick == nullptr) {
+      if (!drain && TotalLiveThreads() == 0) {
+        // Workload complete. Pending events are abandoned, not drained:
+        // they are protocol epilogue (final acks, stale retransmit timers)
+        // that Drain() runs out when a caller wants settled state.
+        return;
+      }
+      pick = PickEventNode();
+    }
+    if (pick == nullptr) {
+      if (TotalLiveThreads() == 0) {
+        return;  // Drained: no threads, no events anywhere.
+      }
+      Panic("cluster deadlock: %llu live threads, no runnable work, no events",
+            static_cast<unsigned long long>(TotalLiveThreads()));
+    }
+    // The node runs until its own idle loop decides — via MayRunNextEvent —
+    // that it should hand the host thread back.
+    pick->Run();
+  }
+}
+
+void Cluster::Run() { RunInternal(/*drain=*/false); }
+void Cluster::Drain() { RunInternal(/*drain=*/true); }
+
+// ---------------------------------------------------------------------------
+// The cross-node RPC workload.
+
+namespace {
+
+struct ClusterServerArgs {
+  PortId port = kInvalidPort;
+  std::uint32_t reply_size = 64;
+};
+
+// Same shape as the local workloads' echo server: between requests it is the
+// paper's archetypal blocked thread, here on the far side of the wire.
+void ClusterEchoServer(void* arg) {
+  auto* s = static_cast<ClusterServerArgs*>(arg);
+  UserMessage msg;
+  if (UserServeOnce(&msg, 0, s->port) != KernReturn::kSuccess) {
+    return;
+  }
+  for (;;) {
+    msg.header.dest = msg.header.reply;
+    if (UserServeOnce(&msg, s->reply_size, s->port) != KernReturn::kSuccess) {
+      return;
+    }
+  }
+}
+
+struct ClusterClientArgs {
+  PortId proxy = kInvalidPort;  // Local proxy for the remote service port.
+  PortId reply = kInvalidPort;
+  std::uint32_t requests = 0;
+  std::uint32_t body_bytes = 64;
+  Ticks work = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t failed = 0;
+};
+
+void ClusterClientThread(void* arg) {
+  auto* a = static_cast<ClusterClientArgs*>(arg);
+  UserMessage msg;
+  for (std::uint32_t i = 0; i < a->requests; ++i) {
+    msg.header = MessageHeader{};
+    msg.header.dest = a->proxy;
+    msg.header.msg_id = i;
+    if (UserRpc(&msg, a->body_bytes, a->reply) == KernReturn::kSuccess) {
+      ++a->ok;
+    } else {
+      ++a->failed;
+    }
+    if (a->work > 0) {
+      UserWork(a->work);
+    }
+  }
+}
+
+}  // namespace
+
+ClusterReport RunClusterRpcWorkload(Cluster& cluster, const ClusterRpcParams& params) {
+  const int nnodes = cluster.nnodes();
+  const int nservers = nnodes - 1;
+
+  // One echo server per non-client node, on its own task.
+  std::vector<ClusterServerArgs> servers(static_cast<std::size_t>(nservers));
+  for (int s = 0; s < nservers; ++s) {
+    Kernel& node = cluster.node(s + 1);
+    Task* task = node.CreateTask("netserver");
+    servers[static_cast<std::size_t>(s)].port = node.ipc().AllocatePort(task);
+    ThreadOptions daemon;
+    daemon.daemon = true;
+    daemon.priority = 20;
+    node.CreateUserThread(task, &ClusterEchoServer,
+                          &servers[static_cast<std::size_t>(s)], daemon);
+  }
+
+  // Clients on node 0, round-robined over the servers through proxy ports.
+  Kernel& front = cluster.node(0);
+  Task* client_task = front.CreateTask("netclient");
+  std::vector<ClusterClientArgs> clients(static_cast<std::size_t>(params.clients));
+  for (int c = 0; c < params.clients; ++c) {
+    auto& a = clients[static_cast<std::size_t>(c)];
+    const int target = c % nservers;
+    a.proxy = cluster.netipc(0).BindProxy(
+        target + 1, servers[static_cast<std::size_t>(target)].port);
+    a.reply = front.ipc().AllocatePort(client_task);
+    a.requests = params.requests_per_client * static_cast<std::uint32_t>(params.scale);
+    a.body_bytes = params.body_bytes;
+    a.work = params.client_work;
+    front.CreateUserThread(client_task, &ClusterClientThread, &a);
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  cluster.Run();
+  const Ticks done_at = cluster.VirtualTime();
+  cluster.Drain();  // Settle final acks and GC before reading the stats.
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+
+  ClusterReport report;
+  for (const auto& a : clients) {
+    report.rpcs_ok += a.ok;
+    report.rpcs_failed += a.failed;
+  }
+  report.virtual_time = done_at;
+  report.net = cluster.TotalNetStats();
+  report.wall_seconds = elapsed.count();
+  return report;
+}
+
+}  // namespace mkc

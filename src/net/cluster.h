@@ -1,0 +1,101 @@
+// The multi-node driver: N kernels, one deterministic global time frontier.
+//
+// A Cluster owns N Kernel instances (node_id 0..N-1, per-node seeds derived
+// from the base seed), the shared Network, and one NetIpc per node. Nodes
+// run strictly sequentially on the host thread — Kernel::Run() already
+// supports park/resume (a clustered idle loop parks instead of shutting
+// down) — and the cluster loop arbitrates who runs next:
+//
+//   1. any node with runnable threads runs (lowest node id first);
+//   2. else the node owning the earliest pending virtual-time event runs
+//      exactly that event (ties broken by node id);
+//   3. else, if no live user thread remains anywhere, the cluster is done.
+//
+// Rule 2 is also what Kernel consults mid-run through the ClusterArbiter
+// interface: an idle node may only drain its own event queue while it holds
+// the global minimum deadline. Together the rules make cross-node execution
+// a deterministic function of (configs, seeds) — same seed, byte-identical
+// metrics on every node.
+#ifndef MACHCONT_SRC_NET_CLUSTER_H_
+#define MACHCONT_SRC_NET_CLUSTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/kern/kernel.h"
+#include "src/net/link.h"
+#include "src/net/netipc.h"
+
+namespace mkc {
+
+class Cluster : public ClusterArbiter {
+ public:
+  // `base` is instantiated per node with node_id/seed adjusted (seed + i,
+  // so nodes make distinct local scheduling randomness; the network has its
+  // own stream).
+  Cluster(const KernelConfig& base, int nnodes, const LinkConfig& link = {});
+
+  int nnodes() const { return static_cast<int>(nodes_.size()); }
+  Kernel& node(int i) { return *nodes_[static_cast<std::size_t>(i)]; }
+  NetIpc& netipc(int i) { return *netipcs_[static_cast<std::size_t>(i)]; }
+  Network& network() { return *net_; }
+
+  // Runs the cluster until every non-daemon user thread on every node has
+  // exited (in-flight protocol traffic may still be pending).
+  void Run();
+
+  // Additionally runs out every pending virtual-time event (final acks,
+  // PORT_DEATH GC, stale timers) so protocol state settles for inspection.
+  void Drain();
+
+  // The cluster-wide time frontier: the max over the nodes' frontiers.
+  Ticks VirtualTime() const;
+
+  std::uint64_t TotalLiveThreads() const;
+
+  // Sum of every node's NetStats (proxy_table sums the live gauges).
+  NetStats TotalNetStats() const;
+
+  // ClusterArbiter: an idle `node` may run its next event only while no
+  // sibling has runnable work and it holds the earliest (deadline, id) pair.
+  bool MayRunNextEvent(Kernel& node) override;
+
+ private:
+  void RunInternal(bool drain);
+  Kernel* PickEventNode();
+
+  std::vector<std::unique_ptr<Kernel>> nodes_;
+  std::unique_ptr<Network> net_;
+  std::vector<std::unique_ptr<NetIpc>> netipcs_;  // Destroyed before nodes_.
+};
+
+// --- Canonical cross-node RPC workload -------------------------------------
+// Node 0 hosts `clients` client threads; every other node hosts one echo
+// server. Client i targets the server on node (i mod (nnodes-1)) + 1 through
+// a proxy port and runs `requests_per_client * scale` UserRpc round trips —
+// the same RPC shape as the local workloads, stretched across the wire.
+
+struct ClusterRpcParams {
+  int scale = 1;
+  int clients = 4;
+  std::uint32_t requests_per_client = 25;  // Scaled by `scale`.
+  std::uint32_t body_bytes = 64;
+  Ticks client_work = 1000;  // Client-side compute between RPCs.
+};
+
+struct ClusterReport {
+  std::uint64_t rpcs_ok = 0;
+  std::uint64_t rpcs_failed = 0;  // Dead-named after retransmit exhaustion.
+  Ticks virtual_time = 0;         // Frontier at workload completion (pre-drain).
+  NetStats net;                   // Summed over all nodes, post-drain.
+  double wall_seconds = 0.0;
+};
+
+// Builds the workload on `cluster` (which must be freshly constructed with
+// nnodes >= 2), runs and drains it.
+ClusterReport RunClusterRpcWorkload(Cluster& cluster, const ClusterRpcParams& params);
+
+}  // namespace mkc
+
+#endif  // MACHCONT_SRC_NET_CLUSTER_H_

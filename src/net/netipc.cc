@@ -1,0 +1,583 @@
+#include "src/net/netipc.h"
+
+#include <cstring>
+#include <string>
+
+#include "src/base/kern_return.h"
+#include "src/base/panic.h"
+#include "src/core/control.h"
+#include "src/ipc/ipc_space.h"
+#include "src/ipc/mach_msg.h"
+#include "src/ipc/ool.h"
+#include "src/ipc/port.h"
+#include "src/kern/kernel.h"
+#include "src/machine/cycle_model.h"
+#include "src/net/link.h"
+#include "src/task/task.h"
+#include "src/vm/object.h"
+#include "src/vm/vm_map.h"
+
+namespace mkc {
+namespace {
+
+// Copy cost for a wire (de)serialization or local re-injection, identical to
+// mach_msg's AccountCopy so a forwarded message is costed like a local one.
+void AccountNetCopy(Kernel& k, std::uint32_t bytes) {
+  std::uint64_t words = bytes / 8 + 2;
+  k.cost_model().Account(CostOp::kMsgCopy, words, words);
+  k.ChargeCycles(kCycMsgCopyBase + words * kCycMsgCopyPerWord);
+}
+
+}  // namespace
+
+void NetIpcRecvContinue() { ActiveKernel().netipc()->OutboundStep(); }
+void NetIpcAckContinue() { ActiveKernel().netipc()->EngineStep(); }
+
+NetIpc::NetIpc(Kernel& kernel, int node_id, Network& net)
+    : kernel_(kernel), node_id_(node_id), net_(net) {
+  task_ = kernel_.CreateTask("netmsg");
+  proxy_set_ = kernel_.ipc().AllocatePortSet(task_);
+  ack_port_ = kernel_.ipc().AllocatePort(task_);
+  // The two protocol threads. Their loop bodies double as their block
+  // continuations, so under MK40 an idle netmsg server holds zero kernel
+  // stacks — the paper's Table 5 economy applied to the network server.
+  out_thread_ = kernel_.CreateKernelThread("netipc-out", &NetIpcRecvContinue);
+  engine_thread_ = kernel_.CreateKernelThread("netipc-engine", &NetIpcAckContinue);
+  // CreateKernelThread makes taskless threads; these two receive messages
+  // (OOL regions land in the receiver's map), so give them the netmsg task.
+  out_thread_->task = task_;
+  engine_thread_->task = task_;
+  kernel_.ipc().SetPortDeathHook(&NetIpc::OnPortDeath, this);
+  kernel_.SetNetIpc(this);
+
+  // net.* metrics exist only on clustered kernels (NetIpc is constructed
+  // only when nnodes > 1), keeping single-node metrics JSON byte-identical.
+  auto& m = kernel_.metrics();
+  m.SetLabel("node", std::to_string(node_id_));
+  m.RegisterCounter("net.bytes_tx", &stats_.bytes_tx);
+  m.RegisterCounter("net.bytes_rx", &stats_.bytes_rx);
+  m.RegisterCounter("net.packets_tx", &stats_.packets_tx);
+  m.RegisterCounter("net.packets_rx", &stats_.packets_rx);
+  m.RegisterCounter("net.drops", &stats_.drops);
+  m.RegisterCounter("net.dups", &stats_.dups);
+  m.RegisterCounter("net.queue_full", &stats_.queue_full);
+  m.RegisterCounter("net.retransmits", &stats_.retransmits);
+  m.RegisterCounter("net.give_ups", &stats_.give_ups);
+  m.RegisterCounter("net.acks_tx", &stats_.acks_tx);
+  m.RegisterCounter("net.acks_rx", &stats_.acks_rx);
+  m.RegisterCounter("net.dead_tx", &stats_.dead_tx);
+  m.RegisterCounter("net.dead_rx", &stats_.dead_rx);
+  m.RegisterCounter("net.rx_backpressure", &stats_.rx_backpressure);
+  m.RegisterCounter("net.rx_dup_data", &stats_.rx_dup_data);
+  m.RegisterCounter("net.msgs_out", &stats_.msgs_out);
+  m.RegisterCounter("net.msgs_in", &stats_.msgs_in);
+  m.RegisterCounter("net.proxy_gcs", &stats_.proxy_gcs);
+  m.RegisterGauge("net.proxy_table", &stats_.proxy_table);
+}
+
+NetIpc::~NetIpc() {
+  kernel_.ipc().SetPortDeathHook(nullptr, nullptr);
+  kernel_.SetNetIpc(nullptr);
+  for (auto& [node, ch] : channels_) {
+    for (auto& entry : ch.unacked) {
+      kernel_.ipc().FreeKmsg(entry.kmsg);
+    }
+  }
+}
+
+PortId NetIpc::BindProxy(int node, PortId port) {
+  const auto key = std::make_pair(node, port);
+  auto it = remote_to_proxy_.find(key);
+  if (it != remote_to_proxy_.end()) {
+    return it->second;
+  }
+  PortId proxy = kernel_.ipc().AllocatePort(task_);
+  kernel_.ipc().AddToSet(proxy, proxy_set_);
+  remote_to_proxy_[key] = proxy;
+  proxy_out_[proxy] = RemoteRef{node, port};
+  stats_.proxy_table = proxy_out_.size();
+  return proxy;
+}
+
+// ---------------------------------------------------------------------------
+// Outbound: the netipc-out protocol thread.
+
+void NetIpc::OutboundStep() {
+  Kernel& k = kernel_;
+  Thread* self = out_thread_;
+  MKC_ASSERT(CurrentThread() == self);
+
+  auto& st = self->Scratch<MsgWaitState>();
+  if ((st.flags & kMsgWaitDirectComplete) != 0) {
+    // A local sender copied straight into out_buf_ (and, on the fast path,
+    // handed us its stack — recognition failed because our continuation is
+    // not mach_msg_continue, which is exactly how we end up running here).
+    st.flags = 0;
+    if (st.result == KernReturn::kSuccess) {
+      HandleOutboundDirect();
+    }
+  }
+
+  // Drain anything that went through the queued send path on a proxy port.
+  Port* set = k.ipc().Lookup(proxy_set_);
+  MKC_ASSERT(set != nullptr);
+  Port* from = nullptr;
+  while (PeekQueuedFor(set, &from) != nullptr) {
+    KMessage* kmsg = from->messages.DequeueHead();
+    k.TracePoint(TraceEvent::kIpcQueueDepth, from->id,
+                 static_cast<std::uint32_t>(from->messages.Size()));
+    ForwardMessage(kmsg->header, kmsg->body,
+                   static_cast<std::uint32_t>(kmsg->ool_size));
+    k.ipc().FreeKmsg(kmsg);  // Drops any captured OOL object with it.
+    if (Thread* sender = from->blocked_senders.DequeueHead()) {
+      sender->wait_result = KernReturn::kSuccess;
+      k.ThreadSetrun(sender);
+    }
+  }
+
+  // Nothing left: block in a fresh receive on the proxy set. Under MK40 the
+  // continuation discards this stack; the process models keep it and loop
+  // through KernelThreadRunner.
+  EnterReceiveWait(self, &out_buf_, proxy_set_, kMaxInlineBytes, 0, 0);
+  ThreadBlock(k.UsesContinuations() ? &NetIpcRecvContinue : nullptr,
+              BlockReason::kMessageReceive);
+}
+
+void NetIpc::HandleOutboundDirect() {
+  MessageHeader header = out_buf_.header;
+  std::uint32_t ool_size = 0;
+  if (MessageCarriesOol(header) && header.size >= sizeof(OolDescriptor)) {
+    // The direct send path already installed the OOL region into the netmsg
+    // task's map and rewrote the descriptor. We only forward its size — the
+    // receiving node re-materializes the region — so uninstall the local
+    // copy before it leaks.
+    OolDescriptor desc;
+    std::memcpy(&desc, out_buf_.body, sizeof(desc));
+    ool_size = static_cast<std::uint32_t>(desc.size);
+    VmSize removed = 0;
+    task_->map.Remove(desc.addr, &removed);
+  }
+  ForwardMessage(header, out_buf_.body, ool_size);
+}
+
+void NetIpc::ForwardMessage(const MessageHeader& header, const void* body,
+                            std::uint32_t ool_size) {
+  Kernel& k = kernel_;
+  auto it = proxy_out_.find(header.dest);
+  if (it == proxy_out_.end()) {
+    return;  // Not (or no longer) a proxy; the message has nowhere to go.
+  }
+  const int dst_node = it->second.node;
+
+  WireHeader wire;
+  wire.kind = static_cast<std::uint32_t>(WireKind::kData);
+  wire.src_node = static_cast<std::uint32_t>(node_id_);
+  wire.reply_node = static_cast<std::uint32_t>(node_id_);
+  wire.ool_size = ool_size;
+  wire.mach = header;
+  wire.mach.dest = it->second.port;
+
+  // Rewrite the reply right for the wire: a proxy reply port forwards to
+  // its true home; a genuine local port is exported by name so the remote
+  // node can bind a proxy back to us (and so we can broadcast its death).
+  PortId local_reply = kInvalidPort;
+  if (header.reply != kInvalidPort) {
+    auto rit = proxy_out_.find(header.reply);
+    if (rit != proxy_out_.end()) {
+      wire.reply_node = static_cast<std::uint32_t>(rit->second.node);
+      wire.mach.reply = rit->second.port;
+    } else {
+      exported_[header.reply].insert(dst_node);
+      local_reply = header.reply;
+    }
+  }
+
+  if (header.size > kMaxWireBody) {
+    // Too big for one wire packet: fail the sender dead-name style, the
+    // same way an exhausted retransmit budget does.
+    ++stats_.give_ups;
+    FailEntry(Unacked{nullptr, 0, local_reply, 0, 0});
+    return;
+  }
+
+  Channel& ch = channels_[dst_node];
+  wire.seq = ch.tx_next++;
+
+  // The serialized packet lives in a zone kmsg until acked, so retransmits
+  // reuse the bytes. May block on zone exhaustion (kMemoryAlloc) — we are a
+  // kernel thread, that is fine.
+  KMessage* wk = k.ipc().AllocKmsg(kWireHeaderBytes + header.size);
+  std::uint32_t len = WireSerialize(wire, body, header.size, wk->body,
+                                    wk->body_capacity);
+  MKC_ASSERT(len != 0);
+  wk->header.size = len;
+  AccountNetCopy(k, header.size);
+
+  ch.unacked.push_back(Unacked{wk, wire.seq, local_reply,
+                               k.clock().Now() + kNetRetransmitBase, 1});
+  ++stats_.msgs_out;
+  k.TracePointSpan(header.span, TraceEvent::kNetTx,
+                   static_cast<std::uint32_t>(dst_node), len);
+  net_.Transmit(*this, *peers_[static_cast<std::size_t>(dst_node)], wk->body, len);
+  // The engine may be parked in an untimed receive (it had nothing unacked
+  // when it last blocked): wake it so it arms the retransmit deadline.
+  KickEngine();
+}
+
+// ---------------------------------------------------------------------------
+// Inbound: packet arrival (event context) and the netipc-engine thread.
+
+void NetIpc::DeliverWire(const std::byte* bytes, std::uint32_t len) {
+  Kernel& k = kernel_;
+  ++stats_.packets_rx;
+  stats_.bytes_rx += len;
+
+  // Hand the packet to the engine thread as a message on the ack port, so
+  // all protocol work happens in thread context (this runs inside a
+  // virtual-time event and must not block).
+  Port* ap = k.ipc().Lookup(ack_port_);
+  MKC_ASSERT(ap != nullptr);
+  MessageHeader h;
+  h.dest = ack_port_;
+  h.size = len;
+  if (Thread* receiver = PopEligibleReceiver(ap, len)) {
+    DeliverDirect(receiver, h, bytes);
+    k.ThreadSetrun(receiver);
+    if (receiver == engine_thread_) {
+      engine_waiting_ = false;
+    }
+    return;
+  }
+  if (ap->messages.Size() >= ap->qlimit) {
+    ++stats_.rx_backpressure;  // Engine swamped: drop, sender retransmits.
+    return;
+  }
+  KMessage* kmsg = k.ipc().TryAllocKmsg(len);
+  if (kmsg == nullptr) {
+    ++stats_.rx_backpressure;
+    return;
+  }
+  kmsg->header = h;
+  std::memcpy(kmsg->body, bytes, len);
+  AccountNetCopy(k, len);
+  ap->messages.EnqueueTail(kmsg);
+  k.ChargeCycles(kCycMsgQueueOp);
+}
+
+void NetIpc::EngineStep() {
+  Kernel& k = kernel_;
+  Thread* self = engine_thread_;
+  MKC_ASSERT(CurrentThread() == self);
+  engine_waiting_ = false;
+
+  auto& st = self->Scratch<MsgWaitState>();
+  if ((st.flags & kMsgWaitDirectComplete) != 0) {
+    st.flags = 0;
+    if (st.result == KernReturn::kSuccess) {
+      HandleWirePacket(engine_buf_.body, engine_buf_.header.size);
+    }
+    // kRcvTimedOut is the retransmit timer firing — fall through to the
+    // scan. This is the satellite's point: the timeout resumes us through
+    // NetIpcAckContinue on a fresh stack, not by unwinding a saved one.
+  }
+
+  Port* ap = k.ipc().Lookup(ack_port_);
+  MKC_ASSERT(ap != nullptr);
+  while (KMessage* kmsg = ap->messages.DequeueHead()) {
+    HandleWirePacket(kmsg->body, kmsg->header.size);
+    k.ipc().FreeKmsg(kmsg);
+  }
+
+  RetransmitScan();
+
+  // Block until the next packet or the earliest retransmit deadline. No
+  // deadline → wait forever (KickEngine re-arms us when traffic restarts),
+  // so an idle cluster schedules no events and can terminate.
+  Ticks next = 0;
+  for (auto& [node, ch] : channels_) {
+    for (auto& entry : ch.unacked) {
+      if (next == 0 || entry.deadline < next) {
+        next = entry.deadline;
+      }
+    }
+  }
+  Ticks timeout = 0;
+  if (next != 0) {
+    const Ticks now = k.clock().Now();
+    timeout = next > now ? next - now : 1;
+  }
+  engine_waiting_ = true;
+  EnterReceiveWait(self, &engine_buf_, ack_port_, kMaxInlineBytes, 0, timeout);
+  ThreadBlock(k.UsesContinuations() ? &NetIpcAckContinue : nullptr,
+              BlockReason::kMessageReceive);
+}
+
+void NetIpc::KickEngine() {
+  if (!engine_waiting_ || engine_thread_->state != ThreadState::kWaiting) {
+    return;
+  }
+  Port* ap = kernel_.ipc().Lookup(ack_port_);
+  if (ap != nullptr &&
+      IntrusiveQueue<Thread, &Thread::ipc_link>::OnAQueue(engine_thread_)) {
+    ap->receivers.Remove(engine_thread_);
+  }
+  engine_waiting_ = false;
+  kernel_.ThreadSetrun(engine_thread_);  // Spurious wake: EngineStep re-arms.
+}
+
+void NetIpc::HandleWirePacket(const std::byte* bytes, std::uint32_t len) {
+  WireHeader wire;
+  const std::byte* body = nullptr;
+  std::uint32_t body_bytes = 0;
+  if (!WireDeserialize(bytes, len, &wire, &body, &body_bytes)) {
+    return;
+  }
+  const int src = static_cast<int>(wire.src_node);
+  Channel& ch = channels_[src];
+
+  switch (static_cast<WireKind>(wire.kind)) {
+    case WireKind::kData: {
+      if (wire.seq != ch.rx_expected) {
+        // A duplicate (retransmit raced our ack) or a gap (an earlier DATA
+        // is still in flight or lost). Either way, re-ack what we have so
+        // the sender's window advances or retransmits precisely.
+        if (wire.seq < ch.rx_expected) {
+          ++stats_.rx_dup_data;
+        }
+        SendControl(src, WireKind::kAck, ch.rx_expected - 1);
+        return;
+      }
+      switch (InjectLocal(wire, body)) {
+        case InjectResult::kOk:
+          ++ch.rx_expected;
+          SendControl(src, WireKind::kAck, ch.rx_expected - 1);
+          break;
+        case InjectResult::kDead:
+          ++ch.rx_expected;  // Consumed, but the destination port is gone.
+          SendControl(src, WireKind::kDead, wire.seq);
+          break;
+        case InjectResult::kBackpressure:
+          ++stats_.rx_backpressure;  // No ack: the sender will retransmit.
+          break;
+      }
+      return;
+    }
+    case WireKind::kAck:
+      ++stats_.acks_rx;
+      PopAcked(ch, wire.seq, /*fail_exact=*/false);
+      return;
+    case WireKind::kDead:
+      ++stats_.dead_rx;
+      PopAcked(ch, wire.seq, /*fail_exact=*/true);
+      return;
+    case WireKind::kPortDeath: {
+      auto it = remote_to_proxy_.find(std::make_pair(src, wire.seq));
+      if (it != remote_to_proxy_.end()) {
+        PortId proxy = it->second;
+        remote_to_proxy_.erase(it);
+        proxy_out_.erase(proxy);
+        ++stats_.proxy_gcs;
+        stats_.proxy_table = proxy_out_.size();
+        // Maps first, then the port: DestroyPort re-enters OnPortDeath,
+        // which must find nothing.
+        kernel_.ipc().DestroyPort(proxy);
+      }
+      return;
+    }
+  }
+}
+
+NetIpc::InjectResult NetIpc::InjectLocal(const WireHeader& wire,
+                                         const std::byte* body) {
+  Kernel& k = kernel_;
+  Port* port = k.ipc().Lookup(wire.mach.dest);
+  if (port == nullptr) {
+    return InjectResult::kDead;
+  }
+
+  MessageHeader h = wire.mach;
+  if (h.reply != kInvalidPort && static_cast<int>(wire.reply_node) != node_id_) {
+    // Bind (or reuse) a proxy for the sender's reply port, so the local
+    // server's reply takes the same transparent path back.
+    h.reply = BindProxy(static_cast<int>(wire.reply_node), wire.mach.reply);
+  }
+
+  // From here this is a genuine local mach_msg send, costed as one.
+  k.ChargeCycles(kCycMsgPhaseBase + kCycPortLookup);
+  ++k.ipc().stats().messages_sent;
+  ++stats_.msgs_in;
+  k.TracePointSpan(h.span, TraceEvent::kNetRx, wire.src_node,
+                   kWireHeaderBytes + h.size);
+
+  const bool mach25 = k.model() == ControlTransferModel::kMach25;
+  if (!mach25) {
+    Thread* receiver = PopReceiverForDelivery(port, h.size);
+    if (receiver != nullptr &&
+        (receiver->Scratch<MsgWaitState>().flags & kMsgWaitKernelEndpoint) != 0) {
+      // Kernel-endpoint waiters (exception replies) are not netipc's to
+      // complete; put it back and fall to the queue.
+      port->receivers.EnqueueHead(receiver);
+      receiver = nullptr;
+    }
+    if (receiver != nullptr) {
+      h.seqno = port->next_seqno++;
+      DeliverDirect(receiver, h, body);
+      if (MessageCarriesOol(h) && wire.ool_size > 0) {
+        // Re-materialize the OOL region receiver-side. Its pages are
+        // zero-fill: the simulation does not model remote paging, so the
+        // copy-on-reference contents stay behind on the sending node.
+        auto object = std::make_unique<VmObject>(VmBacking::kZeroFill,
+                                                 PageRound(wire.ool_size));
+        OolDescriptor desc;
+        desc.size = wire.ool_size;
+        desc.addr = OolInstall(k, receiver->task, std::move(object), desc.size);
+        std::memcpy(receiver->Scratch<MsgWaitState>().user_buffer->body, &desc,
+                    sizeof(desc));
+      }
+      k.ThreadSetrunOn(receiver, k.processor().id);
+      return InjectResult::kOk;
+    }
+  }
+
+  // Queued path. Unlike a local sender we cannot block on a full queue or
+  // an empty zone — we are the engine thread, and stalling it would stall
+  // every channel — so both become backpressure: no ack, sender retransmits.
+  if (port->messages.Size() >= port->qlimit) {
+    return InjectResult::kBackpressure;
+  }
+  KMessage* kmsg = k.ipc().TryAllocKmsg(h.size);
+  if (kmsg == nullptr) {
+    return InjectResult::kBackpressure;
+  }
+  kmsg->header = h;
+  std::memcpy(kmsg->body, body, h.size);
+  AccountNetCopy(k, h.size);
+  if (MessageCarriesOol(h) && wire.ool_size > 0) {
+    kmsg->ool_object = new VmObject(VmBacking::kZeroFill, PageRound(wire.ool_size));
+    kmsg->ool_size = wire.ool_size;
+  }
+  Thread* receiver = mach25 ? PopReceiverForDelivery(port, h.size) : nullptr;
+  port->messages.EnqueueTail(kmsg);
+  k.TracePoint(TraceEvent::kIpcQueueDepth, port->id,
+               static_cast<std::uint32_t>(port->messages.Size()));
+  k.ChargeCycles(kCycMsgQueueOp);
+  ++k.ipc().stats().queued_sends;
+  if (receiver != nullptr) {
+    k.ThreadSetrunOn(receiver, k.processor().id);
+  }
+  return InjectResult::kOk;
+}
+
+void NetIpc::SendControl(int dst_node, WireKind kind, std::uint32_t seq) {
+  WireHeader wire;
+  wire.kind = static_cast<std::uint32_t>(kind);
+  wire.src_node = static_cast<std::uint32_t>(node_id_);
+  wire.seq = seq;
+  std::byte buf[kWireHeaderBytes];
+  std::uint32_t len = WireSerialize(wire, nullptr, 0, buf, sizeof(buf));
+  MKC_ASSERT(len == kWireHeaderBytes);
+  if (kind == WireKind::kAck) {
+    ++stats_.acks_tx;
+  } else if (kind == WireKind::kDead) {
+    ++stats_.dead_tx;
+  }
+  net_.Transmit(*this, *peers_[static_cast<std::size_t>(dst_node)], buf, len);
+}
+
+void NetIpc::PopAcked(Channel& ch, std::uint32_t seq, bool fail_exact) {
+  while (!ch.unacked.empty() && ch.unacked.front().seq <= seq) {
+    Unacked entry = ch.unacked.front();
+    ch.unacked.pop_front();
+    if (fail_exact && entry.seq == seq) {
+      FailEntry(entry);  // The remote destination died: dead-name the sender.
+    }
+    kernel_.ipc().FreeKmsg(entry.kmsg);
+  }
+}
+
+void NetIpc::FailEntry(const Unacked& entry) {
+  if (entry.local_reply == kInvalidPort) {
+    return;
+  }
+  Port* port = kernel_.ipc().Lookup(entry.local_reply);
+  if (port == nullptr) {
+    return;
+  }
+  // Dead-name style: whoever is waiting for the reply learns the RPC died.
+  while (Thread* receiver = port->receivers.DequeueHead()) {
+    auto& st = receiver->Scratch<MsgWaitState>();
+    st.result = KernReturn::kRcvPortDied;
+    st.flags |= kMsgWaitDirectComplete;
+    kernel_.ThreadSetrun(receiver);
+  }
+}
+
+void NetIpc::RetransmitScan() {
+  const Ticks now = kernel_.clock().Now();
+  for (auto& [node, ch] : channels_) {
+    if (ch.unacked.empty() || ch.unacked.front().deadline > now) {
+      continue;  // Entries behind the head are never due before it.
+    }
+    // Older entries have at least as many attempts as newer ones, so
+    // exhausted entries cluster at the head.
+    while (!ch.unacked.empty() &&
+           ch.unacked.front().attempts >= kNetMaxSendAttempts) {
+      ++stats_.give_ups;
+      FailEntry(ch.unacked.front());
+      kernel_.ipc().FreeKmsg(ch.unacked.front().kmsg);
+      ch.unacked.pop_front();
+    }
+    if (ch.unacked.empty()) {
+      continue;
+    }
+    // Go-back-N: the receiver discarded everything after the lost packet, so
+    // resend the whole window on the head's timeout — one timeout per loss,
+    // not one per in-flight packet.
+    for (auto& entry : ch.unacked) {
+      ++stats_.retransmits;
+      ++entry.attempts;
+      net_.Transmit(*this, *peers_[static_cast<std::size_t>(node)],
+                    entry.kmsg->body, entry.kmsg->header.size);
+    }
+    std::uint32_t shift = ch.unacked.front().attempts - 1;
+    if (shift > kNetMaxBackoffShift) {
+      shift = kNetMaxBackoffShift;
+    }
+    const Ticks deadline = now + (kNetRetransmitBase << shift);
+    for (auto& entry : ch.unacked) {
+      entry.deadline = deadline;
+    }
+  }
+}
+
+void NetIpc::OnPortDeath(void* ctx, PortId id) {
+  NetIpc* self = static_cast<NetIpc*>(ctx);
+  auto pit = self->proxy_out_.find(id);
+  if (pit != self->proxy_out_.end()) {
+    // A local proxy died: forget the binding (a later BindProxy for the
+    // same remote port mints a fresh proxy).
+    self->remote_to_proxy_.erase(
+        std::make_pair(pit->second.node, pit->second.port));
+    self->proxy_out_.erase(pit);
+    self->stats_.proxy_table = self->proxy_out_.size();
+  }
+  auto eit = self->exported_.find(id);
+  if (eit != self->exported_.end()) {
+    // A port some peer holds a proxy for died: broadcast PORT_DEATH so the
+    // remote entries are reclaimed, not leaked. Fire and forget — a lost
+    // packet only delays GC until the remote proxy dies on its own.
+    for (int node : eit->second) {
+      WireHeader wire;
+      wire.kind = static_cast<std::uint32_t>(WireKind::kPortDeath);
+      wire.src_node = static_cast<std::uint32_t>(self->node_id_);
+      wire.seq = id;
+      std::byte buf[kWireHeaderBytes];
+      std::uint32_t len = WireSerialize(wire, nullptr, 0, buf, sizeof(buf));
+      self->net_.Transmit(*self, *self->peers_[static_cast<std::size_t>(node)],
+                          buf, len);
+    }
+    self->exported_.erase(eit);
+  }
+}
+
+}  // namespace mkc

@@ -1,0 +1,191 @@
+// The netmsg server: transparent cross-node Mach IPC (the paper's §3
+// communication machinery stretched over a lossy network).
+//
+// Each node runs one NetIpc instance with two protocol threads, both
+// created with CreateKernelThread and both blocking **with continuations**
+// under MK40 — an idle proxy holds no kernel stack, which is the whole
+// point (§3.3, Table 5):
+//
+//   netipc-out ("netipc_recv_continue")
+//     Blocks in mach_msg receive on the proxy port *set*. A local send to
+//     any proxy port wakes it (on the fast path the sender's stack is
+//     handed off and continuation recognition *fails* — NetIpcRecvContinue
+//     is not mach_msg_continue — so the continuation runs on the donated
+//     stack). It serializes the message (header, inline body, OOL size,
+//     PR-3 span id) into a wire kmsg from the PR-4 zones, records it
+//     unacked, and transmits.
+//
+//   netipc-engine ("netipc_ack_continue")
+//     Blocks in mach_msg receive on the ack port with a *timeout* — the
+//     retransmit deadline. Inbound wire packets (DATA/ACK/DEAD/PORT_DEATH)
+//     are delivered to the ack port by the network's virtual-time events;
+//     timeouts drive retransmission with exponential backoff, and after
+//     kMaxSendAttempts the entry is failed back to the local sender in
+//     dead-name style (kRcvPortDied on its reply port).
+//
+// Proxy ports: BindProxy(node, port) allocates a local port owned by the
+// netmsg task and maps it to the remote (node, port) pair. Reply ports are
+// exported implicitly: a DATA packet carries (reply_node, reply_port) and
+// the receiving node binds its own proxy for them, so `UserRpc` round
+// trips work unchanged in both directions. DestroyPort's dead-name hook
+// GCs proxy state instead of leaking it (PORT_DEATH packets, fire and
+// forget — a lost one only delays GC until the sender-side proxy dies too).
+#ifndef MACHCONT_SRC_NET_NETIPC_H_
+#define MACHCONT_SRC_NET_NETIPC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "src/base/types.h"
+#include "src/ipc/message.h"
+#include "src/ipc/wire.h"
+
+namespace mkc {
+
+class Kernel;
+class Network;
+struct Task;
+struct Thread;
+
+// Wire-protocol tuning. Virtual ticks; the base deadline comfortably covers
+// one round trip at default link latency so a lossless link never
+// retransmits.
+inline constexpr Ticks kNetRetransmitBase = 30000;
+inline constexpr std::uint32_t kNetMaxSendAttempts = 6;
+inline constexpr std::uint32_t kNetMaxBackoffShift = 5;
+
+struct NetStats {
+  std::uint64_t bytes_tx = 0;
+  std::uint64_t bytes_rx = 0;
+  std::uint64_t packets_tx = 0;
+  std::uint64_t packets_rx = 0;
+  std::uint64_t drops = 0;        // Packets the link randomly lost.
+  std::uint64_t dups = 0;         // Packets the link duplicated.
+  std::uint64_t queue_full = 0;   // Packets dropped at a full link queue.
+  std::uint64_t retransmits = 0;
+  std::uint64_t give_ups = 0;     // Unacked entries failed after max attempts.
+  std::uint64_t acks_tx = 0;
+  std::uint64_t acks_rx = 0;
+  std::uint64_t dead_tx = 0;      // DEAD replies sent (remote port gone).
+  std::uint64_t dead_rx = 0;
+  std::uint64_t rx_backpressure = 0;  // In-order DATA dropped unacked (no kmsg/queue room).
+  std::uint64_t rx_dup_data = 0;      // Already-delivered DATA re-acked.
+  std::uint64_t msgs_out = 0;     // Local messages forwarded off-node.
+  std::uint64_t msgs_in = 0;      // Wire messages re-injected locally.
+  std::uint64_t proxy_gcs = 0;    // Proxy entries reclaimed via PORT_DEATH.
+  std::uint64_t proxy_table = 0;  // Gauge: live local proxy ports.
+};
+
+class NetIpc {
+ public:
+  NetIpc(Kernel& kernel, int node_id, Network& net);
+  ~NetIpc();
+
+  NetIpc(const NetIpc&) = delete;
+  NetIpc& operator=(const NetIpc&) = delete;
+
+  // Gives this node the full cluster membership (indexed by node id).
+  // Must be called on every node before any cross-node traffic.
+  void AttachPeers(std::vector<NetIpc*> peers) { peers_ = std::move(peers); }
+
+  // Returns a local proxy port whose messages are forwarded to `port` on
+  // `node`, binding one if none exists. Pure data — callable before Run().
+  PortId BindProxy(int node, PortId port);
+
+  // Network-facing entry: a wire packet arrived at this node (called from a
+  // virtual-time event; must not block).
+  void DeliverWire(const std::byte* bytes, std::uint32_t len);
+
+  Kernel& kernel() { return kernel_; }
+  int node_id() const { return node_id_; }
+  NetStats& stats() { return stats_; }
+  const NetStats& stats() const { return stats_; }
+  std::size_t proxy_count() const { return proxy_out_.size(); }
+  Thread* out_thread() { return out_thread_; }
+  Thread* engine_thread() { return engine_thread_; }
+
+  // Protocol-thread bodies (reached via the NetIpcRecvContinue /
+  // NetIpcAckContinue continuations). Each processes one wakeup's worth of
+  // work and ends blocked in a fresh receive wait.
+  void OutboundStep();
+  void EngineStep();
+
+ private:
+  struct RemoteRef {
+    int node = 0;
+    PortId port = kInvalidPort;
+  };
+
+  // A transmitted DATA packet awaiting acknowledgement. The wire bytes live
+  // in a zone kmsg body so retransmission needs no re-serialization.
+  struct Unacked {
+    KMessage* kmsg = nullptr;
+    std::uint32_t seq = 0;
+    PortId local_reply = kInvalidPort;  // Who to fail if we give up.
+    Ticks deadline = 0;
+    std::uint32_t attempts = 0;
+  };
+
+  // Per-peer reliable channel state.
+  struct Channel {
+    std::uint32_t tx_next = 1;      // Next DATA seq to assign.
+    std::uint32_t rx_expected = 1;  // Next in-order DATA seq to accept.
+    std::deque<Unacked> unacked;    // In seq order.
+  };
+
+  enum class InjectResult { kOk, kDead, kBackpressure };
+
+  void HandleOutboundDirect();
+  void ForwardMessage(const MessageHeader& header, const void* body,
+                      std::uint32_t ool_size);
+  void HandleWirePacket(const std::byte* bytes, std::uint32_t len);
+  InjectResult InjectLocal(const WireHeader& wire, const std::byte* body);
+  void SendControl(int dst_node, WireKind kind, std::uint32_t seq);
+  void PopAcked(Channel& ch, std::uint32_t seq, bool fail_exact);
+  void FailEntry(const Unacked& entry);
+  void RetransmitScan();
+  void BlockInReceive(PortId port, UserMessage* buffer, Ticks timeout,
+                      bool is_engine);
+  void KickEngine();
+  static void OnPortDeath(void* ctx, PortId id);
+
+  Kernel& kernel_;
+  int node_id_;
+  Network& net_;
+  std::vector<NetIpc*> peers_;
+
+  Task* task_ = nullptr;           // The "netmsg" task: owns proxy ports.
+  PortId proxy_set_ = kInvalidPort;
+  PortId ack_port_ = kInvalidPort;
+  Thread* out_thread_ = nullptr;
+  Thread* engine_thread_ = nullptr;
+  UserMessage out_buf_;
+  UserMessage engine_buf_;
+  bool engine_waiting_ = false;    // Engine parked in its timed receive.
+
+  // Deterministic (ordered) proxy state. proxy_out_ maps local proxy port →
+  // remote target; remote_to_proxy_ is the inverse for dedup and PORT_DEATH
+  // GC; exported_ tracks which peers hold proxies to each local port so its
+  // death can be broadcast.
+  std::map<PortId, RemoteRef> proxy_out_;
+  std::map<std::pair<int, PortId>, PortId> remote_to_proxy_;
+  std::map<PortId, std::set<int>> exported_;
+  std::map<int, Channel> channels_;
+
+  NetStats stats_;
+};
+
+// The protocol threads' continuations. Free functions so continuation
+// recognition (§3.3) can compare them against mach_msg_continue by name —
+// they are *not* it, so a handed-off stack runs the netipc protocol body.
+void NetIpcRecvContinue();
+void NetIpcAckContinue();
+
+}  // namespace mkc
+
+#endif  // MACHCONT_SRC_NET_NETIPC_H_

@@ -1,6 +1,8 @@
 #include "src/obs/trace_export.h"
 
+#include <algorithm>
 #include <cinttypes>
+#include <vector>
 
 #include "src/kern/thread.h"
 #include "src/machine/cycle_model.h"
@@ -50,7 +52,9 @@ void AppendArgs(std::string* out, const TraceRecord& r) {
   *out += buf;
 }
 
-void AppendEvent(std::string* out, const TraceRecord& r, bool* first) {
+// `pid` is the Chrome trace process id: 1 for a single kernel, node_id + 1
+// when a cluster merge exports several kernels into one file.
+void AppendEvent(std::string* out, const TraceRecord& r, bool* first, int pid) {
   char buf[256];
   if (!*first) {
     *out += ",\n";
@@ -67,17 +71,17 @@ void AppendEvent(std::string* out, const TraceRecord& r, bool* first) {
       // Counter track: stacks in use and cached, one series each.
       std::snprintf(buf, sizeof(buf),
                     "{\"name\":\"kernel-stacks\",\"ph\":\"C\",\"ts\":%.3f,\"tick\":%llu,"
-                    "\"pid\":1,\"cpu\":%u,\"span\":%u,"
+                    "\"pid\":%d,\"cpu\":%u,\"span\":%u,"
                     "\"args\":{\"in_use\":%u,\"cached\":%u}}",
-                    ts, tick, r.cpu, r.span, r.aux, r.aux2);
+                    ts, tick, pid, r.cpu, r.span, r.aux, r.aux2);
       *out += buf;
       return;
     case TraceEvent::kIpcQueueDepth:
       // One counter track per port.
       std::snprintf(buf, sizeof(buf),
                     "{\"name\":\"port-%u-depth\",\"ph\":\"C\",\"ts\":%.3f,\"tick\":%llu,"
-                    "\"pid\":1,\"cpu\":%u,\"span\":%u,\"args\":{\"depth\":%u}}",
-                    r.aux, ts, tick, r.cpu, r.span, r.aux2);
+                    "\"pid\":%d,\"cpu\":%u,\"span\":%u,\"args\":{\"depth\":%u}}",
+                    r.aux, ts, tick, pid, r.cpu, r.span, r.aux2);
       *out += buf;
       return;
     default:
@@ -85,12 +89,25 @@ void AppendEvent(std::string* out, const TraceRecord& r, bool* first) {
   }
   std::string name = JsonEscape(TraceEventName(r.event));
   std::snprintf(buf, sizeof(buf),
-                "{\"name\":\"%s\",\"ph\":\"i\",\"ts\":%.3f,\"tick\":%llu,\"pid\":1,"
+                "{\"name\":\"%s\",\"ph\":\"i\",\"ts\":%.3f,\"tick\":%llu,\"pid\":%d,"
                 "\"tid\":%u,\"cpu\":%u,\"span\":%u,\"s\":\"t\",\"args\":",
-                name.c_str(), ts, tick, r.thread, r.cpu, r.span);
+                name.c_str(), ts, tick, pid, r.thread, r.cpu, r.span);
   *out += buf;
   AppendArgs(out, r);
   *out += "}";
+}
+
+void AppendOverflowMeta(std::string* out, const TraceBuffer& trace, int pid) {
+  // The ring wrapped: say so in-band, so a consumer of the file knows the
+  // oldest records are missing (and how many).
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                ",\n{\"name\":\"trace-overflow\",\"ph\":\"M\",\"pid\":%d,"
+                "\"args\":{\"overwritten\":%llu,\"recorded\":%llu,\"retained\":%llu}}",
+                pid, static_cast<unsigned long long>(trace.overwritten()),
+                static_cast<unsigned long long>(trace.recorded()),
+                static_cast<unsigned long long>(trace.retained()));
+  *out += buf;
 }
 
 }  // namespace
@@ -136,18 +153,58 @@ std::string ChromeTraceString(const TraceBuffer& trace) {
       "\"args\":{\"name\":\"machcont kernel\"}}";
   first = false;
   if (trace.overwritten() > 0) {
-    // The ring wrapped: say so in-band, so a consumer of the file knows the
-    // oldest records are missing (and how many).
-    char buf[160];
-    std::snprintf(buf, sizeof(buf),
-                  ",\n{\"name\":\"trace-overflow\",\"ph\":\"M\",\"pid\":1,"
-                  "\"args\":{\"overwritten\":%llu,\"recorded\":%llu,\"retained\":%llu}}",
-                  static_cast<unsigned long long>(trace.overwritten()),
-                  static_cast<unsigned long long>(trace.recorded()),
-                  static_cast<unsigned long long>(trace.retained()));
-    out += buf;
+    AppendOverflowMeta(&out, trace, /*pid=*/1);
   }
-  trace.ForEach([&](const TraceRecord& r) { AppendEvent(&out, r, &first); });
+  trace.ForEach([&](const TraceRecord& r) { AppendEvent(&out, r, &first, /*pid=*/1); });
+  out += "\n]\n";
+  return out;
+}
+
+std::string ClusterChromeTraceString(const std::vector<const TraceBuffer*>& traces) {
+  std::string out;
+  std::size_t total = 0;
+  for (const TraceBuffer* t : traces) {
+    total += t->retained();
+  }
+  out.reserve(512 + total * 96);
+  out += "[\n";
+  bool first = true;
+  // One Perfetto process per node; pid = node_id + 1 keeps the single-node
+  // convention (pid 1) for node 0.
+  for (std::size_t node = 0; node < traces.size(); ++node) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+                  "\"args\":{\"name\":\"machcont node %d\"}}",
+                  first ? "" : ",\n", static_cast<int>(node) + 1,
+                  static_cast<int>(node));
+    out += buf;
+    first = false;
+    if (traces[node]->overwritten() > 0) {
+      AppendOverflowMeta(&out, *traces[node], static_cast<int>(node) + 1);
+    }
+  }
+  // Merge the rings into one global-virtual-time order. Stable sort keeps
+  // per-node record order (each ring is already oldest-first) and breaks
+  // equal timestamps by node id, so the merged file is deterministic.
+  struct Tagged {
+    TraceRecord record;
+    int pid;
+  };
+  std::vector<Tagged> merged;
+  merged.reserve(total);
+  for (std::size_t node = 0; node < traces.size(); ++node) {
+    traces[node]->ForEach([&](const TraceRecord& r) {
+      merged.push_back(Tagged{r, static_cast<int>(node) + 1});
+    });
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const Tagged& a, const Tagged& b) {
+                     return a.record.when < b.record.when;
+                   });
+  for (const Tagged& t : merged) {
+    AppendEvent(&out, t.record, &first, t.pid);
+  }
   out += "\n]\n";
   return out;
 }

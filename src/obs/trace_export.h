@@ -11,6 +11,7 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "src/core/trace.h"
 
@@ -21,6 +22,12 @@ void WriteChromeTrace(const TraceBuffer& trace, std::FILE* out);
 
 // Same serialization, into a string (tests, tools).
 std::string ChromeTraceString(const TraceBuffer& trace);
+
+// Merges several nodes' rings into one file: traces[i] becomes Perfetto
+// process i + 1 ("machcont node i"), records interleaved in global
+// virtual-time order (stable: ties resolve by node id). A cross-node RPC
+// reads as one span id hopping between the node processes.
+std::string ClusterChromeTraceString(const std::vector<const TraceBuffer*>& traces);
 
 // JSON string escaping used for every name the export emits (quotes,
 // backslashes, control characters). Exposed for the analyzer and tests.

@@ -57,6 +57,9 @@ void TickerBody() {
   Kernel& k = ActiveKernel();
   TickerState* ts = g_ticker_slots[Slot];
   MKC_ASSERT(ts != nullptr);
+  // The slot table is process-wide; with several kernels in one process the
+  // ticker must belong to the kernel whose thread is running it.
+  MKC_ASSERT(ts->kernel == &k);
   k.AssertWait(&ts->event);
   ThreadBlock(k.UsesContinuations() ? &TickerBody<Slot> : nullptr, BlockReason::kInternal);
 }

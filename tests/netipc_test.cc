@@ -1,0 +1,322 @@
+// netipc tests: cross-node RPC correctness (lossless and lossy links),
+// Table-5 stack accounting for the blocked protocol threads, proxy-port GC
+// through the DestroyPort death hook, timed receives resuming via
+// continuation, and cluster determinism.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "src/core/trace.h"
+#include "src/ipc/ipc_space.h"
+#include "src/ipc/mach_msg.h"
+#include "src/kern/kernel.h"
+#include "src/kern/thread.h"
+#include "src/net/cluster.h"
+#include "src/net/netipc.h"
+#include "src/obs/metrics.h"
+#include "src/task/task.h"
+#include "src/task/usermode.h"
+
+namespace mkc {
+namespace {
+
+ClusterRpcParams SmallParams() {
+  ClusterRpcParams p;
+  p.clients = 2;
+  p.requests_per_client = 5;
+  return p;
+}
+
+// --- Correctness ------------------------------------------------------------
+
+TEST(NetIpcTest, CrossNodeRpcCompletes) {
+  KernelConfig config;
+  Cluster cluster(config, 2);
+  ClusterReport r = RunClusterRpcWorkload(cluster, SmallParams());
+  EXPECT_EQ(r.rpcs_ok, 10u);
+  EXPECT_EQ(r.rpcs_failed, 0u);
+  EXPECT_EQ(r.net.msgs_in, 20u);  // 10 requests + 10 replies crossed the wire.
+  // The base retransmit deadline covers a round trip: a lossless link never
+  // retransmits.
+  EXPECT_EQ(r.net.retransmits, 0u);
+  EXPECT_EQ(r.net.give_ups, 0u);
+}
+
+TEST(NetIpcTest, FourNodesRoundRobin) {
+  KernelConfig config;
+  Cluster cluster(config, 4);
+  ClusterRpcParams p;
+  p.clients = 3;  // One client per server node.
+  p.requests_per_client = 4;
+  ClusterReport r = RunClusterRpcWorkload(cluster, p);
+  EXPECT_EQ(r.rpcs_ok, 12u);
+  EXPECT_EQ(r.rpcs_failed, 0u);
+  EXPECT_EQ(r.net.give_ups, 0u);
+}
+
+TEST(NetIpcTest, LossyLinkRetransmitsAndCompletes) {
+  KernelConfig config;
+  LinkConfig link;
+  link.drop_per_mille = 100;  // A brutal 10% loss rate.
+  Cluster cluster(config, 2, link);
+  ClusterRpcParams p;
+  p.clients = 4;
+  p.requests_per_client = 25;
+  ClusterReport r = RunClusterRpcWorkload(cluster, p);
+  // Every RPC still completes: loss costs retransmits, never answers.
+  EXPECT_EQ(r.rpcs_ok, 100u);
+  EXPECT_EQ(r.rpcs_failed, 0u);
+  EXPECT_GT(r.net.drops, 0u);
+  EXPECT_GT(r.net.retransmits, 0u);
+  EXPECT_EQ(r.net.give_ups, 0u);
+}
+
+TEST(NetIpcTest, DuplicatingLinkDeliversEachMessageOnce) {
+  KernelConfig config;
+  LinkConfig link;
+  link.dup_per_mille = 200;
+  Cluster cluster(config, 2, link);
+  ClusterReport r = RunClusterRpcWorkload(cluster, SmallParams());
+  EXPECT_EQ(r.rpcs_ok, 10u);
+  EXPECT_EQ(r.rpcs_failed, 0u);
+  EXPECT_GT(r.net.dups, 0u);
+  // Duplicated DATA is recognized by sequence number and only re-acked.
+  EXPECT_EQ(r.net.msgs_in, 20u);
+}
+
+// --- Table-5 stack accounting ----------------------------------------------
+
+TEST(NetIpcTest, BlockedProtocolThreadsHoldNoStacks) {
+  KernelConfig config;  // MK40: blocks with continuations.
+  Cluster cluster(config, 2);
+  RunClusterRpcWorkload(cluster, SmallParams());
+  for (int i = 0; i < 2; ++i) {
+    Thread* out = cluster.netipc(i).out_thread();
+    Thread* engine = cluster.netipc(i).engine_thread();
+    // Both protocol threads idle in their receive waits...
+    EXPECT_EQ(out->state, ThreadState::kWaiting);
+    EXPECT_EQ(engine->state, ThreadState::kWaiting);
+    // ...with no kernel stack (§3.3 — the paper's netmsgserver argument)...
+    EXPECT_EQ(out->kernel_stack, nullptr);
+    EXPECT_EQ(engine->kernel_stack, nullptr);
+    // ...and their own protocol continuations, which recognition must NOT
+    // mistake for mach_msg_continue.
+    EXPECT_EQ(out->continuation, &NetIpcRecvContinue);
+    EXPECT_EQ(engine->continuation, &NetIpcAckContinue);
+  }
+}
+
+TEST(NetIpcTest, ProcessModelProtocolThreadsKeepStacks) {
+  KernelConfig config;
+  config.model = ControlTransferModel::kMach25;
+  Cluster cluster(config, 2);
+  ClusterReport r = RunClusterRpcWorkload(cluster, SmallParams());
+  EXPECT_EQ(r.rpcs_ok, 10u);
+  EXPECT_EQ(r.rpcs_failed, 0u);
+  for (int i = 0; i < 2; ++i) {
+    // The process model blocks by saving context: the stacks stay bound.
+    EXPECT_NE(cluster.netipc(i).out_thread()->kernel_stack, nullptr);
+    EXPECT_NE(cluster.netipc(i).engine_thread()->kernel_stack, nullptr);
+  }
+}
+
+// --- Proxy lifecycle --------------------------------------------------------
+
+TEST(NetIpcTest, BindProxyDedupsAndGcsOnLocalDeath) {
+  KernelConfig config;
+  Cluster cluster(config, 2);
+  Task* task = cluster.node(1).CreateTask("svc");
+  PortId svc = cluster.node(1).ipc().AllocatePort(task);
+
+  PortId proxy = cluster.netipc(0).BindProxy(1, svc);
+  EXPECT_EQ(cluster.netipc(0).proxy_count(), 1u);
+  // Rebinding the same remote target reuses the proxy.
+  EXPECT_EQ(cluster.netipc(0).BindProxy(1, svc), proxy);
+  EXPECT_EQ(cluster.netipc(0).proxy_count(), 1u);
+
+  // Destroying the proxy unbinds it through the port-death hook...
+  cluster.node(0).ipc().DestroyPort(proxy);
+  EXPECT_EQ(cluster.netipc(0).proxy_count(), 0u);
+  // ...and a later bind mints a fresh proxy.
+  PortId again = cluster.netipc(0).BindProxy(1, svc);
+  EXPECT_NE(again, proxy);
+  EXPECT_EQ(cluster.netipc(0).proxy_count(), 1u);
+}
+
+struct OneShotServerArgs {
+  PortId port = kInvalidPort;
+};
+
+void OneShotServer(void* arg) {
+  auto* s = static_cast<OneShotServerArgs*>(arg);
+  UserMessage msg;
+  if (UserServeOnce(&msg, 0, s->port) != KernReturn::kSuccess) {
+    return;
+  }
+  msg.header.dest = msg.header.reply;
+  UserServeOnce(&msg, 16, s->port);  // Reply, then park (daemon thread).
+}
+
+struct OneRpcArgs {
+  PortId proxy = kInvalidPort;
+  PortId reply = kInvalidPort;
+  KernReturn result = KernReturn::kFailure;
+};
+
+void OneRpcClient(void* arg) {
+  auto* a = static_cast<OneRpcArgs*>(arg);
+  UserMessage msg;
+  msg.header.dest = a->proxy;
+  a->result = UserRpc(&msg, 16, a->reply);
+}
+
+TEST(NetIpcTest, PortDeathGcsRemoteReplyProxy) {
+  KernelConfig config;
+  Cluster cluster(config, 2);
+
+  OneShotServerArgs server;
+  Task* stask = cluster.node(1).CreateTask("svc");
+  server.port = cluster.node(1).ipc().AllocatePort(stask);
+  ThreadOptions daemon;
+  daemon.daemon = true;
+  daemon.priority = 20;
+  cluster.node(1).CreateUserThread(stask, &OneShotServer, &server, daemon);
+
+  OneRpcArgs rpc;
+  Task* ctask = cluster.node(0).CreateTask("cli");
+  rpc.proxy = cluster.netipc(0).BindProxy(1, server.port);
+  rpc.reply = cluster.node(0).ipc().AllocatePort(ctask);
+  cluster.node(0).CreateUserThread(ctask, &OneRpcClient, &rpc);
+
+  Cluster* c = &cluster;
+  c->Run();
+  c->Drain();
+  ASSERT_EQ(rpc.result, KernReturn::kSuccess);
+  // The reply came back through a proxy node 1 bound for node 0's reply port.
+  EXPECT_EQ(cluster.netipc(1).proxy_count(), 1u);
+  EXPECT_EQ(cluster.netipc(1).stats().proxy_gcs, 0u);
+
+  // Killing the exported reply port broadcasts PORT_DEATH; the remote proxy
+  // entry is reclaimed once the packet is delivered.
+  cluster.node(0).ipc().DestroyPort(rpc.reply);
+  c->Drain();
+  EXPECT_EQ(cluster.netipc(1).proxy_count(), 0u);
+  EXPECT_EQ(cluster.netipc(1).stats().proxy_gcs, 1u);
+}
+
+// --- Timed receives (the retransmit engine's blocking primitive) ------------
+
+struct TimedRecvEnv {
+  PortId port = kInvalidPort;
+  Thread* receiver = nullptr;
+  ThreadState observed_state = ThreadState::kEmbryo;
+  KernelStack* observed_stack = nullptr;
+  Continuation observed_cont = nullptr;
+  bool observed = false;
+  KernReturn result = KernReturn::kSuccess;
+  bool done = false;
+};
+
+TimedRecvEnv* g_timed = nullptr;
+
+void TimedReceiver(void*) {
+  UserMessage msg;
+  g_timed->result =
+      UserMachMsg(&msg, kMsgRcvOpt, 0, kMaxInlineBytes, g_timed->port, 5000);
+  g_timed->done = true;
+}
+
+void TimedWatcher(void*) {
+  // Runs while the receiver is parked in its timed receive.
+  g_timed->observed_state = g_timed->receiver->state;
+  g_timed->observed_stack = g_timed->receiver->kernel_stack;
+  g_timed->observed_cont = g_timed->receiver->continuation;
+  g_timed->observed = true;
+  UserWork(20000);  // Sail past the 5000-tick deadline; the timer fires here.
+}
+
+TEST(NetIpcTest, TimedOutReceiveResumesViaContinuation) {
+  KernelConfig config;  // MK40.
+  TimedRecvEnv env;
+  g_timed = &env;
+  Kernel kernel(config);
+  Task* task = kernel.CreateTask("timed");
+  env.port = kernel.ipc().AllocatePort(task);
+  ThreadOptions high;
+  high.priority = 28;  // Blocks before the watcher looks.
+  env.receiver = kernel.CreateUserThread(task, &TimedReceiver, nullptr, high);
+  kernel.CreateUserThread(task, &TimedWatcher, nullptr);
+  kernel.Run();
+  g_timed = nullptr;
+
+  ASSERT_TRUE(env.observed);
+  ASSERT_TRUE(env.done);
+  // While parked the receiver held no stack — only its continuation — and
+  // the timeout resumed it through that continuation, not a saved context.
+  EXPECT_EQ(env.observed_state, ThreadState::kWaiting);
+  EXPECT_EQ(env.observed_stack, nullptr);
+  EXPECT_EQ(env.observed_cont, &MachMsgContinue);
+  EXPECT_EQ(env.result, KernReturn::kRcvTimedOut);
+}
+
+// --- Causality and determinism ----------------------------------------------
+
+TEST(NetIpcTest, RpcSpanChainsAcrossNodes) {
+  KernelConfig config;
+  config.trace_capacity = 8192;
+  Cluster cluster(config, 2);
+  ClusterRpcParams p;
+  p.clients = 1;
+  p.requests_per_client = 1;
+  ClusterReport r = RunClusterRpcWorkload(cluster, p);
+  ASSERT_EQ(r.rpcs_ok, 1u);
+
+  std::set<std::uint32_t> tx0, rx1;
+  cluster.node(0).trace().ForEach([&](const TraceRecord& rec) {
+    if (rec.event == TraceEvent::kNetTx && rec.span != 0) {
+      tx0.insert(rec.span);
+    }
+  });
+  cluster.node(1).trace().ForEach([&](const TraceRecord& rec) {
+    if (rec.event == TraceEvent::kNetRx && rec.span != 0) {
+      rx1.insert(rec.span);
+    }
+  });
+  // The request's span id leaves node 0 and shows up verbatim on node 1:
+  // one causal chain across the wire.
+  ASSERT_FALSE(tx0.empty());
+  bool shared = false;
+  for (std::uint32_t s : tx0) {
+    if (rx1.count(s) > 0) {
+      shared = true;
+    }
+  }
+  EXPECT_TRUE(shared);
+}
+
+TEST(NetIpcTest, LossyClusterRunsAreDeterministic) {
+  auto run = [] {
+    KernelConfig config;
+    LinkConfig link;
+    link.drop_per_mille = 20;
+    Cluster cluster(config, 3, link);
+    ClusterRpcParams p;
+    p.clients = 4;
+    p.requests_per_client = 10;
+    RunClusterRpcWorkload(cluster, p);
+    std::string dump;
+    for (int i = 0; i < 3; ++i) {
+      dump += cluster.node(i).metrics().DumpJsonString();
+      dump += '\n';
+    }
+    return dump;
+  };
+  std::string first = run();
+  std::string second = run();
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace mkc

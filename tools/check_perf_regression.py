@@ -12,7 +12,11 @@ bench/baselines/ and fails when:
   * ipc_alloc: the kmsg-magazine win decays — any CPU point's magazines-on
     alloc_cycles_per_msg grows more than --tolerance above baseline, or the
     4-CPU reduction_pct falls below --min-alloc-reduction (the headline
-    "magazines pay for themselves" guarantee).
+    "magazines pay for themselves" guarantee), or
+  * netipc: the loss-free (drop=0) point's rpc_per_mtick drops more than
+    --tolerance below baseline, or any drop point up to 10/1000 reports
+    give_ups > 0 (RPCs must survive moderate loss via retransmission, never
+    dead-name).
 
 Both signals are virtual-tick quantities, so for a fixed (config, seed,
 scale) they are bit-deterministic: any drift at all is a real code change,
@@ -147,17 +151,56 @@ def check_ipc_alloc(base, cur, tolerance, min_reduction):
     return failures
 
 
+def check_netipc(base, cur, tolerance):
+    failures = []
+    base_points = {p["drop_per_mille"]: p for p in base["metrics"]["points"]}
+    cur_points = {p["drop_per_mille"]: p for p in cur["metrics"]["points"]}
+    if set(base_points) != set(cur_points):
+        sys.exit(
+            f"error: netipc: drop points differ — baseline "
+            f"{sorted(base_points)} vs current {sorted(cur_points)}"
+        )
+    for drop in sorted(base_points):
+        got = cur_points[drop]["rpc_per_mtick"]
+        give_ups = cur_points[drop]["give_ups"]
+        status = "ok"
+        if drop == 0:
+            want = base_points[drop]["rpc_per_mtick"]
+            floor = want * (1.0 - tolerance)
+            if got < floor:
+                status = "REGRESSION"
+                failures.append(
+                    f"netipc @ drop={drop}: rpc_per_mtick {got:.2f} < "
+                    f"{floor:.2f} (baseline {want:.2f} - {tolerance:.0%})"
+                )
+        if drop <= 10 and give_ups > 0:
+            status = "REGRESSION"
+            failures.append(
+                f"netipc @ drop={drop}: {give_ups} RPC give-ups — the "
+                f"retransmit protocol must ride out moderate loss"
+            )
+        print(
+            f"  netipc drop={drop}/1000: rpc_per_mtick {got:.2f}, "
+            f"retransmits {cur_points[drop]['retransmits']}, "
+            f"give_ups {give_ups} {status}"
+        )
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline-dir", required=True)
     ap.add_argument("--smp", help="current smp_scaling bench JSON")
     ap.add_argument("--table1", help="current table1_discards bench JSON")
     ap.add_argument("--ipc-alloc", help="current ipc_alloc bench JSON")
+    ap.add_argument("--netipc", help="current netipc bench JSON")
     ap.add_argument("--tolerance", type=float, default=0.10)
     ap.add_argument("--min-alloc-reduction", type=float, default=20.0)
     args = ap.parse_args()
-    if not args.smp and not args.table1 and not args.ipc_alloc:
-        ap.error("nothing to check: pass --smp, --table1 and/or --ipc-alloc")
+    if not args.smp and not args.table1 and not args.ipc_alloc and not args.netipc:
+        ap.error(
+            "nothing to check: pass --smp, --table1, --ipc-alloc and/or --netipc"
+        )
 
     failures = []
     if args.smp:
@@ -176,6 +219,11 @@ def main():
         check_config_matches("ipc_alloc", base, cur)
         failures += check_ipc_alloc(base, cur, args.tolerance,
                                     args.min_alloc_reduction)
+    if args.netipc:
+        base = load(os.path.join(args.baseline_dir, "netipc.json"))
+        cur = load(args.netipc)
+        check_config_matches("netipc", base, cur)
+        failures += check_netipc(base, cur, args.tolerance)
 
     if failures:
         print("\nperf regression gate FAILED:", file=sys.stderr)

@@ -18,6 +18,15 @@
 //     --trace=N                      trace ring capacity (0 disables)
 //     --trace-out=FILE               write Chrome trace-event JSON (Perfetto)
 //     --metrics-json=FILE|-          write the metrics registry as JSON
+//     --nodes=N                      simulated machines     (default 1)
+//     --drop=RATE                    network drop probability [0,1)
+//
+// With --nodes=1 (the default) the tool is exactly the single-machine
+// simulator. --nodes=2+ instead boots N kernels over the simulated network
+// and runs the cross-node RPC workload (node 0 clients, one echo server per
+// other node) through netipc proxy ports; --workload is ignored there. The
+// metrics JSON becomes {"nodes":[...]} — one registry object per node — and
+// the trace merges every node's ring (Perfetto process per node).
 //
 // With --metrics-json=- the JSON is the only thing on stdout (the human
 // summary moves to stderr), so pipelines can parse it directly. Exit code 0
@@ -29,6 +38,7 @@
 
 #include "src/ipc/ipc_space.h"
 #include "src/machine/cycle_model.h"
+#include "src/net/cluster.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace_export.h"
 #include "src/workload/workload.h"
@@ -43,7 +53,8 @@ int Usage(const char* argv0) {
                "          [--scale=N] [--cpus=N] [--seed=N] [--quantum=N] [--pages=N]\n"
                "          [--no-handoff] [--no-recognition] [--no-kmsg-zones] [--no-port-gens]\n"
                "          [--table] [--hist]\n"
-               "          [--trace=N] [--trace-out=FILE] [--metrics-json=FILE|-]\n",
+               "          [--trace=N] [--trace-out=FILE] [--metrics-json=FILE|-]\n"
+               "          [--nodes=N] [--drop=RATE]\n",
                argv0);
   return 2;
 }
@@ -169,6 +180,8 @@ int main(int argc, char** argv) {
   bool trace_capacity_set = false;
   std::string trace_out;
   std::string metrics_json;
+  int nodes = 1;
+  std::uint32_t drop_per_mille = 0;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -245,6 +258,20 @@ int main(int argc, char** argv) {
       if (metrics_json.empty()) {
         return Usage(argv[0]);
       }
+    } else if (arg.rfind("--nodes=", 0) == 0) {
+      std::uint64_t v;
+      if (!ParseU64(value().c_str(), &v) || v < 1 || v > 64) {
+        return Usage(argv[0]);
+      }
+      nodes = static_cast<int>(v);
+    } else if (arg.rfind("--drop=", 0) == 0) {
+      std::string v = value();
+      char* end = nullptr;
+      double d = std::strtod(v.c_str(), &end);
+      if (end == v.c_str() || *end != '\0' || d < 0.0 || d >= 1.0) {
+        return Usage(argv[0]);
+      }
+      drop_per_mille = static_cast<std::uint32_t>(d * 1000.0 + 0.5);
     } else if (arg == "--no-handoff") {
       config.enable_handoff = false;
     } else if (arg == "--no-recognition") {
@@ -265,6 +292,75 @@ int main(int argc, char** argv) {
   // --trace-out without --trace gets a generously sized default ring.
   if (!trace_out.empty() && !trace_capacity_set) {
     config.trace_capacity = 65536;
+  }
+
+  if (nodes > 1) {
+    // Multi-machine mode: the canonical cross-node RPC workload over netipc.
+    config.seed = params.seed;
+    mkc::LinkConfig link;
+    link.drop_per_mille = drop_per_mille;
+    mkc::Cluster cluster(config, nodes, link);
+    mkc::ClusterRpcParams cp;
+    cp.scale = params.scale;
+    mkc::ClusterReport r = mkc::RunClusterRpcWorkload(cluster, cp);
+
+    std::FILE* human = metrics_json == "-" ? stderr : stdout;
+    std::fprintf(human, "cluster netipc on %s, nodes %d, scale %d, seed %llu, drop %u/1000\n",
+                 mkc::ModelName(config.model), nodes, params.scale,
+                 static_cast<unsigned long long>(params.seed), drop_per_mille);
+    std::fprintf(human,
+                 "summary: rpcs=%llu failed=%llu retransmits=%llu giveups=%llu "
+                 "msgs=%llu vtime=%llu\n",
+                 static_cast<unsigned long long>(r.rpcs_ok),
+                 static_cast<unsigned long long>(r.rpcs_failed),
+                 static_cast<unsigned long long>(r.net.retransmits),
+                 static_cast<unsigned long long>(r.net.give_ups),
+                 static_cast<unsigned long long>(r.net.msgs_in),
+                 static_cast<unsigned long long>(r.virtual_time));
+    std::fprintf(human, "virtual time ...... %llu ticks (%.2f simulated ms)\n",
+                 static_cast<unsigned long long>(r.virtual_time),
+                 mkc::CyclesToMicros(r.virtual_time) / 1000.0);
+    std::fprintf(human, "wall time ......... %.3f ms\n", r.wall_seconds * 1000.0);
+    std::fprintf(human,
+                 "net ............... tx=%llu rx=%llu pkts (%llu bytes, drops=%llu "
+                 "dups=%llu queue-full=%llu)\n",
+                 static_cast<unsigned long long>(r.net.packets_tx),
+                 static_cast<unsigned long long>(r.net.packets_rx),
+                 static_cast<unsigned long long>(r.net.bytes_tx),
+                 static_cast<unsigned long long>(r.net.drops),
+                 static_cast<unsigned long long>(r.net.dups),
+                 static_cast<unsigned long long>(r.net.queue_full));
+    std::fprintf(human,
+                 "protocol .......... acks=%llu dead=%llu dup-data=%llu backpressure=%llu\n",
+                 static_cast<unsigned long long>(r.net.acks_rx),
+                 static_cast<unsigned long long>(r.net.dead_rx),
+                 static_cast<unsigned long long>(r.net.rx_dup_data),
+                 static_cast<unsigned long long>(r.net.rx_backpressure));
+    std::fprintf(human, "proxies ........... live=%llu gc=%llu\n",
+                 static_cast<unsigned long long>(r.net.proxy_table),
+                 static_cast<unsigned long long>(r.net.proxy_gcs));
+
+    bool cluster_ok = true;
+    if (!metrics_json.empty()) {
+      std::string merged = "{\"nodes\":[\n";
+      for (int i = 0; i < nodes; ++i) {
+        if (i > 0) {
+          merged += ",\n";
+        }
+        merged += cluster.node(i).metrics().DumpJsonString();
+      }
+      merged += "\n]}\n";
+      cluster_ok = WriteFileOrStdout(metrics_json, merged) && cluster_ok;
+    }
+    if (!trace_out.empty()) {
+      std::vector<const mkc::TraceBuffer*> traces;
+      for (int i = 0; i < nodes; ++i) {
+        traces.push_back(&cluster.node(i).trace());
+      }
+      cluster_ok = WriteFileOrStdout(trace_out, mkc::ClusterChromeTraceString(traces)) &&
+                   cluster_ok;
+    }
+    return cluster_ok ? 0 : 1;
   }
 
   ObsCapture cap;

@@ -74,6 +74,7 @@ void BlockCommon(Continuation cont, BlockReason reason, Thread* next) {
   if (!k.UsesContinuations()) {
     cont = nullptr;
   }
+  k.NoteContBlock(cont);
 
   old_thread->block_reason = reason;
   // LatencyNow, not this CPU's clock: the resume may happen on another CPU
@@ -145,6 +146,7 @@ void ThreadHandoff(Continuation cont, Thread* next, BlockReason reason) {
   MKC_ASSERT_MSG(old_thread->state != ThreadState::kRunning,
                  "ThreadHandoff called without updating the thread state");
 
+  k.NoteContBlock(cont);
   old_thread->block_reason = reason;
   old_thread->block_start = k.LatencyNow();
   k.transfer_stats().RecordBlock(reason, /*with_continuation=*/true);

@@ -40,6 +40,8 @@ const char* TraceEventName(TraceEvent event) {
       return "net-tx";
     case TraceEvent::kNetRx:
       return "net-rx";
+    case TraceEvent::kStallWarn:
+      return "stall-warn";
   }
   return "unknown";
 }

@@ -38,6 +38,7 @@ enum class TraceEvent : std::uint8_t {
   kSteal,            // aux = id of the stolen thread; aux2 = victim CPU.
   kNetTx,            // aux = destination node; aux2 = wire bytes.
   kNetRx,            // aux = source node; aux2 = wire bytes.
+  kStallWarn,        // aux = StallKind; aux2 = stall age in ticks.
 };
 
 const char* TraceEventName(TraceEvent event);

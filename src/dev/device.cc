@@ -107,6 +107,9 @@ Device& DeviceRegistry::Add(std::string name, Ticks latency) {
   MKC_ASSERT_MSG(slot < kMaxDevices, "device registry full");
   devices_.push_back(std::make_unique<Device>(kernel_, std::move(name), latency));
   Device* dev = devices_.back().get();
+  // Every slot trampoline shares one profile label: the folded stack already
+  // distinguishes devices by the service thread's name.
+  kernel_.continuations().Register(kServiceBodies[slot], "device_service");
   kernel_.CreateKernelThread(dev->name() + "-intr", kServiceBodies[slot],
                              kNumPriorities - 3);
   return *dev;

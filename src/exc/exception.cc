@@ -134,6 +134,7 @@ void ExceptionReplyContinue() {
       k.ChargeCycles(kCycRecognitionCheck);
       if (k.config().enable_recognition && server->continuation == &MachMsgContinue) {
         ++k.transfer_stats().recognitions;
+        k.NoteContRecognition(&MachMsgContinue);
         k.TracePoint(TraceEvent::kRecognition, 1);
         TakeContinuation(server);
         ThreadSyscallReturn(server->Scratch<MsgWaitState>().result);
@@ -210,6 +211,7 @@ void ExceptionHandleReply(Thread* sender, MachMsgArgs* args, Thread* faulter) {
     k.ChargeCycles(kCycRecognitionCheck);
     if (k.config().enable_recognition && faulter->continuation == &ExceptionReplyContinue) {
       ++k.transfer_stats().recognitions;
+      k.NoteContRecognition(&ExceptionReplyContinue);
       k.TracePoint(TraceEvent::kRecognition, 2);
       ++k.exc_stats().fast_replies;
       TakeContinuation(faulter);

@@ -85,4 +85,9 @@ bool UpcallPool::Trigger(Kernel& kernel, std::uint64_t payload) {
   return true;
 }
 
+void UpcallPool::RegisterContinuations(ContinuationRegistry& registry) {
+  registry.Register(&UpcallPool::ParkContinue, "upcall_park_continue");
+  registry.Register(&UpcallPool::DeliverContinue, "upcall_deliver_continue");
+}
+
 }  // namespace mkc

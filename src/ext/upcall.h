@@ -45,6 +45,10 @@ class UpcallPool {
   // The default continuation parked threads hold (visible for tests).
   static void ParkContinue();
 
+  // Names both pool continuations in `registry` (DeliverContinue is private;
+  // only this hook may hand its address out, and only as a profile label).
+  static void RegisterContinuations(class ContinuationRegistry& registry);
+
  private:
   static void DeliverContinue();
 

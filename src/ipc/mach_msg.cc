@@ -130,6 +130,7 @@ bool StrictOptions(std::uint32_t options, std::uint32_t rcv_limit) {
   if (k.config().enable_recognition && receiver->continuation == &MachMsgContinue) {
     ++k.transfer_stats().recognitions;
     ++k.ipc().stats().receive_recognitions;
+    k.NoteContRecognition(&MachMsgContinue);
     k.TracePoint(TraceEvent::kRecognition, 1);
     TakeContinuation(receiver);
     // The message is already in the receiver's user buffer (DeliverDirect):

@@ -7,11 +7,16 @@
 #include "src/base/panic.h"
 #include "src/core/control.h"
 #include "src/dev/device.h"
+#include "src/exc/exception.h"
 #include "src/ext/ext_state.h"
+#include "src/ext/upcall.h"
 #include "src/ipc/ipc_space.h"
+#include "src/ipc/mach_msg.h"
 #include "src/machine/cycle_model.h"
 #include "src/machine/machdep.h"
 #include "src/machine/trap.h"
+#include "src/obs/profiler.h"
+#include "src/obs/watchdog.h"
 #include "src/task/task.h"
 #include "src/vm/vm_system.h"
 
@@ -90,6 +95,18 @@ Kernel::Kernel(const KernelConfig& config)
   ext_ = std::make_unique<ExtState>(*this);
   devices_ = std::make_unique<DeviceRegistry>(*this);
   RegisterMetrics();  // After the subsystems exist: counters are views.
+  RegisterContinuations();
+  if (config_.profile_interval > 0 || config_.flight_interval > 0) {
+    profiler_ = std::make_unique<Profiler>(config_.profile_interval, config_.flight_interval);
+  }
+  if (config_.watchdog_threshold > 0) {
+    watchdog_ = std::make_unique<StallWatchdog>(config_.watchdog_threshold);
+  }
+  obs_tick_armed_ = profiler_ != nullptr || watchdog_ != nullptr;
+  // Per-continuation accounting follows the profiler: machcont_prof's
+  // recognition-rate table is profiler output, and keeping the counters dark
+  // otherwise preserves the zero-overhead-off guarantee.
+  cont_accounting_ = profiler_ != nullptr;
 }
 
 void Kernel::RegisterMetrics() {
@@ -289,6 +306,7 @@ Thread* Kernel::CreateUserThread(Task* task, UserEntry entry, void* arg,
   MKC_ASSERT(task != nullptr);
   Thread* thread = AllocateThread();
   thread->task = task;
+  thread->name = task->name;
   thread->priority = options.priority;
   thread->counts_for_liveness = !options.daemon;
   task->threads.EnqueueTail(thread);
@@ -355,8 +373,8 @@ void UserModeStart(void* /*pass*/, void* arg) {
 }  // namespace
 
 Thread* Kernel::CreateKernelThread(std::string name, Continuation loop, int priority) {
-  (void)name;
   Thread* thread = AllocateThread();
+  thread->name = std::move(name);
   thread->is_internal = true;
   thread->counts_for_liveness = false;
   thread->priority = priority;
@@ -364,6 +382,36 @@ Thread* Kernel::CreateKernelThread(std::string name, Continuation loop, int prio
   thread->continuation = &KernelThreadRunner;
   EnqueueNewThread(thread);
   return thread;
+}
+
+void Kernel::RegisterContinuations() {
+  // Every continuation the core kernel can block with, under the name a
+  // profile or watchdog report should print. Subsystems constructed later
+  // (NetIpc) and workload-private continuations register themselves; an
+  // unregistered pointer degrades to a catch-all bucket, never a crash.
+  cont_registry_.Register(&MachMsgContinue, "mach_msg_continue");
+  cont_registry_.Register(&MachMsgSlowContinue, "mach_msg_slow_continue");
+  cont_registry_.Register(&ExceptionReplyContinue, "exception_reply_continue");
+  cont_registry_.Register(&VmSystem::VmFaultRetryContinue, "vm_fault_retry_continue");
+  cont_registry_.Register(&VmSystem::VmFaultMapContinue, "vm_fault_map_continue");
+  cont_registry_.Register(&VmSystem::PagerStep, "vm_pager_step");
+  UpcallPool::RegisterContinuations(cont_registry_);
+  cont_registry_.Register(&Kernel::IdleContinuation, "idle_continuation");
+  cont_registry_.Register(&Kernel::UserBootstrapContinuation, "user_bootstrap");
+  cont_registry_.Register(&Kernel::HaltedContinuation, "thread_halted");
+  cont_registry_.Register(&Kernel::ReaperBootstrap, "reaper_loop");
+  cont_registry_.Register(&KernelThreadRunner, "kernel_thread_runner");
+  RegisterSyscallContinuations(cont_registry_);
+  RegisterTrapContinuations(cont_registry_);
+}
+
+void Kernel::ObsTickSlow() {
+  if (profiler_ != nullptr) {
+    profiler_->Tick(*this);
+  }
+  if (watchdog_ != nullptr) {
+    watchdog_->Tick(*this);
+  }
 }
 
 void Kernel::BootIfNeeded() {
@@ -374,6 +422,7 @@ void Kernel::BootIfNeeded() {
 
   for (auto& cpu : cpus_) {
     Thread* idle = AllocateThread();
+    idle->name = "idle";
     idle->is_idle = true;
     idle->is_internal = true;
     idle->counts_for_liveness = false;
@@ -536,6 +585,10 @@ void Kernel::IdleContinuation() { ActiveKernel().IdleLoop(); }
       Ticks before = cpu.clock.Now();
       events_.RunNext(cpu.clock);
       cpu.idle_ticks += cpu.clock.Now() - before;
+      // The frontier just jumped; give the observers (profiler, watchdog) a
+      // chance to fire. A whole-machine-idle stretch is exactly when a stall
+      // would otherwise go unnoticed.
+      ObsTick();
     }
     // Someone is runnable: give up the processor until the queue drains.
     idle->state = ThreadState::kWaiting;
@@ -851,6 +904,7 @@ std::uint32_t Kernel::SpanBegin(SpanKind kind) {
   // span so SpanEnd can restore it.
   t->span_parent = t->span_id;
   t->span_id = id;
+  t->span_start = TraceNow();
   trace_.Record(TraceNow(), t->id, TraceEvent::kSpanBegin,
                 static_cast<std::uint32_t>(kind), t->span_parent, id,
                 static_cast<std::uint16_t>(current_cpu_->id));
@@ -870,6 +924,7 @@ void Kernel::SpanEnd(SpanKind kind) {
                 static_cast<std::uint16_t>(current_cpu_->id));
   t->span_id = t->span_parent;
   t->span_parent = 0;
+  t->span_start = t->span_id != 0 ? TraceNow() : 0;
 }
 
 void Kernel::SpanAdopt(Thread* thread, std::uint32_t span) {
@@ -882,6 +937,9 @@ void Kernel::SpanAdopt(Thread* thread, std::uint32_t span) {
     thread->span_id = span;
     thread->span_parent = 0;
   }
+  // Adoption is span progress either way: the causal chain just crossed a
+  // message delivery, so the stuck-span clock restarts.
+  thread->span_start = TraceNow();
 }
 
 void Kernel::ResetStats() {
@@ -903,6 +961,13 @@ void Kernel::ResetStats() {
   // All of the above assign in place, so the registry's counter/gauge views
   // stay valid; only the registry-owned histograms need an explicit clear.
   metrics_.ResetHistograms();
+  cont_registry_.ResetCounts();
+  if (profiler_ != nullptr) {
+    profiler_->Reset();
+  }
+  if (watchdog_ != nullptr) {
+    watchdog_->Reset();
+  }
 }
 
 }  // namespace mkc

@@ -20,6 +20,7 @@
 #include "src/kern/transfer_stats.h"
 #include "src/exc/exc_stats.h"
 #include "src/machine/cost_model.h"
+#include "src/obs/introspect.h"
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
 
@@ -32,6 +33,8 @@ struct ExtState;
 class DeviceRegistry;
 class NetIpc;
 class Kernel;
+class Profiler;
+class StallWatchdog;
 
 // Arbitration interface a multi-node driver (net/cluster.h) installs on each
 // member kernel. A clustered kernel's idle loop consults the arbiter instead
@@ -111,6 +114,16 @@ struct KernelConfig {
   // collision-free.
   int nnodes = 1;
   int node_id = 0;
+
+  // --- Continuation-aware observability (src/obs/profiler.h, watchdog.h) --
+  // All three default to 0 = off; off, no profiler/watchdog object exists,
+  // the safe points pay one predictable branch, and every output is
+  // byte-identical to a build without the feature. The samplers are pure
+  // observers (no cycles charged), so turning them on changes no simulated
+  // outcome either — only what gets reported.
+  Ticks profile_interval = 0;    // Virtual ticks between profiler samples.
+  Ticks flight_interval = 0;     // Virtual ticks between flight-recorder rows.
+  Ticks watchdog_threshold = 0;  // Stall age that makes the watchdog bark.
 };
 
 // Stable pointers into the metrics registry for the hot-path latency
@@ -242,6 +255,44 @@ class Kernel {
   std::uint32_t SpanBegin(SpanKind kind);
   void SpanEnd(SpanKind kind);
   void SpanAdopt(Thread* thread, std::uint32_t span);
+
+  // --- Continuation-aware observability (src/obs/) ------------------------
+  // The registry maps continuation pointers to names for the profiler's
+  // logical stacks; registration is construction-time data and costs the hot
+  // paths nothing. The Note* accounting hooks and the sampling tick are each
+  // one predictable branch when no profiler/watchdog is configured, so a run
+  // with everything off is byte-identical to one built without the feature.
+  ContinuationRegistry& continuations() { return cont_registry_; }
+  const ContinuationRegistry& continuations() const { return cont_registry_; }
+  Profiler* profiler() { return profiler_.get(); }
+  StallWatchdog* watchdog() { return watchdog_.get(); }
+
+  // Observability safe point: called where virtual time has just advanced
+  // (UserWork, the idle loop's event drain).
+  void ObsTick() {
+    if (obs_tick_armed_) {
+      ObsTickSlow();
+    }
+  }
+
+  // Per-continuation accounting (blocks / resumes / recognitions), active
+  // only while a profiler is configured.
+  void NoteContBlock(Continuation cont) {
+    if (cont_accounting_ && cont != nullptr) {
+      cont_registry_.NoteBlock(cont);
+    }
+  }
+  void NoteContResume(Continuation cont) {
+    if (cont_accounting_ && cont != nullptr) {
+      cont_registry_.NoteResume(cont);
+    }
+  }
+  void NoteContRecognition(Continuation cont) {
+    if (cont_accounting_ && cont != nullptr) {
+      cont_registry_.NoteRecognition(cont);
+    }
+  }
+
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
   KernelLatencyMetrics& lat() { return lat_; }
@@ -350,6 +401,8 @@ class Kernel {
 
   void BootIfNeeded();
   void RegisterMetrics();
+  void RegisterContinuations();
+  void ObsTickSlow();
   Thread* AllocateThread();
   [[noreturn]] void ReaperLoop();
 
@@ -394,6 +447,15 @@ class Kernel {
 
   MetricsRegistry metrics_;
   KernelLatencyMetrics lat_;
+
+  // Continuation-aware observability (src/obs/). The profiler and watchdog
+  // exist only when their config knobs are non-zero; obs_tick_armed_ and
+  // cont_accounting_ cache "is anything on?" for the inline fast paths.
+  ContinuationRegistry cont_registry_;
+  std::unique_ptr<Profiler> profiler_;
+  std::unique_ptr<StallWatchdog> watchdog_;
+  bool obs_tick_armed_ = false;
+  bool cont_accounting_ = false;
 
   std::unique_ptr<IpcSpace> ipc_;
   std::unique_ptr<VmSystem> vm_;

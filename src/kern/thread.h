@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <string>
 #include <type_traits>
 
 #include "src/base/kern_return.h"
@@ -84,6 +85,10 @@ struct Thread {
   // --- Identity --------------------------------------------------------
   ThreadId id = 0;
   Task* task = nullptr;
+  // Display name for observability (profiler folded stacks, watchdog
+  // reports): kernel threads keep their creation name, user threads their
+  // task's. Never read on a hot path.
+  std::string name;
 
   // --- Scheduling ------------------------------------------------------
   ThreadState state = ThreadState::kEmbryo;
@@ -114,6 +119,9 @@ struct Thread {
   // paper's 28 bytes exactly. Both always 0 when tracing is disabled.
   std::uint32_t span_id = 0;
   std::uint32_t span_parent = 0;  // Enclosing span, restored at SpanEnd.
+  // Last time the carried span made progress (begin or adoption); the stall
+  // watchdog flags spans whose stamp goes stale. 0 when no span is active.
+  Ticks span_start = 0;
 
   // --- Continuation machinery (the paper's MI additions) ---------------
   Continuation continuation = nullptr;

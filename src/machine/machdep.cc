@@ -178,6 +178,7 @@ void StackHandoff(Thread* new_thread) {
                               ContinuationEntry, thread);
   k.cost_model().Account(CostOp::kCallContinuation, 0, 8);
   k.ChargeCycles(kCycCallContinuation);
+  k.NoteContResume(cont);
   k.TracePoint(TraceEvent::kCallContinuation);
   ContextJump(fresh, nullptr);
 }

@@ -89,6 +89,11 @@ void SaveUserState(Kernel& k, Thread* thread, TrapKind kind) {
 
 }  // namespace
 
+// PreemptContinuation is file-private, so its registry entry is made here.
+void RegisterTrapContinuations(ContinuationRegistry& registry) {
+  registry.Register(&PreemptContinuation, "preempt_continue");
+}
+
 std::uint64_t TrapEnter(TrapFrame* frame) {
   Kernel& k = ActiveKernel();
   Thread* thread = CurrentThread();

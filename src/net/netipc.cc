@@ -49,6 +49,10 @@ NetIpc::NetIpc(Kernel& kernel, int node_id, Network& net)
   engine_thread_->task = task_;
   kernel_.ipc().SetPortDeathHook(&NetIpc::OnPortDeath, this);
   kernel_.SetNetIpc(this);
+  // Late-constructed subsystem: the kernel's registry cannot know these
+  // continuations, so the profiler learns their names here.
+  kernel_.continuations().Register(&NetIpcRecvContinue, "netipc_recv_continue");
+  kernel_.continuations().Register(&NetIpcAckContinue, "netipc_ack_continue");
 
   // net.* metrics exist only on clustered kernels (NetIpc is constructed
   // only when nnodes > 1), keeping single-node metrics JSON byte-identical.

@@ -212,6 +212,8 @@ std::string MetricsRegistry::DumpJsonString() const {
     WriteU64(&out, hist.P90());
     out += ",\"p99\":";
     WriteU64(&out, hist.P99());
+    out += ",\"p999\":";
+    WriteU64(&out, hist.P999());
     out += ",\"buckets\":[";
     bool first_bucket = true;
     for (int i = 0; i < LatencyHistogram::kBuckets; ++i) {

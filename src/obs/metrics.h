@@ -70,6 +70,7 @@ class LatencyHistogram {
   Ticks P50() const { return Percentile(50.0); }
   Ticks P90() const { return Percentile(90.0); }
   Ticks P99() const { return Percentile(99.0); }
+  Ticks P999() const { return Percentile(99.9); }
 
   // Folds `other` into this histogram, bucket-wise. Because the bucket
   // boundaries are fixed, merging N shards is exactly equivalent to having

@@ -1,0 +1,89 @@
+// Deterministic virtual-cycle sampling profiler and flight recorder.
+//
+// A conventional sampling profiler interrupts the CPU and walks the stack.
+// Neither half of that works here: the simulation has no asynchronous
+// interrupts (determinism forbids them) and blocked MK40 threads have no
+// stacks to walk. Both substitutions fall out of the machine model:
+//
+//  * Sampling fires on the *virtual-time frontier*. The kernel's safe points
+//    (UserWork's clock advance, the idle loop's event-queue drain) call
+//    Kernel::ObsTick(); whenever the frontier has crossed the next multiple
+//    of the sampling interval the profiler attributes one interval's worth
+//    of virtual cycles to every live thread's current logical position. The
+//    schedule depends only on virtual time, so a fixed (config, seed,
+//    interval) produces a byte-identical profile.
+//  * Attribution uses FoldedStack (src/obs/introspect.h): a blocked thread
+//    samples as its registered continuation + wait object, a runnable thread
+//    as time spent starved in a queue, a running thread as on-CPU work, and
+//    idle processors as the machine's idle bucket. The folded output is
+//    flamegraph.pl's input format; per-key cycle totals always sum to
+//    total_cycles().
+//
+// The flight recorder shares the tick: every flight_interval it appends one
+// JSONL line of MetricsRegistry counter *deltas* and histogram quantiles, so
+// trends (runq growth, zone-depot pressure, net.* resend storms) are visible
+// over virtual time instead of only as end-of-run totals.
+//
+// Both are pure observers — they never charge cycles or touch kernel state —
+// so turning them on changes no simulated outcome, only adds output.
+#ifndef MACHCONT_SRC_OBS_PROFILER_H_
+#define MACHCONT_SRC_OBS_PROFILER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/base/types.h"
+
+namespace mkc {
+
+class Kernel;
+
+class Profiler {
+ public:
+  // Either interval may be 0 to disable that half.
+  Profiler(Ticks sample_interval, Ticks flight_interval);
+
+  // Called from the kernel's observability safe points (Kernel::ObsTick).
+  // Cheap when nothing is due: one VirtualTime() read and two compares.
+  void Tick(Kernel& kernel);
+
+  // Folded-stack profile, one "frames cycles" line per key, sorted by key.
+  // `prefix` is prepended to every key (cluster drivers root each node's
+  // stacks under "nodeN;").
+  std::string FoldedString(const std::string& prefix = std::string()) const;
+
+  const std::map<std::string, std::uint64_t>& folded() const { return folded_; }
+
+  // Invariant: the per-key cycle totals in folded() sum to exactly this.
+  std::uint64_t total_cycles() const { return total_cycles_; }
+  std::uint64_t samples() const { return samples_; }
+
+  // Flight-recorder JSONL accumulated so far (may be empty).
+  const std::string& FlightJsonl() const { return flight_; }
+
+  Ticks sample_interval() const { return sample_interval_; }
+
+  void Reset();
+
+ private:
+  void TakeSample(Kernel& kernel, std::uint64_t cycles);
+  void FlightSnapshot(Kernel& kernel, Ticks now);
+
+  Ticks sample_interval_;
+  Ticks flight_interval_;
+  Ticks next_sample_;
+  Ticks next_flight_;
+
+  std::map<std::string, std::uint64_t> folded_;
+  std::uint64_t total_cycles_ = 0;
+  std::uint64_t samples_ = 0;
+
+  std::vector<std::uint64_t> prev_counters_;  // Registration order.
+  std::string flight_;
+};
+
+}  // namespace mkc
+
+#endif  // MACHCONT_SRC_OBS_PROFILER_H_

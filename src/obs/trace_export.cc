@@ -45,6 +45,9 @@ void AppendArgs(std::string* out, const TraceRecord& r) {
       std::snprintf(buf, sizeof(buf), "{\"kind\":\"%s\"}",
                     SpanKindName(static_cast<SpanKind>(r.aux)));
       break;
+    case TraceEvent::kStallWarn:
+      std::snprintf(buf, sizeof(buf), "{\"stall_kind\":%u,\"age\":%u}", r.aux, r.aux2);
+      break;
     default:
       std::snprintf(buf, sizeof(buf), "{\"aux\":%u,\"aux2\":%u}", r.aux, r.aux2);
       break;

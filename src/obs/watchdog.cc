@@ -1,0 +1,123 @@
+#include "src/obs/watchdog.h"
+
+#include <cstdio>
+
+#include "src/kern/kernel.h"
+#include "src/obs/introspect.h"
+
+namespace mkc {
+
+const char* StallKindName(StallKind kind) {
+  switch (kind) {
+    case StallKind::kLostWakeup:
+      return "lost-wakeup";
+    case StallKind::kStarvedRunnable:
+      return "starved-runnable";
+    case StallKind::kStuckSpan:
+      return "stuck-span";
+  }
+  return "unknown";
+}
+
+StallWatchdog::StallWatchdog(Ticks threshold)
+    : threshold_(threshold),
+      check_interval_(threshold / 2 > 0 ? threshold / 2 : 1),
+      next_check_(threshold) {}
+
+bool StallWatchdog::AlreadyFlagged(StallKind kind, std::uint64_t key) const {
+  for (const auto& f : flagged_) {
+    if (f.first == kind && f.second == key) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void StallWatchdog::Tick(Kernel& kernel) {
+  Ticks now = kernel.VirtualTime();
+  if (now < next_check_) {
+    return;
+  }
+  Scan(kernel);
+  next_check_ = (now / check_interval_ + 1) * check_interval_;
+}
+
+void StallWatchdog::Scan(Kernel& kernel) {
+  Ticks now = kernel.VirtualTime();
+  auto flag = [&](StallKind kind, const Thread& t, std::uint64_t key,
+                  std::uint32_t span, Ticks age) {
+    if (AlreadyFlagged(kind, key)) {
+      return;
+    }
+    flagged_.emplace_back(kind, key);
+    StallRecord rec;
+    rec.kind = kind;
+    rec.thread = t.id;
+    rec.span = span;
+    rec.age = age;
+    rec.flagged_at = now;
+    rec.description = DescribeThread(kernel, t, now);
+    stalls_.push_back(std::move(rec));
+    if (kernel.trace().enabled()) {
+      kernel.trace().Record(kernel.TraceNow(), t.id, TraceEvent::kStallWarn,
+                            static_cast<std::uint32_t>(kind),
+                            static_cast<std::uint32_t>(age), t.span_id,
+                            static_cast<std::uint16_t>(kernel.cpu(0).id));
+    }
+  };
+
+  for (const auto& t : kernel.threads()) {
+    if (t->is_idle) {
+      continue;
+    }
+    switch (t->state) {
+      case ThreadState::kWaiting:
+        // Internal kernel threads (protocol threads, the pager, the reaper)
+        // wait forever between work items by design.
+        if (!t->is_internal && t->block_start != 0 &&
+            now - t->block_start > threshold_) {
+          flag(StallKind::kLostWakeup, *t, t->id, t->span_id, now - t->block_start);
+        }
+        break;
+      case ThreadState::kRunnable:
+        if (t->runnable_start != 0 && now - t->runnable_start > threshold_) {
+          flag(StallKind::kStarvedRunnable, *t, t->id, t->span_id,
+               now - t->runnable_start);
+        }
+        break;
+      default:
+        break;
+    }
+    if (t->span_id != 0 && t->span_start != 0 && now - t->span_start > threshold_) {
+      // Key on the span, not the thread: a span that migrates between
+      // threads without progressing is still one stuck request.
+      flag(StallKind::kStuckSpan, *t, t->span_id, t->span_id, now - t->span_start);
+    }
+  }
+}
+
+std::string StallWatchdog::Report() const {
+  if (stalls_.empty()) {
+    return std::string();
+  }
+  std::string out;
+  char line[320];
+  std::snprintf(line, sizeof(line),
+                "stall watchdog: %zu suspect(s), threshold %llu ticks\n", stalls_.size(),
+                static_cast<unsigned long long>(threshold_));
+  out += line;
+  for (const auto& s : stalls_) {
+    std::snprintf(line, sizeof(line), "  [%-16s age=%-8llu at=%-8llu] %s\n",
+                  StallKindName(s.kind), static_cast<unsigned long long>(s.age),
+                  static_cast<unsigned long long>(s.flagged_at), s.description.c_str());
+    out += line;
+  }
+  return out;
+}
+
+void StallWatchdog::Reset() {
+  stalls_.clear();
+  flagged_.clear();
+}
+
+}  // namespace mkc

@@ -51,6 +51,12 @@ void YieldContinuation() { ThreadSyscallReturn(KernReturn::kSuccess); }
 
 }  // namespace
 
+// YieldContinuation is file-private (nothing outside this TU may call it),
+// so its registry entry has to be made from here.
+void RegisterSyscallContinuations(ContinuationRegistry& registry) {
+  registry.Register(&YieldContinuation, "thread_yield_continue");
+}
+
 [[noreturn]] void SyscallDispatch(Thread* thread, TrapFrame* frame) {
   Kernel& k = ActiveKernel();
   switch (frame->number) {

@@ -75,6 +75,9 @@ void UserWork(Ticks ticks) {
   // Multi-CPU interleave point: hand the host thread to the next simulated
   // CPU once this one has consumed its host slice.
   k.CpuInterleaveTick();
+  // Observer sampling point: user work is where simulated time advances in
+  // bulk, so the profiler's virtual-time frontier check lives here.
+  k.ObsTick();
   // The simulation's clock interrupt: quantum expiry is noticed at this safe
   // point and enters the kernel like any other interrupt.
   if (k.clock().Now() - thread->quantum_start >= k.config().quantum &&

@@ -76,6 +76,7 @@ void StartTicker(Kernel& kernel, TickerState* ts, Ticks period, const char* name
   ts->kernel = &kernel;
   ts->period = period;
   g_ticker_slots[Slot] = ts;
+  kernel.continuations().Register(&TickerBody<Slot>, "ticker_body");
   kernel.CreateKernelThread(name, &TickerBody<Slot>, 26);
   PostTick(ts);
 }

@@ -15,6 +15,7 @@
 #include "src/net/cluster.h"
 #include "src/net/netipc.h"
 #include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/task/task.h"
 #include "src/task/usermode.h"
 
@@ -258,6 +259,80 @@ TEST(NetIpcTest, TimedOutReceiveResumesViaContinuation) {
   EXPECT_EQ(env.observed_stack, nullptr);
   EXPECT_EQ(env.observed_cont, &MachMsgContinue);
   EXPECT_EQ(env.result, KernReturn::kRcvTimedOut);
+}
+
+// A receive that times out and is retried must stay on the caller's causal
+// chain: when the request finally lands, the server adopts the client's RPC
+// span — the same span the client's UserRpc began — with no second span
+// created by the retry.
+struct TimeoutSpanEnv {
+  PortId service = kInvalidPort;
+  PortId reply = kInvalidPort;
+  Thread* server = nullptr;
+  KernReturn first_result = KernReturn::kSuccess;
+  std::uint32_t server_span = 0;
+  bool client_done = false;
+};
+
+TimeoutSpanEnv* g_tspan = nullptr;
+
+void TimeoutThenServe(void*) {
+  UserMessage msg;
+  // First receive deliberately times out — the client sends late.
+  g_tspan->first_result =
+      UserMachMsg(&msg, kMsgRcvOpt, 0, kMaxInlineBytes, g_tspan->service, 5000);
+  // Retry the same endpoint without a deadline; the request's delivery
+  // adopts this thread into the client's span.
+  ASSERT_EQ(UserMachMsg(&msg, kMsgRcvOpt, 0, kMaxInlineBytes, g_tspan->service),
+            KernReturn::kSuccess);
+  g_tspan->server_span = g_tspan->server->span_id;
+  msg.header.dest = msg.header.reply;
+  ASSERT_EQ(UserMachMsg(&msg, kMsgSendOpt, 8, 0, kInvalidPort), KernReturn::kSuccess);
+}
+
+void LateRpcClient(void*) {
+  UserWork(20000);  // Sail past the server's 5000-tick receive deadline.
+  UserMessage msg;
+  msg.header.dest = g_tspan->service;
+  ASSERT_EQ(UserRpc(&msg, 8, g_tspan->reply), KernReturn::kSuccess);
+  g_tspan->client_done = true;
+}
+
+TEST(NetIpcTest, SpanAdoptionSurvivesReceiveTimeoutRetry) {
+  KernelConfig config;  // MK40.
+  config.trace_capacity = 8192;
+  TimeoutSpanEnv env;
+  g_tspan = &env;
+  Kernel kernel(config);
+  Task* task = kernel.CreateTask("tspan");
+  env.service = kernel.ipc().AllocatePort(task);
+  env.reply = kernel.ipc().AllocatePort(task);
+  ThreadOptions high;
+  high.priority = 28;  // The server parks in its timed receive first.
+  high.daemon = true;
+  env.server = kernel.CreateUserThread(task, &TimeoutThenServe, nullptr, high);
+  kernel.CreateUserThread(task, &LateRpcClient, nullptr);
+  kernel.Run();
+  g_tspan = nullptr;
+
+  // The timeout really happened, and the RPC still completed.
+  EXPECT_EQ(env.first_result, KernReturn::kRcvTimedOut);
+  ASSERT_TRUE(env.client_done);
+
+  // Exactly one RPC span was begun (the retry created no fresh chain) and
+  // the server served the request *inside* it.
+  std::uint32_t rpc_span = 0;
+  int rpc_spans_begun = 0;
+  kernel.trace().ForEach([&](const TraceRecord& rec) {
+    if (rec.event == TraceEvent::kSpanBegin &&
+        rec.aux == static_cast<std::uint32_t>(SpanKind::kRpc)) {
+      ++rpc_spans_begun;
+      rpc_span = rec.span;
+    }
+  });
+  EXPECT_EQ(rpc_spans_begun, 1);
+  ASSERT_NE(rpc_span, 0u);
+  EXPECT_EQ(env.server_span, rpc_span);
 }
 
 // --- Causality and determinism ----------------------------------------------

@@ -212,6 +212,21 @@ TEST(LatencyHistogramTest, PercentilesAreBucketBoundsClampedToMax) {
   EXPECT_EQ(h.Percentile(100.0), 1000u);  // Clamped to the observed max.
 }
 
+TEST(LatencyHistogramTest, P999ResolvesTheTailP99Misses) {
+  LatencyHistogram h;
+  for (int i = 0; i < 500; ++i) {
+    h.Record(10);  // bucket 4: [8,15]
+  }
+  h.Record(1000);  // The single tail outlier.
+
+  // 501 samples: the p99 rank (496) stays in the common bucket, but the
+  // p99.9 rank (501) reaches the outlier — the hiccup p99 smooths over is
+  // exactly what p99.9 exists to report. Clamped to the observed max.
+  EXPECT_EQ(h.P99(), 15u);
+  EXPECT_EQ(h.P999(), 1000u);
+  EXPECT_GE(h.P999(), h.P99());
+}
+
 TEST(LatencyHistogramTest, EmptyAndReset) {
   LatencyHistogram h;
   EXPECT_EQ(h.count(), 0u);
@@ -464,6 +479,7 @@ TEST(ObsJsonTest, MetricsAndTraceDumpsAreWellFormed) {
   EXPECT_NE(captured.metrics.find("\"xfer.blocks.message-receive\""), std::string::npos);
   EXPECT_NE(captured.metrics.find("\"lat.rpc.round_trip\""), std::string::npos);
   EXPECT_NE(captured.metrics.find("\"p99\""), std::string::npos);
+  EXPECT_NE(captured.metrics.find("\"p999\""), std::string::npos);
 
   ASSERT_FALSE(captured.trace.empty());
   EXPECT_TRUE(JsonChecker(captured.trace).Valid()) << captured.trace.substr(0, 200);

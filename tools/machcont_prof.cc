@@ -1,0 +1,304 @@
+// machcont_prof — the continuation-aware profiler driver.
+//
+//   machcont_prof [options]
+//     --workload=compile|build|dos|farm|rpc  workload       (default compile)
+//     --model=mk40|mk32|mach25       kernel model           (default mk40)
+//     --scale=N                      work multiplier        (default 5)
+//     --cpus=N                       simulated processors   (default 1)
+//     --seed=N                       workload RNG seed      (default 42)
+//     --nodes=N                      simulated machines     (default 1)
+//     --drop=RATE                    network drop probability [0,1)
+//     --interval=N                   sampling period, virtual cycles (default 5000)
+//     --flight=N                     flight recorder period (0 disables)
+//     --watchdog=N                   stall watchdog threshold (0 disables)
+//     --out=FILE|-                   folded profile destination (default -)
+//     --flight-out=FILE|-            flight recorder JSONL destination
+//     --report                       per-continuation accounting + stall report
+//
+// The profile is the flamegraph "folded" format: one line per logical stack,
+// root-first frames joined with ';', followed by the virtual cycles sampled
+// there. A blocked MK40 thread has no kernel stack to walk, so the frames
+// are reconstructed from the continuation registry (src/obs/introspect.h) —
+// this is what a sampling profiler looks like in a kernel that deliberately
+// throws its stacks away. Pipe the output straight into flamegraph.pl.
+//
+// Sampling is driven by the virtual-time frontier, so a fixed (config, seed,
+// interval) — including --nodes clusters — reproduces byte-identically. The
+// per-key cycle totals always sum to the total sampled cycles.
+//
+// With --nodes=2+ every node is profiled; each node's stacks are rooted
+// under a "nodeN" frame and the --report tables are printed per node.
+//
+// When the profile goes to stdout (--out=-), everything human-readable moves
+// to stderr so pipelines stay clean. Exit code 0 on success.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/machine/cycle_model.h"
+#include "src/net/cluster.h"
+#include "src/obs/introspect.h"
+#include "src/obs/profiler.h"
+#include "src/obs/watchdog.h"
+#include "src/workload/workload.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--workload=compile|build|dos|farm|rpc] [--model=mk40|mk32|mach25]\n"
+               "          [--scale=N] [--cpus=N] [--seed=N] [--nodes=N] [--drop=RATE]\n"
+               "          [--interval=N] [--flight=N] [--watchdog=N]\n"
+               "          [--out=FILE|-] [--flight-out=FILE|-] [--report]\n",
+               argv0);
+  return 2;
+}
+
+bool ParseU64(const char* s, std::uint64_t* out) {
+  char* end = nullptr;
+  std::uint64_t v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+// Everything the report needs, captured before the workload tears the
+// kernel down.
+struct ProfCapture {
+  std::string folded;
+  std::string flight;
+  std::string cont_table;
+  std::string stall_report;
+  std::uint64_t total_cycles = 0;
+  std::uint64_t samples = 0;
+};
+
+void CaptureProfile(mkc::Kernel& kernel, void* arg) {
+  auto* cap = static_cast<ProfCapture*>(arg);
+  if (mkc::Profiler* prof = kernel.profiler()) {
+    cap->folded = prof->FoldedString();
+    cap->flight = prof->FlightJsonl();
+    cap->total_cycles = prof->total_cycles();
+    cap->samples = prof->samples();
+  }
+  cap->cont_table = kernel.continuations().ReportTable();
+  if (mkc::StallWatchdog* wd = kernel.watchdog()) {
+    wd->Scan(kernel);  // Final sweep: catch stalls younger than one check.
+    cap->stall_report = wd->Report();
+  }
+}
+
+bool WriteFileOrStdout(const std::string& path, const std::string& contents) {
+  if (path == "-") {
+    std::fwrite(contents.data(), 1, contents.size(), stdout);
+    return true;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "machcont_prof: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fwrite(contents.data(), 1, contents.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mkc::KernelConfig config;
+  mkc::WorkloadParams params;
+  params.scale = 5;
+  mkc::WorkloadFn workload = &mkc::RunCompileWorkload;
+  const char* workload_name = "compile";
+  config.profile_interval = 5000;
+  std::string out = "-";
+  std::string flight_out;
+  bool report = false;
+  int nodes = 1;
+  std::uint32_t drop_per_mille = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&arg]() { return arg.substr(arg.find('=') + 1); };
+    if (arg.rfind("--workload=", 0) == 0) {
+      std::string w = value();
+      if (w == "compile") {
+        workload = &mkc::RunCompileWorkload;
+      } else if (w == "build") {
+        workload = &mkc::RunKernelBuildWorkload;
+      } else if (w == "dos") {
+        workload = &mkc::RunDosWorkload;
+      } else if (w == "farm" || w == "rpc") {
+        workload = &mkc::RunServerFarmWorkload;
+      } else {
+        return Usage(argv[0]);
+      }
+      workload_name = argv[i] + 11;
+    } else if (arg.rfind("--model=", 0) == 0) {
+      std::string m = value();
+      if (m == "mk40") {
+        config.model = mkc::ControlTransferModel::kMK40;
+      } else if (m == "mk32") {
+        config.model = mkc::ControlTransferModel::kMK32;
+      } else if (m == "mach25") {
+        config.model = mkc::ControlTransferModel::kMach25;
+      } else {
+        return Usage(argv[0]);
+      }
+    } else if (arg.rfind("--scale=", 0) == 0) {
+      params.scale = std::atoi(value().c_str());
+      if (params.scale <= 0) {
+        return Usage(argv[0]);
+      }
+    } else if (arg.rfind("--cpus=", 0) == 0) {
+      std::uint64_t v;
+      if (!ParseU64(value().c_str(), &v) || v < 1 ||
+          v > static_cast<std::uint64_t>(mkc::kMaxCpus)) {
+        return Usage(argv[0]);
+      }
+      config.ncpu = static_cast<int>(v);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      std::uint64_t v;
+      if (!ParseU64(value().c_str(), &v)) {
+        return Usage(argv[0]);
+      }
+      params.seed = v;
+    } else if (arg.rfind("--nodes=", 0) == 0) {
+      std::uint64_t v;
+      if (!ParseU64(value().c_str(), &v) || v < 1 || v > 64) {
+        return Usage(argv[0]);
+      }
+      nodes = static_cast<int>(v);
+    } else if (arg.rfind("--drop=", 0) == 0) {
+      std::string v = value();
+      char* end = nullptr;
+      double d = std::strtod(v.c_str(), &end);
+      if (end == v.c_str() || *end != '\0' || d < 0.0 || d >= 1.0) {
+        return Usage(argv[0]);
+      }
+      drop_per_mille = static_cast<std::uint32_t>(d * 1000.0 + 0.5);
+    } else if (arg.rfind("--interval=", 0) == 0) {
+      std::uint64_t v;
+      if (!ParseU64(value().c_str(), &v) || v == 0) {
+        return Usage(argv[0]);
+      }
+      config.profile_interval = v;
+    } else if (arg.rfind("--flight=", 0) == 0) {
+      std::uint64_t v;
+      if (!ParseU64(value().c_str(), &v)) {
+        return Usage(argv[0]);
+      }
+      config.flight_interval = v;
+    } else if (arg.rfind("--watchdog=", 0) == 0) {
+      std::uint64_t v;
+      if (!ParseU64(value().c_str(), &v)) {
+        return Usage(argv[0]);
+      }
+      config.watchdog_threshold = v;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out = value();
+      if (out.empty()) {
+        return Usage(argv[0]);
+      }
+    } else if (arg.rfind("--flight-out=", 0) == 0) {
+      flight_out = value();
+      if (flight_out.empty()) {
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--report") {
+      report = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  // Human-readable text never mixes with a stdout-bound profile.
+  std::FILE* human = out == "-" ? stderr : stdout;
+
+  if (nodes > 1) {
+    config.seed = params.seed;
+    mkc::LinkConfig link;
+    link.drop_per_mille = drop_per_mille;
+    mkc::Cluster cluster(config, nodes, link);
+    mkc::ClusterRpcParams cp;
+    cp.scale = params.scale;
+    mkc::ClusterReport r = mkc::RunClusterRpcWorkload(cluster, cp);
+
+    std::string folded;
+    std::string flight;
+    std::uint64_t total_cycles = 0;
+    std::uint64_t samples = 0;
+    for (int i = 0; i < nodes; ++i) {
+      mkc::Kernel& node = cluster.node(i);
+      if (mkc::Profiler* prof = node.profiler()) {
+        folded += prof->FoldedString("node" + std::to_string(i) + ";");
+        flight += prof->FlightJsonl();
+        total_cycles += prof->total_cycles();
+        samples += prof->samples();
+      }
+    }
+    std::fprintf(human,
+                 "profile: cluster netipc on %s, nodes %d, scale %d, seed %llu, "
+                 "interval %llu — %llu samples, %llu cycles (vtime %llu, rpcs %llu)\n",
+                 mkc::ModelName(config.model), nodes, params.scale,
+                 static_cast<unsigned long long>(params.seed),
+                 static_cast<unsigned long long>(config.profile_interval),
+                 static_cast<unsigned long long>(samples),
+                 static_cast<unsigned long long>(total_cycles),
+                 static_cast<unsigned long long>(r.virtual_time),
+                 static_cast<unsigned long long>(r.rpcs_ok));
+    if (report) {
+      for (int i = 0; i < nodes; ++i) {
+        mkc::Kernel& node = cluster.node(i);
+        std::fprintf(human, "\nnode %d continuations:\n%s", i,
+                     node.continuations().ReportTable().c_str());
+      }
+    }
+    for (int i = 0; i < nodes; ++i) {
+      mkc::Kernel& node = cluster.node(i);
+      if (node.watchdog() != nullptr) {
+        node.watchdog()->Scan(node);
+        std::string sr = node.watchdog()->Report();
+        if (!sr.empty()) {
+          std::fprintf(human, "node %d %s", i, sr.c_str());
+        }
+      }
+    }
+    bool ok = WriteFileOrStdout(out, folded);
+    if (!flight_out.empty()) {
+      ok = WriteFileOrStdout(flight_out, flight) && ok;
+    }
+    return ok ? 0 : 1;
+  }
+
+  ProfCapture cap;
+  params.post_run = &CaptureProfile;
+  params.post_run_arg = &cap;
+  mkc::WorkloadReport r = workload(config, params);
+
+  std::fprintf(human,
+               "profile: workload %s on %s, scale %d, seed %llu, interval %llu — "
+               "%llu samples, %llu cycles (vtime %llu)\n",
+               workload_name, mkc::ModelName(r.model), params.scale,
+               static_cast<unsigned long long>(params.seed),
+               static_cast<unsigned long long>(config.profile_interval),
+               static_cast<unsigned long long>(cap.samples),
+               static_cast<unsigned long long>(cap.total_cycles),
+               static_cast<unsigned long long>(r.virtual_time));
+  if (report) {
+    std::fprintf(human, "\ncontinuations:\n%s", cap.cont_table.c_str());
+  }
+  if (!cap.stall_report.empty()) {
+    std::fputs(cap.stall_report.c_str(), human);
+  }
+
+  bool ok = WriteFileOrStdout(out, cap.folded);
+  if (!flight_out.empty()) {
+    ok = WriteFileOrStdout(flight_out, cap.flight) && ok;
+  }
+  return ok ? 0 : 1;
+}

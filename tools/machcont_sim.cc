@@ -18,6 +18,11 @@
 //     --trace=N                      trace ring capacity (0 disables)
 //     --trace-out=FILE               write Chrome trace-event JSON (Perfetto)
 //     --metrics-json=FILE|-          write the metrics registry as JSON
+//     --profile=N                    virtual-cycle sampling profiler, period N
+//     --profile-out=FILE|-           write the folded-stack profile
+//     --flight=N                     flight recorder snapshot period N
+//     --flight-out=FILE|-            write the flight recorder JSONL
+//     --watchdog=N                   stall watchdog threshold N ticks
 //     --nodes=N                      simulated machines     (default 1)
 //     --drop=RATE                    network drop probability [0,1)
 //
@@ -40,7 +45,9 @@
 #include "src/machine/cycle_model.h"
 #include "src/net/cluster.h"
 #include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
 #include "src/obs/trace_export.h"
+#include "src/obs/watchdog.h"
 #include "src/workload/workload.h"
 
 namespace {
@@ -54,6 +61,8 @@ int Usage(const char* argv0) {
                "          [--no-handoff] [--no-recognition] [--no-kmsg-zones] [--no-port-gens]\n"
                "          [--table] [--hist]\n"
                "          [--trace=N] [--trace-out=FILE] [--metrics-json=FILE|-]\n"
+               "          [--profile=N] [--profile-out=FILE|-] [--flight=N]\n"
+               "          [--flight-out=FILE|-] [--watchdog=N]\n"
                "          [--nodes=N] [--drop=RATE]\n",
                argv0);
   return 2;
@@ -79,6 +88,9 @@ struct ObsCapture {
   std::string hist_text;
   std::string cpu_text;
   std::string zone_text;
+  std::string profile_folded;
+  std::string flight_jsonl;
+  std::string stall_report;
   std::uint64_t trace_recorded = 0;
   std::uint64_t trace_retained = 0;
   std::uint64_t trace_overwritten = 0;
@@ -131,21 +143,32 @@ void CaptureObservability(mkc::Kernel& kernel, void* arg) {
   cap->trace_recorded = kernel.trace().recorded();
   cap->trace_retained = kernel.trace().retained();
   cap->trace_overwritten = kernel.trace().overwritten();
+  if (kernel.profiler() != nullptr) {
+    cap->profile_folded = kernel.profiler()->FoldedString();
+    cap->flight_jsonl = kernel.profiler()->FlightJsonl();
+  }
+  if (kernel.watchdog() != nullptr) {
+    // A final sweep so stalls younger than the last check interval — or runs
+    // shorter than one — still make the end-of-run report.
+    kernel.watchdog()->Scan(kernel);
+    cap->stall_report = kernel.watchdog()->Report();
+  }
   if (cap->want_hist) {
     char line[256];
-    std::snprintf(line, sizeof(line), "\n%-36s %10s %10s %10s %10s %10s\n", "histogram", "count",
-                  "p50", "p90", "p99", "max");
+    std::snprintf(line, sizeof(line), "\n%-36s %10s %10s %10s %10s %10s %10s\n", "histogram",
+                  "count", "p50", "p90", "p99", "p99.9", "max");
     cap->hist_text += line;
     kernel.metrics().ForEachHistogram([&](const std::string& name,
                                           const mkc::LatencyHistogram& h) {
       if (h.count() == 0) {
         return;
       }
-      std::snprintf(line, sizeof(line), "%-36s %10llu %10llu %10llu %10llu %10llu\n",
+      std::snprintf(line, sizeof(line), "%-36s %10llu %10llu %10llu %10llu %10llu %10llu\n",
                     name.c_str(), static_cast<unsigned long long>(h.count()),
                     static_cast<unsigned long long>(h.P50()),
                     static_cast<unsigned long long>(h.P90()),
                     static_cast<unsigned long long>(h.P99()),
+                    static_cast<unsigned long long>(h.P999()),
                     static_cast<unsigned long long>(h.max()));
       cap->hist_text += line;
     });
@@ -180,6 +203,8 @@ int main(int argc, char** argv) {
   bool trace_capacity_set = false;
   std::string trace_out;
   std::string metrics_json;
+  std::string profile_out;
+  std::string flight_out;
   int nodes = 1;
   std::uint32_t drop_per_mille = 0;
 
@@ -258,6 +283,34 @@ int main(int argc, char** argv) {
       if (metrics_json.empty()) {
         return Usage(argv[0]);
       }
+    } else if (arg.rfind("--profile=", 0) == 0) {
+      std::uint64_t v;
+      if (!ParseU64(value().c_str(), &v) || v == 0) {
+        return Usage(argv[0]);
+      }
+      config.profile_interval = v;
+    } else if (arg.rfind("--profile-out=", 0) == 0) {
+      profile_out = value();
+      if (profile_out.empty()) {
+        return Usage(argv[0]);
+      }
+    } else if (arg.rfind("--flight=", 0) == 0) {
+      std::uint64_t v;
+      if (!ParseU64(value().c_str(), &v) || v == 0) {
+        return Usage(argv[0]);
+      }
+      config.flight_interval = v;
+    } else if (arg.rfind("--flight-out=", 0) == 0) {
+      flight_out = value();
+      if (flight_out.empty()) {
+        return Usage(argv[0]);
+      }
+    } else if (arg.rfind("--watchdog=", 0) == 0) {
+      std::uint64_t v;
+      if (!ParseU64(value().c_str(), &v) || v == 0) {
+        return Usage(argv[0]);
+      }
+      config.watchdog_threshold = v;
     } else if (arg.rfind("--nodes=", 0) == 0) {
       std::uint64_t v;
       if (!ParseU64(value().c_str(), &v) || v < 1 || v > 64) {
@@ -292,6 +345,13 @@ int main(int argc, char** argv) {
   // --trace-out without --trace gets a generously sized default ring.
   if (!trace_out.empty() && !trace_capacity_set) {
     config.trace_capacity = 65536;
+  }
+  // Requesting an output file implies the recorder that produces it.
+  if (!profile_out.empty() && config.profile_interval == 0) {
+    config.profile_interval = 5000;
+  }
+  if (!flight_out.empty() && config.flight_interval == 0) {
+    config.flight_interval = 50000;
   }
 
   if (nodes > 1) {
@@ -340,7 +400,38 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(r.net.proxy_table),
                  static_cast<unsigned long long>(r.net.proxy_gcs));
 
+    for (int i = 0; i < nodes; ++i) {
+      mkc::Kernel& node = cluster.node(i);
+      if (node.watchdog() != nullptr) {
+        node.watchdog()->Scan(node);
+        std::string report = node.watchdog()->Report();
+        if (!report.empty()) {
+          std::fprintf(human, "node %d %s", i, report.c_str());
+        }
+      }
+    }
+
     bool cluster_ok = true;
+    if (!profile_out.empty()) {
+      // One folded profile for the whole cluster: every node's stacks,
+      // rooted under its node id, in node order (deterministic).
+      std::string merged;
+      for (int i = 0; i < nodes; ++i) {
+        if (cluster.node(i).profiler() != nullptr) {
+          merged += cluster.node(i).profiler()->FoldedString("node" + std::to_string(i) + ";");
+        }
+      }
+      cluster_ok = WriteFileOrStdout(profile_out, merged) && cluster_ok;
+    }
+    if (!flight_out.empty()) {
+      std::string merged;
+      for (int i = 0; i < nodes; ++i) {
+        if (cluster.node(i).profiler() != nullptr) {
+          merged += cluster.node(i).profiler()->FlightJsonl();
+        }
+      }
+      cluster_ok = WriteFileOrStdout(flight_out, merged) && cluster_ok;
+    }
     if (!metrics_json.empty()) {
       std::string merged = "{\"nodes\":[\n";
       for (int i = 0; i < nodes; ++i) {
@@ -448,12 +539,22 @@ int main(int argc, char** argv) {
     std::fputs(cap.hist_text.c_str(), human);
   }
 
+  if (!cap.stall_report.empty()) {
+    std::fputs(cap.stall_report.c_str(), human);
+  }
+
   bool ok = true;
   if (!metrics_json.empty()) {
     ok = WriteFileOrStdout(metrics_json, cap.metrics_json) && ok;
   }
   if (!trace_out.empty()) {
     ok = WriteFileOrStdout(trace_out, cap.trace_json) && ok;
+  }
+  if (!profile_out.empty()) {
+    ok = WriteFileOrStdout(profile_out, cap.profile_folded) && ok;
+  }
+  if (!flight_out.empty()) {
+    ok = WriteFileOrStdout(flight_out, cap.flight_jsonl) && ok;
   }
   return ok ? 0 : 1;
 }

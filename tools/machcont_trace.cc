@@ -74,11 +74,20 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "machcont_trace: cannot read '%s'\n", path);
     return 1;
   }
+  if (json.find_first_not_of(" \t\r\n") == std::string::npos) {
+    std::fprintf(stderr,
+                 "machcont_trace: '%s' is empty — no trace was written "
+                 "(was the run started with --trace-out and tracing enabled?)\n",
+                 path);
+    return 1;
+  }
 
   mkc::TraceAnalysis analysis = mkc::AnalyzeChromeTrace(json);
   if (!analysis.parse_ok) {
-    std::fprintf(stderr, "machcont_trace: parse error in '%s': %s\n", path,
-                 analysis.error.c_str());
+    std::fprintf(stderr,
+                 "machcont_trace: '%s' is not a complete Chrome trace "
+                 "(truncated or malformed): %s\n",
+                 path, analysis.error.c_str());
     return 1;
   }
 

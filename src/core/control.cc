@@ -4,6 +4,7 @@
 
 #include "src/base/panic.h"
 #include "src/kern/kernel.h"
+#include "src/machine/cycle_model.h"
 #include "src/machine/machdep.h"
 
 namespace mkc {
@@ -25,7 +26,44 @@ void RequeuePreempted(Kernel& k, Thread* thread) {
   k.run_queue().Enqueue(thread);
 }
 
+// Consults the recognition table for `resumed`'s continuation; returns only
+// when no specialized handler completed the resume (no entry, table or
+// recognition disabled, or the handler declined). `charged` says the caller
+// already paid the recognition-check cycles — the legacy fast-path sites
+// charge unconditionally (preserving their pre-table cost model), while the
+// scheduler handoff path pays only when a handler actually exists.
+void ConsultHandoffRecognition(Kernel& k, Thread* resumed, bool charged) {
+  if (!k.config().enable_recognition) {
+    return;
+  }
+  RecognitionEntry* entry = k.recognition().Find(resumed->continuation);
+  if (entry == nullptr || entry->on_handoff == nullptr) {
+    return;
+  }
+  if (!charged) {
+    k.ChargeCycles(kCycRecognitionCheck);
+  }
+  // Count the hit before dispatch: a successful handler never returns.
+  ++entry->handoff_hits;
+  if (entry->on_handoff(k, resumed)) {
+    Panic("recognition on_handoff handler returned after completing a resume");
+  }
+  --entry->handoff_hits;
+  ++entry->declines;
+}
+
 }  // namespace
+
+[[noreturn]] void ResumeAfterHandoff(Thread* resumed) {
+  Kernel& k = ActiveKernel();
+  MKC_ASSERT(CurrentThread() == resumed);
+  // Examining the continuation costs the same few cycles whether or not
+  // recognition is enabled or succeeds (§2.4's pointer compare, now a table
+  // probe).
+  k.ChargeCycles(kCycRecognitionCheck);
+  ConsultHandoffRecognition(k, resumed, /*charged=*/true);
+  CallContinuation(TakeContinuation(resumed));
+}
 
 void ThreadDispatch(Thread* old_thread) {
   if (old_thread == nullptr) {
@@ -102,6 +140,17 @@ void BlockCommon(Continuation cont, BlockReason reason, Thread* next) {
         RequeuePreempted(k, old_thread);
       }
       new_thread->state = ThreadState::kRunning;
+      // Scheduler-path recognition: the resumed thread's continuation may
+      // have a specialized handler (the generalized §2.4 — recognition is no
+      // longer exclusive to the RPC handoff site). With recognition off or
+      // no handler registered this costs nothing, keeping the ablation runs
+      // byte-identical.
+      // This consult site did not exist before the recognition table: gate
+      // it on the table feature so --no-recognition-table keeps exactly the
+      // pre-table dispatch sites.
+      if (k.config().enable_recognition_table) {
+        ConsultHandoffRecognition(k, new_thread, /*charged=*/false);
+      }
       CallContinuation(TakeContinuation(new_thread));
       // NOTREACHED
     }

@@ -61,6 +61,15 @@ void ThreadDispatch(Thread* old_thread);
 // resume with a stale continuation pointer).
 Continuation TakeContinuation(Thread* thread);
 
+// The post-handoff recognition dispatch (§2.4 generalized): called by every
+// ThreadHandoff site while executing as `resumed`, in the donor's still-live
+// frame. Charges the recognition-check cycles, consults the recognition
+// table for a specialized on_handoff handler, and falls back to calling the
+// thread's full continuation when no handler completes the resume. The
+// legacy hard-coded pointer compares (mach_msg receive, both exception fast
+// paths) are now just table entries behind this dispatch.
+[[noreturn]] void ResumeAfterHandoff(Thread* resumed);
+
 }  // namespace mkc
 
 #endif  // MACHCONT_SRC_CORE_CONTROL_H_

@@ -25,7 +25,8 @@ enum class TraceEvent : std::uint8_t {
   kExceptionReturn,
   kBlock,            // aux = BlockReason; aux2 = 1 if with continuation.
   kHandoff,          // aux = id of the thread receiving the stack.
-  kRecognition,      // aux = site id (1 = receive, 2 = exc reply).
+  kRecognition,      // aux = site id (1 = receive, 2 = exc reply,
+                     //   3 = netipc out, 4 = netipc engine, 5 = vm fault).
   kSwitchContext,    // aux = id of the thread switched to; aux2 = 1 if no-save.
   kCallContinuation,
   kStackAttachEvt,

@@ -48,6 +48,25 @@ void EnterKernelEndpointWait(Thread* thread, Port* reply_port) {
   k.ThreadTerminateSelf();
 }
 
+// Specialized resume handler for ExceptionReplyContinue
+// (kern/recognition.h): a faulting thread whose reply verdict has already
+// been deposited in its scratch (ExceptionHandleReply runs before any
+// wakeup) finishes right in the inherited frame — the §2.5 reply fast path,
+// now a table entry reachable from every handoff site, not just the reply
+// handoff.
+bool ExceptionReplyResumeRecognized(Kernel& k, Thread* faulter) {
+  auto& st = faulter->Scratch<MsgWaitState>();
+  if ((st.flags & kMsgWaitDirectComplete) == 0) {
+    return false;  // No verdict yet (spurious wakeup): general path.
+  }
+  ++k.transfer_stats().recognitions;
+  k.NoteContRecognition(&ExceptionReplyContinue);
+  k.TracePoint(TraceEvent::kRecognition, 2);
+  ++k.exc_stats().fast_replies;
+  TakeContinuation(faulter);
+  ExceptionReplyFinish(faulter);
+}
+
 // Process-model wait for the reply (MK32 / Mach 2.5).
 [[noreturn]] void ExceptionReplyWaitProcessModel(Thread* thread, Port* reply_port) {
   Kernel& k = ActiveKernel();
@@ -130,16 +149,11 @@ void ExceptionReplyContinue() {
 
     if (k.config().enable_handoff) {
       ThreadHandoff(ExceptionReplyContinue, server, BlockReason::kException);
-      // Running as the server, in the faulting thread's frame.
-      k.ChargeCycles(kCycRecognitionCheck);
-      if (k.config().enable_recognition && server->continuation == &MachMsgContinue) {
-        ++k.transfer_stats().recognitions;
-        k.NoteContRecognition(&MachMsgContinue);
-        k.TracePoint(TraceEvent::kRecognition, 1);
-        TakeContinuation(server);
-        ThreadSyscallReturn(server->Scratch<MsgWaitState>().result);
-      }
-      CallContinuation(TakeContinuation(server));
+      // Running as the server, in the faulting thread's frame: the shared
+      // recognition dispatch short-circuits a server parked in
+      // MachMsgContinue (the first table entry), exactly as the old inline
+      // pointer compare did.
+      ResumeAfterHandoff(server);
       // NOTREACHED
     }
     k.ThreadSetrun(server);
@@ -207,17 +221,9 @@ void ExceptionHandleReply(Thread* sender, MachMsgArgs* args, Thread* faulter) {
     EnterReceiveWait(sender, args->msg, args->rcv_port, args->rcv_limit, args->options);
     ThreadHandoff(ChooseReceiveContinuation(args->options, args->rcv_limit), faulter,
                   BlockReason::kMessageReceive);
-    // Running as the faulting thread.
-    k.ChargeCycles(kCycRecognitionCheck);
-    if (k.config().enable_recognition && faulter->continuation == &ExceptionReplyContinue) {
-      ++k.transfer_stats().recognitions;
-      k.NoteContRecognition(&ExceptionReplyContinue);
-      k.TracePoint(TraceEvent::kRecognition, 2);
-      ++k.exc_stats().fast_replies;
-      TakeContinuation(faulter);
-      ExceptionReplyFinish(faulter);
-    }
-    CallContinuation(TakeContinuation(faulter));
+    // Running as the faulting thread: the recognition table's
+    // ExceptionReplyContinue entry finishes the exception in place.
+    ResumeAfterHandoff(faulter);
     // NOTREACHED
   }
 
@@ -232,6 +238,10 @@ void ExceptionHandleReply(Thread* sender, MachMsgArgs* args, Thread* faulter) {
   // continue into its own receive phase (MK32's direct-switch optimization
   // covered only the RPC path, not exceptions — §3.3).
   k.ThreadSetrun(faulter);
+}
+
+void RegisterExceptionRecognition(RecognitionTable& table) {
+  table.Register(&ExceptionReplyContinue, &ExceptionReplyResumeRecognized, nullptr);
 }
 
 }  // namespace mkc

@@ -120,24 +120,23 @@ bool StrictOptions(std::uint32_t options, std::uint32_t rcv_limit) {
   Panic("continuation block returned");
 }
 
-// After a stack handoff on the send path, the caller is running as the
-// receiver inside the sender's mach_msg frame: examine the receiver's
-// continuation and either short-circuit (recognition) or call it.
-[[noreturn]] void FinishReceiverAfterHandoff(Thread* receiver) {
-  Kernel& k = ActiveKernel();
-  MKC_ASSERT(CurrentThread() == receiver);
-  k.ChargeCycles(kCycRecognitionCheck);
-  if (k.config().enable_recognition && receiver->continuation == &MachMsgContinue) {
-    ++k.transfer_stats().recognitions;
-    ++k.ipc().stats().receive_recognitions;
-    k.NoteContRecognition(&MachMsgContinue);
-    k.TracePoint(TraceEvent::kRecognition, 1);
-    TakeContinuation(receiver);
-    // The message is already in the receiver's user buffer (DeliverDirect):
-    // complete its mach_msg right here, in the inherited frame.
-    ThreadSyscallReturn(receiver->Scratch<MsgWaitState>().result);
+// Specialized resume handler for MachMsgContinue (kern/recognition.h): the
+// §2.4 recognition fast path, now the first entry in the recognition table.
+// A recognized receiver whose message was already delivered by DeliverDirect
+// completes its mach_msg right in the inherited frame, skipping the general
+// continuation entirely. Declines (queued-path or spurious wakeups) fall
+// back to FinishReceiveContinuation via the full continuation.
+bool ReceiveResumeRecognized(Kernel& k, Thread* receiver) {
+  auto& st = receiver->Scratch<MsgWaitState>();
+  if ((st.flags & kMsgWaitDirectComplete) == 0) {
+    return false;  // Nothing delivered in place: run the general path.
   }
-  CallContinuation(TakeContinuation(receiver));
+  ++k.transfer_stats().recognitions;
+  ++k.ipc().stats().receive_recognitions;
+  k.NoteContRecognition(&MachMsgContinue);
+  k.TracePoint(TraceEvent::kRecognition, 1);
+  TakeContinuation(receiver);
+  ThreadSyscallReturn(st.result);
 }
 
 // Send phase. Returns a status for the caller to act on; DOES NOT return at
@@ -196,6 +195,15 @@ KernReturn MsgSendPhase(Thread* t, MachMsgArgs* args) {
           OolTransferDirect(k, t->task, receiver->task,
                             receiver->Scratch<MsgWaitState>().user_buffer);
         }
+        // Wakeup-side recognition: a receiver with a specialized on_wakeup
+        // handler (the netipc protocol threads) absorbs the delivery right
+        // here in the sender's context and is re-parked without ever
+        // becoming runnable — no handoff, no scheduler pass. The sender
+        // just continues (to its own receive phase, under a combined
+        // send/receive).
+        if (k.ConsultWakeupRecognition(receiver)) {
+          return KernReturn::kSuccess;
+        }
         Port* rport = rcv_phase ? k.ipc().Lookup(args->rcv_port) : nullptr;
         // The fast path may only park us on the receive port if nothing is
         // already queued there — otherwise the queued message would wait
@@ -210,7 +218,7 @@ KernReturn MsgSendPhase(Thread* t, MachMsgArgs* args) {
                            args->timeout);
           ThreadHandoff(ChooseReceiveContinuation(args->options, args->rcv_limit), receiver,
                         BlockReason::kMessageReceive);
-          FinishReceiverAfterHandoff(receiver);
+          ResumeAfterHandoff(receiver);
           // NOTREACHED
         }
         // Send-only (or fast path unavailable): the receiver got its
@@ -380,6 +388,11 @@ void EnterReceiveWait(Thread* thread, UserMessage* buffer, PortId port_id,
       }
       ws.result = KernReturn::kRcvTimedOut;
       ws.flags |= kMsgWaitDirectComplete;
+      // A specialized on_wakeup handler (the netipc engine's retransmit
+      // timer) services the timeout inline and re-parks the thread.
+      if (kp->ConsultWakeupRecognition(thread)) {
+        return;
+      }
       kp->ThreadSetrun(thread);
     });
   }
@@ -502,6 +515,13 @@ void MachMsgContinue() { FinishReceiveContinuation(/*strict=*/false); }
 void MachMsgSlowContinue() {
   ++ActiveKernel().ipc().stats().slow_continuations;
   FinishReceiveContinuation(/*strict=*/true);
+}
+
+void RegisterIpcRecognition(RecognitionTable& table) {
+  // MachMsgSlowContinue is deliberately not registered: constrained
+  // receivers ("unusual options", §2.4) must run their full continuation —
+  // the per-receive extra processing defeats recognition by design.
+  table.Register(&MachMsgContinue, &ReceiveResumeRecognized, nullptr);
 }
 
 [[noreturn]] void HandleMachMsg(Thread* thread, MachMsgArgs* args) {

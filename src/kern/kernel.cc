@@ -96,6 +96,19 @@ Kernel::Kernel(const KernelConfig& config)
   devices_ = std::make_unique<DeviceRegistry>(*this);
   RegisterMetrics();  // After the subsystems exist: counters are views.
   RegisterContinuations();
+  // Generalized recognition (kern/recognition.h): core specialized resume
+  // handlers, registered in hotness order so the legacy mach_msg fast path
+  // is literally the first table entry. The ipc and exception entries ARE
+  // the pre-table kernel's hard-coded fast paths and register in every
+  // configuration (enable_recognition gates each consult); the vm entry —
+  // and netipc's two wakeup handlers, added when a cluster constructs it —
+  // are new specializations and exist only while the table feature is on,
+  // so --no-recognition-table keeps exactly the pre-table dispatch surface.
+  RegisterIpcRecognition(recognition_table_);
+  RegisterExceptionRecognition(recognition_table_);
+  if (config_.enable_recognition_table) {
+    VmSystem::RegisterRecognition(recognition_table_);
+  }
   if (config_.profile_interval > 0 || config_.flight_interval > 0) {
     profiler_ = std::make_unique<Profiler>(config_.profile_interval, config_.flight_interval);
   }
@@ -130,6 +143,14 @@ void Kernel::RegisterMetrics() {
   metrics_.RegisterCounter("xfer.total_blocks", &transfer_stats_.total_blocks);
   metrics_.RegisterCounter("xfer.stack_handoffs", &transfer_stats_.stack_handoffs);
   metrics_.RegisterCounter("xfer.recognitions", &transfer_stats_.recognitions);
+  // Wakeup-side recognitions exist only while the recognition table is live:
+  // with either flag off (or under the process models) the metrics JSON must
+  // stay byte-identical to the pre-table kernel's.
+  if (config_.model == ControlTransferModel::kMK40 &&
+      config_.enable_recognition && config_.enable_recognition_table) {
+    metrics_.RegisterCounter("xfer.wakeup_recognitions",
+                             &transfer_stats_.wakeup_recognitions);
+  }
   metrics_.RegisterCounter("xfer.idle_blocks", &transfer_stats_.idle_blocks);
 
   IpcStats& ipc_stats = ipc_->stats();
@@ -403,6 +424,28 @@ void Kernel::RegisterContinuations() {
   cont_registry_.Register(&KernelThreadRunner, "kernel_thread_runner");
   RegisterSyscallContinuations(cont_registry_);
   RegisterTrapContinuations(cont_registry_);
+}
+
+bool Kernel::ConsultWakeupRecognition(Thread* waiter) {
+  // Wakeup-side recognition is new with the table: both flags gate it, so
+  // the ablation modes keep the pre-table wakeup path bit for bit.
+  if (!config_.enable_recognition || !config_.enable_recognition_table) {
+    return false;
+  }
+  RecognitionEntry* entry = recognition_table_.Find(waiter->continuation);
+  if (entry == nullptr || entry->on_wakeup == nullptr) {
+    return false;
+  }
+  // The consult is on the books only once a wakeup specialization exists for
+  // this continuation; plain receivers pay nothing here.
+  ChargeCycles(kCycRecognitionCheck);
+  if (entry->on_wakeup(*this, waiter)) {
+    ++entry->wakeup_hits;
+    ++transfer_stats_.wakeup_recognitions;
+    return true;
+  }
+  ++entry->declines;
+  return false;
 }
 
 void Kernel::ObsTickSlow() {
@@ -962,6 +1005,7 @@ void Kernel::ResetStats() {
   // stay valid; only the registry-owned histograms need an explicit clear.
   metrics_.ResetHistograms();
   cont_registry_.ResetCounts();
+  recognition_table_.ResetCounts();
   if (profiler_ != nullptr) {
     profiler_->Reset();
   }

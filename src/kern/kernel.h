@@ -14,6 +14,7 @@
 #include "src/base/vclock.h"
 #include "src/core/trace.h"
 #include "src/kern/processor.h"
+#include "src/kern/recognition.h"
 #include "src/kern/sched.h"
 #include "src/kern/stack_pool.h"
 #include "src/kern/thread.h"
@@ -90,6 +91,11 @@ struct KernelConfig {
   // Ablation switches (MK40 only; see bench/bench_ablation.cc).
   bool enable_handoff = true;      // Stack handoff between continuations.
   bool enable_recognition = true;  // Continuation recognition fast paths.
+  // Generalized recognition (kern/recognition.h): specialized resume
+  // handlers consulted on the transfer/wakeup paths. Off, only the legacy
+  // ipc/exception entries register and only the pre-table consult sites
+  // fire — the pre-table kernel's dispatch surface, exactly.
+  bool enable_recognition_table = true;
 
   // --- Allocation-free IPC hot paths (all models; see kern/zone.h) --------
   // Size-classed kmsg zones with per-CPU magazines. Disabled, every kmsg
@@ -266,6 +272,19 @@ class Kernel {
   const ContinuationRegistry& continuations() const { return cont_registry_; }
   Profiler* profiler() { return profiler_.get(); }
   StallWatchdog* watchdog() { return watchdog_.get(); }
+
+  // Generalized continuation recognition (kern/recognition.h): specialized
+  // resume handlers keyed by continuation pointer, consulted on the
+  // post-handoff and wakeup paths.
+  RecognitionTable& recognition() { return recognition_table_; }
+  const RecognitionTable& recognition() const { return recognition_table_; }
+
+  // Wakeup-side recognition consult: called where a direct delivery would
+  // otherwise make `waiter` runnable. Returns true when a specialized
+  // on_wakeup handler absorbed the wakeup — the waiter has been re-parked
+  // and the caller must skip its ThreadSetrun/handoff. One predictable
+  // branch (and no cycle charge) when recognition or the table is off.
+  bool ConsultWakeupRecognition(Thread* waiter);
 
   // Observability safe point: called where virtual time has just advanced
   // (UserWork, the idle loop's event drain).
@@ -456,6 +475,9 @@ class Kernel {
   std::unique_ptr<StallWatchdog> watchdog_;
   bool obs_tick_armed_ = false;
   bool cont_accounting_ = false;
+
+  // Generalized recognition: specialized resume handlers (kern/recognition.h).
+  RecognitionTable recognition_table_;
 
   std::unique_ptr<IpcSpace> ipc_;
   std::unique_ptr<VmSystem> vm_;

@@ -22,6 +22,10 @@ struct TransferStats {
   std::uint64_t total_blocks = 0;     // All blocking operations (idle excluded).
   std::uint64_t stack_handoffs = 0;   // Transfers that reused the running stack.
   std::uint64_t recognitions = 0;     // Fast paths taken after examining a continuation.
+  // Wakeups absorbed by a specialized on_wakeup handler (kern/recognition.h):
+  // the blocked thread's work ran inline in the waker's context and the
+  // thread was re-parked without ever becoming runnable.
+  std::uint64_t wakeup_recognitions = 0;
 
   // Idle-thread blocks, tracked separately (scheduling artifacts, not
   // counted in the paper's tables).

@@ -53,6 +53,16 @@ NetIpc::NetIpc(Kernel& kernel, int node_id, Network& net)
   // continuations, so the profiler learns their names here.
   kernel_.continuations().Register(&NetIpcRecvContinue, "netipc_recv_continue");
   kernel_.continuations().Register(&NetIpcAckContinue, "netipc_ack_continue");
+  // Wakeup-side recognition (kern/recognition.h): deliveries to the parked
+  // protocol threads are serviced inline in the waker's context and the
+  // threads re-parked, so the steady-state forwarding path schedules no
+  // thread at all. Unregistered in the destructor — the table outlives us.
+  if (kernel_.config().enable_recognition_table) {
+    kernel_.recognition().Register(&NetIpcRecvContinue, nullptr,
+                                   &NetIpc::OutboundWakeupRecognized);
+    kernel_.recognition().Register(&NetIpcAckContinue, nullptr,
+                                   &NetIpc::EngineWakeupRecognized);
+  }
 
   // net.* metrics exist only on clustered kernels (NetIpc is constructed
   // only when nnodes > 1), keeping single-node metrics JSON byte-identical.
@@ -80,6 +90,8 @@ NetIpc::NetIpc(Kernel& kernel, int node_id, Network& net)
 }
 
 NetIpc::~NetIpc() {
+  kernel_.recognition().Unregister(&NetIpcRecvContinue);
+  kernel_.recognition().Unregister(&NetIpcAckContinue);
   kernel_.ipc().SetPortDeathHook(nullptr, nullptr);
   kernel_.SetNetIpc(nullptr);
   for (auto& [node, ch] : channels_) {
@@ -113,12 +125,14 @@ void NetIpc::OutboundStep() {
 
   auto& st = self->Scratch<MsgWaitState>();
   if ((st.flags & kMsgWaitDirectComplete) != 0) {
-    // A local sender copied straight into out_buf_ (and, on the fast path,
-    // handed us its stack — recognition failed because our continuation is
-    // not mach_msg_continue, which is exactly how we end up running here).
+    // A local sender copied straight into out_buf_. Normally the wakeup-side
+    // recognition handler (OutboundWakeupRecognized) forwards the message in
+    // the sender's own context and this body never runs; we only get here
+    // when it declined — kmsg zone dry, a queued backlog — or when the
+    // recognition table is disabled and the sender woke us the general way.
     st.flags = 0;
     if (st.result == KernReturn::kSuccess) {
-      HandleOutboundDirect();
+      HandleOutboundDirect(/*can_block=*/true);
     }
   }
 
@@ -131,7 +145,8 @@ void NetIpc::OutboundStep() {
     k.TracePoint(TraceEvent::kIpcQueueDepth, from->id,
                  static_cast<std::uint32_t>(from->messages.Size()));
     ForwardMessage(kmsg->header, kmsg->body,
-                   static_cast<std::uint32_t>(kmsg->ool_size));
+                   static_cast<std::uint32_t>(kmsg->ool_size),
+                   /*can_block=*/true);
     k.ipc().FreeKmsg(kmsg);  // Drops any captured OOL object with it.
     if (Thread* sender = from->blocked_senders.DequeueHead()) {
       sender->wait_result = KernReturn::kSuccess;
@@ -147,31 +162,92 @@ void NetIpc::OutboundStep() {
               BlockReason::kMessageReceive);
 }
 
-void NetIpc::HandleOutboundDirect() {
+bool NetIpc::HandleOutboundDirect(bool can_block) {
   MessageHeader header = out_buf_.header;
   std::uint32_t ool_size = 0;
-  if (MessageCarriesOol(header) && header.size >= sizeof(OolDescriptor)) {
+  OolDescriptor desc;
+  const bool has_ool =
+      MessageCarriesOol(header) && header.size >= sizeof(OolDescriptor);
+  if (has_ool) {
     // The direct send path already installed the OOL region into the netmsg
     // task's map and rewrote the descriptor. We only forward its size — the
-    // receiving node re-materializes the region — so uninstall the local
-    // copy before it leaks.
-    OolDescriptor desc;
+    // receiving node re-materializes the region — so the local copy must be
+    // uninstalled before it leaks.
     std::memcpy(&desc, out_buf_.body, sizeof(desc));
     ool_size = static_cast<std::uint32_t>(desc.size);
+    if (can_block) {
+      // Protocol-thread path: uninstall first (the historical order).
+      VmSize removed = 0;
+      task_->map.Remove(desc.addr, &removed);
+    }
+  }
+  if (!ForwardMessage(header, out_buf_.body, ool_size, can_block)) {
+    return false;  // No-block decline: nothing mutated; general path redoes it.
+  }
+  if (!can_block && has_ool) {
     VmSize removed = 0;
     task_->map.Remove(desc.addr, &removed);
   }
-  ForwardMessage(header, out_buf_.body, ool_size);
+  return true;
 }
 
-void NetIpc::ForwardMessage(const MessageHeader& header, const void* body,
-                            std::uint32_t ool_size) {
+// Specialized wakeup handler for NetIpcRecvContinue (kern/recognition.h): a
+// local send to a proxy port already copied the message into out_buf_
+// (DeliverDirect), so forward it to the wire right here — in the sender's
+// context — and re-park the protocol thread without it ever becoming
+// runnable. The paper's recognition idea applied at the wakeup site instead
+// of the resume site: the thread's continuation tells us everything its
+// general body would do, so we do it on the current stack.
+bool NetIpc::OutboundWakeupRecognized(Kernel& k, Thread* waiter) {
+  NetIpc* self = k.netipc();
+  if (self == nullptr || waiter != self->out_thread_) {
+    return false;
+  }
+  auto& st = waiter->Scratch<MsgWaitState>();
+  if ((st.flags & kMsgWaitDirectComplete) == 0 ||
+      st.result != KernReturn::kSuccess) {
+    return false;  // Nothing delivered in place: run the general body.
+  }
+  // A queued backlog on the proxy set needs the general drain loop; don't
+  // re-park the thread over unserviced work.
+  Port* set = k.ipc().Lookup(self->proxy_set_);
+  Port* from = nullptr;
+  if (set == nullptr || PeekQueuedFor(set, &from) != nullptr) {
+    return false;
+  }
+  if (!self->HandleOutboundDirect(/*can_block=*/false)) {
+    return false;  // Kmsg zone dry: the protocol thread may block; we cannot.
+  }
+  st.flags = 0;
+  k.NoteContRecognition(&NetIpcRecvContinue);
+  k.TracePoint(TraceEvent::kRecognition, 3);
+  if (waiter->block_start != 0) {
+    waiter->block_start = k.LatencyNow();  // Re-parked: restart the block clock.
+  }
+  EnterReceiveWait(waiter, &self->out_buf_, self->proxy_set_, kMaxInlineBytes,
+                   0, 0);
+  return true;
+}
+
+bool NetIpc::ForwardMessage(const MessageHeader& header, const void* body,
+                            std::uint32_t ool_size, bool can_block) {
   Kernel& k = kernel_;
   auto it = proxy_out_.find(header.dest);
   if (it == proxy_out_.end()) {
-    return;  // Not (or no longer) a proxy; the message has nowhere to go.
+    return true;  // Not (or no longer) a proxy; the message has nowhere to go.
   }
   const int dst_node = it->second.node;
+
+  // The wakeup-handler path cannot block: take the wire kmsg up front with
+  // TryAllocKmsg, so a dry zone declines before any protocol state mutates
+  // and the general path can redo the whole forward from scratch.
+  KMessage* wk = nullptr;
+  if (!can_block) {
+    wk = k.ipc().TryAllocKmsg(kWireHeaderBytes + header.size);
+    if (wk == nullptr) {
+      return false;
+    }
+  }
 
   WireHeader wire;
   wire.kind = static_cast<std::uint32_t>(WireKind::kData);
@@ -199,18 +275,23 @@ void NetIpc::ForwardMessage(const MessageHeader& header, const void* body,
   if (header.size > kMaxWireBody) {
     // Too big for one wire packet: fail the sender dead-name style, the
     // same way an exhausted retransmit budget does.
+    if (wk != nullptr) {
+      k.ipc().FreeKmsg(wk);
+    }
     ++stats_.give_ups;
     FailEntry(Unacked{nullptr, 0, local_reply, 0, 0});
-    return;
+    return true;
   }
 
   Channel& ch = channels_[dst_node];
   wire.seq = ch.tx_next++;
 
   // The serialized packet lives in a zone kmsg until acked, so retransmits
-  // reuse the bytes. May block on zone exhaustion (kMemoryAlloc) — we are a
-  // kernel thread, that is fine.
-  KMessage* wk = k.ipc().AllocKmsg(kWireHeaderBytes + header.size);
+  // reuse the bytes. The protocol thread may block on zone exhaustion
+  // (kMemoryAlloc); the wakeup handler already allocated, above.
+  if (wk == nullptr) {
+    wk = k.ipc().AllocKmsg(kWireHeaderBytes + header.size);
+  }
   std::uint32_t len = WireSerialize(wire, body, header.size, wk->body,
                                     wk->body_capacity);
   MKC_ASSERT(len != 0);
@@ -226,6 +307,7 @@ void NetIpc::ForwardMessage(const MessageHeader& header, const void* body,
   // The engine may be parked in an untimed receive (it had nothing unacked
   // when it last blocked): wake it so it arms the retransmit deadline.
   KickEngine();
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -246,6 +328,12 @@ void NetIpc::DeliverWire(const std::byte* bytes, std::uint32_t len) {
   h.size = len;
   if (Thread* receiver = PopEligibleReceiver(ap, len)) {
     DeliverDirect(receiver, h, bytes);
+    // Wakeup-side recognition: the engine's handler services the packet
+    // right here, inside the delivering event, and re-parks the thread —
+    // steady-state protocol processing schedules nothing.
+    if (k.ConsultWakeupRecognition(receiver)) {
+      return;
+    }
     k.ThreadSetrun(receiver);
     if (receiver == engine_thread_) {
       engine_waiting_ = false;
@@ -269,7 +357,6 @@ void NetIpc::DeliverWire(const std::byte* bytes, std::uint32_t len) {
 }
 
 void NetIpc::EngineStep() {
-  Kernel& k = kernel_;
   Thread* self = engine_thread_;
   MKC_ASSERT(CurrentThread() == self);
   engine_waiting_ = false;
@@ -285,6 +372,13 @@ void NetIpc::EngineStep() {
     // NetIpcAckContinue on a fresh stack, not by unwinding a saved one.
   }
 
+  EngineServiceAndPark(/*from_handler=*/false);
+}
+
+void NetIpc::EngineServiceAndPark(bool from_handler) {
+  Kernel& k = kernel_;
+  Thread* self = engine_thread_;
+
   Port* ap = k.ipc().Lookup(ack_port_);
   MKC_ASSERT(ap != nullptr);
   while (KMessage* kmsg = ap->messages.DequeueHead()) {
@@ -297,11 +391,31 @@ void NetIpc::EngineStep() {
   // Block until the next packet or the earliest retransmit deadline. No
   // deadline → wait forever (KickEngine re-arms us when traffic restarts),
   // so an idle cluster schedules no events and can terminate.
+  //
+  // The two paths anchor the timer differently. RetransmitScan only ever
+  // acts on each channel's *head* (go-back-N), and a backed-off head can
+  // carry a later deadline than fresher entries behind it — so the legacy
+  // min-over-all-entries anchor can land in the past and re-arm a 1-tick
+  // timeout until the head is acked or due. The scheduled path keeps that
+  // anchor (each spin costs a full dispatch, and the ablation runs must
+  // stay byte-identical to the historical kernel); the recognition handler
+  // re-parks on the min *head* deadline — the earliest instant a scan can
+  // make progress — so an absorbed timeout never spins.
   Ticks next = 0;
   for (auto& [node, ch] : channels_) {
-    for (auto& entry : ch.unacked) {
-      if (next == 0 || entry.deadline < next) {
-        next = entry.deadline;
+    if (ch.unacked.empty()) {
+      continue;
+    }
+    if (from_handler) {
+      const Ticks d = ch.unacked.front().deadline;
+      if (next == 0 || d < next) {
+        next = d;
+      }
+    } else {
+      for (auto& entry : ch.unacked) {
+        if (next == 0 || entry.deadline < next) {
+          next = entry.deadline;
+        }
       }
     }
   }
@@ -312,8 +426,50 @@ void NetIpc::EngineStep() {
   }
   engine_waiting_ = true;
   EnterReceiveWait(self, &engine_buf_, ack_port_, kMaxInlineBytes, 0, timeout);
-  ThreadBlock(k.UsesContinuations() ? &NetIpcAckContinue : nullptr,
-              BlockReason::kMessageReceive);
+  if (!from_handler) {
+    ThreadBlock(k.UsesContinuations() ? &NetIpcAckContinue : nullptr,
+                BlockReason::kMessageReceive);
+  }
+  // from_handler: the engine never stopped being blocked — EnterReceiveWait
+  // re-enqueued it (and bumped wait_seq, invalidating any stale timeout);
+  // its continuation is still NetIpcAckContinue, so it is again a
+  // well-formed parked waiter without ever having been scheduled.
+}
+
+// Specialized wakeup handler for NetIpcAckContinue (kern/recognition.h).
+// Three wakeup flavors reach the parked engine, and all are serviced inline
+// in the waker's context: a direct-delivered wire packet (DeliverWire), the
+// retransmit timeout (EnterReceiveWait's timer event), and a KickEngine
+// deadline re-arm (no kMsgWaitDirectComplete at all). Each ends with the
+// engine re-parked in a fresh timed receive, never scheduled.
+bool NetIpc::EngineWakeupRecognized(Kernel& k, Thread* waiter) {
+  NetIpc* self = k.netipc();
+  if (self == nullptr || waiter != self->engine_thread_) {
+    return false;
+  }
+  auto& st = waiter->Scratch<MsgWaitState>();
+  const bool direct = (st.flags & kMsgWaitDirectComplete) != 0;
+  if (direct && st.result != KernReturn::kSuccess &&
+      st.result != KernReturn::kRcvTimedOut) {
+    return false;  // Unexpected verdict: let the general body sort it out.
+  }
+  self->engine_waiting_ = false;
+  k.NoteContRecognition(&NetIpcAckContinue);
+  k.TracePoint(TraceEvent::kRecognition, 4);
+  if (direct) {
+    st.flags = 0;
+    if (st.result == KernReturn::kSuccess) {
+      self->HandleWirePacket(self->engine_buf_.body,
+                             self->engine_buf_.header.size);
+    }
+    // kRcvTimedOut is the retransmit timer: nothing to deliver, the scan
+    // below does the work — on the event's stack, not a resumed thread's.
+  }
+  if (waiter->block_start != 0) {
+    waiter->block_start = k.LatencyNow();  // Re-parked: restart the block clock.
+  }
+  self->EngineServiceAndPark(/*from_handler=*/true);
+  return true;
 }
 
 void NetIpc::KickEngine() {
@@ -326,6 +482,11 @@ void NetIpc::KickEngine() {
     ap->receivers.Remove(engine_thread_);
   }
   engine_waiting_ = false;
+  // The engine's wakeup handler treats a kick (no deposited message) as
+  // "recompute the deadline and re-park" — no scheduling round trip.
+  if (kernel_.ConsultWakeupRecognition(engine_thread_)) {
+    return;
+  }
   kernel_.ThreadSetrun(engine_thread_);  // Spurious wake: EngineStep re-arms.
 }
 
@@ -437,6 +598,12 @@ NetIpc::InjectResult NetIpc::InjectLocal(const WireHeader& wire,
         desc.addr = OolInstall(k, receiver->task, std::move(object), desc.size);
         std::memcpy(receiver->Scratch<MsgWaitState>().user_buffer->body, &desc,
                     sizeof(desc));
+      }
+      // Multi-hop forwarding: if the local destination is itself a proxy,
+      // the receiver is our own netipc-out thread and its wakeup handler
+      // forwards the message onward without scheduling it.
+      if (k.ConsultWakeupRecognition(receiver)) {
+        return InjectResult::kOk;
       }
       k.ThreadSetrunOn(receiver, k.processor().id);
       return InjectResult::kOk;

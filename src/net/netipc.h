@@ -8,12 +8,15 @@
 //
 //   netipc-out ("netipc_recv_continue")
 //     Blocks in mach_msg receive on the proxy port *set*. A local send to
-//     any proxy port wakes it (on the fast path the sender's stack is
-//     handed off and continuation recognition *fails* — NetIpcRecvContinue
-//     is not mach_msg_continue — so the continuation runs on the donated
-//     stack). It serializes the message (header, inline body, OOL size,
-//     PR-3 span id) into a wire kmsg from the PR-4 zones, records it
-//     unacked, and transmits.
+//     any proxy port is *recognized* on the wakeup path: NetIpcRecvContinue
+//     registers an on_wakeup handler in the recognition table
+//     (kern/recognition.h), so the sender's delivery is absorbed in the
+//     sender's own context — the message is serialized (header, inline
+//     body, OOL size, PR-3 span id) into a wire kmsg from the PR-4 zones,
+//     recorded unacked, and transmitted without this thread ever becoming
+//     runnable; it is simply re-parked. The handler declines (zone dry, or
+//     a queued backlog) and the general OutboundStep body runs on a
+//     donated/fresh stack instead — the pre-table behavior.
 //
 //   netipc-engine ("netipc_ack_continue")
 //     Blocks in mach_msg receive on the ack port with a *timeout* — the
@@ -21,7 +24,11 @@
 //     are delivered to the ack port by the network's virtual-time events;
 //     timeouts drive retransmission with exponential backoff, and after
 //     kMaxSendAttempts the entry is failed back to the local sender in
-//     dead-name style (kRcvPortDied on its reply port).
+//     dead-name style (kRcvPortDied on its reply port). NetIpcAckContinue
+//     also registers an on_wakeup handler: packet arrivals and retransmit
+//     timeouts are serviced inline in the delivering event's context and
+//     the engine re-parked, so steady-state protocol processing schedules
+//     no thread at all.
 //
 // Proxy ports: BindProxy(node, port) allocates a local port owned by the
 // netmsg task and maps it to the remote (node, port) pair. Reply ports are
@@ -140,9 +147,25 @@ class NetIpc {
 
   enum class InjectResult { kOk, kDead, kBackpressure };
 
-  void HandleOutboundDirect();
-  void ForwardMessage(const MessageHeader& header, const void* body,
-                      std::uint32_t ool_size);
+  // Recognition-table on_wakeup handlers (kern/recognition.h), registered
+  // for NetIpcRecvContinue / NetIpcAckContinue in the constructor. Both run
+  // in the waker's context (possibly a virtual-time event): they must not
+  // block, and they decline — leaving all state untouched — whenever the
+  // work would (kmsg zone dry) or a general-path pass is needed anyway.
+  static bool OutboundWakeupRecognized(Kernel& kernel, Thread* waiter);
+  static bool EngineWakeupRecognized(Kernel& kernel, Thread* waiter);
+
+  // Tail shared by EngineStep and the engine's wakeup handler: drain queued
+  // ack-port packets, run the retransmit scan, and re-park the engine in its
+  // timed receive. Never blocks; `from_handler` skips the ThreadBlock.
+  void EngineServiceAndPark(bool from_handler);
+
+  // `can_block` false (the wakeup handler's inline path) allocates the wire
+  // kmsg with TryAllocKmsg and returns false — with no state mutated — when
+  // the zone is dry; true means the caller may block (protocol threads).
+  bool HandleOutboundDirect(bool can_block);
+  bool ForwardMessage(const MessageHeader& header, const void* body,
+                      std::uint32_t ool_size, bool can_block);
   void HandleWirePacket(const std::byte* bytes, std::uint32_t len);
   InjectResult InjectLocal(const WireHeader& wire, const std::byte* body);
   void SendControl(int dst_node, WireKind kind, std::uint32_t seq);
@@ -180,9 +203,12 @@ class NetIpc {
   NetStats stats_;
 };
 
-// The protocol threads' continuations. Free functions so continuation
-// recognition (§3.3) can compare them against mach_msg_continue by name —
-// they are *not* it, so a handed-off stack runs the netipc protocol body.
+// The protocol threads' continuations. Free functions so the recognition
+// table (kern/recognition.h) can key specialized wakeup handlers off their
+// addresses: a delivery to a parked protocol thread is serviced inline in
+// the waker's context and the thread re-parked, never scheduled. When the
+// handler declines (or the table is disabled) the general protocol body
+// runs on a donated or fresh stack — the pre-table behavior.
 void NetIpcRecvContinue();
 void NetIpcAckContinue();
 

@@ -334,6 +334,8 @@ SpanBreakdown BuildBreakdown(std::uint32_t id, SpanState& st) {
       ++b.switches;
     } else if (e.name == "steal") {
       ++b.steals;
+    } else if (e.name == "recognition") {
+      ++b.recognitions;
     }
   }
   if (b.handoffs > 0 && b.switches == 0) {
@@ -462,24 +464,26 @@ std::string FormatBreakdownTable(const TraceAnalysis& analysis) {
     g.sum.full_switch += s.full_switch;
     g.sum.stack += s.stack;
     g.sum.work += s.work;
+    g.sum.recognitions += s.recognitions;
   }
 
   std::string out;
   char buf[192];
-  std::snprintf(buf, sizeof(buf), "%-10s %-8s %6s %9s %9s  %6s %6s %6s %6s %6s %6s\n",
+  std::snprintf(buf, sizeof(buf), "%-10s %-8s %6s %9s %9s  %6s %6s %6s %6s %6s %6s %6s\n",
                 "kind", "path", "count", "p50", "p99", "queue%", "rundl%", "hndof%",
-                "switc%", "stack%", "work%");
+                "switc%", "stack%", "work%", "reco");
   out += buf;
   for (auto& [key, g] : groups) {
     std::sort(g.totals.begin(), g.totals.end());
     std::snprintf(buf, sizeof(buf),
-                  "%-10s %-8s %6zu %9llu %9llu  %6.1f %6.1f %6.1f %6.1f %6.1f %6.1f\n",
+                  "%-10s %-8s %6zu %9llu %9llu  %6.1f %6.1f %6.1f %6.1f %6.1f %6.1f %6u\n",
                   key.first.c_str(), key.second.c_str(), g.totals.size(),
                   static_cast<unsigned long long>(PercentileSorted(g.totals, 50.0)),
                   static_cast<unsigned long long>(PercentileSorted(g.totals, 99.0)),
                   Pct(g.sum.queue_wait, g.sum.total), Pct(g.sum.run_delay, g.sum.total),
                   Pct(g.sum.handoff, g.sum.total), Pct(g.sum.full_switch, g.sum.total),
-                  Pct(g.sum.stack, g.sum.total), Pct(g.sum.work, g.sum.total));
+                  Pct(g.sum.stack, g.sum.total), Pct(g.sum.work, g.sum.total),
+                  g.sum.recognitions);
     out += buf;
   }
   if (groups.empty()) {
@@ -519,14 +523,15 @@ std::string FormatSlowest(const TraceAnalysis& analysis, std::size_t n) {
     out += buf;
     std::snprintf(buf, sizeof(buf),
                   "    queue_wait=%llu run_delay=%llu handoff=%llu full_switch=%llu "
-                  "stack=%llu work=%llu (handoffs=%u switches=%u steals=%u)\n",
+                  "stack=%llu work=%llu (handoffs=%u switches=%u steals=%u "
+                  "recognitions=%u)\n",
                   static_cast<unsigned long long>(s->queue_wait),
                   static_cast<unsigned long long>(s->run_delay),
                   static_cast<unsigned long long>(s->handoff),
                   static_cast<unsigned long long>(s->full_switch),
                   static_cast<unsigned long long>(s->stack),
                   static_cast<unsigned long long>(s->work), s->handoffs, s->switches,
-                  s->steals);
+                  s->steals, s->recognitions);
     out += buf;
   }
   return out;

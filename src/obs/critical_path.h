@@ -39,6 +39,11 @@ struct SpanBreakdown {
   std::uint32_t handoffs = 0;
   std::uint32_t switches = 0;
   std::uint32_t steals = 0;
+  // Specialized resumes (recognition-table hits) inside the span: each one
+  // is a wakeup or handoff that completed with no stack switch at all, so a
+  // span with recognitions > 0 and handoffs == switches == 0 ran its entire
+  // resume path in borrowed contexts ("none" path, zero transfer cost).
+  std::uint32_t recognitions = 0;
 
   // "handoff" (only stack handoffs), "switch" (only full/no-save context
   // switches), "mixed" (both), or "none" (neither — e.g. a fast fault).

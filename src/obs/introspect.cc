@@ -1,9 +1,11 @@
 #include "src/obs/introspect.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "src/ipc/mach_msg.h"
 #include "src/kern/kernel.h"
+#include "src/kern/recognition.h"
 
 namespace mkc {
 
@@ -78,21 +80,38 @@ void ContinuationRegistry::ResetCounts() {
   unregistered_resumes_ = 0;
 }
 
-std::string ContinuationRegistry::ReportTable() const {
+std::string ContinuationRegistry::ReportTable(const RecognitionTable* specializations) const {
+  // Hottest first: the row order is the triage order, and "hot" for a
+  // recognition report is total resumptions — what the thread came back
+  // through, whether by a full continuation call or a specialized handler.
+  std::vector<const ContinuationInfo*> rows;
+  rows.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    if (e.blocks == 0 && e.resumes == 0 && e.recognitions == 0) {
+      continue;
+    }
+    rows.push_back(&e);
+  }
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const ContinuationInfo* a, const ContinuationInfo* b) {
+                     return a->resumes + a->recognitions > b->resumes + b->recognitions;
+                   });
   std::string out;
   char line[160];
   std::snprintf(line, sizeof(line), "%-28s %10s %10s %12s %8s\n", "continuation",
                 "blocks", "resumes", "recognized", "rate");
   out += line;
-  for (const auto& e : entries_) {
-    if (e.blocks == 0 && e.resumes == 0 && e.recognitions == 0) {
-      continue;
-    }
-    std::snprintf(line, sizeof(line), "%-28s %10llu %10llu %12llu %7.1f%%\n",
-                  e.name.c_str(), static_cast<unsigned long long>(e.blocks),
-                  static_cast<unsigned long long>(e.resumes),
-                  static_cast<unsigned long long>(e.recognitions),
-                  100.0 * e.RecognitionRate());
+  for (const ContinuationInfo* e : rows) {
+    // '*' marks a continuation with a specialized resume handler in the
+    // recognition table — a zero "recognized" count on a starred row means
+    // the handler kept declining, which is worth a look.
+    const bool specialized =
+        specializations != nullptr && specializations->HasSpecialization(e->fn);
+    std::snprintf(line, sizeof(line), "%-28s %10llu %10llu %12llu %7.1f%%%s\n",
+                  e->name.c_str(), static_cast<unsigned long long>(e->blocks),
+                  static_cast<unsigned long long>(e->resumes),
+                  static_cast<unsigned long long>(e->recognitions),
+                  100.0 * e->RecognitionRate(), specialized ? " *" : "");
     out += line;
   }
   if (unregistered_blocks_ != 0 || unregistered_resumes_ != 0) {
@@ -100,6 +119,9 @@ std::string ContinuationRegistry::ReportTable() const {
                   static_cast<unsigned long long>(unregistered_blocks_),
                   static_cast<unsigned long long>(unregistered_resumes_), "-", "-");
     out += line;
+  }
+  if (specializations != nullptr) {
+    out += "(* = specialized resume handler registered in the recognition table)\n";
   }
   return out;
 }

@@ -31,6 +31,7 @@
 namespace mkc {
 
 class Kernel;
+class RecognitionTable;
 
 // One registered continuation and its accounting.
 struct ContinuationInfo {
@@ -74,9 +75,13 @@ class ContinuationRegistry {
 
   void ResetCounts();
 
-  // Human-readable per-continuation accounting table (registration order,
-  // zero rows skipped): name, blocks, resumes, recognitions, rate.
-  std::string ReportTable() const;
+  // Human-readable per-continuation accounting table, hottest first (sorted
+  // by total resumptions = resumes + recognitions, descending; registration
+  // order breaks ties; zero rows skipped): name, blocks, resumes,
+  // recognitions, rate. When `specializations` is given, rows whose
+  // continuation has a specialized resume handler registered in the
+  // recognition table are flagged with a trailing '*'.
+  std::string ReportTable(const RecognitionTable* specializations = nullptr) const;
 
  private:
   ContinuationInfo* FindMutable(Continuation fn);

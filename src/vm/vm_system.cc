@@ -64,6 +64,54 @@ void VmSystem::VmFaultMapContinue() {
   VmFaultRetryContinue();
 }
 
+bool VmSystem::FaultResumeRecognized(Kernel& kernel, Thread* thread) {
+  VmSystem& vm = kernel.vm();
+  auto st = thread->Scratch<VmFaultState>();  // Copy, as the continuations do.
+  Task* task = thread->task;
+  if (task == nullptr) {
+    return false;
+  }
+  const bool write = st.write != 0;
+  VmRegion* region = task->map.Lookup(st.addr);
+  if (region == nullptr || (write && region->prot != VmProt::kReadWrite)) {
+    return false;  // Escalates to an exception: run the full fault path.
+  }
+  VmObject* object = region->object.get();
+  auto& slot = object->Slot(region->OffsetOf(st.addr));
+  if (slot.frame == kInvalidPageFrame) {
+    return false;  // Still needs a physical page (or disk): general path.
+  }
+  PhysicalPage* page = vm.pool_.PageFor(slot.frame);
+  if (page->busy || slot.pagein_busy) {
+    return false;  // Someone's pagein/pageout owns it: general path waits.
+  }
+  // The woken fault can complete with a resident mapping — the common case
+  // after both a free-page wait and a pagein. This is exactly FaultInternal's
+  // resident arm, minus the kCycFaultBase re-walk (the lookups above stand in
+  // for it) and minus the continuation call.
+  Kernel& k = kernel;
+  ++k.transfer_stats().recognitions;
+  k.NoteContRecognition(thread->continuation);
+  k.TracePoint(TraceEvent::kRecognition, 5);
+  TakeContinuation(thread);
+  k.ChargeCycles(kCycPmapEnter);
+  task->pmap.Enter(st.addr, slot.frame, write || region->prot == VmProt::kReadWrite);
+  page->mapped_task = task;
+  page->mapped_va = PageTrunc(st.addr);
+  if (write) {
+    page->dirty = true;
+  }
+  ++vm.stats_.fast_faults;
+  RecordFaultService(thread);
+  ThreadExceptionReturn();
+}
+
+void VmSystem::RegisterRecognition(RecognitionTable& table) {
+  // Both fault continuations resume through the same resident-map fast arm.
+  table.Register(&VmSystem::VmFaultRetryContinue, &VmSystem::FaultResumeRecognized, nullptr);
+  table.Register(&VmSystem::VmFaultMapContinue, &VmSystem::FaultResumeRecognized, nullptr);
+}
+
 [[noreturn]] void VmSystem::FaultInternal(Thread* thread, VmAddress addr, bool write,
                                           bool is_retry) {
   Kernel& k = kernel_;

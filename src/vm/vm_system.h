@@ -80,6 +80,12 @@ class VmSystem {
   static void VmFaultRetryContinue();
   static void VmFaultMapContinue();
 
+  // Installs the specialized resume handler (kern/recognition.h) for both
+  // fault continuations: a resumed faulter whose page is now resident and
+  // idle is mapped and returned to user level right in the inherited frame,
+  // skipping the continuation call and the full fault re-walk.
+  static void RegisterRecognition(class RecognitionTable& table);
+
   PagePool& pool() { return pool_; }
   VmStats& stats() { return stats_; }
   const VmStats& stats() const { return stats_; }
@@ -90,6 +96,10 @@ class VmSystem {
  private:
   // Fault worker shared by the trap path and the retry continuation.
   [[noreturn]] void FaultInternal(Thread* thread, VmAddress addr, bool write, bool is_retry);
+
+  // The recognition handler behind RegisterRecognition; declines (general
+  // path) unless the fault can complete with a resident mapping.
+  static bool FaultResumeRecognized(Kernel& kernel, Thread* thread);
 
   void Evict(PhysicalPage* page);
 

@@ -101,8 +101,9 @@ TEST(NetIpcTest, BlockedProtocolThreadsHoldNoStacks) {
     // ...with no kernel stack (§3.3 — the paper's netmsgserver argument)...
     EXPECT_EQ(out->kernel_stack, nullptr);
     EXPECT_EQ(engine->kernel_stack, nullptr);
-    // ...and their own protocol continuations, which recognition must NOT
-    // mistake for mach_msg_continue.
+    // ...and their own protocol continuations, which carry their own
+    // specialized entries in the recognition table (wakeup absorption) —
+    // distinct from mach_msg_continue's handoff entry.
     EXPECT_EQ(out->continuation, &NetIpcRecvContinue);
     EXPECT_EQ(engine->continuation, &NetIpcAckContinue);
   }

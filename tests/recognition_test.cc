@@ -1,0 +1,196 @@
+// The recognition table (src/kern/recognition.h): registration semantics,
+// the ablation contract (--no-recognition / --no-recognition-table), and the
+// end-to-end wakeup-absorption paths the table enables — a lossy 2-node
+// cluster whose netipc protocol threads are resumed without ever being
+// scheduled.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "src/ipc/mach_msg.h"
+#include "src/kern/kernel.h"
+#include "src/kern/recognition.h"
+#include "src/net/cluster.h"
+#include "src/net/netipc.h"
+#include "src/vm/vm_system.h"
+#include "src/workload/workload.h"
+
+namespace mkc {
+namespace {
+
+void ContA() {}
+void ContB() {}
+
+bool HandoffNever(Kernel&, Thread*) { return false; }
+bool WakeupNever(Kernel&, Thread*) { return false; }
+
+// --- Table unit tests --------------------------------------------------------
+
+TEST(RecognitionTableTest, RegisterLookupUnregister) {
+  RecognitionTable table;
+  EXPECT_EQ(table.Find(&ContA), nullptr);
+  EXPECT_EQ(table.Find(nullptr), nullptr);
+  EXPECT_FALSE(table.HasSpecialization(&ContA));
+
+  table.Register(&ContA, &HandoffNever, nullptr);
+  table.Register(&ContB, nullptr, &WakeupNever);
+
+  RecognitionEntry* a = table.Find(&ContA);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->on_handoff, &HandoffNever);
+  EXPECT_EQ(a->on_wakeup, nullptr);
+  RecognitionEntry* b = table.Find(&ContB);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->on_handoff, nullptr);
+  EXPECT_EQ(b->on_wakeup, &WakeupNever);
+  EXPECT_TRUE(table.HasSpecialization(&ContA));
+
+  table.Unregister(&ContA);
+  EXPECT_EQ(table.Find(&ContA), nullptr);
+  EXPECT_FALSE(table.HasSpecialization(&ContA));
+  EXPECT_NE(table.Find(&ContB), nullptr);
+  // Unregistering a pointer that was never registered is a no-op (late
+  // subsystems unregister unconditionally in their destructors).
+  table.Unregister(&ContA);
+  EXPECT_EQ(table.entries().size(), 1u);
+}
+
+TEST(RecognitionTableTest, DuplicateRegistrationPanics) {
+  RecognitionTable table;
+  table.Register(&ContA, &HandoffNever, nullptr);
+  // Two subsystems claiming one continuation is a construction-order bug;
+  // the second claimant must die loudly, not silently shadow the first.
+  EXPECT_DEATH(table.Register(&ContA, nullptr, &WakeupNever),
+               "duplicate registration");
+}
+
+TEST(RecognitionTableTest, DisabledTableFallsBackButKeepsReportView) {
+  RecognitionTable table;
+  table.Register(&ContA, &HandoffNever, nullptr);
+  table.set_enabled(false);
+  // Every consult site goes through Find: a disabled table makes all of
+  // them fall back to the general continuation path...
+  EXPECT_EQ(table.Find(&ContA), nullptr);
+  // ...but the report-side view still shows what is registered, so ablation
+  // runs still print which sites have specializations.
+  EXPECT_TRUE(table.HasSpecialization(&ContA));
+  table.set_enabled(true);
+  EXPECT_NE(table.Find(&ContA), nullptr);
+}
+
+TEST(RecognitionTableTest, ResetCountsClearsAccounting) {
+  RecognitionTable table;
+  table.Register(&ContA, &HandoffNever, nullptr);
+  RecognitionEntry* e = table.Find(&ContA);
+  ASSERT_NE(e, nullptr);
+  e->handoff_hits = 3;
+  e->wakeup_hits = 2;
+  e->declines = 1;
+  table.ResetCounts();
+  EXPECT_EQ(e->handoff_hits, 0u);
+  EXPECT_EQ(e->wakeup_hits, 0u);
+  EXPECT_EQ(e->declines, 0u);
+}
+
+// --- Kernel registration surface --------------------------------------------
+
+TEST(RecognitionTableTest, KernelRegistersLegacyAndTableSites) {
+  KernelConfig config;  // MK40 defaults: table on.
+  Kernel kernel(config);
+  // The legacy §2.4 sites and the vm specialization are construction-time
+  // table entries; the receive fast path is literally the first one.
+  ASSERT_FALSE(kernel.recognition().entries().empty());
+  EXPECT_EQ(kernel.recognition().entries()[0].fn, &MachMsgContinue);
+  EXPECT_TRUE(kernel.recognition().HasSpecialization(&MachMsgContinue));
+  EXPECT_TRUE(kernel.recognition().HasSpecialization(&VmSystem::VmFaultRetryContinue));
+  EXPECT_TRUE(kernel.recognition().HasSpecialization(&VmSystem::VmFaultMapContinue));
+}
+
+TEST(RecognitionTableTest, TableDisabledKeepsOnlyLegacyEntries) {
+  KernelConfig config;
+  config.enable_recognition_table = false;
+  Kernel kernel(config);
+  // --no-recognition-table: only the pre-table dispatch surface registers —
+  // the ipc/exception entries ARE that surface; the vm and netipc
+  // specializations are table-era additions and must not appear.
+  EXPECT_TRUE(kernel.recognition().HasSpecialization(&MachMsgContinue));
+  EXPECT_FALSE(kernel.recognition().HasSpecialization(&VmSystem::VmFaultRetryContinue));
+  EXPECT_FALSE(kernel.recognition().HasSpecialization(&VmSystem::VmFaultMapContinue));
+}
+
+// --- End to end: wakeup absorption on a lossy cluster ------------------------
+
+ClusterRpcParams LossyParams() {
+  ClusterRpcParams p;
+  p.clients = 4;
+  p.requests_per_client = 25;
+  return p;
+}
+
+TEST(RecognitionTableTest, LossyClusterAbsorbsProtocolThreadWakeups) {
+  KernelConfig config;
+  config.seed = 7;
+  LinkConfig link;
+  link.drop_per_mille = 50;
+  Cluster cluster(config, 2, link);
+  ClusterReport r = RunClusterRpcWorkload(cluster, LossyParams());
+  EXPECT_EQ(r.rpcs_ok, 100u);
+  EXPECT_EQ(r.rpcs_failed, 0u);
+  EXPECT_GT(r.net.retransmits, 0u);  // The loss rate must exercise the timer.
+  for (int i = 0; i < 2; ++i) {
+    Kernel& node = cluster.node(i);
+    // Wakeups were absorbed: protocol threads resumed in the waker's
+    // context instead of being scheduled.
+    EXPECT_GT(node.transfer_stats().wakeup_recognitions, 0u) << "node " << i;
+    // Per-site accounting: the out thread's forward-and-repark handler and
+    // the engine's service-and-repark handler both fired.
+    RecognitionEntry* recv = node.recognition().Find(&NetIpcRecvContinue);
+    ASSERT_NE(recv, nullptr) << "node " << i;
+    EXPECT_GT(recv->wakeup_hits, 0u) << "node " << i;
+    RecognitionEntry* ack = node.recognition().Find(&NetIpcAckContinue);
+    ASSERT_NE(ack, nullptr) << "node " << i;
+    EXPECT_GT(ack->wakeup_hits, 0u) << "node " << i;
+  }
+}
+
+// The ablation contract's behavioral half (CI's determinism smoke does the
+// byte-level half): with recognition off, the run must not depend on whether
+// the specialization table exists at all — same schedule, same counters,
+// same virtual time.
+TEST(RecognitionTableTest, NoRecognitionIsIndependentOfTable) {
+  auto run = [](bool with_table) {
+    KernelConfig config;
+    config.seed = 7;
+    config.enable_recognition = false;
+    config.enable_recognition_table = with_table;
+    LinkConfig link;
+    link.drop_per_mille = 50;
+    Cluster cluster(config, 2, link);
+    ClusterReport r = RunClusterRpcWorkload(cluster, LossyParams());
+    struct Shape {
+      std::uint64_t rpcs_ok, retransmits, vtime, blocks0, blocks1, reco0, reco1;
+    };
+    return Shape{r.rpcs_ok,
+                 r.net.retransmits,
+                 r.virtual_time,
+                 cluster.node(0).transfer_stats().total_blocks,
+                 cluster.node(1).transfer_stats().total_blocks,
+                 cluster.node(0).transfer_stats().recognitions,
+                 cluster.node(1).transfer_stats().recognitions};
+  };
+  auto with = run(true);
+  auto without = run(false);
+  EXPECT_EQ(with.rpcs_ok, without.rpcs_ok);
+  EXPECT_EQ(with.retransmits, without.retransmits);
+  EXPECT_EQ(with.vtime, without.vtime);
+  EXPECT_EQ(with.blocks0, without.blocks0);
+  EXPECT_EQ(with.blocks1, without.blocks1);
+  // And with recognition off, nothing anywhere is recognized.
+  EXPECT_EQ(with.reco0, 0u);
+  EXPECT_EQ(with.reco1, 0u);
+  EXPECT_EQ(without.reco0, 0u);
+  EXPECT_EQ(without.reco1, 0u);
+}
+
+}  // namespace
+}  // namespace mkc

@@ -16,7 +16,12 @@ bench/baselines/ and fails when:
   * netipc: the loss-free (drop=0) point's rpc_per_mtick drops more than
     --tolerance below baseline, or any drop point up to 10/1000 reports
     give_ups > 0 (RPCs must survive moderate loss via retransmission, never
-    dead-name).
+    dead-name), or
+  * recognition: any per-continuation recognition site that the baseline
+    shows as recognized (recognized > 0) stops being recognized, or its
+    recognition rate falls more than --tolerance below the baseline rate —
+    per workload section, including the netipc cluster's wakeup-absorption
+    sites (netipc_recv_continue / netipc_ack_continue).
 
 Both signals are virtual-tick quantities, so for a fixed (config, seed,
 scale) they are bit-deterministic: any drift at all is a real code change,
@@ -187,6 +192,46 @@ def check_netipc(base, cur, tolerance):
     return failures
 
 
+def check_recognition(base, cur, tolerance):
+    failures = []
+    sections = sorted(base["metrics"])
+    if sections != sorted(cur["metrics"]):
+        sys.exit(
+            f"error: recognition: sections differ — baseline {sections} vs "
+            f"current {sorted(cur['metrics'])}"
+        )
+    for section in sections:
+        base_rows = base["metrics"][section].get("per_continuation", {})
+        cur_rows = cur["metrics"][section].get("per_continuation", {})
+        for name in sorted(base_rows):
+            brow = base_rows[name]
+            if brow["recognized"] == 0:
+                continue  # Gate only sites the baseline shows as recognized.
+            crow = cur_rows.get(name)
+            got = 0.0 if crow is None else crow["rate_pct"]
+            recognized = 0 if crow is None else crow["recognized"]
+            floor = brow["rate_pct"] * (1.0 - tolerance)
+            status = "ok"
+            if recognized == 0:
+                status = "REGRESSION"
+                failures.append(
+                    f"recognition '{section}' {name}: no resumptions recognized "
+                    f"(baseline {brow['recognized']} @ {brow['rate_pct']:.1f}%)"
+                )
+            elif got < floor:
+                status = "REGRESSION"
+                failures.append(
+                    f"recognition '{section}' {name}: rate {got:.1f}% < "
+                    f"{floor:.1f}% (baseline {brow['rate_pct']:.1f}% - "
+                    f"{tolerance:.0%})"
+                )
+            print(
+                f"  recognition '{section}' {name}: {recognized} recognized, "
+                f"rate {got:.1f}% (baseline {brow['rate_pct']:.1f}%) {status}"
+            )
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline-dir", required=True)
@@ -194,12 +239,15 @@ def main():
     ap.add_argument("--table1", help="current table1_discards bench JSON")
     ap.add_argument("--ipc-alloc", help="current ipc_alloc bench JSON")
     ap.add_argument("--netipc", help="current netipc bench JSON")
+    ap.add_argument("--recognition", help="current table2_recognition bench JSON")
     ap.add_argument("--tolerance", type=float, default=0.10)
     ap.add_argument("--min-alloc-reduction", type=float, default=20.0)
     args = ap.parse_args()
-    if not args.smp and not args.table1 and not args.ipc_alloc and not args.netipc:
+    if (not args.smp and not args.table1 and not args.ipc_alloc
+            and not args.netipc and not args.recognition):
         ap.error(
-            "nothing to check: pass --smp, --table1, --ipc-alloc and/or --netipc"
+            "nothing to check: pass --smp, --table1, --ipc-alloc, --netipc "
+            "and/or --recognition"
         )
 
     failures = []
@@ -224,6 +272,11 @@ def main():
         cur = load(args.netipc)
         check_config_matches("netipc", base, cur)
         failures += check_netipc(base, cur, args.tolerance)
+    if args.recognition:
+        base = load(os.path.join(args.baseline_dir, "recognition.json"))
+        cur = load(args.recognition)
+        check_config_matches("recognition", base, cur)
+        failures += check_recognition(base, cur, args.tolerance)
 
     if failures:
         print("\nperf regression gate FAILED:", file=sys.stderr)

@@ -84,7 +84,7 @@ void CaptureProfile(mkc::Kernel& kernel, void* arg) {
     cap->total_cycles = prof->total_cycles();
     cap->samples = prof->samples();
   }
-  cap->cont_table = kernel.continuations().ReportTable();
+  cap->cont_table = kernel.continuations().ReportTable(&kernel.recognition());
   if (mkc::StallWatchdog* wd = kernel.watchdog()) {
     wd->Scan(kernel);  // Final sweep: catch stalls younger than one check.
     cap->stall_report = wd->Report();
@@ -255,7 +255,7 @@ int main(int argc, char** argv) {
       for (int i = 0; i < nodes; ++i) {
         mkc::Kernel& node = cluster.node(i);
         std::fprintf(human, "\nnode %d continuations:\n%s", i,
-                     node.continuations().ReportTable().c_str());
+                     node.continuations().ReportTable(&node.recognition()).c_str());
       }
     }
     for (int i = 0; i < nodes; ++i) {

@@ -11,6 +11,8 @@
 //     --pages=N                      physical pages         (default 4096)
 //     --no-handoff                   disable stack handoff  (MK40 ablation)
 //     --no-recognition               disable recognition    (MK40 ablation)
+//     --no-recognition-table         keep recognition, drop the specialization
+//                                    table (legacy pointer-compare behavior)
 //     --no-kmsg-zones                disable kmsg magazine caching
 //     --no-port-gens                 disable generation-tagged port names
 //     --table                        print the Table 1/2 style breakdown
@@ -58,7 +60,8 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--workload=compile|build|dos|farm|rpc] [--model=mk40|mk32|mach25]\n"
                "          [--scale=N] [--cpus=N] [--seed=N] [--quantum=N] [--pages=N]\n"
-               "          [--no-handoff] [--no-recognition] [--no-kmsg-zones] [--no-port-gens]\n"
+               "          [--no-handoff] [--no-recognition] [--no-recognition-table]\n"
+               "          [--no-kmsg-zones] [--no-port-gens]\n"
                "          [--table] [--hist]\n"
                "          [--trace=N] [--trace-out=FILE] [--metrics-json=FILE|-]\n"
                "          [--profile=N] [--profile-out=FILE|-] [--flight=N]\n"
@@ -329,6 +332,8 @@ int main(int argc, char** argv) {
       config.enable_handoff = false;
     } else if (arg == "--no-recognition") {
       config.enable_recognition = false;
+    } else if (arg == "--no-recognition-table") {
+      config.enable_recognition_table = false;
     } else if (arg == "--no-kmsg-zones") {
       config.ipc_kmsg_zones = false;
     } else if (arg == "--no-port-gens") {

@@ -1,5 +1,8 @@
 #include "src/core/trace.h"
 
+#include <algorithm>
+#include <utility>
+
 namespace mkc {
 
 const char* TraceEventName(TraceEvent event) {
@@ -44,6 +47,136 @@ const char* TraceEventName(TraceEvent event) {
       return "stall-warn";
   }
   return "unknown";
+}
+
+void TraceBuffer::ConfigureTailSampling(const TailSamplingConfig& config) {
+  if (ring_.empty() || !config.enabled) {
+    return;
+  }
+  tail_ = config;
+  if (tail_.tail_k < 0) {
+    tail_.tail_k = 0;
+  }
+  if (tail_.head_every == 0) {
+    tail_.head_every = 1;
+  }
+  if (tail_.chain_cap < 2) {
+    tail_.chain_cap = 2;  // A chain is at least its begin and end records.
+  }
+  seq_ring_.assign(ring_.size(), 0);
+}
+
+void TraceBuffer::RecordTail(const TraceRecord& rec, std::uint64_t seq) {
+  if (rec.event == TraceEvent::kSpanBegin) {
+    Chain& chain = open_[rec.span];
+    chain = Chain{};
+    chain.kind = static_cast<std::uint8_t>(
+        rec.aux >= 1 && rec.aux <= kTailKinds ? rec.aux - 1 : 0);
+    chain.begin = rec.when;
+    chain.records.push_back(SeqRecord{seq, rec});
+    return;
+  }
+  auto it = open_.find(rec.span);
+  if (it == open_.end()) {
+    // Post-end stragglers (e.g. a server-side record landing after the
+    // client closed the span) — the analyzer ignores them anyway.
+    ++stats_.stray_records;
+    return;
+  }
+  Chain& chain = it->second;
+  if (chain.poisoned || chain.records.size() >= tail_.chain_cap) {
+    chain.poisoned = true;
+    ++stats_.records_dropped;
+  } else {
+    chain.records.push_back(SeqRecord{seq, rec});
+  }
+  if (rec.event == TraceEvent::kSpanEnd) {
+    Chain closing = std::move(chain);
+    open_.erase(it);
+    closing.latency = rec.when >= closing.begin ? rec.when - closing.begin : 0;
+    CloseChain(rec.span, std::move(closing));
+  }
+}
+
+void TraceBuffer::CloseChain(std::uint32_t span, Chain&& chain) {
+  ++stats_.spans_completed;
+  if (chain.poisoned) {
+    ++stats_.spans_truncated;
+    stats_.records_dropped += chain.records.size();
+    return;
+  }
+  // Span ids are node-partitioned (node << 24 | serial, serial from 1), so
+  // sampling the low bits hits every node's stream at the same 1-in-N rate.
+  if (((span & 0xffffff) - 1) % tail_.head_every == 0) {
+    ++stats_.retained_head;
+    done_.emplace_back(span, std::move(chain));
+    return;
+  }
+  auto& set = tail_sets_[chain.kind];
+  if (set.size() < static_cast<std::size_t>(tail_.tail_k)) {
+    set.emplace_back(span, std::move(chain));
+    return;
+  }
+  std::size_t min_i = 0;
+  for (std::size_t i = 1; i < set.size(); ++i) {
+    if (set[i].second.latency < set[min_i].second.latency) {
+      min_i = i;
+    }
+  }
+  if (!set.empty() && chain.latency > set[min_i].second.latency) {
+    ++stats_.spans_dropped;
+    stats_.records_dropped += set[min_i].second.records.size();
+    set[min_i] = {span, std::move(chain)};
+  } else {
+    ++stats_.spans_dropped;
+    stats_.records_dropped += chain.records.size();
+  }
+}
+
+std::vector<TraceRecord> TraceBuffer::SampledRecords() const {
+  std::vector<SeqRecord> merged;
+  merged.reserve(retained() + 64);
+  std::size_t count = retained();
+  std::size_t start = (head_ + ring_.size() - count) & mask_;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::size_t slot = (start + i) & mask_;
+    merged.push_back(SeqRecord{seq_ring_.empty() ? i : seq_ring_[slot], ring_[slot]});
+  }
+  auto add_chain = [&merged](const Chain& chain) {
+    merged.insert(merged.end(), chain.records.begin(), chain.records.end());
+  };
+  for (const auto& [span, chain] : done_) {
+    add_chain(chain);
+  }
+  for (const auto& set : tail_sets_) {
+    for (const auto& [span, chain] : set) {
+      add_chain(chain);
+    }
+  }
+  // Still-open chains stay visible: the analyzer flags them incomplete
+  // instead of them vanishing without accounting.
+  std::vector<std::uint32_t> open_spans;
+  open_spans.reserve(open_.size());
+  for (const auto& [span, chain] : open_) {
+    open_spans.push_back(span);
+  }
+  std::sort(open_spans.begin(), open_spans.end());
+  for (std::uint32_t span : open_spans) {
+    add_chain(open_.at(span));
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const SeqRecord& a, const SeqRecord& b) {
+              if (a.rec.when != b.rec.when) {
+                return a.rec.when < b.rec.when;
+              }
+              return a.seq < b.seq;
+            });
+  std::vector<TraceRecord> out;
+  out.reserve(merged.size());
+  for (const SeqRecord& r : merged) {
+    out.push_back(r.rec);
+  }
+  return out;
 }
 
 void TraceBuffer::Dump(std::FILE* out) const {

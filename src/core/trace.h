@@ -1,18 +1,35 @@
-// Control-transfer tracing: a fixed-size ring of kernel events.
+// Control-transfer tracing: a fixed-size ring of kernel events, optionally
+// with tail-based span sampling.
 //
 // The paper's Figure 2 is a trace of the fast RPC path; this facility lets
 // any run produce the same kind of trace (see examples/quickstart and the
 // trace tests). Tracing is off unless KernelConfig::trace_capacity > 0; the
 // hot paths pay one predictable branch when disabled. The ring capacity is
 // rounded up to a power of two so the hot-path index update is a mask, not a
-// division. src/obs/trace_export.h serializes the ring as Chrome trace-event
-// JSON for Perfetto.
+// division. src/obs/trace_export.h serializes the buffer as Chrome
+// trace-event JSON for Perfetto.
+//
+// Plain ring mode overwrites the oldest records once full — fine for short
+// runs, corrupting for a 16-node cluster where one wrapped ring silently
+// amputates span prefixes. Tail-sampling mode (ConfigureTailSampling)
+// instead splits the stream:
+//
+//   * Records with span == 0 (counters, scheduler noise) keep using the ring.
+//   * Records belonging to a span are buffered per chain (begin..end) and a
+//     chain is *retained* only if it is a deterministic 1-in-N head sample
+//     (by span id) or lands among the K slowest completed chains of its
+//     kind; everything else is dropped with exact accounting (TailStats).
+//
+// Retention decisions depend only on virtual-tick latencies and span ids, so
+// the sampled trace is byte-deterministic per (config, seed), and memory is
+// bounded by ring + open chains + K·kinds + heads instead of by run length.
 #ifndef MACHCONT_SRC_CORE_TRACE_H_
 #define MACHCONT_SRC_CORE_TRACE_H_
 
 #include <bit>
 #include <cstdint>
 #include <cstdio>
+#include <unordered_map>
 #include <vector>
 
 #include "src/base/types.h"
@@ -54,18 +71,55 @@ struct TraceRecord {
   std::uint32_t span = 0;  // Causal span (src/obs/span.h); 0 = none.
 };
 
+// Tail-based span retention policy (see file comment).
+struct TailSamplingConfig {
+  bool enabled = false;
+  int tail_k = 8;                 // Slowest chains kept per span kind.
+  std::uint32_t head_every = 64;  // Deterministic 1-in-N head sample by span id.
+  std::size_t chain_cap = 1024;   // Max records buffered per chain; beyond
+                                  // this the chain is truncated (dropped with
+                                  // accounting), bounding runaway spans.
+};
+
+// Exact accounting of tail-sampling decisions: every completed span is
+// retained (head or tail), dropped, or truncated — no silent loss.
+struct TailSampleStats {
+  std::uint64_t spans_completed = 0;
+  std::uint64_t retained_head = 0;   // Chains kept by the 1-in-N head sample.
+  std::uint64_t retained_tail = 0;   // Chains currently in a slowest-K set.
+  std::uint64_t spans_dropped = 0;   // Completed chains not retained.
+  std::uint64_t spans_truncated = 0; // Chains discarded for exceeding chain_cap.
+  std::uint64_t records_dropped = 0; // Span records discarded, total.
+  std::uint64_t stray_records = 0;   // Span records with no open chain.
+  std::uint64_t open_chains = 0;     // Spans begun but not yet ended.
+};
+
 class TraceBuffer {
  public:
   // Sizes the ring to hold at least `capacity` records (rounded up to a
-  // power of two); 0 disables tracing.
+  // power of two); 0 disables tracing. Resets all sampling state.
   void Configure(std::size_t capacity) {
     ring_.assign(capacity == 0 ? 0 : std::bit_ceil(capacity), TraceRecord{});
     mask_ = ring_.empty() ? 0 : ring_.size() - 1;
     head_ = 0;
     recorded_ = 0;
+    ring_recorded_ = 0;
+    seq_ring_.clear();
+    tail_ = TailSamplingConfig{};
+    open_.clear();
+    done_.clear();
+    for (auto& set : tail_sets_) {
+      set.clear();
+    }
+    stats_ = TailSampleStats{};
   }
 
+  // Arms tail-based span retention; requires an enabled ring (the ring keeps
+  // holding the span-less counter/scheduler records).
+  void ConfigureTailSampling(const TailSamplingConfig& config);
+
   bool enabled() const { return !ring_.empty(); }
+  bool tail_sampling() const { return tail_.enabled; }
   std::size_t capacity() const { return ring_.size(); }
 
   void Record(Ticks when, ThreadId thread, TraceEvent event, std::uint32_t aux = 0,
@@ -73,22 +127,54 @@ class TraceBuffer {
     if (ring_.empty()) {
       return;
     }
+    std::uint64_t seq = recorded_++;
+    if (tail_.enabled && span != 0) {
+      RecordTail(TraceRecord{when, thread, event, cpu, aux, aux2, span}, seq);
+      return;
+    }
     ring_[head_] = TraceRecord{when, thread, event, cpu, aux, aux2, span};
+    if (!seq_ring_.empty()) {
+      seq_ring_[head_] = seq;
+    }
     head_ = (head_ + 1) & mask_;
-    ++recorded_;
+    ++ring_recorded_;
   }
 
   std::uint64_t recorded() const { return recorded_; }
 
   // Records still in the ring (oldest ones fall off once it wraps).
   std::size_t retained() const {
-    return recorded_ < ring_.size() ? static_cast<std::size_t>(recorded_) : ring_.size();
+    return ring_recorded_ < ring_.size() ? static_cast<std::size_t>(ring_recorded_)
+                                         : ring_.size();
   }
 
-  // Records lost to ring wraparound (the Drops() of this buffer).
-  std::uint64_t overwritten() const { return recorded_ - retained(); }
+  // Ring records lost to wraparound (the Drops() of this buffer).
+  std::uint64_t overwritten() const { return ring_recorded_ - retained(); }
 
-  // Visits the retained records, oldest first.
+  // Timestamp of the oldest record still in the ring; 0 when empty. When
+  // overwritten() > 0, spans that began before this tick have lost records
+  // — the analyzer treats them as suspect rather than decomposing garbage.
+  Ticks oldest_retained_tick() const {
+    std::size_t count = retained();
+    if (count == 0) {
+      return 0;
+    }
+    return ring_[(head_ + ring_.size() - count) & mask_].when;
+  }
+
+  TailSampleStats TailStats() const {
+    TailSampleStats s = stats_;
+    s.retained_tail = 0;
+    for (const auto& set : tail_sets_) {
+      s.retained_tail += set.size();
+    }
+    s.open_chains = open_.size();
+    return s;
+  }
+
+  // Visits the retained ring records, oldest first. In tail-sampling mode
+  // this covers only span-less records; use SampledRecords() for the full
+  // sampled stream.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
     if (ring_.empty()) {
@@ -101,14 +187,43 @@ class TraceBuffer {
     }
   }
 
+  // The full sampled stream: ring records plus every retained chain (head
+  // samples, slowest-K tails, and still-open chains), merged back into
+  // record order by (when, record sequence). Deterministic.
+  std::vector<TraceRecord> SampledRecords() const;
+
   // Human-readable dump (for examples and debugging).
   void Dump(std::FILE* out) const;
 
  private:
+  static constexpr int kTailKinds = 3;  // rpc / fault / exception.
+
+  struct SeqRecord {
+    std::uint64_t seq = 0;
+    TraceRecord rec;
+  };
+  struct Chain {
+    std::uint8_t kind = 0;     // Tail-set index (SpanKind - 1, clamped).
+    Ticks begin = 0;
+    Ticks latency = 0;         // Set when the chain completes.
+    bool poisoned = false;     // Exceeded chain_cap; will be truncated.
+    std::vector<SeqRecord> records;
+  };
+
+  void RecordTail(const TraceRecord& rec, std::uint64_t seq);
+  void CloseChain(std::uint32_t span, Chain&& chain);
+
   std::vector<TraceRecord> ring_;
+  std::vector<std::uint64_t> seq_ring_;  // Parallel to ring_ in tail mode.
   std::size_t head_ = 0;
   std::size_t mask_ = 0;
-  std::uint64_t recorded_ = 0;
+  std::uint64_t recorded_ = 0;       // Every Record() call (global sequence).
+  std::uint64_t ring_recorded_ = 0;  // Ring writes only.
+  TailSamplingConfig tail_;
+  std::unordered_map<std::uint32_t, Chain> open_;
+  std::vector<std::pair<std::uint32_t, Chain>> done_;  // Head-sampled chains.
+  std::vector<std::pair<std::uint32_t, Chain>> tail_sets_[kTailKinds];
+  TailSampleStats stats_;
 };
 
 }  // namespace mkc

@@ -16,6 +16,7 @@
 #include "src/machine/machdep.h"
 #include "src/machine/trap.h"
 #include "src/obs/profiler.h"
+#include "src/obs/slo.h"
 #include "src/obs/watchdog.h"
 #include "src/task/task.h"
 #include "src/vm/vm_system.h"
@@ -120,6 +121,31 @@ Kernel::Kernel(const KernelConfig& config)
   // recognition-rate table is profiler output, and keeping the counters dark
   // otherwise preserves the zero-overhead-off guarantee.
   cont_accounting_ = profiler_ != nullptr;
+  if (config_.slo_window > 0) {
+    SloConfig slo_config;
+    slo_config.window = config_.slo_window;
+    slo_config.subwindows = config_.slo_subwindows;
+    slo_config.target_rpc = config_.slo_target_rpc;
+    slo_config.target_fault = config_.slo_target_fault;
+    slo_config.target_exc = config_.slo_target_exc;
+    slo_config.objective_permille = config_.slo_objective_permille;
+    slo_ = std::make_unique<SloTracker>(slo_config, config_.node_id);
+    // The "slo" block rides in the metrics dump only while armed, so a dump
+    // with the plane off stays byte-identical to a pre-SLO build.
+    metrics_.SetJsonBlock("slo",
+                          [this] { return slo_->JsonBlock(VirtualTime()); });
+  }
+  // Spans run for the trace ring or the SLO tracker; with neither, span ids
+  // stay 0 and every span site is one predictable branch.
+  spans_armed_ = trace_.enabled() || slo_ != nullptr;
+  if (trace_.enabled() && config_.trace_tail_sample) {
+    TailSamplingConfig tail;
+    tail.enabled = true;
+    tail.tail_k = config_.trace_tail_k;
+    tail.head_every = config_.trace_head_every;
+    tail.chain_cap = config_.trace_chain_cap;
+    trace_.ConfigureTailSampling(tail);
+  }
 }
 
 void Kernel::RegisterMetrics() {
@@ -938,7 +964,7 @@ std::uint64_t Kernel::RunDueEvents() {
 Ticks KernelLatencyNow(const Kernel& kernel) { return kernel.LatencyNow(); }
 
 std::uint32_t Kernel::SpanBegin(SpanKind kind) {
-  if (!trace_.enabled()) {
+  if (!spans_armed_) {
     return 0;
   }
   Thread* t = CurrentThread();
@@ -951,11 +977,14 @@ std::uint32_t Kernel::SpanBegin(SpanKind kind) {
   trace_.Record(TraceNow(), t->id, TraceEvent::kSpanBegin,
                 static_cast<std::uint32_t>(kind), t->span_parent, id,
                 static_cast<std::uint16_t>(current_cpu_->id));
+  if (slo_ != nullptr) {
+    slo_->OnSpanBegin(id, kind, TraceNow());
+  }
   return id;
 }
 
 void Kernel::SpanEnd(SpanKind kind) {
-  if (!trace_.enabled()) {
+  if (!spans_armed_) {
     return;
   }
   Thread* t = CurrentThread();
@@ -965,13 +994,18 @@ void Kernel::SpanEnd(SpanKind kind) {
   trace_.Record(TraceNow(), t->id, TraceEvent::kSpanEnd,
                 static_cast<std::uint32_t>(kind), 0, t->span_id,
                 static_cast<std::uint16_t>(current_cpu_->id));
+  if (slo_ != nullptr) {
+    // End-to-end latency comes from the tracker's own begin map, not
+    // span_start (which SpanAdopt restarts mid-span for the watchdog).
+    slo_->OnSpanEnd(t->span_id, kind, TraceNow());
+  }
   t->span_id = t->span_parent;
   t->span_parent = 0;
   t->span_start = t->span_id != 0 ? TraceNow() : 0;
 }
 
 void Kernel::SpanAdopt(Thread* thread, std::uint32_t span) {
-  if (!trace_.enabled() || span == 0) {
+  if (!spans_armed_ || span == 0) {
     return;
   }
   // Same-span adoption (a client receiving the reply to its own request) is

@@ -36,6 +36,7 @@ class NetIpc;
 class Kernel;
 class Profiler;
 class StallWatchdog;
+class SloTracker;
 
 // Arbitration interface a multi-node driver (net/cluster.h) installs on each
 // member kernel. A clustered kernel's idle loop consults the arbiter instead
@@ -130,6 +131,31 @@ struct KernelConfig {
   Ticks profile_interval = 0;    // Virtual ticks between profiler samples.
   Ticks flight_interval = 0;     // Virtual ticks between flight-recorder rows.
   Ticks watchdog_threshold = 0;  // Stall age that makes the watchdog bark.
+
+  // --- SLO telemetry plane (src/obs/slo.h) --------------------------------
+  // slo_window > 0 arms the windowed-tail tracker: spans are measured even
+  // with tracing off (spans_armed_), per-kind sliding-window p50/p99/p99.9,
+  // violation counts and error-budget burn appear in the metrics JSON
+  // ("slo" block) and flight-recorder rows. Off (the default) the tracker
+  // does not exist and all output is byte-identical to a pre-SLO build.
+  // Like the profiler, the tracker charges no cycles: arming it never moves
+  // virtual time.
+  Ticks slo_window = 0;           // Sliding-window width; 0 = SLO plane off.
+  int slo_subwindows = 8;         // Window granularity (ring slots).
+  Ticks slo_target_rpc = 25000;   // Per-kind latency targets (0 = no target).
+  Ticks slo_target_fault = 12000;
+  Ticks slo_target_exc = 12000;
+  std::uint32_t slo_objective_permille = 990;  // 990 = 99.0% within target.
+
+  // --- Tail-based trace sampling (core/trace.h) ---------------------------
+  // With tracing on, retain complete span chains only for the 1-in-N head
+  // sample and the K slowest requests of each kind, instead of letting the
+  // ring overwrite arbitrary prefixes. Off, the ring behaves exactly as
+  // before (byte-identical traces).
+  bool trace_tail_sample = false;
+  int trace_tail_k = 8;             // Slowest chains kept per span kind.
+  std::uint32_t trace_head_every = 64;  // Deterministic head-sample rate.
+  std::size_t trace_chain_cap = 1024;   // Records buffered per span chain.
 };
 
 // Stable pointers into the metrics registry for the hot-path latency
@@ -256,8 +282,8 @@ class Kernel {
   // the enclosing span. SpanAdopt re-stamps a thread with a span carried in
   // a message header so the request's identity survives delivery, handoff,
   // migration and steal. All three are no-ops (and span ids stay 0
-  // everywhere) when tracing is disabled — spans cost nothing unless a
-  // trace ring is configured.
+  // everywhere) unless spans are armed — by a trace ring or by the SLO
+  // tracker, which measures span latencies even with tracing off.
   std::uint32_t SpanBegin(SpanKind kind);
   void SpanEnd(SpanKind kind);
   void SpanAdopt(Thread* thread, std::uint32_t span);
@@ -272,6 +298,8 @@ class Kernel {
   const ContinuationRegistry& continuations() const { return cont_registry_; }
   Profiler* profiler() { return profiler_.get(); }
   StallWatchdog* watchdog() { return watchdog_.get(); }
+  SloTracker* slo() { return slo_.get(); }
+  const SloTracker* slo() const { return slo_.get(); }
 
   // Generalized continuation recognition (kern/recognition.h): specialized
   // resume handlers keyed by continuation pointer, consulted on the
@@ -473,8 +501,12 @@ class Kernel {
   ContinuationRegistry cont_registry_;
   std::unique_ptr<Profiler> profiler_;
   std::unique_ptr<StallWatchdog> watchdog_;
+  std::unique_ptr<SloTracker> slo_;
   bool obs_tick_armed_ = false;
   bool cont_accounting_ = false;
+  // Span machinery runs when a trace ring OR the SLO tracker wants spans;
+  // false keeps span ids 0 everywhere (the pre-span byte-identity contract).
+  bool spans_armed_ = false;
 
   // Generalized recognition: specialized resume handlers (kern/recognition.h).
   RecognitionTable recognition_table_;

@@ -231,6 +231,9 @@ ClusterReport RunClusterRpcWorkload(Cluster& cluster, const ClusterRpcParams& pa
   const auto start = std::chrono::steady_clock::now();
   cluster.Run();
   const Ticks done_at = cluster.VirtualTime();
+  if (params.pre_drain != nullptr) {
+    params.pre_drain(params.pre_drain_arg);
+  }
   cluster.Drain();  // Settle final acks and GC before reading the stats.
   const std::chrono::duration<double> elapsed =
       std::chrono::steady_clock::now() - start;

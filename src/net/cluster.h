@@ -82,6 +82,13 @@ struct ClusterRpcParams {
   std::uint32_t requests_per_client = 25;  // Scaled by `scale`.
   std::uint32_t body_bytes = 64;
   Ticks client_work = 1000;  // Client-side compute between RPCs.
+
+  // Called after Run() completes and before Drain() — the window where the
+  // workload is finished but protocol/daemon state still exists. The
+  // telemetry plane (src/obs/collector.h) uses it to tell its agent threads
+  // to stand down, so Drain terminates instead of re-arming sample timers.
+  void (*pre_drain)(void* arg) = nullptr;
+  void* pre_drain_arg = nullptr;
 };
 
 struct ClusterReport {

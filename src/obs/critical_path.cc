@@ -390,6 +390,9 @@ TraceAnalysis AnalyzeChromeTrace(const std::string& json) {
   // std::map: span ids ascend, and ids are allocated in begin order, so the
   // final span list comes out begin-ordered without another sort.
   std::map<std::uint32_t, SpanState> spans;
+  // Spans that began before this tick crossed some wrapped ring's overwrite
+  // horizon (max over the file's trace-overflow rows) — suspect.
+  Ticks suspect_before = 0;
   for (const JsonValue& ev : root.array) {
     if (ev.type != JsonValue::Type::kObject) {
       continue;
@@ -400,12 +403,31 @@ TraceAnalysis AnalyzeChromeTrace(const std::string& json) {
       continue;
     }
     if (ph->str == "M") {
-      if (name->str == "trace-overflow") {
-        if (const JsonValue* args = ev.Find("args")) {
-          if (const JsonValue* ow = args->Find("overwritten")) {
-            out.overwritten = ow->AsU64();
+      const JsonValue* args = ev.Find("args");
+      if (name->str == "trace-overflow" && args != nullptr) {
+        if (const JsonValue* ow = args->Find("overwritten")) {
+          out.overwritten += ow->AsU64();
+          if (ow->AsU64() > 0) {
+            if (const JsonValue* ort = args->Find("oldest_retained_tick")) {
+              if (ort->AsU64() > suspect_before) {
+                suspect_before = ort->AsU64();
+              }
+            }
           }
         }
+      } else if (name->str == "trace-sampling" && args != nullptr) {
+        out.tail_sampled = true;
+        auto add = [args](const char* key, std::uint64_t* into) {
+          if (const JsonValue* v = args->Find(key)) {
+            *into += v->AsU64();
+          }
+        };
+        add("spans_completed", &out.sampled_spans_completed);
+        add("retained_head", &out.sampled_retained);
+        add("retained_tail", &out.sampled_retained);
+        add("spans_dropped", &out.sampled_spans_dropped);
+        add("spans_truncated", &out.sampled_spans_truncated);
+        add("records_dropped", &out.sampled_records_dropped);
       }
       continue;
     }
@@ -440,6 +462,14 @@ TraceAnalysis AnalyzeChromeTrace(const std::string& json) {
       // The ring wrapped over one edge of the span (or the run was cut
       // short): no exact decomposition is possible.
       ++out.dropped_incomplete;
+      continue;
+    }
+    if (st.begin < suspect_before) {
+      // Both edges survived, but a wrapped ring elsewhere in this file
+      // overwrote records from before `suspect_before` — some of this
+      // span's middle records may be gone, and a decomposition would
+      // silently misattribute the missing time. Report it, don't fake it.
+      ++out.suspect_incomplete;
       continue;
     }
     out.spans.push_back(BuildBreakdown(id, st));

@@ -59,7 +59,23 @@ struct TraceAnalysis {
   std::string error;                  // Set when parse_ok is false.
   std::vector<SpanBreakdown> spans;   // Completed spans, in begin order.
   std::uint64_t dropped_incomplete = 0;  // Spans missing begin or end.
+  // Spans that look complete (begin and end present) but began before the
+  // oldest record retained by some wrapped ring in the file: a cluster merge
+  // can hold a span's edges on one node while another node's ring overwrote
+  // its middle records, and decomposing such a span silently misattributes
+  // the lost segments to "work". These are excluded from `spans` and counted
+  // here instead (summed over the trace-overflow metadata rows).
+  std::uint64_t suspect_incomplete = 0;
   std::uint64_t overwritten = 0;      // From the trace-overflow metadata.
+
+  // Tail-sampling retention ledger (trace-sampling metadata rows, summed
+  // across nodes). tail_sampled is false for plain-ring traces.
+  bool tail_sampled = false;
+  std::uint64_t sampled_spans_completed = 0;
+  std::uint64_t sampled_retained = 0;        // Head + slowest-K chains kept.
+  std::uint64_t sampled_spans_dropped = 0;   // Exact count, no silent loss.
+  std::uint64_t sampled_spans_truncated = 0; // Chains over the record cap.
+  std::uint64_t sampled_records_dropped = 0;
 };
 
 // Parses a Chrome trace JSON document (the exporter's format) and computes

@@ -145,6 +145,17 @@ const LatencyHistogram* MetricsRegistry::FindHistogram(const std::string& name) 
   return nullptr;
 }
 
+void MetricsRegistry::SetJsonBlock(std::string name,
+                                   std::function<std::string()> fn) {
+  for (auto& b : json_blocks_) {
+    if (b.first == name) {
+      b.second = std::move(fn);
+      return;
+    }
+  }
+  json_blocks_.emplace_back(std::move(name), std::move(fn));
+}
+
 void MetricsRegistry::ResetHistograms() {
   for (auto& h : histograms_) {
     if (h.hist != nullptr) {
@@ -234,7 +245,14 @@ std::string MetricsRegistry::DumpJsonString() const {
     }
     out += "]}";
   }
-  out += "}}";
+  out += "}";
+  for (const auto& b : json_blocks_) {
+    out += ",";
+    WriteJsonString(&out, b.first);
+    out += ":";
+    out += b.second();
+  }
+  out += "}";
   return out;
 }
 

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -160,6 +161,13 @@ class MetricsRegistry {
     }
   }
 
+  // Registers an extra top-level JSON block emitted after "histograms" as
+  // `,"<name>":<fn()>`; fn must return one complete JSON value. Subsystems
+  // that are off-by-default (the SLO tracker) register their block only when
+  // armed, so recorders-off dumps stay byte-identical to builds that predate
+  // the subsystem. Re-registering a name replaces its producer.
+  void SetJsonBlock(std::string name, std::function<std::string()> fn);
+
   // Clears every histogram (counter/gauge storage is owned and reset by the
   // subsystems themselves — Kernel::ResetStats).
   void ResetHistograms();
@@ -193,6 +201,7 @@ class MetricsRegistry {
   std::vector<View> counters_;
   std::vector<View> gauges_;
   std::vector<Hist> histograms_;
+  std::vector<std::pair<std::string, std::function<std::string()>>> json_blocks_;
 };
 
 }  // namespace mkc

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "src/kern/kernel.h"
+#include "src/obs/slo.h"
 #include "src/obs/introspect.h"
 
 namespace mkc {
@@ -120,7 +121,15 @@ void Profiler::FlightSnapshot(Kernel& kernel, Ticks now) {
     AppendU64(&line, h.P999());
     line += '}';
   });
-  line += "}}\n";
+  line += "}";
+  if (kernel.slo() != nullptr) {
+    // Windowed tails ride the flight stream: each row carries the SLO
+    // plane's current sliding-window view (absent entirely when unarmed,
+    // keeping pre-SLO flight output byte-identical).
+    line += ",\"slo\":";
+    line += kernel.slo()->FlightFragment(now);
+  }
+  line += "}\n";
   flight_ += line;
 }
 

@@ -1,0 +1,307 @@
+#include "src/obs/slo.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace mkc {
+namespace {
+
+void WriteU64(std::string* out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  *out += buf;
+}
+
+void WriteFixed2(std::string* out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  *out += buf;
+}
+
+// Kind index for a span kind; -1 for kinds the tracker ignores (kNone).
+int KindIndex(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kRpc:
+      return 0;
+    case SpanKind::kFault:
+      return 1;
+    case SpanKind::kException:
+      return 2;
+    default:
+      return -1;
+  }
+}
+
+SloKindSnapshot Snapshot(const LatencyHistogram& hist, std::uint64_t violations) {
+  SloKindSnapshot s;
+  s.count = hist.count();
+  s.p50 = hist.P50();
+  s.p99 = hist.P99();
+  s.p999 = hist.P999();
+  s.violations = violations;
+  return s;
+}
+
+}  // namespace
+
+const char* SloTracker::KindName(int kind) {
+  switch (kind) {
+    case 0:
+      return "rpc";
+    case 1:
+      return "fault";
+    case 2:
+      return "exception";
+    default:
+      return "?";
+  }
+}
+
+SloTracker::SloTracker(const SloConfig& config, int node_id)
+    : config_(config), node_id_(node_id) {
+  if (config_.subwindows < 1) {
+    config_.subwindows = 1;
+  }
+  sub_ticks_ = config_.window / static_cast<Ticks>(config_.subwindows);
+  if (sub_ticks_ == 0) {
+    sub_ticks_ = 1;
+  }
+  targets_[0] = config_.target_rpc;
+  targets_[1] = config_.target_fault;
+  targets_[2] = config_.target_exc;
+  for (KindState& k : kinds_) {
+    k.ring.resize(static_cast<std::size_t>(config_.subwindows));
+  }
+}
+
+void SloTracker::OnSpanBegin(std::uint32_t id, SpanKind kind, Ticks now) {
+  int k = KindIndex(kind);
+  if (k < 0) {
+    return;
+  }
+  AdvanceTo(now);
+  open_[id] = {now, static_cast<std::uint8_t>(k)};
+}
+
+void SloTracker::OnSpanEnd(std::uint32_t id, SpanKind kind, Ticks now) {
+  (void)kind;  // The begin record's kind is authoritative.
+  auto it = open_.find(id);
+  if (it == open_.end()) {
+    return;
+  }
+  Ticks begin = it->second.first;
+  int k = it->second.second;
+  open_.erase(it);
+  AdvanceTo(now);
+  Ticks latency = now >= begin ? now - begin : 0;
+  KindState& state = kinds_[k];
+  SubWindow& slot = state.ring[cur_sub_ % static_cast<std::uint64_t>(config_.subwindows)];
+  slot.hist.Record(latency);
+  state.cumulative.Record(latency);
+  ++spans_recorded_;
+  if (targets_[k] != 0 && latency > targets_[k]) {
+    ++slot.violations;
+    ++state.cum_violations;
+  }
+}
+
+void SloTracker::AdvanceTo(Ticks now) {
+  std::uint64_t target = now / sub_ticks_;
+  std::uint64_t n = static_cast<std::uint64_t>(config_.subwindows);
+  while (cur_sub_ < target) {
+    ++cur_sub_;
+    if (cur_sub_ % n == 0) {
+      // The ring now holds exactly the N sub-windows of one completed
+      // tumbling window; summarize it before the first slot is recycled.
+      EmitWindowLine(cur_sub_ / n - 1);
+    }
+    for (KindState& k : kinds_) {
+      k.ring[cur_sub_ % n] = SubWindow{};
+    }
+  }
+}
+
+SloKindSnapshot SloTracker::WindowedKind(int kind, Ticks now) {
+  AdvanceTo(now);
+  LatencyHistogram merged;
+  std::uint64_t violations = 0;
+  for (const SubWindow& s : kinds_[kind].ring) {
+    merged.Merge(s.hist);
+    violations += s.violations;
+  }
+  return Snapshot(merged, violations);
+}
+
+SloKindSnapshot SloTracker::CumulativeKind(int kind) const {
+  return Snapshot(kinds_[kind].cumulative, kinds_[kind].cum_violations);
+}
+
+double SloTracker::Burn(std::uint64_t violations, std::uint64_t count) const {
+  if (count == 0 || violations == 0) {
+    return 0.0;
+  }
+  std::uint32_t budget_permille =
+      config_.objective_permille < 1000 ? 1000 - config_.objective_permille : 1;
+  double violation_rate =
+      static_cast<double>(violations) / static_cast<double>(count);
+  return violation_rate / (static_cast<double>(budget_permille) / 1000.0);
+}
+
+void SloTracker::AppendKindJson(std::string* out, int kind,
+                                const SloKindSnapshot& s, bool with_target) {
+  *out += "{\"count\":";
+  WriteU64(out, s.count);
+  *out += ",\"p50\":";
+  WriteU64(out, s.p50);
+  *out += ",\"p99\":";
+  WriteU64(out, s.p99);
+  *out += ",\"p999\":";
+  WriteU64(out, s.p999);
+  if (with_target) {
+    *out += ",\"target\":";
+    WriteU64(out, targets_[kind]);
+  }
+  *out += ",\"violations\":";
+  WriteU64(out, s.violations);
+  *out += ",\"burn\":";
+  WriteFixed2(out, Burn(s.violations, s.count));
+  *out += "}";
+}
+
+void SloTracker::EmitWindowLine(std::uint64_t window_index) {
+  std::uint64_t n = static_cast<std::uint64_t>(config_.subwindows);
+  std::string& out = window_jsonl_;
+  out += "{\"slo\":1,\"node\":";
+  WriteU64(&out, static_cast<std::uint64_t>(node_id_));
+  out += ",\"window\":";
+  WriteU64(&out, window_index);
+  out += ",\"t_end\":";
+  WriteU64(&out, (window_index + 1) * sub_ticks_ * n);
+  out += ",\"kinds\":{";
+  bool first = true;
+  for (int k = 0; k < kKinds; ++k) {
+    LatencyHistogram merged;
+    std::uint64_t violations = 0;
+    for (const SubWindow& s : kinds_[k].ring) {
+      merged.Merge(s.hist);
+      violations += s.violations;
+    }
+    if (merged.count() == 0) {
+      continue;
+    }
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "\"";
+    out += KindName(k);
+    out += "\":";
+    AppendKindJson(&out, k, Snapshot(merged, violations), /*with_target=*/true);
+  }
+  out += "}}\n";
+}
+
+std::string SloTracker::JsonBlock(Ticks now) {
+  AdvanceTo(now);
+  std::string out;
+  out.reserve(512);
+  out += "{\"config\":{\"window\":";
+  WriteU64(&out, config_.window);
+  out += ",\"subwindows\":";
+  WriteU64(&out, static_cast<std::uint64_t>(config_.subwindows));
+  out += ",\"objective_permille\":";
+  WriteU64(&out, config_.objective_permille);
+  out += "},\"windows_completed\":";
+  WriteU64(&out, cur_sub_ / static_cast<std::uint64_t>(config_.subwindows));
+  out += ",\"kinds\":{";
+  for (int k = 0; k < kKinds; ++k) {
+    if (k != 0) {
+      out += ",";
+    }
+    out += "\"";
+    out += KindName(k);
+    out += "\":{\"target\":";
+    WriteU64(&out, targets_[k]);
+    out += ",\"cumulative\":";
+    AppendKindJson(&out, k, CumulativeKind(k), /*with_target=*/false);
+    out += ",\"window\":";
+    AppendKindJson(&out, k, WindowedKind(k, now), /*with_target=*/false);
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string SloTracker::FlightFragment(Ticks now) {
+  AdvanceTo(now);
+  std::string out = "{";
+  bool first = true;
+  for (int k = 0; k < kKinds; ++k) {
+    SloKindSnapshot s = WindowedKind(k, now);
+    if (s.count == 0) {
+      continue;
+    }
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "\"";
+    out += KindName(k);
+    out += "\":{\"count\":";
+    WriteU64(&out, s.count);
+    out += ",\"p99\":";
+    WriteU64(&out, s.p99);
+    out += ",\"p999\":";
+    WriteU64(&out, s.p999);
+    out += ",\"viol\":";
+    WriteU64(&out, s.violations);
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+std::string SloTracker::MergedJsonBlock(
+    const std::vector<const SloTracker*>& nodes) {
+  std::string out = "{\"nodes\":";
+  WriteU64(&out, nodes.size());
+  out += ",\"kinds\":{";
+  if (nodes.empty()) {
+    out += "}}";
+    return out;
+  }
+  const SloTracker* first_node = nodes.front();
+  for (int k = 0; k < kKinds; ++k) {
+    // Bucket-exact fold across nodes: identical to one global tracker.
+    LatencyHistogram merged;
+    std::uint64_t violations = 0;
+    for (const SloTracker* t : nodes) {
+      merged.Merge(t->kinds_[k].cumulative);
+      violations += t->kinds_[k].cum_violations;
+    }
+    if (k != 0) {
+      out += ",";
+    }
+    out += "\"";
+    out += KindName(k);
+    out += "\":{\"target\":";
+    WriteU64(&out, first_node->targets_[k]);
+    out += ",\"count\":";
+    WriteU64(&out, merged.count());
+    out += ",\"p50\":";
+    WriteU64(&out, merged.P50());
+    out += ",\"p99\":";
+    WriteU64(&out, merged.P99());
+    out += ",\"p999\":";
+    WriteU64(&out, merged.P999());
+    out += ",\"violations\":";
+    WriteU64(&out, violations);
+    out += ",\"burn\":";
+    WriteFixed2(&out, first_node->Burn(violations, merged.count()));
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace mkc

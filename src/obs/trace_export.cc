@@ -102,15 +102,53 @@ void AppendEvent(std::string* out, const TraceRecord& r, bool* first, int pid) {
 
 void AppendOverflowMeta(std::string* out, const TraceBuffer& trace, int pid) {
   // The ring wrapped: say so in-band, so a consumer of the file knows the
-  // oldest records are missing (and how many).
-  char buf[160];
+  // oldest records are missing (and how many), and since when — spans that
+  // began before oldest_retained_tick have lost records, and the analyzer
+  // must treat their decomposition as suspect, not gospel.
+  char buf[224];
   std::snprintf(buf, sizeof(buf),
                 ",\n{\"name\":\"trace-overflow\",\"ph\":\"M\",\"pid\":%d,"
-                "\"args\":{\"overwritten\":%llu,\"recorded\":%llu,\"retained\":%llu}}",
+                "\"args\":{\"overwritten\":%llu,\"recorded\":%llu,\"retained\":%llu,"
+                "\"oldest_retained_tick\":%llu}}",
                 pid, static_cast<unsigned long long>(trace.overwritten()),
                 static_cast<unsigned long long>(trace.recorded()),
-                static_cast<unsigned long long>(trace.retained()));
+                static_cast<unsigned long long>(trace.retained()),
+                static_cast<unsigned long long>(trace.oldest_retained_tick()));
   *out += buf;
+}
+
+void AppendSamplingMeta(std::string* out, const TraceBuffer& trace, int pid) {
+  // Tail-sampling was on: publish the exact retention ledger so "this trace
+  // holds N of M spans" is a statement in the file, not a guess.
+  TailSampleStats s = trace.TailStats();
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      ",\n{\"name\":\"trace-sampling\",\"ph\":\"M\",\"pid\":%d,"
+      "\"args\":{\"spans_completed\":%llu,\"retained_head\":%llu,"
+      "\"retained_tail\":%llu,\"spans_dropped\":%llu,\"spans_truncated\":%llu,"
+      "\"records_dropped\":%llu,\"stray_records\":%llu,\"open_chains\":%llu}}",
+      pid, static_cast<unsigned long long>(s.spans_completed),
+      static_cast<unsigned long long>(s.retained_head),
+      static_cast<unsigned long long>(s.retained_tail),
+      static_cast<unsigned long long>(s.spans_dropped),
+      static_cast<unsigned long long>(s.spans_truncated),
+      static_cast<unsigned long long>(s.records_dropped),
+      static_cast<unsigned long long>(s.stray_records),
+      static_cast<unsigned long long>(s.open_chains));
+  *out += buf;
+}
+
+// One node's exportable records: the plain ring, or — under tail sampling —
+// the ring merged with every retained span chain.
+std::vector<TraceRecord> NodeRecords(const TraceBuffer& trace) {
+  if (trace.tail_sampling()) {
+    return trace.SampledRecords();
+  }
+  std::vector<TraceRecord> out;
+  out.reserve(trace.retained());
+  trace.ForEach([&out](const TraceRecord& r) { out.push_back(r); });
+  return out;
 }
 
 }  // namespace
@@ -158,7 +196,12 @@ std::string ChromeTraceString(const TraceBuffer& trace) {
   if (trace.overwritten() > 0) {
     AppendOverflowMeta(&out, trace, /*pid=*/1);
   }
-  trace.ForEach([&](const TraceRecord& r) { AppendEvent(&out, r, &first, /*pid=*/1); });
+  if (trace.tail_sampling()) {
+    AppendSamplingMeta(&out, trace, /*pid=*/1);
+  }
+  for (const TraceRecord& r : NodeRecords(trace)) {
+    AppendEvent(&out, r, &first, /*pid=*/1);
+  }
   out += "\n]\n";
   return out;
 }
@@ -186,10 +229,13 @@ std::string ClusterChromeTraceString(const std::vector<const TraceBuffer*>& trac
     if (traces[node]->overwritten() > 0) {
       AppendOverflowMeta(&out, *traces[node], static_cast<int>(node) + 1);
     }
+    if (traces[node]->tail_sampling()) {
+      AppendSamplingMeta(&out, *traces[node], static_cast<int>(node) + 1);
+    }
   }
   // Merge the rings into one global-virtual-time order. Stable sort keeps
-  // per-node record order (each ring is already oldest-first) and breaks
-  // equal timestamps by node id, so the merged file is deterministic.
+  // per-node record order (each node's stream is already oldest-first) and
+  // breaks equal timestamps by node id, so the merged file is deterministic.
   struct Tagged {
     TraceRecord record;
     int pid;
@@ -197,9 +243,9 @@ std::string ClusterChromeTraceString(const std::vector<const TraceBuffer*>& trac
   std::vector<Tagged> merged;
   merged.reserve(total);
   for (std::size_t node = 0; node < traces.size(); ++node) {
-    traces[node]->ForEach([&](const TraceRecord& r) {
+    for (const TraceRecord& r : NodeRecords(*traces[node])) {
       merged.push_back(Tagged{r, static_cast<int>(node) + 1});
-    });
+    }
   }
   std::stable_sort(merged.begin(), merged.end(),
                    [](const Tagged& a, const Tagged& b) {

@@ -1,0 +1,309 @@
+// The SLO telemetry plane: windowed-tail determinism and decay, cluster
+// merge exactness, adversarial quantiles, tail-based trace sampling with
+// exact accounting, and the in-band collector pipeline end to end.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/trace.h"
+#include "src/kern/kernel.h"
+#include "src/net/cluster.h"
+#include "src/obs/collector.h"
+#include "src/obs/critical_path.h"
+#include "src/obs/slo.h"
+#include "src/workload/workload.h"
+
+namespace mkc {
+namespace {
+
+// Feeds one rpc span of `latency` ticks ending at `end` into `t`.
+void Span(SloTracker& t, std::uint32_t id, Ticks end, Ticks latency) {
+  t.OnSpanBegin(id, SpanKind::kRpc, end - latency);
+  t.OnSpanEnd(id, SpanKind::kRpc, end);
+}
+
+// A latency recorded in one sub-window stays in the sliding windowed view
+// for exactly `subwindows` sub-window advances, then decays; the completed
+// window is summarized to the JSONL stream before its slots recycle.
+TEST(SloTest, SubWindowAdvanceAndDecay) {
+  SloConfig config;
+  config.window = 800;
+  config.subwindows = 8;  // 100 ticks per sub-window.
+  config.target_rpc = 40;
+  SloTracker t(config, /*node_id=*/0);
+
+  Span(t, 1, /*end=*/60, /*latency=*/50);  // Lands in sub-window 0; violates.
+  EXPECT_EQ(t.WindowedKind(0, 60).count, 1u);
+  EXPECT_EQ(t.WindowedKind(0, 60).violations, 1u);
+
+  // Frontier at 750: seven advances, the slot is still live.
+  EXPECT_EQ(t.WindowedKind(0, 750).count, 1u);
+  EXPECT_TRUE(t.WindowJsonl().empty());
+
+  // Frontier crosses the window boundary: the record decays out of the
+  // sliding view, and window 0 is summarized exactly once.
+  EXPECT_EQ(t.WindowedKind(0, 850).count, 0u);
+  std::string jsonl = t.WindowJsonl();
+  EXPECT_NE(jsonl.find("\"window\":0"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"t_end\":800"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"rpc\":{\"count\":1"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"violations\":1"), std::string::npos);
+  // Budget is 1% (objective 990); a 100% violation rate burns 100x.
+  EXPECT_NE(jsonl.find("\"burn\":100.00"), std::string::npos);
+
+  // Cumulative view never decays.
+  EXPECT_EQ(t.CumulativeKind(0).count, 1u);
+  EXPECT_EQ(t.CumulativeKind(0).violations, 1u);
+}
+
+// Identical event streams produce byte-identical JSONL and JSON blocks —
+// the determinism the two-run CI smoke relies on.
+TEST(SloTest, IdenticalStreamsAreByteIdentical) {
+  SloConfig config;
+  config.window = 1000;
+  config.subwindows = 4;
+  SloTracker a(config, 0);
+  SloTracker b(config, 0);
+  for (std::uint32_t id = 1; id <= 200; ++id) {
+    Ticks end = static_cast<Ticks>(id) * 37;
+    Span(a, id, end, (id * 13) % 400);
+    Span(b, id, end, (id * 13) % 400);
+  }
+  EXPECT_EQ(a.WindowJsonl(), b.WindowJsonl());
+  EXPECT_FALSE(a.WindowJsonl().empty());
+  EXPECT_EQ(a.JsonBlock(8000), b.JsonBlock(8000));
+  EXPECT_EQ(a.FlightFragment(8000), b.FlightFragment(8000));
+}
+
+// The cluster merge is bucket-exact: two shards folded together report the
+// same counts, violations and quantiles as one tracker that saw everything.
+TEST(SloTest, MergedViewMatchesSingleTracker) {
+  SloConfig config;
+  SloTracker shard_a(config, 0);
+  SloTracker shard_b(config, 1);
+  SloTracker global(config, 0);
+  for (std::uint32_t id = 1; id <= 100; ++id) {
+    Ticks end = 100000 + static_cast<Ticks>(id) * 500;
+    Ticks latency = (id % 10 == 0) ? 90000 : 120 + id;  // Tail every 10th.
+    Span(id % 2 == 0 ? shard_a : shard_b, id, end, latency);
+    Span(global, id, end, latency);
+  }
+  std::string merged =
+      SloTracker::MergedJsonBlock({&shard_a, &shard_b});
+  std::string solo = SloTracker::MergedJsonBlock({&global});
+  // Same fold, different node counts: compare everything after the prefix.
+  EXPECT_EQ(merged.substr(merged.find("\"kinds\"")),
+            solo.substr(solo.find("\"kinds\"")));
+  EXPECT_NE(merged.find("\"nodes\":2"), std::string::npos);
+
+  SloKindSnapshot g = global.CumulativeKind(0);
+  SloKindSnapshot a = shard_a.CumulativeKind(0);
+  SloKindSnapshot b = shard_b.CumulativeKind(0);
+  EXPECT_EQ(a.count + b.count, g.count);
+  EXPECT_EQ(a.violations + b.violations, g.violations);
+}
+
+// Adversarial distribution for p99.9: 998 fast requests hide 2 outliers.
+// p99 must stay in the fast bucket while p99.9 surfaces the outlier (with
+// the histogram's clamp-to-max semantics), and both outliers violate.
+TEST(SloTest, P999SurfacesRareOutliers) {
+  SloConfig config;
+  config.window = 1u << 30;  // Everything in one window.
+  SloTracker t(config, 0);
+  std::uint32_t id = 1;
+  for (int i = 0; i < 998; ++i) {
+    Span(t, id++, 2000000 + static_cast<Ticks>(i), 100);
+  }
+  Span(t, id++, 3000000, 1000000);
+  Span(t, id++, 3000001, 1000000);
+
+  SloKindSnapshot s = t.CumulativeKind(0);
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_EQ(s.p99, 127u);        // Upper bound of the [64,127] bucket.
+  EXPECT_EQ(s.p999, 1000000u);   // Outlier bucket, clamped to the max.
+  EXPECT_EQ(s.violations, 2u);   // Only the outliers exceed 25000.
+}
+
+// Arming the SLO tracker must not move the simulation by a single tick:
+// span bookkeeping happens outside the cycle model.
+TEST(SloTest, SloArmedDoesNotPerturbVirtualTime) {
+  WorkloadParams params;
+  params.scale = 1;
+
+  KernelConfig off;
+  WorkloadReport r_off = RunServerFarmWorkload(off, params);
+
+  KernelConfig armed;
+  armed.slo_window = 200000;
+  WorkloadReport r_slo = RunServerFarmWorkload(armed, params);
+
+  EXPECT_EQ(r_off.virtual_time, r_slo.virtual_time);
+  EXPECT_EQ(r_off.ipc.messages_sent, r_slo.ipc.messages_sent);
+  EXPECT_EQ(r_off.transfer.total_blocks, r_slo.transfer.total_blocks);
+}
+
+// Tail sampling retains exactly the deterministic heads plus the K slowest
+// chains per kind, with every dropped span and record accounted for.
+TEST(SloTest, TailSamplingRetainsHeadsAndSlowestWithExactAccounting) {
+  TraceBuffer buf;
+  buf.Configure(64);
+  TailSamplingConfig cfg;
+  cfg.enabled = true;
+  cfg.tail_k = 2;
+  cfg.head_every = 1000;  // Only span id 1 is a head sample here.
+  cfg.chain_cap = 16;
+  buf.ConfigureTailSampling(cfg);
+  ASSERT_TRUE(buf.tail_sampling());
+
+  auto span = [&buf](std::uint32_t id, Ticks begin, Ticks latency) {
+    buf.Record(begin, 1, TraceEvent::kSpanBegin, /*aux=*/1, 0, id);
+    buf.Record(begin + latency, 1, TraceEvent::kSpanEnd, /*aux=*/1, 0, id);
+  };
+  buf.Record(5, 1, TraceEvent::kStackPoolSize, 3, 1);  // Span-less: ring.
+  span(1, 10, 1);    // Head sample (fast, kept anyway).
+  span(2, 20, 10);   // Fills the tail set...
+  span(3, 40, 30);   // ...with span 3 as the slowest.
+  span(4, 80, 20);   // Evicts span 2 (10 < 20).
+  span(5, 120, 5);   // Slower than nothing: dropped outright.
+  buf.Record(200, 2, TraceEvent::kSpanBegin, 1, 0, 6);  // Never ends: open.
+
+  TailSampleStats stats = buf.TailStats();
+  EXPECT_EQ(stats.spans_completed, 5u);
+  EXPECT_EQ(stats.retained_head, 1u);
+  EXPECT_EQ(stats.retained_tail, 2u);  // Spans 3 and 4.
+  EXPECT_EQ(stats.spans_dropped, 2u);  // Spans 2 and 5.
+  EXPECT_EQ(stats.records_dropped, 4u);
+  EXPECT_EQ(stats.open_chains, 1u);
+  EXPECT_EQ(stats.stray_records, 0u);
+
+  // The sampled stream is the ring record, the retained chains, and the
+  // open chain, in (when, sequence) order.
+  std::vector<TraceRecord> records = buf.SampledRecords();
+  ASSERT_EQ(records.size(), 8u);
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    EXPECT_LE(records[i - 1].when, records[i].when);
+  }
+  std::uint64_t span2_records = 0;
+  for (const TraceRecord& r : records) {
+    EXPECT_NE(r.span, 5u);
+    if (r.span == 2u) {
+      ++span2_records;
+    }
+  }
+  EXPECT_EQ(span2_records, 0u);
+}
+
+// A chain that exceeds chain_cap is truncated — dropped with accounting —
+// instead of buffering without bound.
+TEST(SloTest, RunawayChainsAreTruncated) {
+  TraceBuffer buf;
+  buf.Configure(64);
+  TailSamplingConfig cfg;
+  cfg.enabled = true;
+  cfg.tail_k = 4;
+  cfg.head_every = 1000;
+  cfg.chain_cap = 2;
+  buf.ConfigureTailSampling(cfg);
+
+  buf.Record(10, 1, TraceEvent::kSpanBegin, 1, 0, 2);
+  buf.Record(11, 1, TraceEvent::kBlock, 0, 0, 2);      // Fills the cap.
+  buf.Record(12, 1, TraceEvent::kBlock, 0, 0, 2);      // Poisons the chain.
+  buf.Record(13, 1, TraceEvent::kSpanEnd, 1, 0, 2);
+
+  TailSampleStats stats = buf.TailStats();
+  EXPECT_EQ(stats.spans_completed, 1u);
+  EXPECT_EQ(stats.spans_truncated, 1u);
+  EXPECT_EQ(stats.retained_tail, 0u);
+  // Two records dropped at the cap (the poisoning block + the end), plus
+  // the two buffered records discarded when the chain closed truncated.
+  EXPECT_EQ(stats.records_dropped, 4u);
+  EXPECT_TRUE(buf.SampledRecords().empty() ||
+              buf.SampledRecords().front().span == 0);
+}
+
+// The analyzer flags complete-looking spans that began before a wrapped
+// ring's overwrite horizon instead of decomposing garbage.
+TEST(SloTest, AnalyzerFlagsSuspectSpansAfterOverflow) {
+  const char* trace =
+      "[\n"
+      "{\"name\":\"trace-overflow\",\"ph\":\"M\",\"pid\":1,"
+      "\"args\":{\"overwritten\":10,\"recorded\":50,\"retained\":40,"
+      "\"oldest_retained_tick\":100}},\n"
+      "{\"name\":\"span-begin\",\"ph\":\"i\",\"pid\":1,\"span\":1,\"tick\":50,"
+      "\"args\":{\"kind\":\"rpc\"}},\n"
+      "{\"name\":\"span-end\",\"ph\":\"i\",\"pid\":1,\"span\":1,\"tick\":150},\n"
+      "{\"name\":\"span-begin\",\"ph\":\"i\",\"pid\":1,\"span\":2,\"tick\":120,"
+      "\"args\":{\"kind\":\"rpc\"}},\n"
+      "{\"name\":\"span-end\",\"ph\":\"i\",\"pid\":1,\"span\":2,\"tick\":180}\n"
+      "]\n";
+  TraceAnalysis analysis = AnalyzeChromeTrace(trace);
+  ASSERT_TRUE(analysis.parse_ok) << analysis.error;
+  EXPECT_EQ(analysis.overwritten, 10u);
+  EXPECT_EQ(analysis.suspect_incomplete, 1u);  // Span 1 began before tick 100.
+  ASSERT_EQ(analysis.spans.size(), 1u);
+  EXPECT_EQ(analysis.spans[0].id, 2u);
+}
+
+// The whole in-band pipeline on a lossy two-node cluster, twice: telemetry
+// rows, per-window JSONL, the merged SLO block and the node metrics must be
+// byte-identical run to run, and the table renderer must see the rows.
+TEST(SloTest, ClusterTelemetryPipelineIsByteDeterministic) {
+  struct RunResult {
+    std::string rows;
+    std::string windows;
+    std::string merged;
+    std::string metrics0;
+    std::uint64_t rpcs = 0;
+  };
+  auto run_once = []() {
+    KernelConfig config;
+    config.seed = 42;
+    config.slo_window = 50000;
+    config.trace_capacity = 4096;
+    config.trace_tail_sample = true;
+    LinkConfig link;
+    link.drop_per_mille = 10;
+    Cluster cluster(config, 2, link);
+    TelemetryConfig tc;
+    tc.interval = 20000;
+    TelemetryPlane plane(cluster, tc);
+    ClusterRpcParams params;
+    params.scale = 1;
+    params.pre_drain = &TelemetryPlane::PreDrainHook;
+    params.pre_drain_arg = &plane;
+    ClusterReport r = RunClusterRpcWorkload(cluster, params);
+
+    RunResult out;
+    out.rows = plane.Rows();
+    out.windows = cluster.node(0).slo()->WindowJsonl();
+    out.merged = SloTracker::MergedJsonBlock(
+        {cluster.node(0).slo(), cluster.node(1).slo()});
+    out.metrics0 = cluster.node(0).metrics().DumpJsonString();
+    out.rpcs = r.rpcs_ok;
+    return out;
+  };
+
+  RunResult first = run_once();
+  RunResult second = run_once();
+  EXPECT_GT(first.rpcs, 0u);
+  EXPECT_EQ(first.rpcs, second.rpcs);
+  EXPECT_EQ(first.rows, second.rows);
+  EXPECT_EQ(first.windows, second.windows);
+  EXPECT_EQ(first.merged, second.merged);
+  EXPECT_EQ(first.metrics0, second.metrics0);
+
+  ASSERT_FALSE(first.rows.empty());
+  EXPECT_NE(first.rows.find("\"telemetry\":1"), std::string::npos);
+  EXPECT_NE(first.rows.find("\"node\":1"), std::string::npos);  // Remote agent
+  EXPECT_NE(first.rows.find("\"slo\""), std::string::npos);     // ...with slo.
+  EXPECT_NE(first.metrics0.find("\"slo\""), std::string::npos);
+
+  std::string table = FormatTelemetryTable(first.rows);
+  EXPECT_NE(table.find("rpc_p99"), std::string::npos);
+  EXPECT_EQ(table.find("(no telemetry rows)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mkc

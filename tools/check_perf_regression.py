@@ -21,7 +21,12 @@ bench/baselines/ and fails when:
     shows as recognized (recognized > 0) stops being recognized, or its
     recognition rate falls more than --tolerance below the baseline rate —
     per workload section, including the netipc cluster's wakeup-absorption
-    sites (netipc_recv_continue / netipc_ack_continue).
+    sites (netipc_recv_continue / netipc_ack_continue), or
+  * slo: arming the windowed SLO tracker moves virtual time by 1% or more
+    relative to the recorders-off run of the same workload (the tracker is
+    a pure observer and must charge zero cycles — the expected overhead is
+    exactly 0), or the armed run's vtime drifts more than --tolerance from
+    the baseline.
 
 Both signals are virtual-tick quantities, so for a fixed (config, seed,
 scale) they are bit-deterministic: any drift at all is a real code change,
@@ -232,6 +237,33 @@ def check_recognition(base, cur, tolerance):
     return failures
 
 
+def check_slo(base, cur, tolerance):
+    failures = []
+    overhead = cur["metrics"]["overhead_pct"]
+    status = "ok"
+    if abs(overhead) >= 1.0:
+        status = "REGRESSION"
+        failures.append(
+            f"slo: arming the tracker moved virtual time by {overhead:.4f}% "
+            f"(hard ceiling 1%; a pure observer must charge zero cycles)"
+        )
+    print(f"  slo: armed-vs-off overhead {overhead:.4f}% (ceiling 1%) {status}")
+    for metric in ("vtime_off", "vtime_slo"):
+        want = base["metrics"][metric]
+        got = cur["metrics"][metric]
+        lo = want * (1.0 - tolerance)
+        hi = want * (1.0 + tolerance)
+        status = "ok"
+        if got < lo or got > hi:
+            status = "REGRESSION"
+            failures.append(
+                f"slo: {metric} {got} outside [{lo:.0f}, {hi:.0f}] "
+                f"(baseline {want} ± {tolerance:.0%})"
+            )
+        print(f"  slo: {metric} {got} ticks (baseline {want}) {status}")
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline-dir", required=True)
@@ -240,14 +272,15 @@ def main():
     ap.add_argument("--ipc-alloc", help="current ipc_alloc bench JSON")
     ap.add_argument("--netipc", help="current netipc bench JSON")
     ap.add_argument("--recognition", help="current table2_recognition bench JSON")
+    ap.add_argument("--slo", help="current slo overhead bench JSON")
     ap.add_argument("--tolerance", type=float, default=0.10)
     ap.add_argument("--min-alloc-reduction", type=float, default=20.0)
     args = ap.parse_args()
     if (not args.smp and not args.table1 and not args.ipc_alloc
-            and not args.netipc and not args.recognition):
+            and not args.netipc and not args.recognition and not args.slo):
         ap.error(
-            "nothing to check: pass --smp, --table1, --ipc-alloc, --netipc "
-            "and/or --recognition"
+            "nothing to check: pass --smp, --table1, --ipc-alloc, --netipc, "
+            "--recognition and/or --slo"
         )
 
     failures = []
@@ -277,6 +310,11 @@ def main():
         cur = load(args.recognition)
         check_config_matches("recognition", base, cur)
         failures += check_recognition(base, cur, args.tolerance)
+    if args.slo:
+        base = load(os.path.join(args.baseline_dir, "slo.json"))
+        cur = load(args.slo)
+        check_config_matches("slo", base, cur)
+        failures += check_slo(base, cur, args.tolerance)
 
     if failures:
         print("\nperf regression gate FAILED:", file=sys.stderr)

@@ -27,6 +27,20 @@
 //     --watchdog=N                   stall watchdog threshold N ticks
 //     --nodes=N                      simulated machines     (default 1)
 //     --drop=RATE                    network drop probability [0,1)
+//     --slo                          arm the windowed SLO tracker
+//     --slo-window=N                 SLO sliding window width (implies --slo)
+//     --slo-subwindows=N             sub-windows per window   (default 8)
+//     --slo-target-rpc=N             rpc latency target ticks (default 25000)
+//     --slo-target-fault=N           fault target ticks       (default 12000)
+//     --slo-target-exc=N             exception target ticks   (default 12000)
+//     --slo-out=FILE|-               write per-window SLO JSONL (implies --slo)
+//     --tail-sample                  tail-sample the trace ring (auto with
+//                                    --slo + --trace; --no-tail-sample opts out)
+//     --tail-k=N                     slowest spans kept per kind (default 8)
+//     --head-every=N                 deterministic 1-in-N head sample (default 64)
+//     --telemetry=N                  in-band telemetry agents, period N
+//                                    (cluster only; requires --nodes >= 2)
+//     --telemetry-out=FILE|-         write the collector's JSONL rows
 //
 // With --nodes=1 (the default) the tool is exactly the single-machine
 // simulator. --nodes=2+ instead boots N kernels over the simulated network
@@ -41,13 +55,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "src/ipc/ipc_space.h"
 #include "src/machine/cycle_model.h"
 #include "src/net/cluster.h"
+#include "src/obs/collector.h"
 #include "src/obs/metrics.h"
 #include "src/obs/profiler.h"
+#include "src/obs/slo.h"
 #include "src/obs/trace_export.h"
 #include "src/obs/watchdog.h"
 #include "src/workload/workload.h"
@@ -66,7 +84,12 @@ int Usage(const char* argv0) {
                "          [--trace=N] [--trace-out=FILE] [--metrics-json=FILE|-]\n"
                "          [--profile=N] [--profile-out=FILE|-] [--flight=N]\n"
                "          [--flight-out=FILE|-] [--watchdog=N]\n"
-               "          [--nodes=N] [--drop=RATE]\n",
+               "          [--nodes=N] [--drop=RATE]\n"
+               "          [--slo] [--slo-window=N] [--slo-subwindows=N]\n"
+               "          [--slo-target-rpc=N] [--slo-target-fault=N] [--slo-target-exc=N]\n"
+               "          [--slo-out=FILE|-]\n"
+               "          [--tail-sample] [--no-tail-sample] [--tail-k=N] [--head-every=N]\n"
+               "          [--telemetry=N] [--telemetry-out=FILE|-]\n",
                argv0);
   return 2;
 }
@@ -94,10 +117,38 @@ struct ObsCapture {
   std::string profile_folded;
   std::string flight_jsonl;
   std::string stall_report;
+  std::string slo_jsonl;
+  std::string slo_text;
   std::uint64_t trace_recorded = 0;
   std::uint64_t trace_retained = 0;
   std::uint64_t trace_overwritten = 0;
 };
+
+// Cumulative per-kind SLO lines; only populated kinds print, and the block
+// only exists when the tracker is armed, so the default summary stays
+// byte-identical to pre-SLO builds.
+std::string SloSummaryText(const mkc::SloTracker& slo) {
+  std::string out;
+  char line[256];
+  for (int kind = 0; kind < mkc::SloTracker::kKinds; ++kind) {
+    mkc::SloKindSnapshot s = slo.CumulativeKind(kind);
+    if (s.count == 0) {
+      continue;
+    }
+    std::snprintf(line, sizeof(line),
+                  "slo %-11s ... n=%llu p50=%llu p99=%llu p99.9=%llu "
+                  "violations=%llu (target %llu)\n",
+                  mkc::SloTracker::KindName(kind),
+                  static_cast<unsigned long long>(s.count),
+                  static_cast<unsigned long long>(s.p50),
+                  static_cast<unsigned long long>(s.p99),
+                  static_cast<unsigned long long>(s.p999),
+                  static_cast<unsigned long long>(s.violations),
+                  static_cast<unsigned long long>(slo.target(kind)));
+    out += line;
+  }
+  return out;
+}
 
 void CaptureObservability(mkc::Kernel& kernel, void* arg) {
   auto* cap = static_cast<ObsCapture*>(arg);
@@ -156,6 +207,11 @@ void CaptureObservability(mkc::Kernel& kernel, void* arg) {
     kernel.watchdog()->Scan(kernel);
     cap->stall_report = kernel.watchdog()->Report();
   }
+  if (kernel.slo() != nullptr) {
+    kernel.slo()->AdvanceTo(kernel.VirtualTime());
+    cap->slo_jsonl = kernel.slo()->WindowJsonl();
+    cap->slo_text = SloSummaryText(*kernel.slo());
+  }
   if (cap->want_hist) {
     char line[256];
     std::snprintf(line, sizeof(line), "\n%-36s %10s %10s %10s %10s %10s %10s\n", "histogram",
@@ -210,6 +266,11 @@ int main(int argc, char** argv) {
   std::string flight_out;
   int nodes = 1;
   std::uint32_t drop_per_mille = 0;
+  bool slo = false;
+  bool no_tail_sample = false;
+  std::string slo_out;
+  std::string telemetry_out;
+  mkc::Ticks telemetry_interval = 0;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -328,6 +389,74 @@ int main(int argc, char** argv) {
         return Usage(argv[0]);
       }
       drop_per_mille = static_cast<std::uint32_t>(d * 1000.0 + 0.5);
+    } else if (arg == "--slo") {
+      slo = true;
+    } else if (arg.rfind("--slo-window=", 0) == 0) {
+      std::uint64_t v;
+      if (!ParseU64(value().c_str(), &v) || v == 0) {
+        return Usage(argv[0]);
+      }
+      config.slo_window = v;
+      slo = true;
+    } else if (arg.rfind("--slo-subwindows=", 0) == 0) {
+      std::uint64_t v;
+      if (!ParseU64(value().c_str(), &v) || v == 0 || v > 64) {
+        return Usage(argv[0]);
+      }
+      config.slo_subwindows = static_cast<int>(v);
+    } else if (arg.rfind("--slo-target-rpc=", 0) == 0) {
+      std::uint64_t v;
+      if (!ParseU64(value().c_str(), &v)) {
+        return Usage(argv[0]);
+      }
+      config.slo_target_rpc = v;
+    } else if (arg.rfind("--slo-target-fault=", 0) == 0) {
+      std::uint64_t v;
+      if (!ParseU64(value().c_str(), &v)) {
+        return Usage(argv[0]);
+      }
+      config.slo_target_fault = v;
+    } else if (arg.rfind("--slo-target-exc=", 0) == 0) {
+      std::uint64_t v;
+      if (!ParseU64(value().c_str(), &v)) {
+        return Usage(argv[0]);
+      }
+      config.slo_target_exc = v;
+    } else if (arg.rfind("--slo-out=", 0) == 0) {
+      slo_out = value();
+      if (slo_out.empty()) {
+        return Usage(argv[0]);
+      }
+      slo = true;
+    } else if (arg == "--tail-sample") {
+      config.trace_tail_sample = true;
+    } else if (arg == "--no-tail-sample") {
+      no_tail_sample = true;
+    } else if (arg.rfind("--tail-k=", 0) == 0) {
+      std::uint64_t v;
+      if (!ParseU64(value().c_str(), &v)) {
+        return Usage(argv[0]);
+      }
+      config.trace_tail_k = static_cast<int>(v);
+      config.trace_tail_sample = true;
+    } else if (arg.rfind("--head-every=", 0) == 0) {
+      std::uint64_t v;
+      if (!ParseU64(value().c_str(), &v) || v == 0) {
+        return Usage(argv[0]);
+      }
+      config.trace_head_every = static_cast<std::uint32_t>(v);
+      config.trace_tail_sample = true;
+    } else if (arg.rfind("--telemetry=", 0) == 0) {
+      std::uint64_t v;
+      if (!ParseU64(value().c_str(), &v) || v == 0) {
+        return Usage(argv[0]);
+      }
+      telemetry_interval = v;
+    } else if (arg.rfind("--telemetry-out=", 0) == 0) {
+      telemetry_out = value();
+      if (telemetry_out.empty()) {
+        return Usage(argv[0]);
+      }
     } else if (arg == "--no-handoff") {
       config.enable_handoff = false;
     } else if (arg == "--no-recognition") {
@@ -358,6 +487,26 @@ int main(int argc, char** argv) {
   if (!flight_out.empty() && config.flight_interval == 0) {
     config.flight_interval = 50000;
   }
+  // --slo with no explicit window gets the default sliding window; arming
+  // SLO alongside a trace ring turns on tail sampling so long traces stay
+  // bounded (--no-tail-sample opts back into the raw ring).
+  if (slo && config.slo_window == 0) {
+    config.slo_window = 200000;
+  }
+  slo = config.slo_window > 0;
+  if (slo && config.trace_capacity > 0) {
+    config.trace_tail_sample = true;
+  }
+  if (no_tail_sample) {
+    config.trace_tail_sample = false;
+  }
+  if (!telemetry_out.empty() && telemetry_interval == 0) {
+    telemetry_interval = 100000;
+  }
+  if (telemetry_interval > 0 && nodes < 2) {
+    std::fprintf(stderr, "machcont_sim: --telemetry requires --nodes >= 2\n");
+    return Usage(argv[0]);
+  }
 
   if (nodes > 1) {
     // Multi-machine mode: the canonical cross-node RPC workload over netipc.
@@ -367,6 +516,14 @@ int main(int argc, char** argv) {
     mkc::Cluster cluster(config, nodes, link);
     mkc::ClusterRpcParams cp;
     cp.scale = params.scale;
+    std::unique_ptr<mkc::TelemetryPlane> telemetry;
+    if (telemetry_interval > 0) {
+      mkc::TelemetryConfig tc;
+      tc.interval = telemetry_interval;
+      telemetry = std::make_unique<mkc::TelemetryPlane>(cluster, tc);
+      cp.pre_drain = &mkc::TelemetryPlane::PreDrainHook;
+      cp.pre_drain_arg = telemetry.get();
+    }
     mkc::ClusterReport r = mkc::RunClusterRpcWorkload(cluster, cp);
 
     std::FILE* human = metrics_json == "-" ? stderr : stdout;
@@ -415,6 +572,19 @@ int main(int argc, char** argv) {
         }
       }
     }
+    for (int i = 0; i < nodes; ++i) {
+      mkc::Kernel& node = cluster.node(i);
+      if (node.slo() != nullptr) {
+        node.slo()->AdvanceTo(node.VirtualTime());
+        std::string text = SloSummaryText(*node.slo());
+        if (!text.empty()) {
+          std::fprintf(human, "node %d %s", i, text.c_str());
+        }
+      }
+    }
+    if (telemetry != nullptr) {
+      std::fprintf(human, "\n%s", mkc::FormatTelemetryTable(telemetry->Rows()).c_str());
+    }
 
     bool cluster_ok = true;
     if (!profile_out.empty()) {
@@ -445,8 +615,36 @@ int main(int argc, char** argv) {
         }
         merged += cluster.node(i).metrics().DumpJsonString();
       }
-      merged += "\n]}\n";
+      merged += "\n]";
+      // Cluster-merged SLO view alongside the per-node registries. Only
+      // emitted when --slo armed the trackers, so the plain cluster JSON
+      // shape is unchanged.
+      std::vector<const mkc::SloTracker*> trackers;
+      for (int i = 0; i < nodes; ++i) {
+        if (cluster.node(i).slo() != nullptr) {
+          trackers.push_back(cluster.node(i).slo());
+        }
+      }
+      if (!trackers.empty()) {
+        merged += ",\"slo\":";
+        merged += mkc::SloTracker::MergedJsonBlock(trackers);
+      }
+      merged += "}\n";
       cluster_ok = WriteFileOrStdout(metrics_json, merged) && cluster_ok;
+    }
+    if (!slo_out.empty()) {
+      // Per-window JSONL from every node, in node order; each line carries
+      // its node id.
+      std::string windows;
+      for (int i = 0; i < nodes; ++i) {
+        if (cluster.node(i).slo() != nullptr) {
+          windows += cluster.node(i).slo()->WindowJsonl();
+        }
+      }
+      cluster_ok = WriteFileOrStdout(slo_out, windows) && cluster_ok;
+    }
+    if (!telemetry_out.empty() && telemetry != nullptr) {
+      cluster_ok = WriteFileOrStdout(telemetry_out, telemetry->Rows()) && cluster_ok;
     }
     if (!trace_out.empty()) {
       std::vector<const mkc::TraceBuffer*> traces;
@@ -544,6 +742,10 @@ int main(int argc, char** argv) {
     std::fputs(cap.hist_text.c_str(), human);
   }
 
+  if (!cap.slo_text.empty()) {
+    std::fputs(cap.slo_text.c_str(), human);
+  }
+
   if (!cap.stall_report.empty()) {
     std::fputs(cap.stall_report.c_str(), human);
   }
@@ -560,6 +762,9 @@ int main(int argc, char** argv) {
   }
   if (!flight_out.empty()) {
     ok = WriteFileOrStdout(flight_out, cap.flight_jsonl) && ok;
+  }
+  if (!slo_out.empty()) {
+    ok = WriteFileOrStdout(slo_out, cap.slo_jsonl) && ok;
   }
   return ok ? 0 : 1;
 }

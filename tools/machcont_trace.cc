@@ -96,9 +96,35 @@ int main(int argc, char** argv) {
     std::printf("(%llu incomplete spans dropped — begin or end fell off the trace ring)\n",
                 static_cast<unsigned long long>(analysis.dropped_incomplete));
   }
+  if (analysis.suspect_incomplete > 0) {
+    std::printf("(%llu suspect spans dropped — they began before a wrapped "
+                "ring's oldest retained record)\n",
+                static_cast<unsigned long long>(analysis.suspect_incomplete));
+  }
   if (analysis.overwritten > 0) {
     std::printf("(trace ring overflowed: %llu oldest records were lost)\n",
                 static_cast<unsigned long long>(analysis.overwritten));
+  }
+  if (analysis.tail_sampled) {
+    std::printf("(tail-sampled trace: %llu/%llu spans retained, "
+                "%llu dropped, %llu truncated, %llu span records dropped)\n",
+                static_cast<unsigned long long>(analysis.sampled_retained),
+                static_cast<unsigned long long>(analysis.sampled_spans_completed),
+                static_cast<unsigned long long>(analysis.sampled_spans_dropped),
+                static_cast<unsigned long long>(analysis.sampled_spans_truncated),
+                static_cast<unsigned long long>(analysis.sampled_records_dropped));
+  }
+  if (analysis.dropped_incomplete > 0 || analysis.suspect_incomplete > 0) {
+    // Loud, on stderr: a wrapped ring used to silently corrupt the
+    // decomposition table; now the affected spans are excluded and flagged.
+    std::fprintf(stderr,
+                 "machcont_trace: warning: %llu span(s) excluded from the "
+                 "breakdown (%llu missing begin/end, %llu suspect after ring "
+                 "overwrite) — grow --trace capacity or use tail sampling\n",
+                 static_cast<unsigned long long>(analysis.dropped_incomplete +
+                                                 analysis.suspect_incomplete),
+                 static_cast<unsigned long long>(analysis.dropped_incomplete),
+                 static_cast<unsigned long long>(analysis.suspect_incomplete));
   }
   if (slowest > 0) {
     std::printf("\n%s",

@@ -4,41 +4,60 @@
 
 namespace mkc {
 
+namespace {
+
+// Kinds that carry a payload record its length in mach.size so truncation
+// is detectable; everything else must be a bare header.
+bool KindCarriesBody(std::uint32_t kind) {
+  return kind == static_cast<std::uint32_t>(WireKind::kData) ||
+         kind == static_cast<std::uint32_t>(WireKind::kFrameBatch) ||
+         kind == static_cast<std::uint32_t>(WireKind::kOolData);
+}
+
+}  // namespace
+
 std::uint32_t WireSerialize(const WireHeader& header, const void* body,
                             std::uint32_t body_bytes, std::byte* out,
-                            std::uint32_t out_capacity) {
-  const std::uint32_t total = kWireHeaderBytes + body_bytes;
+                            std::uint32_t out_capacity,
+                            std::uint32_t header_bytes) {
+  const std::uint32_t total = header_bytes + body_bytes;
   if (total > out_capacity) {
     return 0;
   }
-  std::memcpy(out, &header, kWireHeaderBytes);
+  std::memcpy(out, &header, header_bytes);
   if (body_bytes > 0) {
-    std::memcpy(out + kWireHeaderBytes, body, body_bytes);
+    std::memcpy(out + header_bytes, body, body_bytes);
   }
   return total;
 }
 
 bool WireDeserialize(const std::byte* bytes, std::uint32_t len, WireHeader* header,
-                     const std::byte** body, std::uint32_t* body_bytes) {
-  if (len < kWireHeaderBytes) {
+                     const std::byte** body, std::uint32_t* body_bytes,
+                     std::uint32_t header_bytes) {
+  if (len < header_bytes) {
     return false;
   }
-  std::memcpy(header, bytes, kWireHeaderBytes);
+  *header = WireHeader{};  // Zero the v2 extension for legacy packets.
+  std::memcpy(header, bytes, header_bytes);
+  const std::uint32_t max_kind =
+      header_bytes == kWireHeaderBytesGbn
+          ? static_cast<std::uint32_t>(WireKind::kPortDeath)
+          : static_cast<std::uint32_t>(WireKind::kOolData);
   if (header->kind < static_cast<std::uint32_t>(WireKind::kData) ||
-      header->kind > static_cast<std::uint32_t>(WireKind::kPortDeath)) {
+      header->kind > max_kind) {
     return false;
   }
-  const std::uint32_t payload = len - kWireHeaderBytes;
-  if (header->kind == static_cast<std::uint32_t>(WireKind::kData)) {
-    // A DATA packet's mach header records the inline body size; the packet
-    // length must agree or the message was truncated in flight.
+  const std::uint32_t payload = len - header_bytes;
+  if (KindCarriesBody(header->kind)) {
+    // A payload-carrying packet's mach header records the inline body size;
+    // the packet length must agree or the message was truncated in flight.
     if (header->mach.size != payload) {
       return false;
     }
   } else if (payload != 0) {
     return false;
   }
-  *body = payload > 0 ? bytes + kWireHeaderBytes : nullptr;
+  *body = payload > 0 ? bytes + header_bytes : nullptr;
   *body_bytes = payload;
   return true;
 }

@@ -121,6 +121,11 @@ struct KernelConfig {
   // collision-free.
   int nnodes = 1;
   int node_id = 0;
+  // Ablation: fall back to the legacy go-back-N wire protocol instead of
+  // the selective-repeat v2 engine. On, every netipc code path, packet
+  // byte, metric and summary line is byte-identical to the pre-v2 kernel
+  // for the same (config, seed).
+  bool netipc_gbn = false;
 
   // --- Continuation-aware observability (src/obs/profiler.h, watchdog.h) --
   // All three default to 0 = off; off, no profiler/watchdog object exists,

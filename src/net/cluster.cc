@@ -1,9 +1,11 @@
 #include "src/net/cluster.h"
 
 #include <chrono>
+#include <cstring>
 
 #include "src/base/panic.h"
 #include "src/ipc/ipc_space.h"
+#include "src/ipc/ool.h"
 #include "src/task/task.h"
 #include "src/task/usermode.h"
 
@@ -74,6 +76,16 @@ NetStats Cluster::TotalNetStats() const {
     total.msgs_in += s.msgs_in;
     total.proxy_gcs += s.proxy_gcs;
     total.proxy_table += s.proxy_table;
+    total.reorders += s.reorders;
+    total.acks_piggybacked += s.acks_piggybacked;
+    total.frames_coalesced += s.frames_coalesced;
+    total.fast_retransmits += s.fast_retransmits;
+    total.rx_ooo_buffered += s.rx_ooo_buffered;
+    total.bytes_goodput += s.bytes_goodput;
+    total.ool_pulls += s.ool_pulls;
+    total.ool_pushes += s.ool_pushes;
+    total.ool_bytes_pulled += s.ool_bytes_pulled;
+    total.ool_pull_fails += s.ool_pull_fails;
   }
   return total;
 }
@@ -147,10 +159,14 @@ namespace {
 struct ClusterServerArgs {
   PortId port = kInvalidPort;
   std::uint32_t reply_size = 64;
+  bool touch_ool = true;  // Walk (and thereby pull) received OOL regions.
 };
 
 // Same shape as the local workloads' echo server: between requests it is the
-// paper's archetypal blocked thread, here on the far side of the wire.
+// paper's archetypal blocked thread, here on the far side of the wire. A
+// request carrying an OOL region is optionally walked page by page — under
+// the v2 engine the first touch blocks on the OOL_PULL round trip — and the
+// region deallocated before the echo goes back.
 void ClusterEchoServer(void* arg) {
   auto* s = static_cast<ClusterServerArgs*>(arg);
   UserMessage msg;
@@ -158,6 +174,20 @@ void ClusterEchoServer(void* arg) {
     return;
   }
   for (;;) {
+    if (MessageCarriesOol(msg.header) &&
+        msg.header.size >= sizeof(OolDescriptor)) {
+      OolDescriptor desc;
+      std::memcpy(&desc, msg.body, sizeof(desc));
+      if (desc.addr != 0) {
+        if (s->touch_ool) {
+          for (VmSize off = 0; off < desc.size; off += kPageSize) {
+            UserTouch(desc.addr + off, /*write=*/false);
+          }
+        }
+        UserVmDeallocate(desc.addr);
+      }
+      msg.header.bits = 0;  // The echo reply is plain inline data.
+    }
     msg.header.dest = msg.header.reply;
     if (UserServeOnce(&msg, s->reply_size, s->port) != KernReturn::kSuccess) {
       return;
@@ -171,6 +201,8 @@ struct ClusterClientArgs {
   std::uint32_t requests = 0;
   std::uint32_t body_bytes = 64;
   Ticks work = 0;
+  std::uint32_t ool_bytes = 0;  // Every ool_every-th request carries OOL.
+  std::uint32_t ool_every = 1;
   std::uint64_t ok = 0;
   std::uint64_t failed = 0;
 };
@@ -182,7 +214,27 @@ void ClusterClientThread(void* arg) {
     msg.header = MessageHeader{};
     msg.header.dest = a->proxy;
     msg.header.msg_id = i;
-    if (UserRpc(&msg, a->body_bytes, a->reply) == KernReturn::kSuccess) {
+    const bool ool =
+        a->ool_bytes > 0 && a->ool_every > 0 && i % a->ool_every == 0;
+    KernReturn kr;
+    if (ool) {
+      // The OOL round trip: allocate and dirty a region, ship it by
+      // descriptor (copy semantics — our copy is deallocated after the
+      // reply), inline body is the descriptor alone.
+      OolDescriptor desc;
+      desc.size = PageRound(a->ool_bytes);
+      desc.addr = UserVmAllocate(desc.size, /*paged=*/false);
+      for (VmSize off = 0; off < desc.size; off += kPageSize) {
+        UserTouch(desc.addr + off, /*write=*/true);
+      }
+      std::memcpy(msg.body, &desc, sizeof(desc));
+      MarkMessageOol(msg.header);
+      kr = UserRpc(&msg, sizeof(desc), a->reply, kMaxInlineBytes, kMsgOolOpt);
+      UserVmDeallocate(desc.addr);
+    } else {
+      kr = UserRpc(&msg, a->body_bytes, a->reply);
+    }
+    if (kr == KernReturn::kSuccess) {
       ++a->ok;
     } else {
       ++a->failed;
@@ -205,6 +257,7 @@ ClusterReport RunClusterRpcWorkload(Cluster& cluster, const ClusterRpcParams& pa
     Kernel& node = cluster.node(s + 1);
     Task* task = node.CreateTask("netserver");
     servers[static_cast<std::size_t>(s)].port = node.ipc().AllocatePort(task);
+    servers[static_cast<std::size_t>(s)].touch_ool = params.ool_touch;
     ThreadOptions daemon;
     daemon.daemon = true;
     daemon.priority = 20;
@@ -225,6 +278,8 @@ ClusterReport RunClusterRpcWorkload(Cluster& cluster, const ClusterRpcParams& pa
     a.requests = params.requests_per_client * static_cast<std::uint32_t>(params.scale);
     a.body_bytes = params.body_bytes;
     a.work = params.client_work;
+    a.ool_bytes = params.ool_bytes;
+    a.ool_every = params.ool_every;
     front.CreateUserThread(client_task, &ClusterClientThread, &a);
   }
 

@@ -83,6 +83,16 @@ struct ClusterRpcParams {
   std::uint32_t body_bytes = 64;
   Ticks client_work = 1000;  // Client-side compute between RPCs.
 
+  // Lazy-OOL exercise: when ool_bytes > 0, every `ool_every`-th request also
+  // carries an out-of-line region of ool_bytes (page-rounded; the inline
+  // body is then just the descriptor). The server walks the received region
+  // page by page when ool_touch — under the v2 engine the first touch pulls
+  // the payload across the wire — and deallocates it either way; with
+  // ool_touch=false a v2 payload never ships at all.
+  std::uint32_t ool_bytes = 0;
+  std::uint32_t ool_every = 1;
+  bool ool_touch = true;
+
   // Called after Run() completes and before Drain() — the window where the
   // workload is finished but protocol/daemon state still exists. The
   // telemetry plane (src/obs/collector.h) uses it to tell its agent threads

@@ -36,9 +36,18 @@ void Network::Transmit(NetIpc& src, NetIpc& dst, const std::byte* bytes,
     return;
   }
 
+  // A reordered packet takes the slow path: two extra propagation delays,
+  // enough for later traffic on the same link to overtake it. The roll is
+  // gated on the rate so legacy configs consume an identical RNG sequence.
+  Ticks extra = 0;
+  if (config_.reorder_per_mille > 0 && rng_.Chance(config_.reorder_per_mille)) {
+    ++st.reorders;
+    extra = 2 * config_.latency;
+  }
+
   // Arrival is computed against the sender's whole-machine frontier: the
   // packet cannot arrive before it finished being sent.
-  const Ticks when = sk.VirtualTime() + config_.latency + config_.per_byte * len;
+  const Ticks when = sk.VirtualTime() + config_.latency + config_.per_byte * len + extra;
   Deliver(dst, std::vector<std::byte>(bytes, bytes + len), when, link);
   if (config_.dup_per_mille > 0 && rng_.Chance(config_.dup_per_mille) &&
       in_flight_[static_cast<std::size_t>(link)] < config_.queue_limit) {

@@ -27,6 +27,8 @@ struct LinkConfig {
   Ticks per_byte = 2;              // Serialization cost per payload byte.
   std::uint32_t drop_per_mille = 0;  // Chance a packet is silently lost.
   std::uint32_t dup_per_mille = 0;   // Chance a packet arrives twice.
+  std::uint32_t reorder_per_mille = 0;  // Chance a packet is delayed past
+                                        // later traffic (2× extra latency).
   std::size_t queue_limit = 64;      // Max in-flight packets per link.
 };
 
@@ -41,6 +43,13 @@ class Network {
   void Transmit(NetIpc& src, NetIpc& dst, const std::byte* bytes, std::uint32_t len);
 
   const LinkConfig& config() const { return config_; }
+
+  // Test hook: changes the loss rate mid-run (e.g. to partition a node and
+  // drive a lazy-OOL pull to exhaustion). Determinism across runs only
+  // holds if both runs change the rate at the same point.
+  void SetDropPerMille(std::uint32_t per_mille) {
+    config_.drop_per_mille = per_mille;
+  }
 
  private:
   std::size_t LinkIndex(int src, int dst) const {

@@ -1,5 +1,7 @@
 #include "src/net/netipc.h"
 
+#include <algorithm>
+#include <cstddef>
 #include <cstring>
 #include <string>
 
@@ -35,6 +37,12 @@ void NetIpcAckContinue() { ActiveKernel().netipc()->EngineStep(); }
 
 NetIpc::NetIpc(Kernel& kernel, int node_id, Network& net)
     : kernel_(kernel), node_id_(node_id), net_(net) {
+  // Engine selection. The gbn ablation must reproduce the pre-v2 kernel
+  // byte-for-byte, so every format-dependent size routes through these.
+  v2_ = !kernel_.config().netipc_gbn;
+  header_bytes_ = v2_ ? kWireHeaderBytes : kWireHeaderBytesGbn;
+  max_body_ = v2_ ? kMaxWireBody : kMaxWireBodyGbn;
+
   task_ = kernel_.CreateTask("netmsg");
   proxy_set_ = kernel_.ipc().AllocatePortSet(task_);
   ack_port_ = kernel_.ipc().AllocatePort(task_);
@@ -87,6 +95,20 @@ NetIpc::NetIpc(Kernel& kernel, int node_id, Network& net)
   m.RegisterCounter("net.msgs_in", &stats_.msgs_in);
   m.RegisterCounter("net.proxy_gcs", &stats_.proxy_gcs);
   m.RegisterGauge("net.proxy_table", &stats_.proxy_table);
+  // v2-only metrics, registered conditionally so a --netipc-gbn run's
+  // metrics JSON stays byte-identical to the pre-v2 kernel's.
+  if (v2_) {
+    m.RegisterCounter("net.reorders", &stats_.reorders);
+    m.RegisterCounter("net.acks_piggybacked", &stats_.acks_piggybacked);
+    m.RegisterCounter("net.frames_coalesced", &stats_.frames_coalesced);
+    m.RegisterCounter("net.fast_retransmits", &stats_.fast_retransmits);
+    m.RegisterCounter("net.rx_ooo_buffered", &stats_.rx_ooo_buffered);
+    m.RegisterCounter("net.bytes_goodput", &stats_.bytes_goodput);
+    m.RegisterCounter("net.ool_pulls", &stats_.ool_pulls);
+    m.RegisterCounter("net.ool_pushes", &stats_.ool_pushes);
+    m.RegisterCounter("net.ool_bytes_pulled", &stats_.ool_bytes_pulled);
+    m.RegisterCounter("net.ool_pull_fails", &stats_.ool_pull_fails);
+  }
 }
 
 NetIpc::~NetIpc() {
@@ -123,13 +145,18 @@ void NetIpc::OutboundStep() {
   Thread* self = out_thread_;
   MKC_ASSERT(CurrentThread() == self);
 
+  // One burst, one batch scope: small packets emitted while draining (data,
+  // piggybacked acks, engine controls from a nested kick) coalesce per peer.
+  BeginBatch();
+
   auto& st = self->Scratch<MsgWaitState>();
   if ((st.flags & kMsgWaitDirectComplete) != 0) {
     // A local sender copied straight into out_buf_. Normally the wakeup-side
     // recognition handler (OutboundWakeupRecognized) forwards the message in
     // the sender's own context and this body never runs; we only get here
-    // when it declined — kmsg zone dry, a queued backlog — or when the
-    // recognition table is disabled and the sender woke us the general way.
+    // when it declined — kmsg zone dry, a queued backlog, a v2 OOL capture —
+    // or when the recognition table is disabled and the sender woke us the
+    // general way.
     st.flags = 0;
     if (st.result == KernReturn::kSuccess) {
       HandleOutboundDirect(/*can_block=*/true);
@@ -144,15 +171,24 @@ void NetIpc::OutboundStep() {
     KMessage* kmsg = from->messages.DequeueHead();
     k.TracePoint(TraceEvent::kIpcQueueDepth, from->id,
                  static_cast<std::uint32_t>(from->messages.Size()));
+    // v2: a queued send's captured OOL object rides the kmsg; take it for
+    // the export table before FreeKmsg would drop it.
+    std::unique_ptr<VmObject> qool;
+    if (v2_ && kmsg->ool_object != nullptr) {
+      qool.reset(kmsg->ool_object);
+      kmsg->ool_object = nullptr;
+    }
     ForwardMessage(kmsg->header, kmsg->body,
                    static_cast<std::uint32_t>(kmsg->ool_size),
-                   /*can_block=*/true);
+                   /*can_block=*/true, std::move(qool));
     k.ipc().FreeKmsg(kmsg);  // Drops any captured OOL object with it.
     if (Thread* sender = from->blocked_senders.DequeueHead()) {
       sender->wait_result = KernReturn::kSuccess;
       k.ThreadSetrun(sender);
     }
   }
+
+  FlushBatch();
 
   // Nothing left: block in a fresh receive on the proxy set. Under MK40 the
   // continuation discards this stack; the process models keep it and loop
@@ -166,25 +202,33 @@ bool NetIpc::HandleOutboundDirect(bool can_block) {
   MessageHeader header = out_buf_.header;
   std::uint32_t ool_size = 0;
   OolDescriptor desc;
+  std::unique_ptr<VmObject> ool_obj;
   const bool has_ool =
       MessageCarriesOol(header) && header.size >= sizeof(OolDescriptor);
   if (has_ool) {
     // The direct send path already installed the OOL region into the netmsg
-    // task's map and rewrote the descriptor. We only forward its size — the
-    // receiving node re-materializes the region — so the local copy must be
-    // uninstalled before it leaks.
+    // task's map and rewrote the descriptor. The local copy must be
+    // uninstalled before it leaks; v2 keeps the object itself, parked in the
+    // export table until the receiving node pulls it (or never does).
     std::memcpy(&desc, out_buf_.body, sizeof(desc));
     ool_size = static_cast<std::uint32_t>(desc.size);
-    if (can_block) {
+    if (v2_) {
+      // The capture mutates the netmsg map, so it only runs on the protocol
+      // thread — OutboundWakeupRecognized declines OOL messages.
+      MKC_ASSERT(can_block);
+      VmSize removed = 0;
+      ool_obj = task_->map.Remove(desc.addr, &removed);
+    } else if (can_block) {
       // Protocol-thread path: uninstall first (the historical order).
       VmSize removed = 0;
       task_->map.Remove(desc.addr, &removed);
     }
   }
-  if (!ForwardMessage(header, out_buf_.body, ool_size, can_block)) {
+  if (!ForwardMessage(header, out_buf_.body, ool_size, can_block,
+                      std::move(ool_obj))) {
     return false;  // No-block decline: nothing mutated; general path redoes it.
   }
-  if (!can_block && has_ool) {
+  if (!v2_ && !can_block && has_ool) {
     VmSize removed = 0;
     task_->map.Remove(desc.addr, &removed);
   }
@@ -208,6 +252,13 @@ bool NetIpc::OutboundWakeupRecognized(Kernel& k, Thread* waiter) {
       st.result != KernReturn::kSuccess) {
     return false;  // Nothing delivered in place: run the general body.
   }
+  // v2 OOL sends capture the region out of the netmsg map into the export
+  // table — a map mutation that belongs on the protocol thread, not in a
+  // waker's (possibly event) context.
+  if (self->v2_ && MessageCarriesOol(self->out_buf_.header) &&
+      self->out_buf_.header.size >= sizeof(OolDescriptor)) {
+    return false;
+  }
   // A queued backlog on the proxy set needs the general drain loop; don't
   // re-park the thread over unserviced work.
   Port* set = k.ipc().Lookup(self->proxy_set_);
@@ -230,7 +281,8 @@ bool NetIpc::OutboundWakeupRecognized(Kernel& k, Thread* waiter) {
 }
 
 bool NetIpc::ForwardMessage(const MessageHeader& header, const void* body,
-                            std::uint32_t ool_size, bool can_block) {
+                            std::uint32_t ool_size, bool can_block,
+                            std::unique_ptr<VmObject> ool_obj) {
   Kernel& k = kernel_;
   auto it = proxy_out_.find(header.dest);
   if (it == proxy_out_.end()) {
@@ -243,7 +295,7 @@ bool NetIpc::ForwardMessage(const MessageHeader& header, const void* body,
   // and the general path can redo the whole forward from scratch.
   KMessage* wk = nullptr;
   if (!can_block) {
-    wk = k.ipc().TryAllocKmsg(kWireHeaderBytes + header.size);
+    wk = k.ipc().TryAllocKmsg(header_bytes_ + header.size);
     if (wk == nullptr) {
       return false;
     }
@@ -272,7 +324,7 @@ bool NetIpc::ForwardMessage(const MessageHeader& header, const void* body,
     }
   }
 
-  if (header.size > kMaxWireBody) {
+  if (header.size > max_body_) {
     // Too big for one wire packet: fail the sender dead-name style, the
     // same way an exhausted retransmit budget does.
     if (wk != nullptr) {
@@ -283,6 +335,23 @@ bool NetIpc::ForwardMessage(const MessageHeader& header, const void* body,
     return true;
   }
 
+  if (v2_) {
+    // Lazy OOL: the payload does not ride the DATA packet. The captured
+    // object parks in the export table under a fresh cookie; the receiver
+    // installs an unpulled placeholder and the bytes move only if touched.
+    if (ool_obj != nullptr && ool_size > 0) {
+      wire.ool_cookie = next_ool_cookie_++;
+      ool_exports_[wire.ool_cookie] = OolExport{std::move(ool_obj), ool_size};
+    }
+    AccountNetCopy(k, header.size);
+    ++stats_.msgs_out;
+    k.TracePointSpan(header.span, TraceEvent::kNetTx,
+                     static_cast<std::uint32_t>(dst_node),
+                     header_bytes_ + header.size);
+    SendSequenced(dst_node, wire, body, header.size, local_reply, wk);
+    return true;
+  }
+
   Channel& ch = channels_[dst_node];
   wire.seq = ch.tx_next++;
 
@@ -290,10 +359,10 @@ bool NetIpc::ForwardMessage(const MessageHeader& header, const void* body,
   // reuse the bytes. The protocol thread may block on zone exhaustion
   // (kMemoryAlloc); the wakeup handler already allocated, above.
   if (wk == nullptr) {
-    wk = k.ipc().AllocKmsg(kWireHeaderBytes + header.size);
+    wk = k.ipc().AllocKmsg(header_bytes_ + header.size);
   }
   std::uint32_t len = WireSerialize(wire, body, header.size, wk->body,
-                                    wk->body_capacity);
+                                    wk->body_capacity, header_bytes_);
   MKC_ASSERT(len != 0);
   wk->header.size = len;
   AccountNetCopy(k, header.size);
@@ -308,6 +377,67 @@ bool NetIpc::ForwardMessage(const MessageHeader& header, const void* body,
   // when it last blocked): wake it so it arms the retransmit deadline.
   KickEngine();
   return true;
+}
+
+// ---------------------------------------------------------------------------
+// v2 sequenced send path.
+
+void NetIpc::SendSequenced(int dst_node, WireHeader& wire, const void* body,
+                           std::uint32_t body_bytes, PortId local_reply,
+                           KMessage* wk) {
+  Kernel& k = kernel_;
+  Channel& ch = channels_[dst_node];
+  wire.seq = ch.tx_next++;
+  StampAck(wire, dst_node, /*count_piggyback=*/true);
+  if (wk == nullptr) {
+    wk = k.ipc().AllocKmsg(header_bytes_ + body_bytes);
+  }
+  std::uint32_t len = WireSerialize(wire, body, body_bytes, wk->body,
+                                    wk->body_capacity, header_bytes_);
+  MKC_ASSERT(len != 0);
+  wk->header.size = len;
+  const Ticks now = k.clock().Now();
+  ch.unacked.push_back(Unacked{wk, wire.seq, local_reply, now + ch.rto, 1, now,
+                               wire.kind, wire.ool_cookie});
+  TransmitPacket(dst_node, wk->body, len);
+  // The engine may be parked in an untimed receive (it had nothing unacked
+  // when it last blocked): wake it so it arms the retransmit deadline.
+  KickEngine();
+}
+
+std::uint64_t NetIpc::BuildSack(const Channel& ch) const {
+  std::uint64_t sack = 0;
+  for (const auto& [seq, raw] : ch.rx_ooo) {
+    const std::uint32_t d = seq - ch.rx_expected;
+    if (d < kNetRxWindow) {
+      sack |= std::uint64_t{1} << d;
+    }
+  }
+  return sack;
+}
+
+void NetIpc::StampAck(WireHeader& wire, int dst_node, bool count_piggyback) {
+  Channel& ch = channels_[dst_node];
+  wire.ack = ch.rx_expected - 1;
+  wire.sack = BuildSack(ch);
+  if (ch.ack_pending) {
+    // This packet carries the ack state a standalone ACK would have; the
+    // delayed-ack obligation is settled for free.
+    ch.ack_pending = false;
+    if (count_piggyback) {
+      ++stats_.acks_piggybacked;
+    }
+  }
+}
+
+void NetIpc::RestampAck(KMessage* wk, int dst_node) {
+  // A retransmitted packet should carry current ack state, not the state at
+  // first transmit: patch the serialized extension fields in place.
+  Channel& ch = channels_[dst_node];
+  const std::uint64_t sack = BuildSack(ch);
+  const std::uint32_t ack = ch.rx_expected - 1;
+  std::memcpy(wk->body + offsetof(WireHeader, sack), &sack, sizeof(sack));
+  std::memcpy(wk->body + offsetof(WireHeader, ack), &ack, sizeof(ack));
 }
 
 // ---------------------------------------------------------------------------
@@ -365,7 +495,11 @@ void NetIpc::EngineStep() {
   if ((st.flags & kMsgWaitDirectComplete) != 0) {
     st.flags = 0;
     if (st.result == KernReturn::kSuccess) {
+      // One packet can answer with a burst (fast retransmits for every SACK
+      // hole it exposes); batch them so the burst rides one frame.
+      BeginBatch();
       HandleWirePacket(engine_buf_.body, engine_buf_.header.size);
+      FlushBatch();
     }
     // kRcvTimedOut is the retransmit timer firing — fall through to the
     // scan. This is the satellite's point: the timeout resumes us through
@@ -379,6 +513,10 @@ void NetIpc::EngineServiceAndPark(bool from_handler) {
   Kernel& k = kernel_;
   Thread* self = engine_thread_;
 
+  // Controls, retransmits and forwarded data emitted below stage into one
+  // batch scope per service round (flushed just before the park).
+  BeginBatch();
+
   Port* ap = k.ipc().Lookup(ack_port_);
   MKC_ASSERT(ap != nullptr);
   while (KMessage* kmsg = ap->messages.DequeueHead()) {
@@ -386,44 +524,99 @@ void NetIpc::EngineServiceAndPark(bool from_handler) {
     k.ipc().FreeKmsg(kmsg);
   }
 
-  RetransmitScan();
-
-  // Block until the next packet or the earliest retransmit deadline. No
-  // deadline → wait forever (KickEngine re-arms us when traffic restarts),
-  // so an idle cluster schedules no events and can terminate.
-  //
-  // The two paths anchor the timer differently. RetransmitScan only ever
-  // acts on each channel's *head* (go-back-N), and a backed-off head can
-  // carry a later deadline than fresher entries behind it — so the legacy
-  // min-over-all-entries anchor can land in the past and re-arm a 1-tick
-  // timeout until the head is acked or due. The scheduled path keeps that
-  // anchor (each spin costs a full dispatch, and the ablation runs must
-  // stay byte-identical to the historical kernel); the recognition handler
-  // re-parks on the min *head* deadline — the earliest instant a scan can
-  // make progress — so an absorbed timeout never spins.
   Ticks next = 0;
-  for (auto& [node, ch] : channels_) {
-    if (ch.unacked.empty()) {
-      continue;
-    }
-    if (from_handler) {
-      const Ticks d = ch.unacked.front().deadline;
-      if (next == 0 || d < next) {
-        next = d;
+  Ticks timeout = 0;
+  if (v2_) {
+    // Service every due deadline, then park on the earliest remaining one.
+    // Transmit charges advance the virtual clock mid-scan, so a deadline
+    // computed early in a burst can already be due by the time we would
+    // park on it — loop until the earliest survivor is strictly in the
+    // future, which is exactly the invariant the assert pins down: an armed
+    // engine timer never points into the past.
+    while (true) {
+      RetransmitScan();
+      // Pull expiry: an import whose OOL_DATA train stalled past its
+      // deadline dead-names its touchers instead of wedging them forever.
+      std::vector<std::pair<int, std::uint32_t>> expired;
+      const Ticks now = k.clock().Now();
+      for (const auto& [key, imp] : imports_) {
+        if (imp.deadline <= now) {
+          expired.push_back(key);
+        }
       }
-    } else {
-      for (auto& entry : ch.unacked) {
-        if (next == 0 || entry.deadline < next) {
-          next = entry.deadline;
+      for (const auto& key : expired) {
+        MarkImportFailed(key.first, key.second);
+      }
+      FlushAcks();
+      next = 0;
+      for (auto& [node, ch] : channels_) {
+        for (std::size_t i = 0; i < ch.unacked.size(); ++i) {
+          const Unacked& entry = ch.unacked[i];
+          if (entry.sacked && i != 0) {
+            continue;  // Parked at the receiver; no deadline to honor.
+          }
+          if (next == 0 || entry.deadline < next) {
+            next = entry.deadline;
+          }
+        }
+        if (ch.ack_pending && (next == 0 || ch.ack_deadline < next)) {
+          next = ch.ack_deadline;
+        }
+      }
+      for (const auto& [key, imp] : imports_) {
+        if (next == 0 || imp.deadline < next) {
+          next = imp.deadline;
+        }
+      }
+      if (next == 0 || next > k.clock().Now()) {
+        break;
+      }
+    }
+    const Ticks now = k.clock().Now();
+    MKC_ASSERT(next == 0 || next > now);
+    if (next != 0) {
+      timeout = next - now;
+    }
+  } else {
+    RetransmitScan();
+
+    // Block until the next packet or the earliest retransmit deadline. No
+    // deadline → wait forever (KickEngine re-arms us when traffic restarts),
+    // so an idle cluster schedules no events and can terminate.
+    //
+    // The two paths anchor the timer differently. RetransmitScan only ever
+    // acts on each channel's *head* (go-back-N), and a backed-off head can
+    // carry a later deadline than fresher entries behind it — so the legacy
+    // min-over-all-entries anchor can land in the past and re-arm a 1-tick
+    // timeout until the head is acked or due. The scheduled path keeps that
+    // anchor (each spin costs a full dispatch, and the ablation runs must
+    // stay byte-identical to the historical kernel); the recognition handler
+    // re-parks on the min *head* deadline — the earliest instant a scan can
+    // make progress — so an absorbed timeout never spins.
+    for (auto& [node, ch] : channels_) {
+      if (ch.unacked.empty()) {
+        continue;
+      }
+      if (from_handler) {
+        const Ticks d = ch.unacked.front().deadline;
+        if (next == 0 || d < next) {
+          next = d;
+        }
+      } else {
+        for (auto& entry : ch.unacked) {
+          if (next == 0 || entry.deadline < next) {
+            next = entry.deadline;
+          }
         }
       }
     }
+    if (next != 0) {
+      const Ticks now = k.clock().Now();
+      timeout = next > now ? next - now : 1;
+    }
   }
-  Ticks timeout = 0;
-  if (next != 0) {
-    const Ticks now = k.clock().Now();
-    timeout = next > now ? next - now : 1;
-  }
+
+  FlushBatch();
   engine_waiting_ = true;
   EnterReceiveWait(self, &engine_buf_, ack_port_, kMaxInlineBytes, 0, timeout);
   if (!from_handler) {
@@ -459,8 +652,11 @@ bool NetIpc::EngineWakeupRecognized(Kernel& k, Thread* waiter) {
   if (direct) {
     st.flags = 0;
     if (st.result == KernReturn::kSuccess) {
+      // As in EngineStep: the packet's response burst shares one frame.
+      self->BeginBatch();
       self->HandleWirePacket(self->engine_buf_.body,
                              self->engine_buf_.header.size);
+      self->FlushBatch();
     }
     // kRcvTimedOut is the retransmit timer: nothing to deliver, the scan
     // below does the work — on the event's stack, not a resumed thread's.
@@ -494,46 +690,96 @@ void NetIpc::HandleWirePacket(const std::byte* bytes, std::uint32_t len) {
   WireHeader wire;
   const std::byte* body = nullptr;
   std::uint32_t body_bytes = 0;
-  if (!WireDeserialize(bytes, len, &wire, &body, &body_bytes)) {
+  if (!WireDeserialize(bytes, len, &wire, &body, &body_bytes, header_bytes_)) {
     return;
   }
   const int src = static_cast<int>(wire.src_node);
   Channel& ch = channels_[src];
 
-  switch (static_cast<WireKind>(wire.kind)) {
-    case WireKind::kData: {
-      if (wire.seq != ch.rx_expected) {
-        // A duplicate (retransmit raced our ack) or a gap (an earlier DATA
-        // is still in flight or lost). Either way, re-ack what we have so
-        // the sender's window advances or retransmits precisely.
-        if (wire.seq < ch.rx_expected) {
-          ++stats_.rx_dup_data;
+  if (!v2_) {
+    switch (static_cast<WireKind>(wire.kind)) {
+      case WireKind::kData: {
+        if (wire.seq != ch.rx_expected) {
+          // A duplicate (retransmit raced our ack) or a gap (an earlier DATA
+          // is still in flight or lost). Either way, re-ack what we have so
+          // the sender's window advances or retransmits precisely.
+          if (wire.seq < ch.rx_expected) {
+            ++stats_.rx_dup_data;
+          }
+          SendControl(src, WireKind::kAck, ch.rx_expected - 1);
+          return;
         }
-        SendControl(src, WireKind::kAck, ch.rx_expected - 1);
+        switch (InjectLocal(wire, body)) {
+          case InjectResult::kOk:
+            ++ch.rx_expected;
+            SendControl(src, WireKind::kAck, ch.rx_expected - 1);
+            break;
+          case InjectResult::kDead:
+            ++ch.rx_expected;  // Consumed, but the destination port is gone.
+            SendControl(src, WireKind::kDead, wire.seq);
+            break;
+          case InjectResult::kBackpressure:
+            ++stats_.rx_backpressure;  // No ack: the sender will retransmit.
+            break;
+        }
         return;
       }
-      switch (InjectLocal(wire, body)) {
-        case InjectResult::kOk:
-          ++ch.rx_expected;
-          SendControl(src, WireKind::kAck, ch.rx_expected - 1);
-          break;
-        case InjectResult::kDead:
-          ++ch.rx_expected;  // Consumed, but the destination port is gone.
-          SendControl(src, WireKind::kDead, wire.seq);
-          break;
-        case InjectResult::kBackpressure:
-          ++stats_.rx_backpressure;  // No ack: the sender will retransmit.
-          break;
+      case WireKind::kAck:
+        ++stats_.acks_rx;
+        PopAcked(ch, wire.seq, /*fail_exact=*/false);
+        return;
+      case WireKind::kDead:
+        ++stats_.dead_rx;
+        PopAcked(ch, wire.seq, /*fail_exact=*/true);
+        return;
+      default: {  // kPortDeath (the deserializer rejects v2-only kinds).
+        auto it = remote_to_proxy_.find(std::make_pair(src, wire.seq));
+        if (it != remote_to_proxy_.end()) {
+          PortId proxy = it->second;
+          remote_to_proxy_.erase(it);
+          proxy_out_.erase(proxy);
+          ++stats_.proxy_gcs;
+          stats_.proxy_table = proxy_out_.size();
+          // Maps first, then the port: DestroyPort re-enters OnPortDeath,
+          // which must find nothing.
+          kernel_.ipc().DestroyPort(proxy);
+        }
+        return;
+      }
+    }
+  }
+
+  switch (static_cast<WireKind>(wire.kind)) {
+    case WireKind::kFrameBatch: {
+      // Coalesced frame: unpack the [u32 len][packet] records and process
+      // each as if it had arrived alone. Sub-packets are never batches.
+      const std::byte* p = body;
+      std::uint32_t remaining = body_bytes;
+      while (remaining >= sizeof(std::uint32_t)) {
+        std::uint32_t sublen = 0;
+        std::memcpy(&sublen, p, sizeof(sublen));
+        p += sizeof(sublen);
+        remaining -= sizeof(sublen);
+        if (sublen == 0 || sublen > remaining) {
+          break;  // Corrupt framing: drop the rest; retransmission recovers.
+        }
+        HandleWirePacket(p, sublen);
+        p += sublen;
+        remaining -= sublen;
       }
       return;
     }
     case WireKind::kAck:
       ++stats_.acks_rx;
-      PopAcked(ch, wire.seq, /*fail_exact=*/false);
+      ProcessAckInfo(src, ch, wire.ack, wire.sack);
       return;
     case WireKind::kDead:
+      // The remote destination died after consuming `seq` in order, so its
+      // cumulative ack already covers it: pop through seq, failing the exact
+      // entry back to the local sender.
       ++stats_.dead_rx;
       PopAcked(ch, wire.seq, /*fail_exact=*/true);
+      ProcessAckInfo(src, ch, wire.ack, wire.sack);
       return;
     case WireKind::kPortDeath: {
       auto it = remote_to_proxy_.find(std::make_pair(src, wire.seq));
@@ -549,8 +795,209 @@ void NetIpc::HandleWirePacket(const std::byte* bytes, std::uint32_t len) {
       }
       return;
     }
+    case WireKind::kData:
+    case WireKind::kOolPull:
+    case WireKind::kOolData:
+      HandleSequenced(src, ch, wire, body, bytes, len);
+      return;
   }
 }
+
+// ---------------------------------------------------------------------------
+// v2 sequenced receive path.
+
+void NetIpc::HandleSequenced(int src, Channel& ch, const WireHeader& wire,
+                             const std::byte* body, const std::byte* packet,
+                             std::uint32_t packet_len) {
+  // Every sequenced packet piggybacks ack state for the reverse direction.
+  ProcessAckInfo(src, ch, wire.ack, wire.sack);
+
+  if (wire.seq < ch.rx_expected) {
+    ++stats_.rx_dup_data;
+    ScheduleAck(src, 0);  // Re-ack immediately so the sender's window moves.
+    return;
+  }
+  if (wire.seq > ch.rx_expected) {
+    // A gap: hold the raw packet for in-order replay if it fits the SACK
+    // window; either way ack immediately so the bitmap reports the hole and
+    // the sender fast-retransmits exactly the missing packets.
+    const std::uint32_t gap = wire.seq - ch.rx_expected;
+    if (gap < kNetRxWindow) {
+      auto [it, inserted] = ch.rx_ooo.emplace(
+          wire.seq, std::vector<std::byte>(packet, packet + packet_len));
+      if (inserted) {
+        ++stats_.rx_ooo_buffered;
+        AccountNetCopy(kernel_, packet_len);
+      }
+    }
+    ScheduleAck(src, 0);
+    return;
+  }
+  if (!DeliverSequenced(src, ch, wire, body, wire.mach.size)) {
+    return;  // Backpressure: no ack, no advance; the sender retransmits.
+  }
+  DrainOoo(src, ch);
+}
+
+bool NetIpc::DeliverSequenced(int src, Channel& ch, const WireHeader& wire,
+                              const std::byte* body, std::uint32_t body_bytes) {
+  InjectResult r;
+  switch (static_cast<WireKind>(wire.kind)) {
+    case WireKind::kOolPull:
+      r = HandleOolPull(wire);
+      break;
+    case WireKind::kOolData:
+      r = HandleOolChunk(wire, body_bytes);
+      break;
+    default:
+      r = InjectLocal(wire, body);
+      break;
+  }
+  switch (r) {
+    case InjectResult::kOk:
+      ++ch.rx_expected;
+      // The common case rides outbound data (StampAck); the delayed-ack
+      // timer only fires for one-way traffic with no reverse packets.
+      ScheduleAck(src, kNetAckDelay);
+      return true;
+    case InjectResult::kDead:
+      ++ch.rx_expected;
+      SendControl(src, WireKind::kDead, wire.seq);
+      return true;
+    case InjectResult::kBackpressure:
+      ++stats_.rx_backpressure;
+      return false;
+  }
+  return false;
+}
+
+void NetIpc::DrainOoo(int src, Channel& ch) {
+  while (true) {
+    auto it = ch.rx_ooo.begin();
+    // Entries below rx_expected are stale (the sender retransmitted an
+    // in-order copy past a backpressure stall): drop them.
+    while (it != ch.rx_ooo.end() && it->first < ch.rx_expected) {
+      it = ch.rx_ooo.erase(it);
+    }
+    if (it == ch.rx_ooo.end() || it->first != ch.rx_expected) {
+      return;
+    }
+    WireHeader wire;
+    const std::byte* body = nullptr;
+    std::uint32_t body_bytes = 0;
+    if (!WireDeserialize(it->second.data(),
+                         static_cast<std::uint32_t>(it->second.size()), &wire,
+                         &body, &body_bytes, header_bytes_)) {
+      ch.rx_ooo.erase(it);  // Cannot happen: it deserialized on arrival.
+      continue;
+    }
+    if (!DeliverSequenced(src, ch, wire, body, wire.mach.size)) {
+      return;  // Backpressure: keep it buffered; a retransmit retries us.
+    }
+    ch.rx_ooo.erase(it);
+  }
+}
+
+void NetIpc::ProcessAckInfo(int node, Channel& ch, std::uint32_t ack,
+                            std::uint64_t sack) {
+  const Ticks now = kernel_.clock().Now();
+  while (!ch.unacked.empty() && ch.unacked.front().seq <= ack) {
+    Unacked entry = ch.unacked.front();
+    ch.unacked.pop_front();
+    if (entry.attempts == 1) {
+      // Karn's rule: only never-retransmitted entries give unambiguous
+      // round-trip samples.
+      ObserveRtt(ch, now - entry.sent_at);
+    }
+    kernel_.ipc().FreeKmsg(entry.kmsg);
+  }
+  if (ch.unacked.empty()) {
+    return;
+  }
+  // SACK: bit i covers seq ack+1+i. Mark what the receiver holds so the
+  // retransmit scan skips it.
+  std::uint32_t highest_sacked = 0;
+  bool any_sacked = false;
+  for (auto& entry : ch.unacked) {
+    const std::uint32_t d = entry.seq - ack;
+    if (d >= 1 && d - 1 < kNetRxWindow &&
+        ((sack >> (d - 1)) & std::uint64_t{1}) != 0) {
+      entry.sacked = true;
+    }
+    if (entry.sacked) {
+      highest_sacked = entry.seq;
+      any_sacked = true;
+    }
+  }
+  if (!any_sacked) {
+    return;
+  }
+  // Fast retransmit: a hole below a SACKed packet is loss evidence — the
+  // link model reorders by at most one bounded delay, so waiting out the
+  // full RTO just stretches the tail. One shot per entry; the RTO path
+  // still backs off if the resend is lost too.
+  for (auto& entry : ch.unacked) {
+    if (entry.seq >= highest_sacked) {
+      break;
+    }
+    if (entry.sacked || entry.fast_retx ||
+        entry.attempts >= kNetMaxSendAttempts) {
+      continue;
+    }
+    entry.fast_retx = true;
+    ++entry.attempts;
+    ++stats_.retransmits;
+    ++stats_.fast_retransmits;
+    std::uint32_t shift = entry.attempts - 1;
+    if (shift > kNetMaxBackoffShift) {
+      shift = kNetMaxBackoffShift;
+    }
+    entry.deadline = now + (ch.rto << shift);
+    RestampAck(entry.kmsg, node);
+    TransmitPacket(node, entry.kmsg->body, entry.kmsg->header.size);
+  }
+}
+
+void NetIpc::ObserveRtt(Channel& ch, Ticks sample) {
+  if (ch.srtt == 0) {
+    ch.srtt = sample;
+    ch.rttvar = sample / 2;
+  } else {
+    const Ticks err = sample > ch.srtt ? sample - ch.srtt : ch.srtt - sample;
+    ch.rttvar = (3 * ch.rttvar + err) / 4;
+    ch.srtt = (7 * ch.srtt + sample) / 8;
+  }
+  Ticks rto = ch.srtt + 4 * ch.rttvar;
+  if (rto < kNetMinRto) {
+    rto = kNetMinRto;  // Floor: above delayed-ack flush + one transit.
+  }
+  if (rto > kNetRetransmitBase) {
+    rto = kNetRetransmitBase;
+  }
+  ch.rto = rto;
+}
+
+void NetIpc::ScheduleAck(int src, Ticks delay) {
+  Channel& ch = channels_[src];
+  const Ticks deadline = kernel_.clock().Now() + delay;
+  if (!ch.ack_pending || deadline < ch.ack_deadline) {
+    ch.ack_deadline = deadline;
+  }
+  ch.ack_pending = true;
+}
+
+void NetIpc::FlushAcks() {
+  const Ticks now = kernel_.clock().Now();
+  for (auto& [node, ch] : channels_) {
+    if (ch.ack_pending && ch.ack_deadline <= now) {
+      // SendControl stamps the current ack/SACK and clears ack_pending.
+      SendControl(node, WireKind::kAck, ch.rx_expected - 1);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Local injection and controls.
 
 NetIpc::InjectResult NetIpc::InjectLocal(const WireHeader& wire,
                                          const std::byte* body) {
@@ -571,8 +1018,11 @@ NetIpc::InjectResult NetIpc::InjectLocal(const WireHeader& wire,
   k.ChargeCycles(kCycMsgPhaseBase + kCycPortLookup);
   ++k.ipc().stats().messages_sent;
   ++stats_.msgs_in;
+  if (v2_) {
+    stats_.bytes_goodput += h.size;
+  }
   k.TracePointSpan(h.span, TraceEvent::kNetRx, wire.src_node,
-                   kWireHeaderBytes + h.size);
+                   header_bytes_ + h.size);
 
   const bool mach25 = k.model() == ControlTransferModel::kMach25;
   if (!mach25) {
@@ -588,11 +1038,23 @@ NetIpc::InjectResult NetIpc::InjectLocal(const WireHeader& wire,
       h.seqno = port->next_seqno++;
       DeliverDirect(receiver, h, body);
       if (MessageCarriesOol(h) && wire.ool_size > 0) {
-        // Re-materialize the OOL region receiver-side. Its pages are
-        // zero-fill: the simulation does not model remote paging, so the
-        // copy-on-reference contents stay behind on the sending node.
-        auto object = std::make_unique<VmObject>(VmBacking::kZeroFill,
-                                                 PageRound(wire.ool_size));
+        // Re-materialize the OOL region receiver-side. v2 with a pull
+        // cookie installs it *unpulled*: a kPaged object whose first touch
+        // issues OOL_PULL back to the source (NORMA copy-on-reference).
+        // Otherwise the pages are zero-fill — the copy-on-reference
+        // contents stay behind on the sending node.
+        std::unique_ptr<VmObject> object;
+        if (v2_ && wire.ool_cookie != 0) {
+          object = std::make_unique<VmObject>(VmBacking::kPaged,
+                                              PageRound(wire.ool_size));
+          object->remote_pull = RemotePull::kUnpulled;
+          object->remote_src = wire.src_node;
+          object->remote_cookie = wire.ool_cookie;
+          object->remote_size = wire.ool_size;
+        } else {
+          object = std::make_unique<VmObject>(VmBacking::kZeroFill,
+                                              PageRound(wire.ool_size));
+        }
         OolDescriptor desc;
         desc.size = wire.ool_size;
         desc.addr = OolInstall(k, receiver->task, std::move(object), desc.size);
@@ -624,7 +1086,17 @@ NetIpc::InjectResult NetIpc::InjectLocal(const WireHeader& wire,
   std::memcpy(kmsg->body, body, h.size);
   AccountNetCopy(k, h.size);
   if (MessageCarriesOol(h) && wire.ool_size > 0) {
-    kmsg->ool_object = new VmObject(VmBacking::kZeroFill, PageRound(wire.ool_size));
+    if (v2_ && wire.ool_cookie != 0) {
+      auto* obj = new VmObject(VmBacking::kPaged, PageRound(wire.ool_size));
+      obj->remote_pull = RemotePull::kUnpulled;
+      obj->remote_src = wire.src_node;
+      obj->remote_cookie = wire.ool_cookie;
+      obj->remote_size = wire.ool_size;
+      kmsg->ool_object = obj;
+    } else {
+      kmsg->ool_object =
+          new VmObject(VmBacking::kZeroFill, PageRound(wire.ool_size));
+    }
     kmsg->ool_size = wire.ool_size;
   }
   Thread* receiver = mach25 ? PopReceiverForDelivery(port, h.size) : nullptr;
@@ -644,15 +1116,24 @@ void NetIpc::SendControl(int dst_node, WireKind kind, std::uint32_t seq) {
   wire.kind = static_cast<std::uint32_t>(kind);
   wire.src_node = static_cast<std::uint32_t>(node_id_);
   wire.seq = seq;
+  if (v2_) {
+    // Every control carries full ack state for its channel, which also
+    // settles any pending delayed ack.
+    Channel& ch = channels_[dst_node];
+    wire.ack = ch.rx_expected - 1;
+    wire.sack = BuildSack(ch);
+    ch.ack_pending = false;
+  }
   std::byte buf[kWireHeaderBytes];
-  std::uint32_t len = WireSerialize(wire, nullptr, 0, buf, sizeof(buf));
-  MKC_ASSERT(len == kWireHeaderBytes);
+  std::uint32_t len =
+      WireSerialize(wire, nullptr, 0, buf, sizeof(buf), header_bytes_);
+  MKC_ASSERT(len == header_bytes_);
   if (kind == WireKind::kAck) {
     ++stats_.acks_tx;
   } else if (kind == WireKind::kDead) {
     ++stats_.dead_tx;
   }
-  net_.Transmit(*this, *peers_[static_cast<std::size_t>(dst_node)], buf, len);
+  TransmitPacket(dst_node, buf, len);
 }
 
 void NetIpc::PopAcked(Channel& ch, std::uint32_t seq, bool fail_exact) {
@@ -667,6 +1148,12 @@ void NetIpc::PopAcked(Channel& ch, std::uint32_t seq, bool fail_exact) {
 }
 
 void NetIpc::FailEntry(const Unacked& entry) {
+  if (v2_ && static_cast<WireKind>(entry.kind) == WireKind::kData &&
+      entry.ool_cookie != 0) {
+    // The DATA carrying this lazy payload will never be delivered (or its
+    // destination died unpulled): the export can never be pulled, drop it.
+    ool_exports_.erase(entry.ool_cookie);
+  }
   if (entry.local_reply == kInvalidPort) {
     return;
   }
@@ -685,40 +1172,291 @@ void NetIpc::FailEntry(const Unacked& entry) {
 
 void NetIpc::RetransmitScan() {
   const Ticks now = kernel_.clock().Now();
+  if (!v2_) {
+    for (auto& [node, ch] : channels_) {
+      if (ch.unacked.empty() || ch.unacked.front().deadline > now) {
+        continue;  // Entries behind the head are never due before it.
+      }
+      // Older entries have at least as many attempts as newer ones, so
+      // exhausted entries cluster at the head.
+      while (!ch.unacked.empty() &&
+             ch.unacked.front().attempts >= kNetMaxSendAttempts) {
+        ++stats_.give_ups;
+        FailEntry(ch.unacked.front());
+        kernel_.ipc().FreeKmsg(ch.unacked.front().kmsg);
+        ch.unacked.pop_front();
+      }
+      if (ch.unacked.empty()) {
+        continue;
+      }
+      // Go-back-N: the receiver discarded everything after the lost packet, so
+      // resend the whole window on the head's timeout — one timeout per loss,
+      // not one per in-flight packet.
+      for (auto& entry : ch.unacked) {
+        ++stats_.retransmits;
+        ++entry.attempts;
+        net_.Transmit(*this, *peers_[static_cast<std::size_t>(node)],
+                      entry.kmsg->body, entry.kmsg->header.size);
+      }
+      std::uint32_t shift = ch.unacked.front().attempts - 1;
+      if (shift > kNetMaxBackoffShift) {
+        shift = kNetMaxBackoffShift;
+      }
+      const Ticks deadline = now + (kNetRetransmitBase << shift);
+      for (auto& entry : ch.unacked) {
+        entry.deadline = deadline;
+      }
+    }
+    return;
+  }
+
+  // Selective repeat: every entry carries its own deadline and is resent
+  // alone — a loss costs one packet, not the window. SACKed entries sit at
+  // the receiver and are skipped, except the *head*: a head both SACKed and
+  // past its deadline means the receiver has it buffered but could not
+  // deliver it (backpressure mid-drain), and only a retransmit retries that
+  // delivery — so the head's deadline stays live for liveness.
   for (auto& [node, ch] : channels_) {
-    if (ch.unacked.empty() || ch.unacked.front().deadline > now) {
-      continue;  // Entries behind the head are never due before it.
-    }
-    // Older entries have at least as many attempts as newer ones, so
-    // exhausted entries cluster at the head.
-    while (!ch.unacked.empty() &&
-           ch.unacked.front().attempts >= kNetMaxSendAttempts) {
-      ++stats_.give_ups;
-      FailEntry(ch.unacked.front());
-      kernel_.ipc().FreeKmsg(ch.unacked.front().kmsg);
-      ch.unacked.pop_front();
-    }
-    if (ch.unacked.empty()) {
-      continue;
-    }
-    // Go-back-N: the receiver discarded everything after the lost packet, so
-    // resend the whole window on the head's timeout — one timeout per loss,
-    // not one per in-flight packet.
-    for (auto& entry : ch.unacked) {
+    bool gave_up = false;
+    for (std::size_t i = 0; i < ch.unacked.size(); ++i) {
+      Unacked& entry = ch.unacked[i];
+      if ((entry.sacked && i != 0) || entry.deadline > now) {
+        continue;
+      }
+      if (entry.attempts >= kNetMaxSendAttempts) {
+        gave_up = true;
+        break;
+      }
       ++stats_.retransmits;
       ++entry.attempts;
-      net_.Transmit(*this, *peers_[static_cast<std::size_t>(node)],
-                    entry.kmsg->body, entry.kmsg->header.size);
+      std::uint32_t shift = entry.attempts - 1;
+      if (shift > kNetMaxBackoffShift) {
+        shift = kNetMaxBackoffShift;  // Backoff is capped, never unbounded.
+      }
+      entry.deadline = now + (ch.rto << shift);
+      RestampAck(entry.kmsg, node);
+      TransmitPacket(node, entry.kmsg->body, entry.kmsg->header.size);
     }
-    std::uint32_t shift = ch.unacked.front().attempts - 1;
-    if (shift > kNetMaxBackoffShift) {
-      shift = kNetMaxBackoffShift;
-    }
-    const Ticks deadline = now + (kNetRetransmitBase << shift);
-    for (auto& entry : ch.unacked) {
-      entry.deadline = deadline;
+    if (gave_up) {
+      // One entry exhausted its budget: the peer (or the link) is gone.
+      // Fail the whole channel's window — selective repeat has no ordering
+      // to salvage behind a permanently lost packet.
+      GiveUpChannel(node, ch);
     }
   }
+}
+
+void NetIpc::GiveUpChannel(int node, Channel& ch) {
+  for (auto& entry : ch.unacked) {
+    ++stats_.give_ups;
+    FailEntry(entry);
+    if (static_cast<WireKind>(entry.kind) == WireKind::kOolPull &&
+        entry.ool_cookie != 0) {
+      // The pull request itself is undeliverable: fail the import so its
+      // touchers unblock with a bad-access, not a hang.
+      MarkImportFailed(node, entry.ool_cookie);
+    }
+    kernel_.ipc().FreeKmsg(entry.kmsg);
+  }
+  ch.unacked.clear();
+}
+
+// ---------------------------------------------------------------------------
+// v2 lazy-pull OOL.
+
+NetIpc::OolGate NetIpc::OolFaultPrepare(VmObject* object) {
+  switch (object->remote_pull) {
+    case RemotePull::kNone:
+      return OolGate::kReady;
+    case RemotePull::kFailed:
+      return OolGate::kFailed;
+    case RemotePull::kPulling:
+      return OolGate::kWait;  // Ride the pull a first toucher issued.
+    case RemotePull::kUnpulled:
+      break;
+  }
+  object->remote_pull = RemotePull::kPulling;
+  const auto key = std::make_pair(static_cast<int>(object->remote_src),
+                                  object->remote_cookie);
+  OolImport& imp = imports_[key];
+  imp.object = object;
+  imp.size = object->remote_size;
+  imp.received = 0;
+  imp.deadline = kernel_.clock().Now() + kNetOolPullDeadline;
+  ++stats_.ool_pulls;
+  // May block on kmsg-zone exhaustion — we are on the faulting thread,
+  // which is allowed to. Concurrent touchers already see kPulling.
+  RequestOolPull(static_cast<int>(object->remote_src), object->remote_cookie);
+  return OolGate::kWait;
+}
+
+void NetIpc::RequestOolPull(int src_node, std::uint32_t cookie) {
+  WireHeader wire;
+  wire.kind = static_cast<std::uint32_t>(WireKind::kOolPull);
+  wire.src_node = static_cast<std::uint32_t>(node_id_);
+  wire.ool_cookie = cookie;
+  SendSequenced(src_node, wire, nullptr, 0, kInvalidPort, nullptr);
+}
+
+NetIpc::InjectResult NetIpc::HandleOolPull(const WireHeader& wire) {
+  auto it = ool_exports_.find(wire.ool_cookie);
+  if (it == ool_exports_.end()) {
+    return InjectResult::kOk;  // Already served or dropped: ack the dup pull.
+  }
+  const std::uint32_t total = it->second.size;
+  const std::uint32_t nchunks = (total + max_body_ - 1) / max_body_;
+  // Reserve every chunk kmsg up front: either the whole OOL_DATA train goes
+  // out, or nothing does and the unacked pull retransmits into a less-dry
+  // zone later.
+  std::vector<KMessage*> wks;
+  wks.reserve(nchunks);
+  for (std::uint32_t i = 0; i < nchunks; ++i) {
+    const std::uint32_t off = i * max_body_;
+    const std::uint32_t chunk = std::min(max_body_, total - off);
+    KMessage* wk = kernel_.ipc().TryAllocKmsg(header_bytes_ + chunk);
+    if (wk == nullptr) {
+      for (KMessage* w : wks) {
+        kernel_.ipc().FreeKmsg(w);
+      }
+      return InjectResult::kBackpressure;
+    }
+    wks.push_back(wk);
+  }
+  // The simulation models OOL contents as zeros (like the eager engine's
+  // zero-fill re-materialization); what matters is that the bytes cross the
+  // wire and are paid for.
+  static const std::byte kZeros[kMaxWireBody] = {};
+  const int dst = static_cast<int>(wire.src_node);
+  for (std::uint32_t i = 0; i < nchunks; ++i) {
+    const std::uint32_t off = i * max_body_;
+    const std::uint32_t chunk = std::min(max_body_, total - off);
+    WireHeader out;
+    out.kind = static_cast<std::uint32_t>(WireKind::kOolData);
+    out.src_node = static_cast<std::uint32_t>(node_id_);
+    out.ool_size = total;
+    out.ool_cookie = wire.ool_cookie;
+    out.mach.msg_id = off;  // Chunk byte offset, for the curious tracer.
+    out.mach.size = chunk;
+    AccountNetCopy(kernel_, chunk);
+    SendSequenced(dst, out, kZeros, chunk, kInvalidPort, wks[i]);
+  }
+  ++stats_.ool_pushes;
+  stats_.ool_bytes_pulled += total;
+  ool_exports_.erase(it);
+  return InjectResult::kOk;
+}
+
+NetIpc::InjectResult NetIpc::HandleOolChunk(const WireHeader& wire,
+                                            std::uint32_t body_bytes) {
+  const auto key =
+      std::make_pair(static_cast<int>(wire.src_node), wire.ool_cookie);
+  auto it = imports_.find(key);
+  if (it == imports_.end()) {
+    return InjectResult::kOk;  // Pull already completed or failed: ack the dup.
+  }
+  AccountNetCopy(kernel_, body_bytes);
+  stats_.bytes_goodput += body_bytes;
+  OolImport& imp = it->second;
+  imp.received += body_bytes;
+  if (imp.received >= imp.size) {
+    // Train complete. The object pages in from "disk" like any kPaged
+    // object from here on; wake every toucher parked on it to retry the
+    // fault through the normal path.
+    VmObject* obj = imp.object;
+    imports_.erase(it);
+    obj->remote_pull = RemotePull::kNone;
+    kernel_.ThreadWakeupAll(obj);
+  }
+  return InjectResult::kOk;
+}
+
+void NetIpc::MarkImportFailed(int src_node, std::uint32_t cookie) {
+  const auto key = std::make_pair(src_node, cookie);
+  auto it = imports_.find(key);
+  if (it == imports_.end()) {
+    return;
+  }
+  VmObject* obj = it->second.object;
+  imports_.erase(it);
+  obj->remote_pull = RemotePull::kFailed;
+  ++stats_.ool_pull_fails;
+  // Touchers wake, retry the fault, hit the kFailed gate and take a
+  // bad-access exception — dead-name semantics for memory.
+  kernel_.ThreadWakeupAll(obj);
+}
+
+// ---------------------------------------------------------------------------
+// v2 small-frame coalescing.
+
+void NetIpc::BeginBatch() {
+  if (!v2_) {
+    return;
+  }
+  ++batch_depth_;
+}
+
+void NetIpc::FlushBatch() {
+  if (!v2_) {
+    return;
+  }
+  MKC_ASSERT(batch_depth_ > 0);
+  if (--batch_depth_ > 0) {
+    return;  // Nested scope: the outermost close flushes.
+  }
+  for (auto& [node, stage] : stage_) {
+    FlushStage(node, stage);
+  }
+}
+
+void NetIpc::FlushStage(int dst_node, Stage& stage) {
+  if (stage.count == 0) {
+    return;
+  }
+  if (stage.count == 1) {
+    // A lone packet gains nothing from framing: strip the record header and
+    // send it raw.
+    net_.Transmit(*this, *peers_[static_cast<std::size_t>(dst_node)],
+                  stage.bytes.data() + sizeof(std::uint32_t),
+                  static_cast<std::uint32_t>(stage.bytes.size()) -
+                      static_cast<std::uint32_t>(sizeof(std::uint32_t)));
+  } else {
+    WireHeader wire;
+    wire.kind = static_cast<std::uint32_t>(WireKind::kFrameBatch);
+    wire.src_node = static_cast<std::uint32_t>(node_id_);
+    wire.mach.size = static_cast<std::uint32_t>(stage.bytes.size());
+    std::byte buf[kMaxInlineBytes];
+    std::uint32_t len =
+        WireSerialize(wire, stage.bytes.data(),
+                      static_cast<std::uint32_t>(stage.bytes.size()), buf,
+                      sizeof(buf), header_bytes_);
+    MKC_ASSERT(len != 0);
+    ++stats_.frames_coalesced;
+    net_.Transmit(*this, *peers_[static_cast<std::size_t>(dst_node)], buf, len);
+  }
+  stage.bytes.clear();
+  stage.count = 0;
+}
+
+void NetIpc::TransmitPacket(int dst_node, const std::byte* bytes,
+                            std::uint32_t len) {
+  // Only small packets inside an open batch scope stage; everything else —
+  // the gbn engine, large DATA, emissions outside a burst — goes straight
+  // to the wire.
+  if (!v2_ || batch_depth_ == 0 || len > kSmallKmsgBytes) {
+    net_.Transmit(*this, *peers_[static_cast<std::size_t>(dst_node)], bytes,
+                  len);
+    return;
+  }
+  Stage& stage = stage_[dst_node];
+  if (header_bytes_ + stage.bytes.size() + sizeof(std::uint32_t) + len >
+      kMaxInlineBytes) {
+    FlushStage(dst_node, stage);  // Frame full: ship it, start the next.
+  }
+  const std::uint32_t len32 = len;
+  const std::byte* lp = reinterpret_cast<const std::byte*>(&len32);
+  stage.bytes.insert(stage.bytes.end(), lp, lp + sizeof(len32));
+  stage.bytes.insert(stage.bytes.end(), bytes, bytes + len);
+  ++stage.count;
 }
 
 void NetIpc::OnPortDeath(void* ctx, PortId id) {
@@ -743,7 +1481,8 @@ void NetIpc::OnPortDeath(void* ctx, PortId id) {
       wire.src_node = static_cast<std::uint32_t>(self->node_id_);
       wire.seq = id;
       std::byte buf[kWireHeaderBytes];
-      std::uint32_t len = WireSerialize(wire, nullptr, 0, buf, sizeof(buf));
+      std::uint32_t len = WireSerialize(wire, nullptr, 0, buf, sizeof(buf),
+                                        self->header_bytes_);
       self->net_.Transmit(*self, *self->peers_[static_cast<std::size_t>(node)],
                           buf, len);
     }

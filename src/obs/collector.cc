@@ -33,6 +33,8 @@ struct TelemetryPlane::AgentState {
   std::uint64_t prev_tx = 0;
   std::uint64_t prev_rx = 0;
   std::uint64_t prev_retx = 0;
+  std::uint64_t prev_apig = 0;
+  std::uint64_t prev_coal = 0;
 
   TelemetryReport Sample() {
     Kernel& k = *kernel;
@@ -67,6 +69,13 @@ struct TelemetryPlane::AgentState {
       prev_tx = s.packets_tx;
       prev_rx = s.packets_rx;
       prev_retx = s.retransmits;
+      if (!k.config().netipc_gbn) {
+        r.has_net2 = 1;
+        r.net_apig = s.acks_piggybacked - prev_apig;
+        r.net_coal = s.frames_coalesced - prev_coal;
+        prev_apig = s.acks_piggybacked;
+        prev_coal = s.frames_coalesced;
+      }
     }
     if (k.watchdog() != nullptr) {
       r.stalls = k.watchdog()->stalls().size();
@@ -112,8 +121,13 @@ void TelemetryPlane::AgentThread(void* arg) {
     msg.header = MessageHeader{};
     msg.header.dest = a->dest;
     msg.header.msg_id = kTelemetryMsgId;
-    std::memcpy(msg.body, &report, sizeof(report));
-    UserMachMsg(&msg, kMsgSendOpt, sizeof(report), 0, kInvalidPort);
+    // A go-back-N plane ships only the legacy prefix, so its wire traffic
+    // stays byte-identical to the pre-v2 protocol.
+    const std::uint32_t send_bytes = report.has_net2 != 0
+                                         ? static_cast<std::uint32_t>(sizeof(report))
+                                         : static_cast<std::uint32_t>(kTelemetryLegacyBytes);
+    std::memcpy(msg.body, &report, send_bytes);
+    UserMachMsg(&msg, kMsgSendOpt, send_bytes, 0, kInvalidPort);
   }
 }
 
@@ -126,11 +140,13 @@ void TelemetryPlane::CollectorThread(void* arg) {
       return;
     }
     if (msg.header.msg_id != kTelemetryMsgId ||
-        msg.header.size < sizeof(TelemetryReport)) {
+        msg.header.size < kTelemetryLegacyBytes) {
       continue;
     }
     TelemetryReport report;
-    std::memcpy(&report, msg.body, sizeof(report));
+    const std::size_t n =
+        std::min(static_cast<std::size_t>(msg.header.size), sizeof(report));
+    std::memcpy(&report, msg.body, n);
     c->plane->AppendRow(report);
   }
 }
@@ -202,6 +218,12 @@ void TelemetryPlane::AppendRow(const TelemetryReport& r) {
   AppendU64(&out, r.net_rx);
   out += ",\"retx\":";
   AppendU64(&out, r.net_retx);
+  if (r.has_net2 != 0) {
+    out += ",\"apig\":";
+    AppendU64(&out, r.net_apig);
+    out += ",\"coal\":";
+    AppendU64(&out, r.net_coal);
+  }
   out += "},\"stalls\":";
   AppendU64(&out, r.stalls);
   if (r.has_slo != 0) {
@@ -265,6 +287,9 @@ struct TopRow {
   std::uint64_t tx = 0;
   std::uint64_t rx = 0;
   std::uint64_t retx = 0;
+  bool has_net2 = false;
+  std::uint64_t apig = 0;
+  std::uint64_t coal = 0;
   std::uint64_t stalls = 0;
   bool has_slo = false;
   std::uint64_t rpc_count = 0;
@@ -298,6 +323,8 @@ std::string FormatTelemetryTable(const std::string& rows_jsonl) {
     ExtractU64(line, "tx", 0, &r.tx);
     ExtractU64(line, "rx", 0, &r.rx);
     ExtractU64(line, "retx", 0, &r.retx);
+    r.has_net2 = ExtractU64(line, "apig", 0, &r.apig);
+    ExtractU64(line, "coal", 0, &r.coal);
     ExtractU64(line, "stalls", 0, &r.stalls);
     std::size_t rpc = line.find("\"rpc\":{");
     if (rpc != std::string::npos) {
@@ -316,11 +343,25 @@ std::string FormatTelemetryTable(const std::string& rows_jsonl) {
     return a.node < b.node;
   });
 
+  // The v2 columns appear only when some row carries them, so a go-back-N
+  // stream renders exactly as it did before the extension existed.
+  bool any_net2 = false;
+  for (const TopRow& r : rows) {
+    any_net2 = any_net2 || r.has_net2;
+  }
+
   std::string out;
-  char buf[192];
-  std::snprintf(buf, sizeof(buf), "%4s %5s %12s %6s %5s %7s %7s %6s %8s %9s %10s %5s %6s\n",
-                "seq", "node", "t", "util%", "runq", "tx", "rx", "retx", "rpc_n",
-                "rpc_p99", "rpc_p999", "viol", "stall");
+  char buf[224];
+  if (any_net2) {
+    std::snprintf(buf, sizeof(buf),
+                  "%4s %5s %12s %6s %5s %7s %7s %6s %6s %6s %8s %9s %10s %5s %6s\n",
+                  "seq", "node", "t", "util%", "runq", "tx", "rx", "retx", "apig",
+                  "coal", "rpc_n", "rpc_p99", "rpc_p999", "viol", "stall");
+  } else {
+    std::snprintf(buf, sizeof(buf), "%4s %5s %12s %6s %5s %7s %7s %6s %8s %9s %10s %5s %6s\n",
+                  "seq", "node", "t", "util%", "runq", "tx", "rx", "retx", "rpc_n",
+                  "rpc_p99", "rpc_p999", "viol", "stall");
+  }
   out += buf;
   std::uint64_t last_seq = 0;
   bool first = true;
@@ -330,21 +371,41 @@ std::string FormatTelemetryTable(const std::string& rows_jsonl) {
     }
     first = false;
     last_seq = r.seq;
-    std::snprintf(buf, sizeof(buf),
-                  "%4llu %5llu %12llu %6.1f %5llu %7llu %7llu %6llu %8llu %9llu %10llu %5llu %6llu\n",
-                  static_cast<unsigned long long>(r.seq),
-                  static_cast<unsigned long long>(r.node),
-                  static_cast<unsigned long long>(r.t),
-                  static_cast<double>(r.util_permille) / 10.0,
-                  static_cast<unsigned long long>(r.runq),
-                  static_cast<unsigned long long>(r.tx),
-                  static_cast<unsigned long long>(r.rx),
-                  static_cast<unsigned long long>(r.retx),
-                  static_cast<unsigned long long>(r.rpc_count),
-                  static_cast<unsigned long long>(r.rpc_p99),
-                  static_cast<unsigned long long>(r.rpc_p999),
-                  static_cast<unsigned long long>(r.rpc_viol),
-                  static_cast<unsigned long long>(r.stalls));
+    if (any_net2) {
+      std::snprintf(buf, sizeof(buf),
+                    "%4llu %5llu %12llu %6.1f %5llu %7llu %7llu %6llu %6llu %6llu %8llu %9llu %10llu %5llu %6llu\n",
+                    static_cast<unsigned long long>(r.seq),
+                    static_cast<unsigned long long>(r.node),
+                    static_cast<unsigned long long>(r.t),
+                    static_cast<double>(r.util_permille) / 10.0,
+                    static_cast<unsigned long long>(r.runq),
+                    static_cast<unsigned long long>(r.tx),
+                    static_cast<unsigned long long>(r.rx),
+                    static_cast<unsigned long long>(r.retx),
+                    static_cast<unsigned long long>(r.apig),
+                    static_cast<unsigned long long>(r.coal),
+                    static_cast<unsigned long long>(r.rpc_count),
+                    static_cast<unsigned long long>(r.rpc_p99),
+                    static_cast<unsigned long long>(r.rpc_p999),
+                    static_cast<unsigned long long>(r.rpc_viol),
+                    static_cast<unsigned long long>(r.stalls));
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "%4llu %5llu %12llu %6.1f %5llu %7llu %7llu %6llu %8llu %9llu %10llu %5llu %6llu\n",
+                    static_cast<unsigned long long>(r.seq),
+                    static_cast<unsigned long long>(r.node),
+                    static_cast<unsigned long long>(r.t),
+                    static_cast<double>(r.util_permille) / 10.0,
+                    static_cast<unsigned long long>(r.runq),
+                    static_cast<unsigned long long>(r.tx),
+                    static_cast<unsigned long long>(r.rx),
+                    static_cast<unsigned long long>(r.retx),
+                    static_cast<unsigned long long>(r.rpc_count),
+                    static_cast<unsigned long long>(r.rpc_p99),
+                    static_cast<unsigned long long>(r.rpc_p999),
+                    static_cast<unsigned long long>(r.rpc_viol),
+                    static_cast<unsigned long long>(r.stalls));
+    }
     out += buf;
   }
   if (rows.empty()) {

@@ -23,6 +23,7 @@
 #ifndef MACHCONT_SRC_OBS_COLLECTOR_H_
 #define MACHCONT_SRC_OBS_COLLECTOR_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -62,7 +63,18 @@ struct TelemetryReport {
     std::uint64_t p999 = 0;
     std::uint64_t violations = 0;
   } kinds[3];                     // rpc / fault / exception.
+
+  // netipc v2 extension. Agents on a go-back-N cluster send only the
+  // legacy prefix (kTelemetryLegacyBytes), keeping the gbn wire and row
+  // stream byte-identical to the pre-v2 plane.
+  std::uint32_t has_net2 = 0;
+  std::uint32_t pad2 = 0;
+  std::uint64_t net_apig = 0;     // Piggybacked acks since the last sample.
+  std::uint64_t net_coal = 0;     // Coalesced frames since the last sample.
 };
+
+inline constexpr std::size_t kTelemetryLegacyBytes =
+    offsetof(TelemetryReport, has_net2);
 
 class TelemetryPlane {
  public:

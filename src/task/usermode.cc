@@ -229,7 +229,7 @@ bool UserUpcallTrigger(std::uint64_t payload) {
 }
 
 KernReturn UserRpc(UserMessage* msg, std::uint32_t send_size, PortId reply_port,
-                   std::uint32_t rcv_limit) {
+                   std::uint32_t rcv_limit, std::uint32_t extra_options) {
   // The one blocking primitive that returns to its caller normally, so the
   // RPC round trip (send through reply received) can use the scoped timer.
   Kernel& k = ActiveKernel();
@@ -239,7 +239,8 @@ KernReturn UserRpc(UserMessage* msg, std::uint32_t send_size, PortId reply_port,
   // here still inside it.
   std::uint32_t span = k.SpanBegin(SpanKind::kRpc);
   msg->header.reply = reply_port;
-  KernReturn kr = UserMachMsg(msg, kMsgSendOpt | kMsgRcvOpt, send_size, rcv_limit, reply_port);
+  KernReturn kr = UserMachMsg(msg, kMsgSendOpt | kMsgRcvOpt | extra_options,
+                              send_size, rcv_limit, reply_port);
   if (span != 0) {
     k.SpanEnd(SpanKind::kRpc);
   }

@@ -100,9 +100,11 @@ bool UserUpcallTrigger(std::uint64_t payload);
 // --- Convenience ----------------------------------------------------------
 
 // Synchronous RPC: send `msg` to its header.dest and await the reply on
-// `reply_port` into the same buffer.
+// `reply_port` into the same buffer. `extra_options` ORs into the mach_msg
+// options (e.g. kMsgOolOpt when the body leads with an OolDescriptor).
 KernReturn UserRpc(UserMessage* msg, std::uint32_t send_size, PortId reply_port,
-                   std::uint32_t rcv_limit = kMaxInlineBytes);
+                   std::uint32_t rcv_limit = kMaxInlineBytes,
+                   std::uint32_t extra_options = 0);
 
 // Server-side: send a reply (if reply_size > 0) and receive the next request
 // on `service_port` into `msg`.

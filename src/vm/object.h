@@ -20,6 +20,19 @@ enum class VmBacking : std::uint8_t {
               // requires a simulated disk read.
 };
 
+// NORMA lazy-pull provenance (src/net/netipc.h). An OOL region imported
+// over the wire is installed unpulled; the first touch issues an OOL_PULL
+// to the source node and the faulter blocks (with a continuation) until the
+// OOL_DATA train lands. kNone for every local object — and for an import
+// once its pull completes, after which it pages like any kPaged object.
+enum class RemotePull : std::uint8_t {
+  kNone = 0,
+  kUnpulled,  // Descriptor arrived; no byte has been requested yet.
+  kPulling,   // A pull is in flight; touchers wait on the object.
+  kFailed,    // The pull exhausted its budget: touchers get dead-name'd
+              // with a bad-access exception.
+};
+
 class VmObject {
  public:
   struct PageSlot {
@@ -32,6 +45,14 @@ class VmObject {
 
   VmBacking backing() const { return backing_; }
   VmSize size() const { return size_; }
+
+  // Lazy-pull state, maintained by netipc (see RemotePull above). Plain
+  // public fields: the object is just the rendezvous between the fault path
+  // and the protocol engine.
+  RemotePull remote_pull = RemotePull::kNone;
+  std::uint32_t remote_src = 0;     // Node holding the bytes.
+  std::uint32_t remote_cookie = 0;  // Pull cookie minted by the source.
+  std::uint32_t remote_size = 0;    // Wire payload bytes (≤ size(), unrounded).
 
   PageSlot& Slot(VmOffset offset) { return slots_[offset]; }
 

@@ -7,6 +7,7 @@
 #include "src/kern/kernel.h"
 #include "src/machine/cycle_model.h"
 #include "src/machine/machdep.h"
+#include "src/net/netipc.h"
 #include "src/task/task.h"
 #include "src/vm/object.h"
 
@@ -139,6 +140,38 @@ void VmSystem::RegisterRecognition(RecognitionTable& table) {
     }
     VmObject* object = region->object.get();
     VmOffset offset = region->OffsetOf(addr);
+
+    if (k.netipc() != nullptr && object->remote_pull != RemotePull::kNone) {
+      // NORMA lazy-pull gate (net/netipc.h): this object was imported over
+      // the wire without its bytes. First touch issues an OOL_PULL and
+      // blocks with the fault-retry continuation until the OOL_DATA train
+      // lands (the object then pages in normally); a failed pull escalates
+      // like a protection fault — dead-name semantics for memory.
+      switch (k.netipc()->OolFaultPrepare(object)) {
+        case NetIpc::OolGate::kReady:
+          break;
+        case NetIpc::OolGate::kWait: {
+          ++stats_.fault_blocks;
+          auto& st = thread->Scratch<VmFaultState>();
+          st.addr = addr;
+          st.write = write ? 1 : 0;
+          st.retry = 1;
+          k.AssertWait(object);
+          ThreadBlock(k.UsesContinuations() ? VmFaultRetryContinue : nullptr,
+                      BlockReason::kPageFault);
+          continue;  // Process-model kernels retry here after the wakeup.
+        }
+        case NetIpc::OolGate::kFailed:
+          ++stats_.protection_exceptions;
+          if (thread->fault_start != 0) {
+            thread->fault_start = 0;
+            k.SpanEnd(SpanKind::kFault);
+          }
+          HandleException(thread, MakeBadAccessCode(addr));
+          // NOTREACHED
+      }
+    }
+
     auto& slot = object->Slot(offset);
 
     if (slot.frame != kInvalidPageFrame) {

@@ -4,20 +4,24 @@
 // continuation, and cluster determinism.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <set>
 #include <string>
 
 #include "src/core/trace.h"
 #include "src/ipc/ipc_space.h"
 #include "src/ipc/mach_msg.h"
+#include "src/ipc/ool.h"
 #include "src/kern/kernel.h"
 #include "src/kern/thread.h"
 #include "src/net/cluster.h"
+#include "src/net/link.h"
 #include "src/net/netipc.h"
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
 #include "src/task/task.h"
 #include "src/task/usermode.h"
+#include "src/vm/vm_system.h"
 
 namespace mkc {
 namespace {
@@ -369,6 +373,299 @@ TEST(NetIpcTest, RpcSpanChainsAcrossNodes) {
     }
   }
   EXPECT_TRUE(shared);
+}
+
+// --- v2 selective repeat ----------------------------------------------------
+
+TEST(NetIpcTest, SteadyStateRpcPiggybacksAcks) {
+  KernelConfig config;
+  Cluster cluster(config, 2);
+  ClusterRpcParams p;
+  p.clients = 4;
+  p.requests_per_client = 25;
+  ClusterReport r = RunClusterRpcWorkload(cluster, p);
+  ASSERT_EQ(r.rpcs_ok, 100u);
+  // In steady-state RPC every ack rides a reply DATA packet; standalone
+  // ACKs only mop up the tail when traffic pauses.
+  EXPECT_GT(r.net.acks_piggybacked, 100u);
+  EXPECT_LT(r.net.acks_tx, 10u);
+  // Goodput accounting: payload bytes are a strict subset of wire bytes.
+  EXPECT_GT(r.net.bytes_goodput, 0u);
+  EXPECT_LT(r.net.bytes_goodput, r.net.bytes_tx);
+}
+
+TEST(NetIpcTest, ReorderingLinkBuffersOutOfOrderDeliversInOrder) {
+  KernelConfig config;
+  LinkConfig link;
+  link.reorder_per_mille = 300;
+  Cluster cluster(config, 2, link);
+  ClusterRpcParams p;
+  p.clients = 4;
+  p.requests_per_client = 25;
+  ClusterReport r = RunClusterRpcWorkload(cluster, p);
+  // Reordering costs buffering, never answers: every RPC completes and
+  // every message is handed to mach_msg exactly once, in channel order.
+  EXPECT_EQ(r.rpcs_ok, 100u);
+  EXPECT_EQ(r.rpcs_failed, 0u);
+  EXPECT_EQ(r.net.msgs_in, 200u);
+  EXPECT_GT(r.net.reorders, 0u);
+  EXPECT_GT(r.net.rx_ooo_buffered, 0u);
+  EXPECT_EQ(r.net.give_ups, 0u);
+}
+
+TEST(NetIpcTest, SackHolesTriggerFastRetransmit) {
+  KernelConfig config;
+  LinkConfig link;
+  link.drop_per_mille = 50;
+  Cluster cluster(config, 2, link);
+  ClusterRpcParams p;
+  p.clients = 4;
+  p.requests_per_client = 25;
+  ClusterReport r = RunClusterRpcWorkload(cluster, p);
+  EXPECT_EQ(r.rpcs_ok, 100u);
+  EXPECT_EQ(r.rpcs_failed, 0u);
+  // A SACK bitmap acking packets above a hole is retransmit evidence the
+  // go-back-N engine never had: the hole resends before its timer fires.
+  EXPECT_GT(r.net.fast_retransmits, 0u);
+  EXPECT_EQ(r.net.give_ups, 0u);
+}
+
+TEST(NetIpcTest, ResponseBurstsCoalesceIntoFrames) {
+  KernelConfig config;
+  LinkConfig link;
+  link.reorder_per_mille = 300;
+  Cluster cluster(config, 2, link);
+  ClusterRpcParams p;
+  p.clients = 4;
+  p.requests_per_client = 50;
+  ClusterReport r = RunClusterRpcWorkload(cluster, p);
+  EXPECT_EQ(r.rpcs_ok, 200u);
+  // One SACK exposing several holes answers with several small DATA
+  // retransmits to the same peer — packed into one FRAME_BATCH.
+  EXPECT_GT(r.net.frames_coalesced, 0u);
+}
+
+TEST(NetIpcTest, ReorderedLossyClusterRunsAreDeterministic) {
+  auto run = [] {
+    KernelConfig config;
+    LinkConfig link;
+    link.drop_per_mille = 20;
+    link.reorder_per_mille = 100;
+    Cluster cluster(config, 4, link);
+    ClusterRpcParams p;
+    p.clients = 4;
+    p.requests_per_client = 10;
+    RunClusterRpcWorkload(cluster, p);
+    std::string dump;
+    for (int i = 0; i < 4; ++i) {
+      dump += cluster.node(i).metrics().DumpJsonString();
+      dump += '\n';
+    }
+    return dump;
+  };
+  std::string first = run();
+  std::string second = run();
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(NetIpcTest, GoBackNAblationSpeaksTheLegacyWireFormat) {
+  KernelConfig config;
+  config.netipc_gbn = true;
+  Cluster cluster(config, 2);
+  ClusterReport r = RunClusterRpcWorkload(cluster, SmallParams());
+  EXPECT_EQ(r.rpcs_ok, 10u);
+  EXPECT_EQ(r.rpcs_failed, 0u);
+  // The ablation runs the historical protocol: one immediate 48-byte ACK
+  // per DATA, no piggybacking, no coalescing, no SACK machinery.
+  EXPECT_EQ(r.net.acks_tx, 20u);
+  EXPECT_EQ(r.net.acks_piggybacked, 0u);
+  EXPECT_EQ(r.net.frames_coalesced, 0u);
+  EXPECT_EQ(r.net.fast_retransmits, 0u);
+  EXPECT_EQ(r.net.rx_ooo_buffered, 0u);
+  // 20 DATA packets of (48-byte header + 64-byte body) + 20 bare-header
+  // ACKs: the byte count pins the legacy framing exactly.
+  EXPECT_EQ(r.net.bytes_tx, 20u * (kWireHeaderBytesGbn + 64) +
+                                20u * kWireHeaderBytesGbn);
+}
+
+TEST(NetIpcTest, RetransmitBackoffIsCappedAndGivesUp) {
+  KernelConfig config;
+  LinkConfig link;
+  link.drop_per_mille = 1000;  // Total blackout: nothing ever arrives.
+  Cluster cluster(config, 2, link);
+  ClusterRpcParams p;
+  p.clients = 1;
+  p.requests_per_client = 1;
+  ClusterReport r = RunClusterRpcWorkload(cluster, p);
+  // The send exhausts its attempt budget and fails the RPC dead-name style.
+  EXPECT_EQ(r.rpcs_ok, 0u);
+  EXPECT_EQ(r.rpcs_failed, 1u);
+  EXPECT_GT(r.net.give_ups, 0u);
+  EXPECT_EQ(r.net.retransmits, kNetMaxSendAttempts - 1);
+  // The backoff shift is capped: the full budget of a single entry is
+  // rto * (2^0 + ... + 2^kNetMaxBackoffShift) ticks. A run that exceeds a
+  // small multiple of that would mean the exponent kept growing.
+  const Ticks budget = kNetRetransmitBase * ((2u << kNetMaxBackoffShift) - 1);
+  EXPECT_LT(r.virtual_time, 2 * budget);
+}
+
+// --- v2 lazy-pull OOL -------------------------------------------------------
+
+TEST(NetIpcTest, TouchedOolPullsAcrossTheWire) {
+  KernelConfig config;
+  Cluster cluster(config, 2);
+  ClusterRpcParams p;
+  p.clients = 2;
+  p.requests_per_client = 5;
+  p.ool_bytes = 8192;
+  p.ool_every = 1;  // Every request carries an 8 KiB region.
+  ClusterReport r = RunClusterRpcWorkload(cluster, p);
+  EXPECT_EQ(r.rpcs_ok, 10u);
+  EXPECT_EQ(r.rpcs_failed, 0u);
+  // The server's first touch of each region drives one pull round trip;
+  // every payload byte crosses the wire exactly when demanded.
+  EXPECT_EQ(r.net.ool_pulls, 10u);
+  EXPECT_EQ(r.net.ool_pushes, 10u);
+  EXPECT_EQ(r.net.ool_bytes_pulled, 10u * 8192u);
+  EXPECT_EQ(r.net.ool_pull_fails, 0u);
+}
+
+TEST(NetIpcTest, UntouchedOolShipsNoPayloadBytes) {
+  auto run = [](bool touch) {
+    KernelConfig config;
+    Cluster cluster(config, 2);
+    ClusterRpcParams p;
+    p.clients = 2;
+    p.requests_per_client = 5;
+    p.ool_bytes = 8192;
+    p.ool_every = 1;
+    p.ool_touch = touch;
+    return RunClusterRpcWorkload(cluster, p);
+  };
+  ClusterReport touched = run(true);
+  ClusterReport untouched = run(false);
+  ASSERT_EQ(untouched.rpcs_ok, 10u);
+  // NORMA-style copy avoidance: a region the receiver never references
+  // costs descriptor bytes only — no pull, no payload on the wire.
+  EXPECT_EQ(untouched.net.ool_pulls, 0u);
+  EXPECT_EQ(untouched.net.ool_bytes_pulled, 0u);
+  EXPECT_GT(touched.net.bytes_tx, untouched.net.bytes_tx + 10u * 8192u);
+}
+
+TEST(NetIpcTest, OolPullSurvivesLoss) {
+  KernelConfig config;
+  LinkConfig link;
+  link.drop_per_mille = 50;
+  Cluster cluster(config, 2, link);
+  ClusterRpcParams p;
+  p.clients = 2;
+  p.requests_per_client = 10;
+  p.ool_bytes = 4096;
+  p.ool_every = 2;
+  ClusterReport r = RunClusterRpcWorkload(cluster, p);
+  // Dropped OOL_PULL and OOL_DATA packets retransmit like any sequenced
+  // traffic: every touch completes, every RPC answers.
+  EXPECT_EQ(r.rpcs_ok, 20u);
+  EXPECT_EQ(r.rpcs_failed, 0u);
+  EXPECT_EQ(r.net.ool_pulls, 10u);
+  EXPECT_EQ(r.net.ool_bytes_pulled, 10u * 4096u);
+  EXPECT_EQ(r.net.ool_pull_fails, 0u);
+  EXPECT_GT(r.net.retransmits + r.net.fast_retransmits, 0u);
+}
+
+struct OolExhaustEnv {
+  PortId port = kInvalidPort;
+  Network* net = nullptr;
+  bool touched = false;  // Must stay false: the touch dead-names instead.
+};
+
+void OolExhaustServer(void* arg) {
+  auto* e = static_cast<OolExhaustEnv*>(arg);
+  UserMessage msg;
+  if (UserServeOnce(&msg, 0, e->port) != KernReturn::kSuccess) {
+    return;
+  }
+  OolDescriptor desc;
+  std::memcpy(&desc, msg.body, sizeof(desc));
+  // Partition the network before the first touch: the OOL_PULL and all its
+  // retransmits are lost, so the pull exhausts its budget.
+  e->net->SetDropPerMille(1000);
+  UserTouch(desc.addr, /*write=*/false);
+  e->touched = true;
+}
+
+struct OolOneWayClientArgs {
+  PortId proxy = kInvalidPort;
+};
+
+void OolOneWayClient(void* arg) {
+  auto* a = static_cast<OolOneWayClientArgs*>(arg);
+  UserMessage msg;
+  msg.header = MessageHeader{};
+  msg.header.dest = a->proxy;
+  OolDescriptor desc;
+  desc.size = 8192;
+  desc.addr = UserVmAllocate(desc.size, /*paged=*/false);
+  for (VmSize off = 0; off < desc.size; off += kPageSize) {
+    UserTouch(desc.addr + off, /*write=*/true);
+  }
+  std::memcpy(msg.body, &desc, sizeof(desc));
+  MarkMessageOol(msg.header);
+  UserMachMsg(&msg, kMsgSendOpt | kMsgOolOpt, sizeof(desc), 0, kInvalidPort);
+}
+
+TEST(NetIpcTest, ExhaustedOolPullDeadNamesTheToucher) {
+  KernelConfig config;
+  Cluster cluster(config, 2);
+
+  OolExhaustEnv server;
+  server.net = &cluster.network();
+  Task* stask = cluster.node(1).CreateTask("svc");
+  server.port = cluster.node(1).ipc().AllocatePort(stask);
+  cluster.node(1).CreateUserThread(stask, &OolExhaustServer, &server);
+
+  OolOneWayClientArgs client;
+  Task* ctask = cluster.node(0).CreateTask("cli");
+  client.proxy = cluster.netipc(0).BindProxy(1, server.port);
+  cluster.node(0).CreateUserThread(ctask, &OolOneWayClient, &client);
+
+  cluster.Run();
+  cluster.Drain();
+
+  // The pull never completed: the import failed, the faulting access raised
+  // a bad-access exception (dead-name semantics for memory), and with no
+  // exception server the toucher was terminated mid-touch.
+  EXPECT_FALSE(server.touched);
+  EXPECT_GE(cluster.netipc(1).stats().ool_pull_fails, 1u);
+  EXPECT_GE(cluster.node(1).vm().stats().protection_exceptions, 1u);
+}
+
+TEST(NetIpcTest, V2LossyOolKeepsProtocolThreadsStackless) {
+  KernelConfig config;  // MK40: blocks with continuations.
+  LinkConfig link;
+  link.drop_per_mille = 50;
+  link.reorder_per_mille = 100;
+  Cluster cluster(config, 2, link);
+  ClusterRpcParams p;
+  p.clients = 2;
+  p.requests_per_client = 10;
+  p.ool_bytes = 4096;
+  p.ool_every = 2;
+  ClusterReport r = RunClusterRpcWorkload(cluster, p);
+  ASSERT_EQ(r.rpcs_ok, 20u);
+  // The v2 engine — SACK scans, frame batching, lazy pulls and all — still
+  // parks both protocol threads stackless on their continuations (§3.3).
+  for (int i = 0; i < 2; ++i) {
+    Thread* out = cluster.netipc(i).out_thread();
+    Thread* engine = cluster.netipc(i).engine_thread();
+    EXPECT_EQ(out->state, ThreadState::kWaiting);
+    EXPECT_EQ(engine->state, ThreadState::kWaiting);
+    EXPECT_EQ(out->kernel_stack, nullptr);
+    EXPECT_EQ(engine->kernel_stack, nullptr);
+    EXPECT_EQ(out->continuation, &NetIpcRecvContinue);
+    EXPECT_EQ(engine->continuation, &NetIpcAckContinue);
+  }
 }
 
 TEST(NetIpcTest, LossyClusterRunsAreDeterministic) {

@@ -132,6 +132,104 @@ TEST(WireTest, OversizeBodyDoesNotSerialize) {
             static_cast<std::uint32_t>(kMaxInlineBytes));
 }
 
+// --- v2 extension (selective repeat) ----------------------------------------
+
+TEST(WireTest, SackExtensionRoundTripsByteExact) {
+  WireHeader w = MakeDataHeader(32);
+  w.sack = 0xdeadbeefcafef00dull;
+  w.ack = 4096;
+  w.ool_cookie = 777;
+  std::byte body[32];
+  for (int i = 0; i < 32; ++i) {
+    body[i] = static_cast<std::byte>(i ^ 0x5a);
+  }
+  std::byte out[kMaxInlineBytes];
+  std::uint32_t len = WireSerialize(w, body, 32, out, sizeof(out));
+  ASSERT_EQ(len, kWireHeaderBytes + 32);
+
+  // The extension is plain struct bytes at its fixed offsets — no encoding.
+  std::uint64_t sack_raw = 0;
+  std::uint32_t ack_raw = 0;
+  std::uint32_t cookie_raw = 0;
+  std::memcpy(&sack_raw, out + offsetof(WireHeader, sack), sizeof(sack_raw));
+  std::memcpy(&ack_raw, out + offsetof(WireHeader, ack), sizeof(ack_raw));
+  std::memcpy(&cookie_raw, out + offsetof(WireHeader, ool_cookie),
+              sizeof(cookie_raw));
+  EXPECT_EQ(sack_raw, w.sack);
+  EXPECT_EQ(ack_raw, w.ack);
+  EXPECT_EQ(cookie_raw, w.ool_cookie);
+
+  WireHeader got;
+  const std::byte* got_body = nullptr;
+  std::uint32_t got_bytes = 0;
+  ASSERT_TRUE(WireDeserialize(out, len, &got, &got_body, &got_bytes));
+  EXPECT_EQ(0, std::memcmp(&got, &w, sizeof(WireHeader)));
+  ASSERT_EQ(got_bytes, 32u);
+  EXPECT_EQ(0, std::memcmp(got_body, body, 32));
+}
+
+TEST(WireTest, LegacyFormatCarriesNoExtension) {
+  WireHeader w = MakeDataHeader(16);
+  w.sack = ~0ull;
+  w.ack = 9;
+  w.ool_cookie = 1;
+  std::byte body[16] = {};
+  std::byte out[kMaxInlineBytes];
+  std::uint32_t len =
+      WireSerialize(w, body, 16, out, sizeof(out), kWireHeaderBytesGbn);
+  // The gbn packet is exactly the pre-v2 48-byte header plus body.
+  ASSERT_EQ(len, kWireHeaderBytesGbn + 16);
+
+  WireHeader got;
+  const std::byte* got_body = nullptr;
+  std::uint32_t got_bytes = 0;
+  ASSERT_TRUE(WireDeserialize(out, len, &got, &got_body, &got_bytes,
+                              kWireHeaderBytesGbn));
+  // The legacy prefix survives byte-exactly; the extension parses as zero.
+  EXPECT_EQ(0, std::memcmp(&got, &w, kWireHeaderBytesGbn));
+  EXPECT_EQ(got.sack, 0u);
+  EXPECT_EQ(got.ack, 0u);
+  EXPECT_EQ(got.ool_cookie, 0u);
+  EXPECT_EQ(got_bytes, 16u);
+}
+
+TEST(WireTest, LegacyFormatRejectsV2Kinds) {
+  const WireKind v2_kinds[] = {WireKind::kFrameBatch, WireKind::kOolPull,
+                               WireKind::kOolData};
+  for (WireKind kind : v2_kinds) {
+    WireHeader w;
+    w.kind = static_cast<std::uint32_t>(kind);
+    w.src_node = 1;
+    w.seq = 7;
+    w.mach.size = 0;
+    std::byte out[kMaxInlineBytes];
+    std::uint32_t len =
+        WireSerialize(w, nullptr, 0, out, sizeof(out), kWireHeaderBytesGbn);
+    ASSERT_EQ(len, kWireHeaderBytesGbn);
+    WireHeader got;
+    const std::byte* got_body = nullptr;
+    std::uint32_t got_bytes = 0;
+    EXPECT_FALSE(WireDeserialize(out, len, &got, &got_body, &got_bytes,
+                                 kWireHeaderBytesGbn))
+        << "legacy format accepted v2 kind " << w.kind;
+  }
+  // The same OOL_PULL packet is well-formed in the v2 format.
+  WireHeader w;
+  w.kind = static_cast<std::uint32_t>(WireKind::kOolPull);
+  w.src_node = 1;
+  w.seq = 7;
+  w.ool_cookie = 42;
+  w.mach.size = 0;
+  std::byte out[kMaxInlineBytes];
+  std::uint32_t len = WireSerialize(w, nullptr, 0, out, sizeof(out));
+  ASSERT_EQ(len, kWireHeaderBytes);
+  WireHeader got;
+  const std::byte* got_body = nullptr;
+  std::uint32_t got_bytes = 0;
+  EXPECT_TRUE(WireDeserialize(out, len, &got, &got_body, &got_bytes));
+  EXPECT_EQ(got.ool_cookie, 42u);
+}
+
 TEST(WireTest, SmallRpcRidesTheSmallKmsgZone) {
   // A 64-byte RPC body plus the wire header fits the 128-byte kmsg class, so
   // the netipc hot path allocates from the small zone's per-CPU magazines.

@@ -13,10 +13,13 @@ bench/baselines/ and fails when:
     alloc_cycles_per_msg grows more than --tolerance above baseline, or the
     4-CPU reduction_pct falls below --min-alloc-reduction (the headline
     "magazines pay for themselves" guarantee), or
-  * netipc: the loss-free (drop=0) point's rpc_per_mtick drops more than
-    --tolerance below baseline, or any drop point up to 10/1000 reports
-    give_ups > 0 (RPCs must survive moderate loss via retransmission, never
-    dead-name), or
+  * netipc: any drop point's rpc_per_mtick (including the deepest, 20/1000 —
+    the selective-repeat engine's win under loss is the headline) drops more
+    than --tolerance below baseline, or any swept drop point reports
+    give_ups > 0 (RPCs must survive loss via retransmission, never
+    dead-name), or a lossy point stops beating the go-back-N ablation run of
+    the same sweep — in throughput or in wire bytes spent (selective repeat
+    resends holes, not whole windows), or
   * recognition: any per-continuation recognition site that the baseline
     shows as recognized (recognized > 0) stops being recognized, or its
     recognition rate falls more than --tolerance below the baseline rate —
@@ -171,29 +174,67 @@ def check_netipc(base, cur, tolerance):
             f"{sorted(base_points)} vs current {sorted(cur_points)}"
         )
     for drop in sorted(base_points):
-        got = cur_points[drop]["rpc_per_mtick"]
-        give_ups = cur_points[drop]["give_ups"]
+        cur_p = cur_points[drop]
+        got = cur_p["rpc_per_mtick"]
+        give_ups = cur_p["give_ups"]
         status = "ok"
-        if drop == 0:
-            want = base_points[drop]["rpc_per_mtick"]
-            floor = want * (1.0 - tolerance)
-            if got < floor:
-                status = "REGRESSION"
-                failures.append(
-                    f"netipc @ drop={drop}: rpc_per_mtick {got:.2f} < "
-                    f"{floor:.2f} (baseline {want:.2f} - {tolerance:.0%})"
-                )
-        if drop <= 10 and give_ups > 0:
+        # Every drop point gates throughput: the drop=20 point is where the
+        # selective-repeat win over go-back-N lives, so losing it is as much
+        # a regression as losing the loss-free number.
+        want = base_points[drop]["rpc_per_mtick"]
+        floor = want * (1.0 - tolerance)
+        if got < floor:
+            status = "REGRESSION"
+            failures.append(
+                f"netipc @ drop={drop}: rpc_per_mtick {got:.2f} < "
+                f"{floor:.2f} (baseline {want:.2f} - {tolerance:.0%})"
+            )
+        if give_ups > 0:
             status = "REGRESSION"
             failures.append(
                 f"netipc @ drop={drop}: {give_ups} RPC give-ups — the "
-                f"retransmit protocol must ride out moderate loss"
+                f"retransmit protocol must ride out the swept loss rates"
             )
+        # The sweep runs every point twice (v2 + go-back-N ablation); under
+        # loss, v2 must stay ahead on throughput and spend fewer wire bytes.
+        gbn = cur_p.get("gbn_rpc_per_mtick")
+        if drop > 0 and gbn is not None:
+            if got < gbn:
+                status = "REGRESSION"
+                failures.append(
+                    f"netipc @ drop={drop}: v2 rpc_per_mtick {got:.2f} fell "
+                    f"behind the go-back-N ablation ({gbn:.2f})"
+                )
+            if cur_p["bytes_tx"] >= cur_p["gbn_bytes_tx"]:
+                status = "REGRESSION"
+                failures.append(
+                    f"netipc @ drop={drop}: v2 sent {cur_p['bytes_tx']} wire "
+                    f"bytes >= go-back-N's {cur_p['gbn_bytes_tx']} — selective "
+                    f"repeat must resend holes, not whole windows"
+                )
         print(
-            f"  netipc drop={drop}/1000: rpc_per_mtick {got:.2f}, "
-            f"retransmits {cur_points[drop]['retransmits']}, "
+            f"  netipc drop={drop}/1000: rpc_per_mtick {got:.2f} "
+            f"(baseline {want:.2f}, gbn {gbn if gbn is not None else 'n/a'}), "
+            f"retransmits {cur_p['retransmits']}, "
             f"give_ups {give_ups} {status}"
         )
+    # The OOL-heavy sweep rides along when both sides carry it: lazy pulls
+    # must complete (no give-ups, every touched region pulled).
+    if "ool_points" in base["metrics"] and "ool_points" in cur["metrics"]:
+        for p in cur["metrics"]["ool_points"]:
+            status = "ok"
+            if p["give_ups"] > 0 or p["ool_pulls"] == 0:
+                status = "REGRESSION"
+                failures.append(
+                    f"netipc ool @ drop={p['drop_per_mille']}: "
+                    f"ool_pulls {p['ool_pulls']}, give_ups {p['give_ups']} — "
+                    f"lazy-pull OOL must survive the swept loss rates"
+                )
+            print(
+                f"  netipc ool drop={p['drop_per_mille']}/1000: "
+                f"rpc_per_mtick {p['rpc_per_mtick']:.2f}, "
+                f"ool_pulls {p['ool_pulls']}, give_ups {p['give_ups']} {status}"
+            )
     return failures
 
 

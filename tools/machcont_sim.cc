@@ -27,6 +27,8 @@
 //     --watchdog=N                   stall watchdog threshold N ticks
 //     --nodes=N                      simulated machines     (default 1)
 //     --drop=RATE                    network drop probability [0,1)
+//     --reorder=RATE                 network reorder probability [0,1)
+//     --netipc-gbn                   legacy go-back-N netipc (v2 ablation)
 //     --slo                          arm the windowed SLO tracker
 //     --slo-window=N                 SLO sliding window width (implies --slo)
 //     --slo-subwindows=N             sub-windows per window   (default 8)
@@ -84,7 +86,7 @@ int Usage(const char* argv0) {
                "          [--trace=N] [--trace-out=FILE] [--metrics-json=FILE|-]\n"
                "          [--profile=N] [--profile-out=FILE|-] [--flight=N]\n"
                "          [--flight-out=FILE|-] [--watchdog=N]\n"
-               "          [--nodes=N] [--drop=RATE]\n"
+               "          [--nodes=N] [--drop=RATE] [--reorder=RATE] [--netipc-gbn]\n"
                "          [--slo] [--slo-window=N] [--slo-subwindows=N]\n"
                "          [--slo-target-rpc=N] [--slo-target-fault=N] [--slo-target-exc=N]\n"
                "          [--slo-out=FILE|-]\n"
@@ -266,6 +268,7 @@ int main(int argc, char** argv) {
   std::string flight_out;
   int nodes = 1;
   std::uint32_t drop_per_mille = 0;
+  std::uint32_t reorder_per_mille = 0;
   bool slo = false;
   bool no_tail_sample = false;
   std::string slo_out;
@@ -389,6 +392,16 @@ int main(int argc, char** argv) {
         return Usage(argv[0]);
       }
       drop_per_mille = static_cast<std::uint32_t>(d * 1000.0 + 0.5);
+    } else if (arg.rfind("--reorder=", 0) == 0) {
+      std::string v = value();
+      char* end = nullptr;
+      double d = std::strtod(v.c_str(), &end);
+      if (end == v.c_str() || *end != '\0' || d < 0.0 || d >= 1.0) {
+        return Usage(argv[0]);
+      }
+      reorder_per_mille = static_cast<std::uint32_t>(d * 1000.0 + 0.5);
+    } else if (arg == "--netipc-gbn") {
+      config.netipc_gbn = true;
     } else if (arg == "--slo") {
       slo = true;
     } else if (arg.rfind("--slo-window=", 0) == 0) {
@@ -513,6 +526,7 @@ int main(int argc, char** argv) {
     config.seed = params.seed;
     mkc::LinkConfig link;
     link.drop_per_mille = drop_per_mille;
+    link.reorder_per_mille = reorder_per_mille;
     mkc::Cluster cluster(config, nodes, link);
     mkc::ClusterRpcParams cp;
     cp.scale = params.scale;
@@ -527,9 +541,16 @@ int main(int argc, char** argv) {
     mkc::ClusterReport r = mkc::RunClusterRpcWorkload(cluster, cp);
 
     std::FILE* human = metrics_json == "-" ? stderr : stdout;
-    std::fprintf(human, "cluster netipc on %s, nodes %d, scale %d, seed %llu, drop %u/1000\n",
+    std::fprintf(human, "cluster netipc on %s, nodes %d, scale %d, seed %llu, drop %u/1000",
                  mkc::ModelName(config.model), nodes, params.scale,
                  static_cast<unsigned long long>(params.seed), drop_per_mille);
+    if (reorder_per_mille > 0) {
+      std::fprintf(human, ", reorder %u/1000", reorder_per_mille);
+    }
+    if (config.netipc_gbn) {
+      std::fprintf(human, ", go-back-N");
+    }
+    std::fprintf(human, "\n");
     std::fprintf(human,
                  "summary: rpcs=%llu failed=%llu retransmits=%llu giveups=%llu "
                  "msgs=%llu vtime=%llu\n",
@@ -561,6 +582,29 @@ int main(int argc, char** argv) {
     std::fprintf(human, "proxies ........... live=%llu gc=%llu\n",
                  static_cast<unsigned long long>(r.net.proxy_table),
                  static_cast<unsigned long long>(r.net.proxy_gcs));
+    if (!config.netipc_gbn) {
+      const double goodput_ratio =
+          r.net.bytes_tx > 0
+              ? static_cast<double>(r.net.bytes_goodput) /
+                    static_cast<double>(r.net.bytes_tx)
+              : 0.0;
+      std::fprintf(human,
+                   "protocol v2 ....... piggybacked=%llu coalesced=%llu "
+                   "fast-retx=%llu ooo-buffered=%llu goodput/raw=%.3f\n",
+                   static_cast<unsigned long long>(r.net.acks_piggybacked),
+                   static_cast<unsigned long long>(r.net.frames_coalesced),
+                   static_cast<unsigned long long>(r.net.fast_retransmits),
+                   static_cast<unsigned long long>(r.net.rx_ooo_buffered),
+                   goodput_ratio);
+      if (r.net.ool_pulls > 0 || r.net.ool_pull_fails > 0) {
+        std::fprintf(human,
+                     "ool ............... pulls=%llu pushes=%llu bytes=%llu fails=%llu\n",
+                     static_cast<unsigned long long>(r.net.ool_pulls),
+                     static_cast<unsigned long long>(r.net.ool_pushes),
+                     static_cast<unsigned long long>(r.net.ool_bytes_pulled),
+                     static_cast<unsigned long long>(r.net.ool_pull_fails));
+      }
+    }
 
     for (int i = 0; i < nodes; ++i) {
       mkc::Kernel& node = cluster.node(i);

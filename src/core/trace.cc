@@ -45,6 +45,10 @@ const char* TraceEventName(TraceEvent event) {
       return "net-rx";
     case TraceEvent::kStallWarn:
       return "stall-warn";
+    case TraceEvent::kSvcShed:
+      return "svc-shed";
+    case TraceEvent::kSvcReject:
+      return "svc-reject";
   }
   return "unknown";
 }

@@ -57,6 +57,8 @@ enum class TraceEvent : std::uint8_t {
   kNetTx,            // aux = destination node; aux2 = wire bytes.
   kNetRx,            // aux = source node; aux2 = wire bytes.
   kStallWarn,        // aux = StallKind; aux2 = stall age in ticks.
+  kSvcShed,          // aux = ServiceKind; aux2 = SvcRejectBody reason.
+  kSvcReject,        // aux = ServiceKind; aux2 = client retry ordinal.
 };
 
 const char* TraceEventName(TraceEvent event);

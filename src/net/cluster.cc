@@ -81,6 +81,10 @@ NetStats Cluster::TotalNetStats() const {
     total.frames_coalesced += s.frames_coalesced;
     total.fast_retransmits += s.fast_retransmits;
     total.rx_ooo_buffered += s.rx_ooo_buffered;
+    // High-water: the worst single node's reassembly depth, not a sum.
+    if (s.rx_ooo_hw > total.rx_ooo_hw) {
+      total.rx_ooo_hw = s.rx_ooo_hw;
+    }
     total.bytes_goodput += s.bytes_goodput;
     total.ool_pulls += s.ool_pulls;
     total.ool_pushes += s.ool_pushes;

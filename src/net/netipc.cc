@@ -103,6 +103,7 @@ NetIpc::NetIpc(Kernel& kernel, int node_id, Network& net)
     m.RegisterCounter("net.frames_coalesced", &stats_.frames_coalesced);
     m.RegisterCounter("net.fast_retransmits", &stats_.fast_retransmits);
     m.RegisterCounter("net.rx_ooo_buffered", &stats_.rx_ooo_buffered);
+    m.RegisterGauge("net.rx_ooo_hw", &stats_.rx_ooo_hw);
     m.RegisterCounter("net.bytes_goodput", &stats_.bytes_goodput);
     m.RegisterCounter("net.ool_pulls", &stats_.ool_pulls);
     m.RegisterCounter("net.ool_pushes", &stats_.ool_pushes);
@@ -827,6 +828,9 @@ void NetIpc::HandleSequenced(int src, Channel& ch, const WireHeader& wire,
           wire.seq, std::vector<std::byte>(packet, packet + packet_len));
       if (inserted) {
         ++stats_.rx_ooo_buffered;
+        if (ch.rx_ooo.size() > stats_.rx_ooo_hw) {
+          stats_.rx_ooo_hw = ch.rx_ooo.size();
+        }
         AccountNetCopy(kernel_, packet_len);
       }
     }

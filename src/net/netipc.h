@@ -134,6 +134,7 @@ struct NetStats {
   std::uint64_t frames_coalesced = 0;  // FRAME_BATCH frames sent (≥2 packets each).
   std::uint64_t fast_retransmits = 0;  // Resends triggered by SACK hole evidence.
   std::uint64_t rx_ooo_buffered = 0;   // Out-of-order packets held for reassembly.
+  std::uint64_t rx_ooo_hw = 0;         // High-water mark of the reassembly buffer.
   std::uint64_t bytes_goodput = 0;     // Application payload bytes delivered.
   std::uint64_t ool_pulls = 0;         // Lazy-OOL pull requests issued (first touch).
   std::uint64_t ool_pushes = 0;        // Pull requests served with an OOL_DATA train.

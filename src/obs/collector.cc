@@ -11,6 +11,7 @@
 #include "src/net/netipc.h"
 #include "src/obs/slo.h"
 #include "src/obs/watchdog.h"
+#include "src/svc/service.h"
 #include "src/task/task.h"
 #include "src/task/usermode.h"
 
@@ -35,6 +36,11 @@ struct TelemetryPlane::AgentState {
   std::uint64_t prev_retx = 0;
   std::uint64_t prev_apig = 0;
   std::uint64_t prev_coal = 0;
+  // Service-fabric hookup (AttachSvc); null on nodes without one.
+  const SvcNodeStats* svc = nullptr;
+  const std::uint64_t* svc_backlog = nullptr;
+  std::uint64_t prev_admitted = 0;
+  std::uint64_t prev_shed = 0;
 
   TelemetryReport Sample() {
     Kernel& k = *kernel;
@@ -80,6 +86,18 @@ struct TelemetryPlane::AgentState {
     if (k.watchdog() != nullptr) {
       r.stalls = k.watchdog()->stalls().size();
     }
+    if (svc != nullptr || svc_backlog != nullptr) {
+      r.has_svc = 1;
+      if (svc_backlog != nullptr) {
+        r.svc_backlog = *svc_backlog;
+      }
+      if (svc != nullptr) {
+        r.svc_admitted = svc->admitted_total - prev_admitted;
+        r.svc_shed = svc->shed_total - prev_shed;
+        prev_admitted = svc->admitted_total;
+        prev_shed = svc->shed_total;
+      }
+    }
     if (k.slo() != nullptr) {
       r.has_slo = 1;
       for (int kind = 0; kind < SloTracker::kKinds; ++kind) {
@@ -121,11 +139,12 @@ void TelemetryPlane::AgentThread(void* arg) {
     msg.header = MessageHeader{};
     msg.header.dest = a->dest;
     msg.header.msg_id = kTelemetryMsgId;
-    // A go-back-N plane ships only the legacy prefix, so its wire traffic
-    // stays byte-identical to the pre-v2 protocol.
-    const std::uint32_t send_bytes = report.has_net2 != 0
-                                         ? static_cast<std::uint32_t>(sizeof(report))
-                                         : static_cast<std::uint32_t>(kTelemetryLegacyBytes);
+    // Agents ship the shortest prefix covering their populated sections, so
+    // a plane without the newer extensions keeps its exact historical wire.
+    const std::uint32_t send_bytes =
+        report.has_svc != 0    ? static_cast<std::uint32_t>(sizeof(report))
+        : report.has_net2 != 0 ? static_cast<std::uint32_t>(kTelemetryNet2Bytes)
+                               : static_cast<std::uint32_t>(kTelemetryLegacyBytes);
     std::memcpy(msg.body, &report, send_bytes);
     UserMachMsg(&msg, kMsgSendOpt, send_bytes, 0, kInvalidPort);
   }
@@ -185,6 +204,16 @@ TelemetryPlane::TelemetryPlane(Cluster& cluster, const TelemetryConfig& config)
 }
 
 TelemetryPlane::~TelemetryPlane() = default;
+
+void TelemetryPlane::AttachSvc(int node, const SvcNodeStats* stats,
+                               const std::uint64_t* backlog_gauge) {
+  for (auto& agent : agents_) {
+    if (agent->node == static_cast<std::uint32_t>(node)) {
+      agent->svc = stats;
+      agent->svc_backlog = backlog_gauge;
+    }
+  }
+}
 
 void TelemetryPlane::PreDrainHook(void* arg) {
   static_cast<TelemetryPlane*>(arg)->Stop();
@@ -247,6 +276,15 @@ void TelemetryPlane::AppendRow(const TelemetryReport& r) {
     }
     out += "}";
   }
+  if (r.has_svc != 0) {
+    out += ",\"svc\":{\"backlog\":";
+    AppendU64(&out, r.svc_backlog);
+    out += ",\"admitted\":";
+    AppendU64(&out, r.svc_admitted);
+    out += ",\"shed\":";
+    AppendU64(&out, r.svc_shed);
+    out += "}";
+  }
   out += "}\n";
 }
 
@@ -296,6 +334,10 @@ struct TopRow {
   std::uint64_t rpc_p99 = 0;
   std::uint64_t rpc_p999 = 0;
   std::uint64_t rpc_viol = 0;
+  bool has_svc = false;
+  std::uint64_t svc_backlog = 0;
+  std::uint64_t svc_admitted = 0;
+  std::uint64_t svc_shed = 0;
 };
 
 }  // namespace
@@ -334,6 +376,13 @@ std::string FormatTelemetryTable(const std::string& rows_jsonl) {
       ExtractU64(line, "p999", rpc, &r.rpc_p999);
       ExtractU64(line, "viol", rpc, &r.rpc_viol);
     }
+    std::size_t svc = line.find("\"svc\":{");
+    if (svc != std::string::npos) {
+      r.has_svc = true;
+      ExtractU64(line, "backlog", svc, &r.svc_backlog);
+      ExtractU64(line, "admitted", svc, &r.svc_admitted);
+      ExtractU64(line, "shed", svc, &r.svc_shed);
+    }
     rows.push_back(r);
   }
   std::stable_sort(rows.begin(), rows.end(), [](const TopRow& a, const TopRow& b) {
@@ -343,15 +392,39 @@ std::string FormatTelemetryTable(const std::string& rows_jsonl) {
     return a.node < b.node;
   });
 
-  // The v2 columns appear only when some row carries them, so a go-back-N
-  // stream renders exactly as it did before the extension existed.
+  // Extension columns appear only when some row carries them, so a stream
+  // without them renders exactly as it did before the extension existed.
   bool any_net2 = false;
+  bool any_svc = false;
   for (const TopRow& r : rows) {
     any_net2 = any_net2 || r.has_net2;
+    any_svc = any_svc || r.has_svc;
   }
 
   std::string out;
   char buf[224];
+  // Svc columns are appended to a finished line: chop its newline, add the
+  // three columns, restore the newline.
+  auto append_line = [&out, any_svc](const char* line, std::uint64_t backlog,
+                                     std::uint64_t admitted, std::uint64_t shed,
+                                     bool header) {
+    std::string s(line);
+    if (any_svc && !s.empty() && s.back() == '\n') {
+      s.pop_back();
+      char svc_buf[80];
+      if (header) {
+        std::snprintf(svc_buf, sizeof(svc_buf), " %8s %8s %7s\n", "backlog",
+                      "admit", "shed");
+      } else {
+        std::snprintf(svc_buf, sizeof(svc_buf), " %8llu %8llu %7llu\n",
+                      static_cast<unsigned long long>(backlog),
+                      static_cast<unsigned long long>(admitted),
+                      static_cast<unsigned long long>(shed));
+      }
+      s += svc_buf;
+    }
+    out += s;
+  };
   if (any_net2) {
     std::snprintf(buf, sizeof(buf),
                   "%4s %5s %12s %6s %5s %7s %7s %6s %6s %6s %8s %9s %10s %5s %6s\n",
@@ -362,7 +435,7 @@ std::string FormatTelemetryTable(const std::string& rows_jsonl) {
                   "seq", "node", "t", "util%", "runq", "tx", "rx", "retx", "rpc_n",
                   "rpc_p99", "rpc_p999", "viol", "stall");
   }
-  out += buf;
+  append_line(buf, 0, 0, 0, /*header=*/true);
   std::uint64_t last_seq = 0;
   bool first = true;
   for (const TopRow& r : rows) {
@@ -406,7 +479,8 @@ std::string FormatTelemetryTable(const std::string& rows_jsonl) {
                     static_cast<unsigned long long>(r.rpc_viol),
                     static_cast<unsigned long long>(r.stalls));
     }
-    out += buf;
+    append_line(buf, r.svc_backlog, r.svc_admitted, r.svc_shed,
+                /*header=*/false);
   }
   if (rows.empty()) {
     out += "(no telemetry rows)\n";

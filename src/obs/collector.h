@@ -35,6 +35,7 @@ namespace mkc {
 
 class Cluster;
 class Kernel;
+struct SvcNodeStats;
 
 // msg_id of telemetry reports (distinct from workload traffic on sight).
 inline constexpr std::uint32_t kTelemetryMsgId = 0x7e1e;
@@ -71,10 +72,21 @@ struct TelemetryReport {
   std::uint32_t pad2 = 0;
   std::uint64_t net_apig = 0;     // Piggybacked acks since the last sample.
   std::uint64_t net_coal = 0;     // Coalesced frames since the last sample.
+
+  // Service-fabric extension: present only on nodes where an open-loop
+  // engine attached its stats (AttachSvc). Runs without a fabric ship a
+  // shorter prefix, keeping their wire and row stream byte-identical.
+  std::uint32_t has_svc = 0;
+  std::uint32_t pad3 = 0;
+  std::uint64_t svc_backlog = 0;   // Frontend open-loop backlog depth (gauge).
+  std::uint64_t svc_admitted = 0;  // Requests admitted since the last sample.
+  std::uint64_t svc_shed = 0;      // Requests shed since the last sample.
 };
 
 inline constexpr std::size_t kTelemetryLegacyBytes =
     offsetof(TelemetryReport, has_net2);
+inline constexpr std::size_t kTelemetryNet2Bytes =
+    offsetof(TelemetryReport, has_svc);
 
 class TelemetryPlane {
  public:
@@ -90,6 +102,12 @@ class TelemetryPlane {
   // instead of re-arming. Pure data write — safe between Run() and Drain().
   void Stop() { stopped_ = true; }
   bool stopped() const { return stopped_; }
+
+  // Wires node `node`'s agent to a service fabric's counters and (on the
+  // frontend) the open-loop backlog gauge. Either pointer may be null.
+  // Call before Cluster::Run(); the pointees must outlive the plane.
+  void AttachSvc(int node, const SvcNodeStats* stats,
+                 const std::uint64_t* backlog_gauge);
 
   // The collector's JSONL output: one row per received report, in the
   // deterministic arrival order.

@@ -58,6 +58,13 @@ const char* SloTracker::KindName(int kind) {
 }
 
 SloTracker::SloTracker(const SloConfig& config, int node_id)
+    : SloTracker(config, node_id,
+                 {{"rpc", config.target_rpc},
+                  {"fault", config.target_fault},
+                  {"exception", config.target_exc}}) {}
+
+SloTracker::SloTracker(const SloConfig& config, int node_id,
+                       std::vector<std::pair<std::string, Ticks>> kinds)
     : config_(config), node_id_(node_id) {
   if (config_.subwindows < 1) {
     config_.subwindows = 1;
@@ -66,12 +73,23 @@ SloTracker::SloTracker(const SloConfig& config, int node_id)
   if (sub_ticks_ == 0) {
     sub_ticks_ = 1;
   }
-  targets_[0] = config_.target_rpc;
-  targets_[1] = config_.target_fault;
-  targets_[2] = config_.target_exc;
+  kinds_.resize(kinds.size());
+  names_.reserve(kinds.size());
+  targets_.reserve(kinds.size());
+  for (auto& [name, target] : kinds) {
+    names_.push_back(std::move(name));
+    targets_.push_back(target);
+  }
   for (KindState& k : kinds_) {
     k.ring.resize(static_cast<std::size_t>(config_.subwindows));
   }
+}
+
+const char* SloTracker::kind_name(int kind) const {
+  if (kind < 0 || static_cast<std::size_t>(kind) >= names_.size()) {
+    return "?";
+  }
+  return names_[static_cast<std::size_t>(kind)].c_str();
 }
 
 void SloTracker::OnSpanBegin(std::uint32_t id, SpanKind kind, Ticks now) {
@@ -92,14 +110,20 @@ void SloTracker::OnSpanEnd(std::uint32_t id, SpanKind kind, Ticks now) {
   Ticks begin = it->second.first;
   int k = it->second.second;
   open_.erase(it);
+  Record(k, now >= begin ? now - begin : 0, now);
+}
+
+void SloTracker::Record(int kind, Ticks latency, Ticks now) {
+  if (kind < 0 || static_cast<std::size_t>(kind) >= kinds_.size()) {
+    return;
+  }
   AdvanceTo(now);
-  Ticks latency = now >= begin ? now - begin : 0;
-  KindState& state = kinds_[k];
+  KindState& state = kinds_[kind];
   SubWindow& slot = state.ring[cur_sub_ % static_cast<std::uint64_t>(config_.subwindows)];
   slot.hist.Record(latency);
   state.cumulative.Record(latency);
   ++spans_recorded_;
-  if (targets_[k] != 0 && latency > targets_[k]) {
+  if (targets_[kind] != 0 && latency > targets_[kind]) {
     ++slot.violations;
     ++state.cum_violations;
   }
@@ -179,7 +203,7 @@ void SloTracker::EmitWindowLine(std::uint64_t window_index) {
   WriteU64(&out, (window_index + 1) * sub_ticks_ * n);
   out += ",\"kinds\":{";
   bool first = true;
-  for (int k = 0; k < kKinds; ++k) {
+  for (int k = 0; k < kind_count(); ++k) {
     LatencyHistogram merged;
     std::uint64_t violations = 0;
     for (const SubWindow& s : kinds_[k].ring) {
@@ -194,7 +218,7 @@ void SloTracker::EmitWindowLine(std::uint64_t window_index) {
     }
     first = false;
     out += "\"";
-    out += KindName(k);
+    out += kind_name(k);
     out += "\":";
     AppendKindJson(&out, k, Snapshot(merged, violations), /*with_target=*/true);
   }
@@ -214,12 +238,12 @@ std::string SloTracker::JsonBlock(Ticks now) {
   out += "},\"windows_completed\":";
   WriteU64(&out, cur_sub_ / static_cast<std::uint64_t>(config_.subwindows));
   out += ",\"kinds\":{";
-  for (int k = 0; k < kKinds; ++k) {
+  for (int k = 0; k < kind_count(); ++k) {
     if (k != 0) {
       out += ",";
     }
     out += "\"";
-    out += KindName(k);
+    out += kind_name(k);
     out += "\":{\"target\":";
     WriteU64(&out, targets_[k]);
     out += ",\"cumulative\":";
@@ -236,7 +260,7 @@ std::string SloTracker::FlightFragment(Ticks now) {
   AdvanceTo(now);
   std::string out = "{";
   bool first = true;
-  for (int k = 0; k < kKinds; ++k) {
+  for (int k = 0; k < kind_count(); ++k) {
     SloKindSnapshot s = WindowedKind(k, now);
     if (s.count == 0) {
       continue;
@@ -246,7 +270,7 @@ std::string SloTracker::FlightFragment(Ticks now) {
     }
     first = false;
     out += "\"";
-    out += KindName(k);
+    out += kind_name(k);
     out += "\":{\"count\":";
     WriteU64(&out, s.count);
     out += ",\"p99\":";
@@ -271,7 +295,7 @@ std::string SloTracker::MergedJsonBlock(
     return out;
   }
   const SloTracker* first_node = nodes.front();
-  for (int k = 0; k < kKinds; ++k) {
+  for (int k = 0; k < first_node->kind_count(); ++k) {
     // Bucket-exact fold across nodes: identical to one global tracker.
     LatencyHistogram merged;
     std::uint64_t violations = 0;
@@ -283,7 +307,7 @@ std::string SloTracker::MergedJsonBlock(
       out += ",";
     }
     out += "\"";
-    out += KindName(k);
+    out += first_node->kind_name(k);
     out += "\":{\"target\":";
     WriteU64(&out, first_node->targets_[k]);
     out += ",\"count\":";

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/base/types.h"
@@ -56,15 +57,27 @@ struct SloKindSnapshot {
 
 class SloTracker {
  public:
-  // Span kinds tracked: rpc, fault, exception (SpanKind::kRpc..kException).
+  // Span kinds tracked by the default tracker: rpc, fault, exception
+  // (SpanKind::kRpc..kException).
   static constexpr int kKinds = 3;
 
   SloTracker(const SloConfig& config, int node_id);
+
+  // Custom-kind tracker: an arbitrary list of (name, latency target) kinds
+  // recorded directly through Record() instead of the span hooks. The
+  // service fabric's per-service-kind tails use this; the default ctor
+  // remains byte-identical to the fixed three-kind tracker.
+  SloTracker(const SloConfig& config, int node_id,
+             std::vector<std::pair<std::string, Ticks>> kinds);
 
   // Span-layer hooks (Kernel::SpanBegin / SpanEnd). `now` is the machine
   // frontier (TraceNow), so windows advance monotonically.
   void OnSpanBegin(std::uint32_t id, SpanKind kind, Ticks now);
   void OnSpanEnd(std::uint32_t id, SpanKind kind, Ticks now);
+
+  // Direct recording for custom-kind trackers (and the span hooks' shared
+  // tail): one latency sample of `kind` observed at frontier `now`.
+  void Record(int kind, Ticks latency, Ticks now);
 
   // Rolls the sub-window ring forward to `now`, emitting one JSONL line per
   // completed window. Called implicitly by the hooks and the snapshots.
@@ -93,6 +106,9 @@ class SloTracker {
 
   const SloConfig& config() const { return config_; }
   static const char* KindName(int kind);
+  int kind_count() const { return static_cast<int>(kinds_.size()); }
+  // Instance-aware name: custom-kind trackers report their own names.
+  const char* kind_name(int kind) const;
   Ticks target(int kind) const { return targets_[kind]; }
   std::uint64_t spans_recorded() const { return spans_recorded_; }
 
@@ -115,8 +131,9 @@ class SloTracker {
   SloConfig config_;
   int node_id_;
   Ticks sub_ticks_;
-  Ticks targets_[kKinds];
-  KindState kinds_[kKinds];
+  std::vector<std::string> names_;
+  std::vector<Ticks> targets_;
+  std::vector<KindState> kinds_;
   std::uint64_t cur_sub_ = 0;  // Absolute sub-window index of the frontier.
   std::uint64_t spans_recorded_ = 0;
   // Open spans: id -> (begin tick, kind). Latency is measured begin-to-end

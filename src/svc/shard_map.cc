@@ -1,0 +1,135 @@
+#include "src/svc/shard_map.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/base/panic.h"
+
+namespace mkc {
+
+const char* ServiceKindName(ServiceKind kind) {
+  switch (kind) {
+    case ServiceKind::kName:
+      return "name";
+    case ServiceKind::kFile:
+      return "file";
+    case ServiceKind::kCounter:
+      return "counter";
+  }
+  return "?";
+}
+
+const char* ServiceKindName(int kind) {
+  return ServiceKindName(static_cast<ServiceKind>(kind));
+}
+
+std::uint64_t SvcHash(std::uint64_t x) {
+  // SplitMix64 finalizer: full-avalanche, cheap, and identical everywhere.
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+bool ParseServiceSpec(const char* spec, ServiceSpec* out) {
+  if (spec == nullptr || out == nullptr) {
+    return false;
+  }
+  const char* p = spec;
+  while (*p != '\0') {
+    const char* colon = std::strchr(p, ':');
+    if (colon == nullptr) {
+      return false;
+    }
+    int kind = -1;
+    const std::size_t name_len = static_cast<std::size_t>(colon - p);
+    for (int k = 0; k < kServiceKindCount; ++k) {
+      const char* name = ServiceKindName(k);
+      if (std::strlen(name) == name_len && std::strncmp(p, name, name_len) == 0) {
+        kind = k;
+        break;
+      }
+    }
+    if (kind < 0) {
+      return false;
+    }
+    p = colon + 1;
+    if (*p < '0' || *p > '9') {
+      return false;
+    }
+    long count = 0;
+    while (*p >= '0' && *p <= '9') {
+      count = count * 10 + (*p - '0');
+      if (count > 1024) {
+        return false;
+      }
+      ++p;
+    }
+    out->shards[kind] = static_cast<int>(count);
+    if (*p == ',') {
+      ++p;
+      if (*p == '\0') {
+        return false;  // Trailing comma.
+      }
+    } else if (*p != '\0') {
+      return false;
+    }
+  }
+  return true;
+}
+
+ShardMap::ShardMap(const ServiceSpec& spec, const std::vector<int>& serving_nodes)
+    : spec_(spec) {
+  MKC_ASSERT(!serving_nodes.empty());
+  // Shards of all kinds share one round-robin cursor over the serving
+  // nodes, so mixed specs spread evenly instead of piling every kind's
+  // shard 0 onto the same node.
+  std::size_t cursor = 0;
+  for (int k = 0; k < kServiceKindCount; ++k) {
+    const int nshards = spec_.shards[k];
+    nodes_[k].resize(static_cast<std::size_t>(nshards));
+    for (int s = 0; s < nshards; ++s) {
+      nodes_[k][static_cast<std::size_t>(s)] =
+          serving_nodes[cursor % serving_nodes.size()];
+      ++cursor;
+    }
+    rings_[k].reserve(static_cast<std::size_t>(nshards) * kShardRingPoints);
+    for (int s = 0; s < nshards; ++s) {
+      for (int r = 0; r < kShardRingPoints; ++r) {
+        // Ring position = hash of (kind, shard, replica) — disjoint inputs
+        // per kind so the per-kind rings are independent.
+        const std::uint64_t seed = (static_cast<std::uint64_t>(k) << 48) |
+                                   (static_cast<std::uint64_t>(s) << 16) |
+                                   static_cast<std::uint64_t>(r);
+        rings_[k].push_back(RingPoint{SvcHash(seed), s});
+      }
+    }
+    std::sort(rings_[k].begin(), rings_[k].end(),
+              [](const RingPoint& a, const RingPoint& b) {
+                if (a.hash != b.hash) {
+                  return a.hash < b.hash;
+                }
+                return a.shard < b.shard;  // Deterministic on (improbable) ties.
+              });
+  }
+}
+
+int ShardMap::ShardFor(ServiceKind kind, std::uint64_t key) const {
+  const auto& ring = rings_[static_cast<int>(kind)];
+  MKC_ASSERT(!ring.empty());
+  const std::uint64_t h = SvcHash(key);
+  auto it = std::lower_bound(ring.begin(), ring.end(), h,
+                             [](const RingPoint& p, std::uint64_t v) {
+                               return p.hash < v;
+                             });
+  if (it == ring.end()) {
+    it = ring.begin();  // Wrap.
+  }
+  return it->shard;
+}
+
+int ShardMap::NodeFor(ServiceKind kind, int shard) const {
+  return nodes_[static_cast<int>(kind)][static_cast<std::size_t>(shard)];
+}
+
+}  // namespace mkc

@@ -1,0 +1,86 @@
+// The sharded service fabric's name plane: which shard owns a key, and
+// which node hosts that shard.
+//
+// Three service kinds model the ROADMAP's million-user cluster: a name
+// service (small lookups), a file-server farm (bigger requests that touch
+// pageable state), and a counter/session service (tiny mutations against
+// per-shard state). Each kind is split into a configurable number of
+// shards, and shards are spread round-robin over the serving nodes.
+//
+// Key-to-shard routing uses a consistent-hash ring per kind: every shard
+// contributes kShardRingPoints virtual points at deterministic 64-bit hash
+// positions, and a key maps to the shard owning the first point at or after
+// the key's hash (wrapping). Everything is pure integer arithmetic over a
+// SplitMix64-style mixer, so the routing table — and therefore the entire
+// request schedule built on it — is a function of (spec, node count) alone:
+// identical across runs, across platforms, and across --nodes=1 vs cluster
+// topologies.
+#ifndef MACHCONT_SRC_SVC_SHARD_MAP_H_
+#define MACHCONT_SRC_SVC_SHARD_MAP_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace mkc {
+
+// Service kinds, in spec/report order.
+enum class ServiceKind : std::uint8_t { kName = 0, kFile = 1, kCounter = 2 };
+inline constexpr int kServiceKindCount = 3;
+
+const char* ServiceKindName(ServiceKind kind);
+const char* ServiceKindName(int kind);
+
+// Shard counts per kind, parsed from a "name:4,file:8,counter:4" spec
+// string. Omitted kinds keep their defaults; a kind set to 0 is not hosted
+// (its arrivals are disabled too).
+struct ServiceSpec {
+  int shards[kServiceKindCount] = {4, 4, 4};
+
+  int total() const {
+    return shards[0] + shards[1] + shards[2];
+  }
+};
+
+// Parses "kind:count[,kind:count...]" into `out` (starting from defaults).
+// Returns false on an unknown kind name, malformed count, or count > 1024.
+bool ParseServiceSpec(const char* spec, ServiceSpec* out);
+
+// Deterministic 64-bit mixer used for ring points and key hashes.
+std::uint64_t SvcHash(std::uint64_t x);
+
+// Virtual ring points per shard. More points → smoother key spread; the
+// value is part of the deterministic routing contract.
+inline constexpr int kShardRingPoints = 8;
+
+class ShardMap {
+ public:
+  // Builds the routing table: `spec` shards per kind, hosted round-robin
+  // over `serving_nodes` (e.g. {0} single-node, {1..N-1} for a cluster).
+  ShardMap(const ServiceSpec& spec, const std::vector<int>& serving_nodes);
+
+  int shard_count(ServiceKind kind) const {
+    return spec_.shards[static_cast<int>(kind)];
+  }
+
+  // Consistent-hash lookup: the shard of `kind` owning `key`.
+  int ShardFor(ServiceKind kind, std::uint64_t key) const;
+
+  // The node hosting (kind, shard).
+  int NodeFor(ServiceKind kind, int shard) const;
+
+  const ServiceSpec& spec() const { return spec_; }
+
+ private:
+  struct RingPoint {
+    std::uint64_t hash;
+    int shard;
+  };
+
+  ServiceSpec spec_;
+  std::vector<RingPoint> rings_[kServiceKindCount];  // Sorted by hash.
+  std::vector<int> nodes_[kServiceKindCount];        // shard -> node id.
+};
+
+}  // namespace mkc
+
+#endif  // MACHCONT_SRC_SVC_SHARD_MAP_H_

@@ -1,0 +1,178 @@
+// The sharded service fabric: spec parsing, topology-independent routing,
+// request/reply/reject protocol, deadline shedding, admission qlimits, and
+// the zero-idle-stack invariant for server pools under MK40.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+#include "src/ipc/ipc_space.h"
+#include "src/ipc/port.h"
+#include "src/kern/kernel.h"
+#include "src/kern/thread.h"
+#include "src/svc/service.h"
+#include "src/svc/shard_map.h"
+#include "src/task/task.h"
+#include "src/task/usermode.h"
+
+namespace mkc {
+namespace {
+
+TEST(ServiceSpecTest, ParsesAndRejects) {
+  ServiceSpec spec;
+  EXPECT_TRUE(ParseServiceSpec("name:2,file:8,counter:1", &spec));
+  EXPECT_EQ(spec.shards[0], 2);
+  EXPECT_EQ(spec.shards[1], 8);
+  EXPECT_EQ(spec.shards[2], 1);
+
+  // Omitted kinds keep their previous values; zero disables a kind.
+  ServiceSpec partial;
+  EXPECT_TRUE(ParseServiceSpec("file:0", &partial));
+  EXPECT_EQ(partial.shards[0], 4);
+  EXPECT_EQ(partial.shards[1], 0);
+  EXPECT_EQ(partial.shards[2], 4);
+
+  ServiceSpec bad;
+  EXPECT_FALSE(ParseServiceSpec("disk:3", &bad));
+  EXPECT_FALSE(ParseServiceSpec("name:", &bad));
+  EXPECT_FALSE(ParseServiceSpec("name:9999", &bad));
+}
+
+// The consistent-hash routing is a function of the spec alone: the same key
+// maps to the same shard whether the shards live on one node or are spread
+// over a cluster — the property that makes --nodes=1 and cluster runs see
+// the same request schedule.
+TEST(ShardMapTest, RoutingIsTopologyIndependent) {
+  ServiceSpec spec;
+  ASSERT_TRUE(ParseServiceSpec("name:4,file:8,counter:2", &spec));
+  ShardMap solo(spec, {0});
+  ShardMap cluster(spec, {1, 2, 3});
+
+  for (int k = 0; k < kServiceKindCount; ++k) {
+    const ServiceKind kind = static_cast<ServiceKind>(k);
+    for (std::uint64_t key = 0; key < 1000; ++key) {
+      const int shard = solo.ShardFor(kind, key);
+      EXPECT_EQ(shard, cluster.ShardFor(kind, key));
+      EXPECT_GE(shard, 0);
+      EXPECT_LT(shard, spec.shards[k]);
+      EXPECT_EQ(solo.NodeFor(kind, shard), 0);
+      const int node = cluster.NodeFor(kind, shard);
+      EXPECT_GE(node, 1);
+      EXPECT_LE(node, 3);
+    }
+  }
+
+  // Every shard owns some slice of a modest key space (the ring spreads).
+  for (int k = 0; k < kServiceKindCount; ++k) {
+    const ServiceKind kind = static_cast<ServiceKind>(k);
+    std::vector<int> hits(static_cast<std::size_t>(spec.shards[k]), 0);
+    for (std::uint64_t key = 0; key < 4096; ++key) {
+      ++hits[static_cast<std::size_t>(solo.ShardFor(kind, key))];
+    }
+    for (int s = 0; s < spec.shards[k]; ++s) {
+      EXPECT_GT(hits[static_cast<std::size_t>(s)], 0)
+          << ServiceKindName(k) << " shard " << s << " owns no keys";
+    }
+  }
+}
+
+struct ClientState {
+  ServiceFabric* fabric = nullptr;
+  const ShardMap* map = nullptr;
+  PortId reply = kInvalidPort;
+  std::uint64_t reply_value = 0;
+  std::uint32_t reject_reason = 0;
+  bool done = false;
+};
+
+// Issues one fresh request (expects a typed reply carrying the name hash),
+// then one request whose deadline is already ancient (expects a typed
+// deadline rejection from the shed policy).
+void SvcClient(void* arg) {
+  auto* st = static_cast<ClientState*>(arg);
+  const std::uint64_t key = 77;
+  const int shard = st->map->ShardFor(ServiceKind::kName, key);
+  SvcRequestBody req;
+  req.kind = 0;
+  req.shard = static_cast<std::uint32_t>(shard);
+  req.key = key;
+
+  UserMessage msg;
+  msg.header.dest = st->fabric->PortFor(ServiceKind::kName, shard);
+  msg.header.msg_id = kSvcRequestMsgId;
+  std::memcpy(msg.body, &req, sizeof(req));
+  if (UserRpc(&msg, sizeof(req), st->reply) != KernReturn::kSuccess ||
+      msg.header.msg_id != kSvcReplyMsgId) {
+    return;
+  }
+  SvcReplyBody rep;
+  std::memcpy(&rep, msg.body, sizeof(rep));
+  st->reply_value = rep.value;
+
+  req.deadline = 1;  // Virtual time is long past tick 1 by now.
+  msg.header.dest = st->fabric->PortFor(ServiceKind::kName, shard);
+  msg.header.msg_id = kSvcRequestMsgId;
+  std::memcpy(msg.body, &req, sizeof(req));
+  if (UserRpc(&msg, sizeof(req), st->reply) != KernReturn::kSuccess ||
+      msg.header.msg_id != kSvcRejectMsgId) {
+    return;
+  }
+  SvcRejectBody rej;
+  std::memcpy(&rej, msg.body, sizeof(rej));
+  st->reject_reason = rej.reason;
+  st->done = true;
+}
+
+TEST(ServiceFabricTest, ServesAndShedsPastDeadline) {
+  KernelConfig config;
+  Kernel kernel(config);
+  ServiceSpec spec;
+  ASSERT_TRUE(ParseServiceSpec("name:2,file:0,counter:0", &spec));
+  ShardMap map(spec, {0});
+  ServiceFabricConfig fc;
+  fc.shed_depth = 4;
+  ServiceFabric fabric(kernel, map, /*node_id=*/0, fc);
+  EXPECT_EQ(fabric.hosted_shards(), 2);
+
+  ClientState st;
+  st.fabric = &fabric;
+  st.map = &map;
+  Task* task = kernel.CreateTask("client");
+  st.reply = kernel.ipc().AllocatePort(task);
+  kernel.CreateUserThread(task, &SvcClient, &st);
+  kernel.Run();
+
+  EXPECT_TRUE(st.done);
+  EXPECT_EQ(st.reply_value, SvcHash(77));
+  EXPECT_EQ(st.reject_reason, kSvcRejectDeadline);
+  const SvcNodeStats& stats = fabric.stats();
+  EXPECT_EQ(stats.kind[0].admitted, 1u);
+  EXPECT_EQ(stats.kind[0].shed_deadline, 1u);
+  EXPECT_EQ(stats.admitted_total, 1u);
+  EXPECT_EQ(stats.shed_total, 1u);
+
+  // §3.3 at fabric scale: after the run every server thread is parked in
+  // its receive continuation holding no kernel stack (MK40 default model).
+  ASSERT_TRUE(kernel.UsesContinuations());
+  for (Thread* t : fabric.server_threads()) {
+    EXPECT_EQ(t->state, ThreadState::kWaiting);
+    EXPECT_EQ(t->kernel_stack, nullptr);
+  }
+}
+
+TEST(ServiceFabricTest, AdmissionQlimitIsInstalled) {
+  KernelConfig config;
+  Kernel kernel(config);
+  ServiceSpec spec;
+  ASSERT_TRUE(ParseServiceSpec("name:1,file:0,counter:0", &spec));
+  ShardMap map(spec, {0});
+  ServiceFabricConfig fc;
+  fc.admission_qlimit = 2;
+  ServiceFabric fabric(kernel, map, 0, fc);
+  Port* port = kernel.ipc().Lookup(fabric.PortFor(ServiceKind::kName, 0));
+  ASSERT_NE(port, nullptr);
+  EXPECT_EQ(port->qlimit, 2u);
+}
+
+}  // namespace
+}  // namespace mkc

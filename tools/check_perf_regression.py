@@ -29,7 +29,15 @@ bench/baselines/ and fails when:
     relative to the recorders-off run of the same workload (the tracker is
     a pure observer and must charge zero cycles — the expected overhead is
     exactly 0), or the armed run's vtime drifts more than --tolerance from
-    the baseline.
+    the baseline, or
+  * openloop: the overload-control story weakens — shedding armed at 2x the
+    knee no longer delivers >= 90% of the knee goodput rate
+    (shed_vs_knee_ratio), its p99.9 escapes 3x the deadline (shedding must
+    bound tails, not just trim them), the unshedded ablation stops
+    collapsing (goodput ratio >= 0.5 or p99.9 under 5x the deadline would
+    mean the bench no longer demonstrates congestion collapse), the knee
+    moves, or any swept rate's goodput_rate drifts more than --tolerance
+    from the baseline curve.
 
 Both signals are virtual-tick quantities, so for a fixed (config, seed,
 scale) they are bit-deterministic: any drift at all is a real code change,
@@ -305,6 +313,101 @@ def check_slo(base, cur, tolerance):
     return failures
 
 
+def check_openloop(base, cur, tolerance):
+    failures = []
+    deadline = cur["config"]["deadline"]
+    m = cur["metrics"]
+
+    # Absolute gates first: these are the bench's reason to exist, and they
+    # hold regardless of baseline drift.
+    shed_vs_knee = m["shed_vs_knee_ratio"]
+    status = "ok"
+    if shed_vs_knee < 0.9:
+        status = "REGRESSION"
+        failures.append(
+            f"openloop: shed arm at 2x knee delivers only "
+            f"{shed_vs_knee:.0%} of knee goodput rate (floor 90%)"
+        )
+    print(
+        f"  openloop: shed goodput at 2x knee = {shed_vs_knee:.0%} of knee "
+        f"(floor 90%) {status}"
+    )
+
+    shed_p999 = m["shed_overload_p999"]
+    status = "ok"
+    if shed_p999 > 3 * deadline:
+        status = "REGRESSION"
+        failures.append(
+            f"openloop: shed arm p99.9 at 2x knee is {shed_p999} ticks > "
+            f"3x the {deadline}-tick deadline — shedding must bound tails"
+        )
+    print(
+        f"  openloop: shed p99.9 at 2x knee = {shed_p999} ticks "
+        f"(ceiling {3 * deadline}) {status}"
+    )
+
+    # The ablation must keep demonstrating collapse, or the shed numbers
+    # above are meaningless.
+    noshed_ratio = m["noshed_overload_goodput_ratio"]
+    noshed_p999 = m["noshed_overload_p999"]
+    status = "ok"
+    if noshed_ratio >= 0.5 or noshed_p999 < 5 * deadline:
+        status = "REGRESSION"
+        failures.append(
+            f"openloop: unshedded ablation at 2x knee no longer collapses "
+            f"(goodput ratio {noshed_ratio:.2f}, p99.9 {noshed_p999}) — the "
+            f"bench must show congestion collapse for the comparison to mean "
+            f"anything"
+        )
+    print(
+        f"  openloop: unshedded at 2x knee goodput ratio {noshed_ratio:.2f} "
+        f"(must be < 0.5), p99.9 {noshed_p999} (must be >= {5 * deadline}) "
+        f"{status}"
+    )
+
+    status = "ok"
+    if m["knee_rate"] != base["metrics"]["knee_rate"]:
+        status = "REGRESSION"
+        failures.append(
+            f"openloop: knee moved — baseline {base['metrics']['knee_rate']}"
+            f"/Mtick vs current {m['knee_rate']}/Mtick; capacity changed, "
+            f"regenerate the baseline if intentional"
+        )
+    print(
+        f"  openloop: knee {m['knee_rate']}/Mtick "
+        f"(baseline {base['metrics']['knee_rate']}) {status}"
+    )
+
+    # Curve drift: both arms, every swept rate. Virtual-tick determinism
+    # makes any drift a real code change.
+    for arm in ("noshed_curve", "shed_curve"):
+        base_pts = {p["rate"]: p for p in base["metrics"][arm]}
+        cur_pts = {p["rate"]: p for p in m[arm]}
+        if set(base_pts) != set(cur_pts):
+            sys.exit(
+                f"error: openloop: {arm} rates differ — baseline "
+                f"{sorted(base_pts)} vs current {sorted(cur_pts)}"
+            )
+        for rate in sorted(base_pts):
+            want = base_pts[rate]["goodput_rate"]
+            got = cur_pts[rate]["goodput_rate"]
+            lo = want * (1.0 - tolerance)
+            hi = want * (1.0 + tolerance)
+            status = "ok"
+            if got < lo or got > hi:
+                status = "REGRESSION"
+                failures.append(
+                    f"openloop {arm} @ {rate}/Mtick: goodput_rate {got:.1f} "
+                    f"outside [{lo:.1f}, {hi:.1f}] (baseline {want:.1f} ± "
+                    f"{tolerance:.0%})"
+                )
+            print(
+                f"  openloop {arm} {rate}/Mtick: goodput_rate {got:.1f} "
+                f"(baseline {want:.1f}) {status}"
+            )
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline-dir", required=True)
@@ -314,14 +417,16 @@ def main():
     ap.add_argument("--netipc", help="current netipc bench JSON")
     ap.add_argument("--recognition", help="current table2_recognition bench JSON")
     ap.add_argument("--slo", help="current slo overhead bench JSON")
+    ap.add_argument("--openloop", help="current openloop overload bench JSON")
     ap.add_argument("--tolerance", type=float, default=0.10)
     ap.add_argument("--min-alloc-reduction", type=float, default=20.0)
     args = ap.parse_args()
     if (not args.smp and not args.table1 and not args.ipc_alloc
-            and not args.netipc and not args.recognition and not args.slo):
+            and not args.netipc and not args.recognition and not args.slo
+            and not args.openloop):
         ap.error(
             "nothing to check: pass --smp, --table1, --ipc-alloc, --netipc, "
-            "--recognition and/or --slo"
+            "--recognition, --slo and/or --openloop"
         )
 
     failures = []
@@ -356,6 +461,11 @@ def main():
         cur = load(args.slo)
         check_config_matches("slo", base, cur)
         failures += check_slo(base, cur, args.tolerance)
+    if args.openloop:
+        base = load(os.path.join(args.baseline_dir, "openloop.json"))
+        cur = load(args.openloop)
+        check_config_matches("openloop", base, cur)
+        failures += check_openloop(base, cur, args.tolerance)
 
     if failures:
         print("\nperf regression gate FAILED:", file=sys.stderr)

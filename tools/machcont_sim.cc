@@ -43,6 +43,13 @@
 //     --telemetry=N                  in-band telemetry agents, period N
 //                                    (cluster only; requires --nodes >= 2)
 //     --telemetry-out=FILE|-         write the collector's JSONL rows
+//     --openloop=RATE                open-loop service-fabric mode: RATE
+//                                    arrivals per Mtick against the sharded
+//                                    services (replaces --workload)
+//     --arrival=poisson|bursty       open-loop arrival process (default poisson)
+//     --services=SPEC                shards per service, e.g. name:4,file:8,counter:4
+//     --shed-depth=N                 overload control: server queue-depth/deadline
+//                                    shedding + client stale-drop (0 = off)
 //
 // With --nodes=1 (the default) the tool is exactly the single-machine
 // simulator. --nodes=2+ instead boots N kernels over the simulated network
@@ -70,6 +77,9 @@
 #include "src/obs/slo.h"
 #include "src/obs/trace_export.h"
 #include "src/obs/watchdog.h"
+#include "src/svc/service.h"
+#include "src/svc/shard_map.h"
+#include "src/workload/openloop.h"
 #include "src/workload/workload.h"
 
 namespace {
@@ -91,7 +101,9 @@ int Usage(const char* argv0) {
                "          [--slo-target-rpc=N] [--slo-target-fault=N] [--slo-target-exc=N]\n"
                "          [--slo-out=FILE|-]\n"
                "          [--tail-sample] [--no-tail-sample] [--tail-k=N] [--head-every=N]\n"
-               "          [--telemetry=N] [--telemetry-out=FILE|-]\n",
+               "          [--telemetry=N] [--telemetry-out=FILE|-]\n"
+               "          [--openloop=RATE] [--arrival=poisson|bursty]\n"
+               "          [--services=SPEC] [--shed-depth=N]\n",
                argv0);
   return 2;
 }
@@ -274,6 +286,10 @@ int main(int argc, char** argv) {
   std::string slo_out;
   std::string telemetry_out;
   mkc::Ticks telemetry_interval = 0;
+  std::uint64_t openloop_rate = 0;
+  bool openloop_bursty = false;
+  mkc::ServiceSpec services;
+  std::uint32_t shed_depth = 0;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -470,6 +486,31 @@ int main(int argc, char** argv) {
       if (telemetry_out.empty()) {
         return Usage(argv[0]);
       }
+    } else if (arg.rfind("--openloop=", 0) == 0) {
+      std::uint64_t v;
+      if (!ParseU64(value().c_str(), &v) || v == 0) {
+        return Usage(argv[0]);
+      }
+      openloop_rate = v;
+    } else if (arg.rfind("--arrival=", 0) == 0) {
+      std::string a = value();
+      if (a == "poisson") {
+        openloop_bursty = false;
+      } else if (a == "bursty") {
+        openloop_bursty = true;
+      } else {
+        return Usage(argv[0]);
+      }
+    } else if (arg.rfind("--services=", 0) == 0) {
+      if (!mkc::ParseServiceSpec(value().c_str(), &services)) {
+        return Usage(argv[0]);
+      }
+    } else if (arg.rfind("--shed-depth=", 0) == 0) {
+      std::uint64_t v;
+      if (!ParseU64(value().c_str(), &v)) {
+        return Usage(argv[0]);
+      }
+      shed_depth = static_cast<std::uint32_t>(v);
     } else if (arg == "--no-handoff") {
       config.enable_handoff = false;
     } else if (arg == "--no-recognition") {
@@ -519,6 +560,143 @@ int main(int argc, char** argv) {
   if (telemetry_interval > 0 && nodes < 2) {
     std::fprintf(stderr, "machcont_sim: --telemetry requires --nodes >= 2\n");
     return Usage(argv[0]);
+  }
+
+  if (openloop_rate > 0) {
+    // Open-loop service-fabric mode: seeded arrivals against the sharded
+    // services, single kernel or cluster. Everything printed here is a pure
+    // function of (config, seed) — no wall-clock line — so the CI
+    // determinism smoke can compare whole outputs byte for byte.
+    config.seed = params.seed;
+    mkc::OpenLoopParams op;
+    op.rate = openloop_rate;
+    op.bursty = openloop_bursty;
+    op.services = services;
+    op.shed_depth = shed_depth;
+    op.seed = params.seed;
+    op.total_arrivals = static_cast<std::uint64_t>(500) * params.scale;
+    if (config.slo_window > 0) {
+      op.slo_window = config.slo_window;
+    }
+
+    std::FILE* human = metrics_json == "-" ? stderr : stdout;
+    std::unique_ptr<mkc::Cluster> cluster;
+    std::unique_ptr<mkc::Kernel> kernel;
+    std::unique_ptr<mkc::OpenLoopEngine> engine;
+    std::unique_ptr<mkc::TelemetryPlane> telemetry;
+    if (nodes > 1) {
+      mkc::LinkConfig link;
+      link.drop_per_mille = drop_per_mille;
+      link.reorder_per_mille = reorder_per_mille;
+      cluster = std::make_unique<mkc::Cluster>(config, nodes, link);
+      engine = std::make_unique<mkc::OpenLoopEngine>(*cluster, op);
+      if (telemetry_interval > 0) {
+        mkc::TelemetryConfig tc;
+        tc.interval = telemetry_interval;
+        telemetry = std::make_unique<mkc::TelemetryPlane>(*cluster, tc);
+        for (int i = 0; i < nodes; ++i) {
+          telemetry->AttachSvc(i, engine->node_stats(i),
+                               i == 0 ? engine->backlog_gauge() : nullptr);
+        }
+      }
+      cluster->Run();
+      if (telemetry != nullptr) {
+        telemetry->Stop();
+      }
+      cluster->Drain();
+    } else {
+      kernel = std::make_unique<mkc::Kernel>(config);
+      engine = std::make_unique<mkc::OpenLoopEngine>(*kernel, op);
+      kernel->Run();
+    }
+    mkc::OpenLoopReport rep = engine->Finish();
+    mkc::SvcNodeStats svc = engine->TotalSvcStats();
+
+    std::fprintf(human,
+                 "openloop on %s, nodes %d, rate %llu/Mtick, %s arrivals, "
+                 "services name:%d,file:%d,counter:%d, shed-depth %u, seed %llu\n",
+                 mkc::ModelName(config.model), nodes,
+                 static_cast<unsigned long long>(openloop_rate),
+                 openloop_bursty ? "bursty" : "poisson", services.shards[0],
+                 services.shards[1], services.shards[2], shed_depth,
+                 static_cast<unsigned long long>(params.seed));
+    std::fprintf(human,
+                 "summary: arrivals=%llu completed=%llu goodput=%llu shed=%llu "
+                 "retries=%llu failed=%llu stream=%016llx vtime=%llu\n",
+                 static_cast<unsigned long long>(rep.arrivals_total),
+                 static_cast<unsigned long long>(rep.completed_total),
+                 static_cast<unsigned long long>(rep.deadline_met_total),
+                 static_cast<unsigned long long>(rep.shed_total),
+                 static_cast<unsigned long long>(rep.retries_total),
+                 static_cast<unsigned long long>(rep.failed_total),
+                 static_cast<unsigned long long>(rep.stream_hash),
+                 static_cast<unsigned long long>(rep.virtual_time));
+    std::fprintf(human, "services .......... admitted=%llu shed=%llu retried=%llu\n",
+                 static_cast<unsigned long long>(svc.admitted_total),
+                 static_cast<unsigned long long>(rep.shed_total),
+                 static_cast<unsigned long long>(rep.retries_total));
+    for (int k = 0; k < mkc::kServiceKindCount; ++k) {
+      const mkc::OpenLoopKindReport& kr = rep.kind[k];
+      if (kr.arrivals == 0) {
+        continue;
+      }
+      const std::uint64_t kshed = svc.kind[k].shed_queue +
+                                  svc.kind[k].shed_deadline + kr.client_shed;
+      std::fprintf(human,
+                   "svc %-11s ... arrivals=%llu admitted=%llu shed=%llu "
+                   "retried=%llu goodput=%llu p50=%llu p99=%llu p99.9=%llu\n",
+                   mkc::ServiceKindName(k),
+                   static_cast<unsigned long long>(kr.arrivals),
+                   static_cast<unsigned long long>(svc.kind[k].admitted),
+                   static_cast<unsigned long long>(kshed),
+                   static_cast<unsigned long long>(kr.retries),
+                   static_cast<unsigned long long>(kr.deadline_met),
+                   static_cast<unsigned long long>(rep.latency[k].p50),
+                   static_cast<unsigned long long>(rep.latency[k].p99),
+                   static_cast<unsigned long long>(rep.latency[k].p999));
+    }
+    if (cluster != nullptr) {
+      for (int i = 0; i < nodes; ++i) {
+        const mkc::NetStats& ns = cluster->netipc(i).stats();
+        std::fprintf(human,
+                     "node %d net ........ proxy-ports=%llu rx-ooo-buffered=%llu "
+                     "rx-ooo-hw=%llu\n",
+                     i, static_cast<unsigned long long>(ns.proxy_table),
+                     static_cast<unsigned long long>(ns.rx_ooo_buffered),
+                     static_cast<unsigned long long>(ns.rx_ooo_hw));
+      }
+      if (telemetry != nullptr) {
+        std::fprintf(human, "\n%s",
+                     mkc::FormatTelemetryTable(telemetry->Rows()).c_str());
+      }
+    }
+
+    bool ol_ok = true;
+    if (!metrics_json.empty()) {
+      std::string out_json;
+      if (cluster != nullptr) {
+        out_json = "{\"nodes\":[\n";
+        for (int i = 0; i < nodes; ++i) {
+          if (i > 0) {
+            out_json += ",\n";
+          }
+          out_json += cluster->node(i).metrics().DumpJsonString();
+        }
+        out_json += "\n],\"svc_slo\":";
+        out_json += engine->svc_slo().JsonBlock(rep.virtual_time);
+        out_json += "}\n";
+      } else {
+        kernel->metrics().SetJsonBlock("svc_slo", [&engine, &rep] {
+          return engine->svc_slo().JsonBlock(rep.virtual_time);
+        });
+        out_json = kernel->metrics().DumpJsonString();
+      }
+      ol_ok = WriteFileOrStdout(metrics_json, out_json) && ol_ok;
+    }
+    if (!telemetry_out.empty() && telemetry != nullptr) {
+      ol_ok = WriteFileOrStdout(telemetry_out, telemetry->Rows()) && ol_ok;
+    }
+    return ol_ok ? 0 : 1;
   }
 
   if (nodes > 1) {
@@ -582,6 +760,15 @@ int main(int argc, char** argv) {
     std::fprintf(human, "proxies ........... live=%llu gc=%llu\n",
                  static_cast<unsigned long long>(r.net.proxy_table),
                  static_cast<unsigned long long>(r.net.proxy_gcs));
+    for (int i = 0; i < nodes; ++i) {
+      const mkc::NetStats& ns = cluster.netipc(i).stats();
+      std::fprintf(human,
+                   "node %d net ........ proxy-ports=%llu rx-ooo-buffered=%llu "
+                   "rx-ooo-hw=%llu\n",
+                   i, static_cast<unsigned long long>(ns.proxy_table),
+                   static_cast<unsigned long long>(ns.rx_ooo_buffered),
+                   static_cast<unsigned long long>(ns.rx_ooo_hw));
+    }
     if (!config.netipc_gbn) {
       const double goodput_ratio =
           r.net.bytes_tx > 0
